@@ -1,0 +1,63 @@
+//! Criterion benchmarks for the chain searches themselves.
+//!
+//! Theorem 5.2 says a search visits ≈ 2.2 nodes in expectation at the final
+//! graphs' density (p = 2/n) and "climbs sharply" for denser graphs — these
+//! benchmarks measure exactly that: the cost of the online searches as a
+//! function of density, plus the cost of collapsing cycles.
+
+use bane_core::prelude::*;
+use bane_util::SplitMix64;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Builds a solver holding a random variable-variable graph of density k/n
+/// with online elimination, measuring full resolution (searches included).
+fn solve_random(n: usize, k: f64, seed: u64, config: SolverConfig) -> u64 {
+    let mut rng = SplitMix64::new(seed);
+    let mut solver = Solver::new(config);
+    let vars: Vec<Var> = (0..n).map(|_| solver.fresh_var()).collect();
+    let p = k / n as f64;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && rng.next_bool(p) {
+                solver.add(vars[i], vars[j]);
+            }
+        }
+    }
+    solver.solve();
+    solver.stats().search.nodes_visited
+}
+
+fn bench_search_vs_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_search_density");
+    group.sample_size(10);
+    let n = 1_500;
+    for k in [1.0f64, 2.0, 4.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("k={k}")), &k, |b, &k| {
+            b.iter(|| std::hint::black_box(solve_random(n, k, 9, SolverConfig::if_online())))
+        });
+    }
+    group.finish();
+}
+
+/// Collapsing long cycles: a ring of `len` variables plus closure traffic.
+fn bench_collapse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collapse_ring");
+    group.sample_size(20);
+    for len in [10usize, 100, 1_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            b.iter(|| {
+                let mut solver = Solver::new(SolverConfig::if_online());
+                let vars: Vec<Var> = (0..len).map(|_| solver.fresh_var()).collect();
+                for i in 0..len {
+                    solver.add(vars[i], vars[(i + 1) % len]);
+                }
+                solver.solve();
+                std::hint::black_box(solver.stats().vars_eliminated)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_vs_density, bench_collapse);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Ablations of the paper's design choices:
+//!
+//! 1. **Elimination strategy** — none vs. *periodic* offline SCC passes
+//!    (the prior-work approach of \[FA96\]/\[FF97\]/\[MW97\] that Section 1
+//!    criticizes: "One problem is deciding the frequency at which to perform
+//!    simplifications") vs. the paper's *online* detection. Expected: online
+//!    beats every fixed period — frequent passes pay O(V+E) over and over,
+//!    infrequent ones let redundant work pile up between passes.
+//! 2. **Variable order** — random vs. creation vs. reverse-creation order
+//!    for inductive form (Section 2.4: "a random order performs as well or
+//!    better than any other order we picked").
+
+use bane_bench::cli::Options;
+use bane_bench::report::{count, seconds, Table};
+use bane_core::prelude::*;
+use bane_points_to::andersen;
+use bane_synth::gen::{generate, GenConfig};
+use std::time::Instant;
+
+fn measure(
+    program: &bane_cfront::ast::Program,
+    config: SolverConfig,
+    limit: u64,
+) -> (bool, u64, u64, std::time::Duration) {
+    let mut solver = Solver::new(config);
+    andersen::generate(program, &mut solver);
+    let start = Instant::now();
+    let finished = solver.solve_limited(limit);
+    if config.form == Form::Inductive {
+        let _ = solver.least_solution();
+    }
+    (finished, solver.stats().work, solver.stats().vars_eliminated, start.elapsed())
+}
+
+fn main() {
+    let opts = Options::from_env(true);
+    let target = (20_000.0 * opts.scale / 0.2) as usize;
+    let program = generate(&GenConfig::sized(target, 1998));
+    println!(
+        "Ablations on one synthesized benchmark ({} AST nodes)\n",
+        program.ast_nodes()
+    );
+
+    println!("1. Elimination strategy (inductive form):\n");
+    let mut table = Table::new(&["strategy", "work", "eliminated", "time"]);
+    let mut strategies: Vec<(String, CycleElim)> =
+        vec![("none (IF-Plain)".into(), CycleElim::Off)];
+    for interval in [100u32, 1_000, 10_000, 100_000] {
+        strategies.push((format!("periodic every {interval}"), CycleElim::Periodic { interval }));
+    }
+    strategies.push(("online (IF-Online)".into(), CycleElim::Online));
+    for (name, cycle_elim) in strategies {
+        let config = SolverConfig { cycle_elim, ..SolverConfig::if_plain() };
+        let (finished, work, elim, time) = measure(&program, config, opts.limit);
+        table.row(vec![name, count(work), count(elim), seconds(time, finished)]);
+    }
+    println!("{}", table.render());
+
+    println!("2. Variable order policy (IF-Online):\n");
+    let mut table = Table::new(&["order", "work", "eliminated", "time"]);
+    let policies: Vec<(String, OrderPolicy)> = vec![
+        ("creation".into(), OrderPolicy::Creation),
+        ("reverse creation".into(), OrderPolicy::ReverseCreation),
+        ("random (seed 1)".into(), OrderPolicy::Random { seed: 1 }),
+        ("random (seed 2)".into(), OrderPolicy::Random { seed: 2 }),
+        ("random (seed 3)".into(), OrderPolicy::Random { seed: 3 }),
+    ];
+    for (name, order) in policies {
+        let config = SolverConfig::if_online().with_order(order);
+        let (finished, work, elim, time) = measure(&program, config, opts.limit);
+        table.row(vec![name, count(work), count(elim), seconds(time, finished)]);
+    }
+    println!("{}", table.render());
+    println!(
+        "(paper, Section 2.4: a random order performs as well or better than any\n\
+         other order; Section 1: online elimination avoids the period-tuning\n\
+         cost/benefit problem of prior periodic approaches)"
+    );
+}

@@ -1,0 +1,33 @@
+//! Reproduces **Figure 10**: the performance benefit of inductive form over
+//! standard form with online cycle elimination — the ratio of `SF-Online`
+//! time to `IF-Online` time vs. program size.
+//!
+//! Expected shape: `IF-Online` is consistently faster for medium and large
+//! programs (ratio > 1, up to several ×); for very small programs IF can be
+//! somewhat slower (ratio < 1), which in absolute terms is fractions of a
+//! second.
+
+use bane_bench::cli::Options;
+use bane_bench::experiment::{run_one, ExperimentKind};
+use bane_bench::report::{seconds, Table};
+
+fn main() {
+    let opts = Options::from_env(false);
+    println!("Figure 10: SF-Online time / IF-Online time vs AST nodes (scale {})\n", opts.scale);
+    let mut table =
+        Table::new(&["Benchmark", "AST Nodes", "SF-Online-s", "IF-Online-s", "SF/IF"]);
+    for (entry, program) in opts.selected() {
+        let sf = run_one(&program, ExperimentKind::SfOnline, None, u64::MAX, opts.reps);
+        let iff = run_one(&program, ExperimentKind::IfOnline, None, u64::MAX, opts.reps);
+        table.row(vec![
+            entry.name.to_string(),
+            program.ast_nodes().to_string(),
+            seconds(sf.time, sf.finished),
+            seconds(iff.time, iff.finished),
+            format!("{:.2}", sf.time.as_secs_f64() / iff.time.as_secs_f64()),
+        ]);
+        eprintln!("  measured {}", entry.name);
+    }
+    println!("{}", table.render());
+    println!("(expected: ratio > 1 from medium sizes on, growing with program size)");
+}

@@ -1,0 +1,39 @@
+//! Reproduces **Figure 7**: analysis time vs. program size (AST nodes) for
+//! `SF-Plain` and `IF-Plain` — no cycle elimination.
+//!
+//! Expected shape: both grow superlinearly and become impractical past
+//! ~15,000 AST nodes (at the paper's scale); without cycle elimination SF
+//! generally outperforms IF, because cycles add many redundant
+//! variable-variable edges to inductive form.
+
+use bane_bench::cli::Options;
+use bane_bench::experiment::{run_one, ExperimentKind};
+use bane_bench::report::{seconds, Table};
+
+fn main() {
+    let opts = Options::from_env(true);
+    println!(
+        "Figure 7: time vs AST nodes, no cycle elimination (scale {}, limit {})\n",
+        opts.scale, opts.limit
+    );
+    let mut table = Table::new(&["Benchmark", "AST Nodes", "SF-Plain-s", "IF-Plain-s", "IF/SF"]);
+    for (entry, program) in opts.selected() {
+        let sf = run_one(&program, ExperimentKind::SfPlain, None, opts.limit, opts.reps);
+        let iff = run_one(&program, ExperimentKind::IfPlain, None, opts.limit, opts.reps);
+        let ratio = if sf.finished && iff.finished {
+            format!("{:.2}", iff.time.as_secs_f64() / sf.time.as_secs_f64())
+        } else {
+            "-".to_string()
+        };
+        table.row(vec![
+            entry.name.to_string(),
+            program.ast_nodes().to_string(),
+            seconds(sf.time, sf.finished),
+            seconds(iff.time, iff.finished),
+            ratio,
+        ]);
+        eprintln!("  measured {}", entry.name);
+    }
+    println!("{}", table.render());
+    println!("(expected: superlinear growth; SF-Plain ≤ IF-Plain throughout)");
+}

@@ -1,0 +1,48 @@
+//! Reproduces **Figure 8**: analysis time vs. program size for the online
+//! and oracle experiments (note the scale change vs. Figure 7).
+//!
+//! Expected shape: fastest is `IF-Oracle`, then `SF-Oracle`, then
+//! `IF-Online`, then `SF-Online`; `IF-Online` stays close to the oracle
+//! times — the partial detector is not perfect, but it comes close.
+
+use bane_bench::cli::Options;
+use bane_bench::experiment::{analyze_bench, run_one, ExperimentKind};
+use bane_bench::report::{seconds, Table};
+
+fn main() {
+    let opts = Options::from_env(false);
+    println!(
+        "Figure 8: time vs AST nodes, online and oracle runs (scale {})\n",
+        opts.scale
+    );
+    let mut table = Table::new(&[
+        "Benchmark",
+        "AST Nodes",
+        "IF-Oracle-s",
+        "SF-Oracle-s",
+        "IF-Online-s",
+        "SF-Online-s",
+    ]);
+    for (entry, program) in opts.selected() {
+        let (_info, partition, mut if_online) = analyze_bench(entry.name, &program);
+        if opts.reps > 1 {
+            if_online = run_one(&program, ExperimentKind::IfOnline, None, u64::MAX, opts.reps);
+        }
+        let if_oracle =
+            run_one(&program, ExperimentKind::IfOracle, Some(&partition), u64::MAX, opts.reps);
+        let sf_oracle =
+            run_one(&program, ExperimentKind::SfOracle, Some(&partition), u64::MAX, opts.reps);
+        let sf_online = run_one(&program, ExperimentKind::SfOnline, None, u64::MAX, opts.reps);
+        table.row(vec![
+            entry.name.to_string(),
+            program.ast_nodes().to_string(),
+            seconds(if_oracle.time, if_oracle.finished),
+            seconds(sf_oracle.time, sf_oracle.finished),
+            seconds(if_online.time, if_online.finished),
+            seconds(sf_online.time, sf_online.finished),
+        ]);
+        eprintln!("  measured {}", entry.name);
+    }
+    println!("{}", table.render());
+    println!("(expected ordering on large inputs: IF-Oracle < SF-Oracle ≈ IF-Online < SF-Online)");
+}

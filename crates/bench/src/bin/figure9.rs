@@ -1,0 +1,57 @@
+//! Reproduces **Figure 9**: speedups over the standard implementation,
+//! plotted against the absolute `SF-Plain` execution time.
+//!
+//! Two series: the total speedup of our approach (`IF-Online` over
+//! `SF-Plain`) and the speedup attributable to online cycle elimination
+//! alone (`SF-Online` over `SF-Plain`).
+//!
+//! Expected shape: as SF-Plain's execution time grows, both speedups grow —
+//! for very small programs the cost of cycle elimination can outweigh the
+//! benefit (speedup < 1), for large ones the total speedup exceeds an order
+//! of magnitude.
+
+use bane_bench::cli::Options;
+use bane_bench::experiment::{run_one, ExperimentKind};
+use bane_bench::report::{seconds, Table};
+
+fn main() {
+    let opts = Options::from_env(true);
+    println!(
+        "Figure 9: speedup over SF-Plain vs SF-Plain time (scale {}, limit {})\n",
+        opts.scale, opts.limit
+    );
+    let mut rows: Vec<(f64, Vec<String>)> = Vec::new();
+    for (entry, program) in opts.selected() {
+        let sf_plain = run_one(&program, ExperimentKind::SfPlain, None, opts.limit, opts.reps);
+        let sf_online = run_one(&program, ExperimentKind::SfOnline, None, u64::MAX, opts.reps);
+        let if_online = run_one(&program, ExperimentKind::IfOnline, None, u64::MAX, opts.reps);
+        let base = sf_plain.time.as_secs_f64();
+        let speedup = |t: f64| {
+            let s = base / t;
+            if sf_plain.finished { format!("{s:.2}") } else { format!(">{s:.2}") }
+        };
+        rows.push((
+            base,
+            vec![
+                entry.name.to_string(),
+                seconds(sf_plain.time, sf_plain.finished),
+                speedup(if_online.time.as_secs_f64()),
+                speedup(sf_online.time.as_secs_f64()),
+            ],
+        ));
+        eprintln!("  measured {}", entry.name);
+    }
+    // Figure 9's x axis is SF-Plain time.
+    rows.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut table = Table::new(&[
+        "Benchmark",
+        "SF-Plain-s",
+        "IF-Online speedup",
+        "SF-Online speedup",
+    ]);
+    for (_, cells) in rows {
+        table.row(cells);
+    }
+    println!("{}", table.render());
+    println!("(expected: speedups grow with SF-Plain time; > marks lower bounds from work-limited baselines)");
+}

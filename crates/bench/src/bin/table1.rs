@@ -1,0 +1,61 @@
+//! Reproduces **Table 1**: benchmark data common to all experiments.
+//!
+//! Columns: AST nodes, lines of (pretty-printed) code, set variables, total
+//! distinct initial graph nodes, initial edges, and the initial/final SCC
+//! statistics (#variables in non-trivial SCCs and the largest SCC).
+//!
+//! The paper's observation that "less than 20% of the variables that are in
+//! strongly connected components in the final graph also appear in strongly
+//! connected components in the initial graph" is printed as a summary line.
+
+use bane_bench::cli::Options;
+use bane_bench::experiment::analyze_bench;
+use bane_bench::report::Table;
+
+fn main() {
+    let opts = Options::from_env(false);
+    println!(
+        "Table 1: benchmark data (scale {}, {} reps)\n",
+        opts.scale, opts.reps
+    );
+    let mut table = Table::new(&[
+        "Benchmark",
+        "AST Nodes",
+        "LOC",
+        "Set Vars",
+        "Init Nodes",
+        "Init Edges",
+        "I#Vars",
+        "I-SCCmax",
+        "F#Vars",
+        "F-SCCmax",
+    ]);
+    let mut initial_total = 0usize;
+    let mut final_total = 0usize;
+    for (entry, program) in opts.selected() {
+        let (info, _partition, _m) = analyze_bench(entry.name, &program);
+        initial_total += info.initial_scc.vars_in_cycles;
+        final_total += info.final_scc.vars_in_cycles;
+        table.row(vec![
+            info.name.clone(),
+            info.ast_nodes.to_string(),
+            info.loc.to_string(),
+            info.set_vars.to_string(),
+            info.initial_nodes.to_string(),
+            info.initial_edges.to_string(),
+            info.initial_scc.vars_in_cycles.to_string(),
+            info.initial_scc.max_component.to_string(),
+            info.final_scc.vars_in_cycles.to_string(),
+            info.final_scc.max_component.to_string(),
+        ]);
+        eprintln!("  analyzed {}", info.name);
+    }
+    println!("{}", table.render());
+    if final_total > 0 {
+        println!(
+            "initial-SCC variables as fraction of final-SCC variables: {:.1}% \
+             (paper: < 20% for most benchmarks)",
+            100.0 * initial_total as f64 / final_total as f64
+        );
+    }
+}

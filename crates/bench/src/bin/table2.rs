@@ -1,0 +1,59 @@
+//! Reproduces **Table 2**: the `SF-Plain`, `IF-Plain`, `SF-Oracle` and
+//! `IF-Oracle` experiments — final edges, total edge additions ("Work",
+//! including redundant ones) and resolution time per benchmark.
+//!
+//! Expected shape (paper §4): the `Plain` columns blow up with program size
+//! (note the huge Work numbers), while the oracle runs stay small — the bulk
+//! of resolution cost is attributable to strongly connected components.
+//! Without cycles the analysis scales well for both forms, and `IF-Oracle`
+//! does several times less work than `SF-Oracle` (Theorem 5.1).
+//!
+//! `Plain` runs are bounded by `--limit`; unfinished entries are prefixed
+//! with `>` (the paper similarly reports impractical configurations).
+
+use bane_bench::cli::Options;
+use bane_bench::experiment::{analyze_bench, run_one, ExperimentKind};
+use bane_bench::report::{count, seconds, Table};
+
+fn main() {
+    let opts = Options::from_env(true);
+    println!(
+        "Table 2: Plain and Oracle experiments (scale {}, limit {}, reps {})\n",
+        opts.scale, opts.limit, opts.reps
+    );
+    let mut table = Table::new(&[
+        "Benchmark",
+        "SFp-Edges",
+        "SFp-Work",
+        "SFp-s",
+        "IFp-Edges",
+        "IFp-Work",
+        "IFp-s",
+        "SFo-Edges",
+        "SFo-Work",
+        "SFo-s",
+        "IFo-Edges",
+        "IFo-Work",
+        "IFo-s",
+    ]);
+    for (entry, program) in opts.selected() {
+        let (_info, partition, _if_online) = analyze_bench(entry.name, &program);
+        let mut cells = vec![entry.name.to_string()];
+        for kind in [
+            ExperimentKind::SfPlain,
+            ExperimentKind::IfPlain,
+            ExperimentKind::SfOracle,
+            ExperimentKind::IfOracle,
+        ] {
+            let limit = if kind.is_plain() { opts.limit } else { u64::MAX };
+            let m = run_one(&program, kind, Some(&partition), limit, opts.reps);
+            cells.push(count(m.edges as u64));
+            cells.push(count(m.work));
+            cells.push(seconds(m.time, m.finished));
+        }
+        table.row(cells);
+        eprintln!("  measured {}", entry.name);
+    }
+    println!("{}", table.render());
+    println!("(>t = run stopped at the work limit; the paper reports such configurations as impractical)");
+}

@@ -1,0 +1,13 @@
+//! Reproduces **Table 4**: the six experiment configurations.
+
+use bane_bench::experiment::ExperimentKind;
+use bane_bench::report::Table;
+
+fn main() {
+    println!("Table 4: experiments\n");
+    let mut table = Table::new(&["Experiment", "Description"]);
+    for kind in ExperimentKind::ALL {
+        table.row(vec![kind.name().to_string(), kind.description().to_string()]);
+    }
+    println!("{}", table.render());
+}

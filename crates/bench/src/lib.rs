@@ -1,0 +1,16 @@
+//! The experiment harness: everything needed to regenerate the paper's
+//! tables and figures.
+//!
+//! - [`experiment`]: the six Table 4 configurations, runnable on any
+//!   benchmark program with the paper's measurement methodology,
+//! - [`cli`]: the `--scale/--max-ast/--reps/--limit/--only` options shared by
+//!   the binaries,
+//! - [`report`]: plain-text table rendering.
+//!
+//! Each table and figure has a dedicated binary (see `src/bin/`):
+//! `table1`–`table4`, `figure7`–`figure11`, `model`, and the `baseline`
+//! Steensgaard comparison. Criterion micro-benchmarks live in `benches/`.
+
+pub mod cli;
+pub mod experiment;
+pub mod report;

@@ -1,0 +1,147 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// A simple fixed-width table builder.
+///
+/// # Examples
+///
+/// ```
+/// use bane_bench::report::Table;
+///
+/// let mut t = Table::new(&["name", "value"]);
+/// t.row(vec!["x".into(), "1".into()]);
+/// let text = t.render();
+/// assert!(text.contains("name"));
+/// assert!(text.contains("x"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has the wrong number of cells.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table: first column left-aligned, the rest right-aligned.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                if i == 0 {
+                    line.push_str(&format!("{:<w$}", cells[i], w = widths[i]));
+                } else {
+                    line.push_str(&format!("{:>w$}", cells[i], w = widths[i]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a duration in seconds with adaptive precision, with a `>` prefix
+/// for unfinished (work-limited) runs.
+pub fn seconds(time: std::time::Duration, finished: bool) -> String {
+    let s = time.as_secs_f64();
+    let body = if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.3}")
+    };
+    if finished {
+        body
+    } else {
+        format!(">{body}")
+    }
+}
+
+/// Formats a large count with thousands separators.
+pub fn count(n: u64) -> String {
+    let digits: Vec<u8> = n.to_string().into_bytes();
+    let mut out = String::new();
+    for (i, d) in digits.iter().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(*d as char);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["bench", "work"]);
+        t.row(vec!["a".into(), "10".into()]);
+        t.row(vec!["longer-name".into(), "123456".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("bench"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // All data lines same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(seconds(Duration::from_millis(12), true), "0.012");
+        assert_eq!(seconds(Duration::from_secs_f64(3.456), true), "3.46");
+        assert_eq!(seconds(Duration::from_secs(250), true), "250");
+        assert_eq!(seconds(Duration::from_secs(2), false), ">2.00");
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(count(0), "0");
+        assert_eq!(count(999), "999");
+        assert_eq!(count(1_000), "1,000");
+        assert_eq!(count(1_234_567), "1,234,567");
+    }
+}

@@ -1,0 +1,140 @@
+//! Abstract syntax of the small functional language.
+//!
+//! ```text
+//! e ::= x | n | \x. e | e₁ e₂ | e₁ + e₂
+//!     | let x = e₁ in e₂ | letrec f = e₁ in e₂
+//!     | if0 e₁ then e₂ else e₃
+//! ```
+//!
+//! `letrec` makes `f` visible inside its own definition — that is where the
+//! closure-analysis constraint graph grows cycles, the phenomenon the
+//! paper's future-work section wants online elimination measured against
+//! (\[MW97\] reported poor performance on "large sets of mutually recursive
+//! functions").
+
+use bane_util::newtype_index;
+
+newtype_index! {
+    /// Identifies an expression node (also the label of its 0-CFA cache
+    /// variable).
+    pub struct ExprId("e");
+}
+
+/// An expression node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// A variable reference.
+    Var(String),
+    /// An integer literal.
+    Int(i64),
+    /// `\x. body`.
+    Lam(String, ExprId),
+    /// `f a` (application by juxtaposition).
+    App(ExprId, ExprId),
+    /// `a + b` (a primitive; no closure flow).
+    Add(ExprId, ExprId),
+    /// `let x = bound in body`.
+    Let(String, ExprId, ExprId),
+    /// `letrec f = bound in body` (`f` scopes over `bound`).
+    LetRec(String, ExprId, ExprId),
+    /// `if0 cond then t else e` — values of both branches merge.
+    If0(ExprId, ExprId, ExprId),
+}
+
+/// An arena-allocated program: expressions by id, plus the root.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Term {
+    nodes: Vec<Expr>,
+}
+
+impl Term {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a node.
+    pub fn alloc(&mut self, e: Expr) -> ExprId {
+        let id = ExprId::new(self.nodes.len());
+        self.nodes.push(e);
+        id
+    }
+
+    /// The node for `id`.
+    pub fn get(&self, id: ExprId) -> &Expr {
+        &self.nodes[id.raw() as usize]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All ids, in allocation order.
+    pub fn ids(&self) -> impl Iterator<Item = ExprId> + 'static {
+        (0..self.nodes.len()).map(ExprId::new)
+    }
+
+    /// Renders `id` back to source syntax.
+    pub fn display(&self, id: ExprId) -> String {
+        match self.get(id) {
+            Expr::Var(x) => x.clone(),
+            Expr::Int(n) => n.to_string(),
+            Expr::Lam(x, b) => format!("\\{x}. {}", self.display(*b)),
+            Expr::App(f, a) => {
+                format!("({} {})", self.display(*f), self.display(*a))
+            }
+            Expr::Add(a, b) => format!("({} + {})", self.display(*a), self.display(*b)),
+            Expr::Let(x, v, b) => {
+                format!("let {x} = {} in {}", self.display(*v), self.display(*b))
+            }
+            Expr::LetRec(x, v, b) => {
+                format!("letrec {x} = {} in {}", self.display(*v), self.display(*b))
+            }
+            Expr::If0(c, t, e) => format!(
+                "if0 {} then {} else {}",
+                self.display(*c),
+                self.display(*t),
+                self.display(*e)
+            ),
+        }
+    }
+}
+
+/// A parsed program: the arena plus the root expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    /// The expression arena.
+    pub term: Term,
+    /// The root expression.
+    pub root: ExprId,
+}
+
+impl Program {
+    /// Total expression nodes (the CFA analogue of the paper's AST nodes).
+    pub fn size(&self) -> usize {
+        self.term.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_round_trips() {
+        let mut t = Term::new();
+        let x = t.alloc(Expr::Var("x".into()));
+        let lam = t.alloc(Expr::Lam("x".into(), x));
+        let app = t.alloc(Expr::App(lam, lam));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.display(app), "(\\x. x \\x. x)");
+        assert!(matches!(t.get(lam), Expr::Lam(..)));
+        assert_eq!(t.ids().count(), 3);
+    }
+}

@@ -1,0 +1,140 @@
+//! Synthetic functional programs for the closure-analysis benchmarks.
+//!
+//! The generator emits layered groups of recursive functions that pass each
+//! other higher-order combinators — the "large sets of mutually recursive
+//! functions" shape that \[MW97\] reported as a performance cliff and that the
+//! paper's future-work section earmarks for online cycle elimination.
+
+use crate::ast::{Expr, ExprId, Program, Term};
+use bane_util::SplitMix64;
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct CfaGenConfig {
+    /// PRNG seed.
+    pub seed: u64,
+    /// Number of `letrec` function layers.
+    pub layers: usize,
+    /// Functions per layer.
+    pub per_layer: usize,
+    /// Call sites per function body.
+    pub calls_per_fn: usize,
+    /// Probability that a call argument is a function rather than a scalar —
+    /// the higher-order "mixing" density. Past ~0.7 the closure sets (and
+    /// the constraint-graph cycles) grow superlinearly.
+    pub fn_arg_prob: f64,
+}
+
+impl Default for CfaGenConfig {
+    fn default() -> Self {
+        CfaGenConfig { seed: 7, layers: 10, per_layer: 6, calls_per_fn: 4, fn_arg_prob: 0.5 }
+    }
+}
+
+impl CfaGenConfig {
+    /// Scales the default shape to roughly `size` expression nodes.
+    pub fn sized(size: usize, seed: u64) -> Self {
+        let per_layer = 6;
+        let calls_per_fn = 4;
+        // Each function contributes ~3 + 2·calls nodes.
+        let per_fn = 3 + 2 * calls_per_fn;
+        let layers = (size / (per_layer * per_fn)).max(1);
+        CfaGenConfig { seed, layers, per_layer, calls_per_fn, fn_arg_prob: 0.5 }
+    }
+}
+
+/// Generates a program per `config`.
+pub fn generate(config: &CfaGenConfig) -> Program {
+    let mut rng = SplitMix64::new(config.seed);
+    let mut term = Term::new();
+
+    // Textual structure:
+    //   letrec f_0 = B_0 in letrec f_1 = B_1 in … in <root>
+    // so B_i may reference f_0 … f_i (letrec puts f_i in its own scope).
+    // Every function is a combinator `\g. (g g) + Σ (callee argument)` with
+    // callees and arguments drawn from {g, earlier functions} — parameters
+    // get applied and functions travel as arguments, so closure sets mix
+    // across call sites, and the letrec back-references close cycles.
+    let total = config.layers * config.per_layer;
+    let names: Vec<String> = (0..total)
+        .map(|i| format!("f{}_{}", i / config.per_layer, i % config.per_layer))
+        .collect();
+
+    let pick_in_scope = |rng: &mut SplitMix64, term: &mut Term, i: usize| -> ExprId {
+        match rng.next_below(3) {
+            0 => term.alloc(Expr::Var("g".to_string())),
+            1 => term.alloc(Expr::Var(names[i].clone())),
+            _ => {
+                let window = 2 * config.per_layer;
+                let back = (rng.next_below(window as u64) as usize).min(i);
+                term.alloc(Expr::Var(names[i - back].clone()))
+            }
+        }
+    };
+
+    // Root (innermost) body: seed the flows by applying a sample of
+    // functions to each other.
+    let mut body: ExprId = term.alloc(Expr::Int(0));
+    for _ in 0..16.min(total) {
+        let a = rng.next_below(total as u64) as usize;
+        let b = rng.next_below(total as u64) as usize;
+        let fa = term.alloc(Expr::Var(names[a].clone()));
+        let fb = term.alloc(Expr::Var(names[b].clone()));
+        let call = term.alloc(Expr::App(fa, fb));
+        body = term.alloc(Expr::Add(body, call));
+    }
+
+    // Wrap the letrecs inside-out: highest textual index first.
+    for i in (0..total).rev() {
+        // (g 0): the function parameter is applied — every lambda that ever
+        // reaches g becomes callable here.
+        let g1 = term.alloc(Expr::Var("g".to_string()));
+        let zero = term.alloc(Expr::Int(0));
+        let mut acc = term.alloc(Expr::App(g1, zero));
+        for _ in 0..config.calls_per_fn {
+            let callee = pick_in_scope(&mut rng, &mut term, i);
+            // Scalar or function argument, by the mixing density.
+            let arg = if rng.next_bool(1.0 - config.fn_arg_prob) {
+                term.alloc(Expr::Int(1))
+            } else {
+                pick_in_scope(&mut rng, &mut term, i)
+            };
+            let call = term.alloc(Expr::App(callee, arg));
+            acc = term.alloc(Expr::Add(acc, call));
+        }
+        let lam = term.alloc(Expr::Lam("g".to_string(), acc));
+        body = term.alloc(Expr::LetRec(names[i].clone(), lam, body));
+    }
+    Program { term, root: body }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use bane_core::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic_and_sized() {
+        let a = generate(&CfaGenConfig::sized(3_000, 1));
+        let b = generate(&CfaGenConfig::sized(3_000, 1));
+        assert_eq!(a, b);
+        assert!(a.size() > 1_500, "size {}", a.size());
+    }
+
+    #[test]
+    fn generated_programs_have_cycles_and_agree() {
+        let program = generate(&CfaGenConfig::sized(2_000, 5));
+        let mut online = analyze(&program, SolverConfig::if_online());
+        assert!(
+            online.solver.stats().vars_eliminated > 0,
+            "letrec groups should produce collapsible cycles"
+        );
+        let plain = analyze(&program, SolverConfig::sf_plain());
+        // Same least solution sizes at the root.
+        let mut plain = plain;
+        let a = online.values_of(program.root);
+        let b = plain.values_of(program.root);
+        assert_eq!(a, b);
+    }
+}

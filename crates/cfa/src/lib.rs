@@ -1,0 +1,34 @@
+//! Closure analysis (0-CFA) via the `bane` solver — the paper's stated
+//! future work ("We plan to study the impact of online cycle elimination on
+//! the performance of closure analysis in future work", Section 6).
+//!
+//! A small functional language ([`ast`], [`parse`]), monovariant closure
+//! analysis as inclusion constraints ([`analysis`]) using the same engine as
+//! the points-to experiments, and a synthetic generator of mutually
+//! recursive higher-order programs ([`gen`]) — the shape \[MW97\] reported as
+//! a performance cliff for set-constraint type systems. The `cfa` binary in
+//! `bane-bench` measures all four solver configurations on it.
+//!
+//! # Examples
+//!
+//! ```
+//! use bane_cfa::parse::parse;
+//! use bane_cfa::analysis::analyze;
+//! use bane_core::prelude::SolverConfig;
+//!
+//! let program = parse(r"let id = \x. x in id id")?;
+//! let mut cfa = analyze(&program, SolverConfig::if_online());
+//! let values = cfa.values_of(program.root);
+//! assert_eq!(values.len(), 1, "(id id) is the identity lambda");
+//! # Ok::<(), bane_cfa::parse::ParseError>(())
+//! ```
+
+pub mod analysis;
+pub mod ast;
+pub mod gen;
+pub mod parse;
+
+pub use analysis::{analyze, generate, Cfa};
+pub use ast::{Expr, ExprId, Program, Term};
+pub use gen::{generate as generate_program, CfaGenConfig};
+pub use parse::{parse, ParseError};

@@ -1,0 +1,322 @@
+//! Parser for the functional language.
+//!
+//! Grammar (application binds tightest, by juxtaposition, left-associative;
+//! `+` next; `\`, `let`, `letrec`, `if0` extend to the right):
+//!
+//! ```text
+//! expr   ::= '\' ident '.' expr
+//!          | 'let' ident '=' expr 'in' expr
+//!          | 'letrec' ident '=' expr 'in' expr
+//!          | 'if0' expr 'then' expr 'else' expr
+//!          | add
+//! add    ::= app ('+' app)*
+//! app    ::= atom atom*
+//! atom   ::= ident | int | '(' expr ')'
+//! ```
+
+use crate::ast::{Expr, ExprId, Program, Term};
+use std::fmt;
+
+/// A parse error with a byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the source.
+    pub at: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Lambda,
+    Dot,
+    LParen,
+    RParen,
+    Plus,
+    Assign,
+    Let,
+    LetRec,
+    In,
+    If0,
+    Then,
+    Else,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '\\' => {
+                out.push((Tok::Lambda, i));
+                i += 1;
+            }
+            '.' => {
+                out.push((Tok::Dot, i));
+                i += 1;
+            }
+            '(' => {
+                out.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                out.push((Tok::RParen, i));
+                i += 1;
+            }
+            '+' => {
+                out.push((Tok::Plus, i));
+                i += 1;
+            }
+            '=' => {
+                out.push((Tok::Assign, i));
+                i += 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = src[start..i].parse().map_err(|e| ParseError {
+                    message: format!("bad integer: {e}"),
+                    at: start,
+                })?;
+                out.push((Tok::Int(n), start));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "let" => Tok::Let,
+                    "letrec" => Tok::LetRec,
+                    "in" => Tok::In,
+                    "if0" => Tok::If0,
+                    "then" => Tok::Then,
+                    "else" => Tok::Else,
+                    "fn" => Tok::Lambda,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push((tok, start));
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character `{other}`"),
+                    at: i,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on the first problem.
+///
+/// # Examples
+///
+/// ```
+/// use bane_cfa::parse::parse;
+///
+/// let p = parse(r"let id = \x. x in id id")?;
+/// assert!(p.size() >= 5);
+/// # Ok::<(), bane_cfa::parse::ParseError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0, term: Term::new() };
+    let root = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(ParseError {
+            message: "trailing input".into(),
+            at: p.tokens[p.pos].1,
+        });
+    }
+    Ok(Program { term: p.term, root })
+}
+
+struct Parser {
+    tokens: Vec<(Tok, usize)>,
+    pos: usize,
+    term: Term,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.tokens.get(self.pos).map(|&(_, at)| at).unwrap_or(usize::MAX)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), ParseError> {
+        if self.peek() == Some(&tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseError { message: format!("expected {tok:?}"), at: self.at() })
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            _ => Err(ParseError { message: "expected identifier".into(), at: self.at() }),
+        }
+    }
+
+    fn expr(&mut self) -> Result<ExprId, ParseError> {
+        match self.peek() {
+            Some(Tok::Lambda) => {
+                self.bump();
+                let x = self.ident()?;
+                self.expect(Tok::Dot)?;
+                let body = self.expr()?;
+                Ok(self.term.alloc(Expr::Lam(x, body)))
+            }
+            Some(Tok::Let) | Some(Tok::LetRec) => {
+                let rec = self.bump() == Some(Tok::LetRec);
+                let x = self.ident()?;
+                self.expect(Tok::Assign)?;
+                let bound = self.expr()?;
+                self.expect(Tok::In)?;
+                let body = self.expr()?;
+                Ok(self.term.alloc(if rec {
+                    Expr::LetRec(x, bound, body)
+                } else {
+                    Expr::Let(x, bound, body)
+                }))
+            }
+            Some(Tok::If0) => {
+                self.bump();
+                let c = self.expr()?;
+                self.expect(Tok::Then)?;
+                let t = self.expr()?;
+                self.expect(Tok::Else)?;
+                let e = self.expr()?;
+                Ok(self.term.alloc(Expr::If0(c, t, e)))
+            }
+            _ => self.add(),
+        }
+    }
+
+    fn add(&mut self) -> Result<ExprId, ParseError> {
+        let mut lhs = self.app()?;
+        while self.peek() == Some(&Tok::Plus) {
+            self.bump();
+            let rhs = self.app()?;
+            lhs = self.term.alloc(Expr::Add(lhs, rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn app(&mut self) -> Result<ExprId, ParseError> {
+        let mut f = self.atom()?;
+        while matches!(
+            self.peek(),
+            Some(Tok::Ident(_)) | Some(Tok::Int(_)) | Some(Tok::LParen) | Some(Tok::Lambda)
+        ) {
+            // Lambdas as arguments must be parenthesized in most MLs; we
+            // allow a trailing bare lambda for convenience.
+            let a = self.atom()?;
+            f = self.term.alloc(Expr::App(f, a));
+        }
+        Ok(f)
+    }
+
+    fn atom(&mut self) -> Result<ExprId, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(x)) => Ok(self.term.alloc(Expr::Var(x))),
+            Some(Tok::Int(n)) => Ok(self.term.alloc(Expr::Int(n))),
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Lambda) => {
+                let x = self.ident()?;
+                self.expect(Tok::Dot)?;
+                let body = self.expr()?;
+                Ok(self.term.alloc(Expr::Lam(x, body)))
+            }
+            _ => Err(ParseError { message: "expected expression".into(), at: self.at() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_identity_application() {
+        let p = parse(r"let id = \x. x in id id").unwrap();
+        assert!(matches!(p.term.get(p.root), Expr::Let(..)));
+        assert_eq!(p.term.display(p.root), "let id = \\x. x in (id id)");
+    }
+
+    #[test]
+    fn application_is_left_associative() {
+        let p = parse("f a b").unwrap();
+        let Expr::App(fa, _) = p.term.get(p.root) else { panic!() };
+        assert!(matches!(p.term.get(*fa), Expr::App(..)));
+    }
+
+    #[test]
+    fn plus_binds_looser_than_application() {
+        let p = parse("f a + g b").unwrap();
+        assert!(matches!(p.term.get(p.root), Expr::Add(..)));
+    }
+
+    #[test]
+    fn letrec_and_if0() {
+        let p = parse(r"letrec f = \n. if0 n then 0 else f (n + 1) in f 3").unwrap();
+        assert!(matches!(p.term.get(p.root), Expr::LetRec(..)));
+    }
+
+    #[test]
+    fn comments_and_fn_keyword() {
+        let p = parse("# a comment\nfn x. x").unwrap();
+        assert!(matches!(p.term.get(p.root), Expr::Lam(..)));
+    }
+
+    #[test]
+    fn errors_report_position() {
+        let err = parse("let = 3 in x").unwrap_err();
+        assert!(err.to_string().contains("identifier"));
+        assert!(parse("(x").is_err());
+        assert!(parse("x )").is_err());
+        assert!(parse("?").is_err());
+    }
+}

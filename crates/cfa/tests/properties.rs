@@ -1,0 +1,50 @@
+//! Property tests for the closure analysis: whatever program the generator
+//! produces, every solver configuration computes the same abstract values.
+
+use bane_cfa::analysis::analyze;
+use bane_cfa::ast::Expr;
+use bane_cfa::gen::{generate, CfaGenConfig};
+use bane_core::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn configurations_agree(seed in 0u64..500, mixing in 0.0f64..0.8) {
+        let mut config = CfaGenConfig::sized(300, seed);
+        config.fn_arg_prob = mixing;
+        let program = generate(&config);
+
+        // Reference: per-application callee counts under SF-Plain.
+        let reference: Vec<usize> = {
+            let mut cfa = analyze(&program, SolverConfig::sf_plain());
+            cfa.call_summary(&program).into_iter().map(|(_, n)| n).collect()
+        };
+        for solver_config in [
+            SolverConfig::if_plain(),
+            SolverConfig::sf_online(),
+            SolverConfig::if_online(),
+            SolverConfig::if_online().with_order(OrderPolicy::Creation),
+        ] {
+            let mut cfa = analyze(&program, solver_config);
+            let got: Vec<usize> =
+                cfa.call_summary(&program).into_iter().map(|(_, n)| n).collect();
+            prop_assert_eq!(&got, &reference, "{:?}", solver_config);
+        }
+    }
+
+    #[test]
+    fn callees_are_always_lambdas_of_the_program(seed in 0u64..500) {
+        let program = generate(&CfaGenConfig::sized(300, seed));
+        let mut cfa = analyze(&program, SolverConfig::if_online());
+        for id in program.term.ids() {
+            if let Expr::App(f, _) = program.term.get(id) {
+                for lam in cfa.values_of(*f) {
+                    prop_assert!(matches!(program.term.get(lam), Expr::Lam(..)));
+                }
+            }
+        }
+        prop_assert!(cfa.solver.inconsistencies().is_empty());
+    }
+}

@@ -1,0 +1,403 @@
+//! Abstract syntax of the C subset.
+//!
+//! The subset is designed around what Andersen's points-to analysis observes:
+//! declarations, pointers of arbitrary depth, address-of, dereference,
+//! assignment, calls (including through function pointers), arrays (collapsed
+//! onto their element, as in Andersen's thesis), and `struct` members
+//! (field-insensitive). Control flow is kept (`if`/`while`/`for`) because the
+//! analysis is flow-insensitive but still traverses all branches.
+//!
+//! [`Program::ast_nodes`] counts AST nodes exactly once per construct; this
+//! is the x-axis of the paper's scaling plots (Table 1's "AST nodes").
+
+/// A whole translation unit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Global variable declarations, in order.
+    pub globals: Vec<Decl>,
+    /// Struct definitions (fields only matter for pretty-printing; the
+    /// analysis is field-insensitive).
+    pub structs: Vec<StructDef>,
+    /// Function definitions, in order.
+    pub functions: Vec<Function>,
+}
+
+/// A `struct` definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StructDef {
+    /// Struct tag.
+    pub name: String,
+    /// Field declarations.
+    pub fields: Vec<Decl>,
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Function {
+    /// Return type.
+    pub ret: Type,
+    /// Function name.
+    pub name: String,
+    /// Parameters, in order.
+    pub params: Vec<Decl>,
+    /// Body statements (declarations appear as [`Stmt::Decl`]).
+    pub body: Vec<Stmt>,
+}
+
+/// A variable declaration (one declarator).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Decl {
+    /// Declared type.
+    pub ty: Type,
+    /// Variable name.
+    pub name: String,
+    /// Optional initializer.
+    pub init: Option<Expr>,
+}
+
+/// The base of a type, before pointer stars.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BaseType {
+    /// `int`.
+    Int,
+    /// `char`.
+    Char,
+    /// `void`.
+    Void,
+    /// `struct tag`.
+    Struct(String),
+    /// A function-pointer declarator `ret (*name)(…)`; parameter types are
+    /// not tracked (the analysis is type-insensitive).
+    FnPtr,
+}
+
+/// A type: a base plus pointer depth, with optional array suffix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Type {
+    /// The base type.
+    pub base: BaseType,
+    /// Number of `*`s.
+    pub ptr_depth: u32,
+    /// Array length if declared as `name[N]` (collapsed by the analysis).
+    pub array: Option<u64>,
+}
+
+impl Type {
+    /// A non-pointer scalar of `base`.
+    pub fn scalar(base: BaseType) -> Type {
+        Type { base, ptr_depth: 0, array: None }
+    }
+
+    /// `int` shorthand.
+    pub fn int() -> Type {
+        Type::scalar(BaseType::Int)
+    }
+
+    /// A pointer type of the given depth over `base`.
+    pub fn ptr(base: BaseType, depth: u32) -> Type {
+        Type { base, ptr_depth: depth, array: None }
+    }
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// A local declaration.
+    Decl(Decl),
+    /// An expression statement.
+    Expr(Expr),
+    /// `if (cond) { then } else { els }` (else may be empty).
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) { body }`.
+    While(Expr, Vec<Stmt>),
+    /// `for (init; cond; step) { body }` — any part may be absent.
+    For(Option<Expr>, Option<Expr>, Option<Expr>, Vec<Stmt>),
+    /// `do { body } while (cond);`.
+    DoWhile(Vec<Stmt>, Expr),
+    /// `switch (scrutinee) { cases }`.
+    Switch(Expr, Vec<SwitchCase>),
+    /// `break;`.
+    Break,
+    /// `continue;`.
+    Continue,
+    /// `goto label;` (control flow only; no data flow).
+    Goto(String),
+    /// `label:` (a no-op for the flow-insensitive analysis).
+    Label(String),
+    /// `return e;` / `return;`.
+    Return(Option<Expr>),
+    /// A braced block.
+    Block(Vec<Stmt>),
+}
+
+/// One `case`/`default` arm of a `switch`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SwitchCase {
+    /// The case value (`None` for `default`).
+    pub value: Option<i64>,
+    /// The arm's statements (fallthrough is not modeled; the analysis is
+    /// flow-insensitive so it makes no difference).
+    pub body: Vec<Stmt>,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// `*e`.
+    Deref,
+    /// `&e`.
+    AddrOf,
+    /// `-e`.
+    Neg,
+    /// `!e`.
+    Not,
+    /// `~e`.
+    BitNot,
+}
+
+/// Binary operators (no pointer effects beyond evaluating both sides; `p + i`
+/// pointer arithmetic keeps `p`'s targets).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+    /// `&` (binary)
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// A variable or function name.
+    Id(String),
+    /// An integer literal.
+    Int(i64),
+    /// A string literal (an anonymous `char` array location).
+    Str(String),
+    /// `NULL`.
+    Null,
+    /// `sizeof(e)`-style opaque integer (operand kept for node counts).
+    Sizeof(Box<Expr>),
+    /// A unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// A binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `lhs = rhs`.
+    Assign(Box<Expr>, Box<Expr>),
+    /// `callee(args…)`.
+    Call(Box<Expr>, Vec<Expr>),
+    /// `base[index]` (treated as `*(base + index)`).
+    Index(Box<Expr>, Box<Expr>),
+    /// `base.field` or `base->field` (`arrow = true`).
+    Member(Box<Expr>, String, bool),
+    /// `(type) e` — a no-op for the analysis.
+    Cast(Type, Box<Expr>),
+    /// `cond ? then : else` — the branches' values merge.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `a, b` — evaluate both, value of the right.
+    Comma(Box<Expr>, Box<Expr>),
+    /// `{ e₁, e₂, … }` — an initializer list (only valid as an initializer).
+    InitList(Vec<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor: `*e`.
+    pub fn deref(e: Expr) -> Expr {
+        Expr::Unary(UnOp::Deref, Box::new(e))
+    }
+
+    /// Convenience constructor: `&e`.
+    pub fn addr_of(e: Expr) -> Expr {
+        Expr::Unary(UnOp::AddrOf, Box::new(e))
+    }
+
+    /// Convenience constructor: `lhs = rhs`.
+    pub fn assign(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Assign(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor: a variable reference.
+    pub fn id(name: impl Into<String>) -> Expr {
+        Expr::Id(name.into())
+    }
+
+    /// Number of AST nodes in this expression.
+    pub fn ast_nodes(&self) -> usize {
+        match self {
+            Expr::Id(_) | Expr::Int(_) | Expr::Str(_) | Expr::Null => 1,
+            Expr::Sizeof(e) => 1 + e.ast_nodes(),
+            Expr::Unary(_, e) => 1 + e.ast_nodes(),
+            Expr::Binary(_, a, b) => 1 + a.ast_nodes() + b.ast_nodes(),
+            Expr::Assign(a, b) => 1 + a.ast_nodes() + b.ast_nodes(),
+            Expr::Call(f, args) => {
+                1 + f.ast_nodes() + args.iter().map(Expr::ast_nodes).sum::<usize>()
+            }
+            Expr::Index(a, b) => 1 + a.ast_nodes() + b.ast_nodes(),
+            Expr::Member(e, _, _) => 1 + e.ast_nodes(),
+            Expr::Cast(_, e) => 1 + e.ast_nodes(),
+            Expr::Ternary(c, t, f) => 1 + c.ast_nodes() + t.ast_nodes() + f.ast_nodes(),
+            Expr::Comma(a, b) => 1 + a.ast_nodes() + b.ast_nodes(),
+            Expr::InitList(es) => 1 + es.iter().map(Expr::ast_nodes).sum::<usize>(),
+        }
+    }
+}
+
+impl Stmt {
+    /// Number of AST nodes in this statement.
+    pub fn ast_nodes(&self) -> usize {
+        let block = |b: &[Stmt]| b.iter().map(Stmt::ast_nodes).sum::<usize>();
+        match self {
+            Stmt::Decl(d) => d.ast_nodes(),
+            Stmt::Expr(e) => 1 + e.ast_nodes(),
+            Stmt::If(c, t, e) => 1 + c.ast_nodes() + block(t) + block(e),
+            Stmt::While(c, b) => 1 + c.ast_nodes() + block(b),
+            Stmt::For(i, c, s, b) => {
+                1 + [i, c, s]
+                    .into_iter()
+                    .flatten()
+                    .map(Expr::ast_nodes)
+                    .sum::<usize>()
+                    + block(b)
+            }
+            Stmt::DoWhile(b, c) => 1 + c.ast_nodes() + block(b),
+            Stmt::Switch(e, cases) => {
+                1 + e.ast_nodes()
+                    + cases.iter().map(|c| 1 + block(&c.body)).sum::<usize>()
+            }
+            Stmt::Break | Stmt::Continue | Stmt::Goto(_) | Stmt::Label(_) => 1,
+            Stmt::Return(e) => 1 + e.as_ref().map_or(0, Expr::ast_nodes),
+            Stmt::Block(b) => 1 + block(b),
+        }
+    }
+}
+
+impl Decl {
+    /// Number of AST nodes in this declaration.
+    pub fn ast_nodes(&self) -> usize {
+        1 + self.init.as_ref().map_or(0, Expr::ast_nodes)
+    }
+}
+
+impl Function {
+    /// Number of AST nodes in this function.
+    pub fn ast_nodes(&self) -> usize {
+        1 + self.params.len() + self.body.iter().map(Stmt::ast_nodes).sum::<usize>()
+    }
+}
+
+impl Program {
+    /// Total AST node count — the paper's program-size measure.
+    pub fn ast_nodes(&self) -> usize {
+        self.globals.iter().map(Decl::ast_nodes).sum::<usize>()
+            + self
+                .structs
+                .iter()
+                .map(|s| 1 + s.fields.len())
+                .sum::<usize>()
+            + self.functions.iter().map(Function::ast_nodes).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_fn() -> Function {
+        // int f(int *p) { *p = 1; return 0; }
+        Function {
+            ret: Type::int(),
+            name: "f".into(),
+            params: vec![Decl {
+                ty: Type::ptr(BaseType::Int, 1),
+                name: "p".into(),
+                init: None,
+            }],
+            body: vec![
+                Stmt::Expr(Expr::assign(Expr::deref(Expr::id("p")), Expr::Int(1))),
+                Stmt::Return(Some(Expr::Int(0))),
+            ],
+        }
+    }
+
+    #[test]
+    fn expr_node_counts() {
+        assert_eq!(Expr::id("x").ast_nodes(), 1);
+        assert_eq!(Expr::deref(Expr::id("x")).ast_nodes(), 2);
+        assert_eq!(
+            Expr::assign(Expr::id("x"), Expr::addr_of(Expr::id("y"))).ast_nodes(),
+            4
+        );
+        let call = Expr::Call(
+            Box::new(Expr::id("f")),
+            vec![Expr::Int(1), Expr::id("x")],
+        );
+        assert_eq!(call.ast_nodes(), 4);
+    }
+
+    #[test]
+    fn stmt_and_fn_node_counts() {
+        let f = simple_fn();
+        // fn(1) + param(1) + exprstmt(1+ assign 1 + deref 2... )
+        // Stmt::Expr = 1 + (assign 1 + deref(1+id 1) + int 1 = 4) = 5
+        // Stmt::Return = 1 + 1 = 2
+        assert_eq!(f.ast_nodes(), 1 + 1 + 5 + 2);
+    }
+
+    #[test]
+    fn program_counts_accumulate() {
+        let p = Program {
+            globals: vec![Decl { ty: Type::int(), name: "g".into(), init: Some(Expr::Int(3)) }],
+            structs: vec![StructDef {
+                name: "s".into(),
+                fields: vec![Decl { ty: Type::int(), name: "a".into(), init: None }],
+            }],
+            functions: vec![simple_fn()],
+        };
+        assert_eq!(p.ast_nodes(), 2 + 2 + 9);
+    }
+
+    #[test]
+    fn control_flow_counts() {
+        let w = Stmt::While(Expr::Int(1), vec![Stmt::Expr(Expr::id("x"))]);
+        assert_eq!(w.ast_nodes(), 1 + 1 + 2);
+        let f = Stmt::For(
+            Some(Expr::assign(Expr::id("i"), Expr::Int(0))),
+            Some(Expr::Binary(BinOp::Lt, Box::new(Expr::id("i")), Box::new(Expr::Int(9)))),
+            None,
+            vec![],
+        );
+        assert_eq!(f.ast_nodes(), 1 + 3 + 3);
+    }
+}

@@ -1,0 +1,334 @@
+//! The lexer for the C subset.
+
+use crate::token::{Spanned, Token};
+use std::fmt;
+
+/// A lexical error with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `source`.
+///
+/// Handles `//` and `/* */` comments, identifiers/keywords, decimal and hex
+/// integer literals, character and string literals with the common escapes,
+/// and the punctuation of the subset.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unterminated literals/comments or characters
+/// outside the language.
+///
+/// # Examples
+///
+/// ```
+/// use bane_cfront::lex::lex;
+/// use bane_cfront::token::Token;
+///
+/// let toks = lex("int x = 42; // answer").unwrap();
+/// assert_eq!(toks[0].token, Token::KwInt);
+/// assert_eq!(toks[3].token, Token::Int(42));
+/// assert_eq!(toks.len(), 5);
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = source.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1u32;
+
+    macro_rules! push {
+        ($tok:expr) => {
+            out.push(Spanned { token: $tok, line })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated block comment".into(),
+                            line: start_line,
+                        });
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &source[start..i];
+                match Token::keyword(word) {
+                    Some(kw) => push!(kw),
+                    None => push!(Token::Ident(word.to_string())),
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                let radix = if c == '0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X'))
+                {
+                    i += 2;
+                    16
+                } else {
+                    10
+                };
+                let digits_start = if radix == 16 { i } else { start };
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric())
+                {
+                    i += 1;
+                }
+                let text = &source[digits_start..i];
+                let value = i64::from_str_radix(text, radix).map_err(|_| LexError {
+                    message: format!("bad integer literal `{}`", &source[start..i]),
+                    line,
+                })?;
+                push!(Token::Int(value));
+            }
+            '"' => {
+                let start_line = line;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LexError {
+                                message: "unterminated string literal".into(),
+                                line: start_line,
+                            })
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            let (ch, used) = unescape(bytes, i, line)?;
+                            s.push(ch);
+                            i += used;
+                        }
+                        Some(b'\n') => {
+                            return Err(LexError {
+                                message: "newline in string literal".into(),
+                                line: start_line,
+                            })
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                push!(Token::Str(s));
+            }
+            '\'' => {
+                i += 1;
+                let value = match bytes.get(i) {
+                    Some(b'\\') => {
+                        let (ch, used) = unescape(bytes, i, line)?;
+                        i += used;
+                        ch as i64
+                    }
+                    Some(&b) if b != b'\'' => {
+                        i += 1;
+                        b as i64
+                    }
+                    _ => {
+                        return Err(LexError { message: "bad char literal".into(), line })
+                    }
+                };
+                if bytes.get(i) != Some(&b'\'') {
+                    return Err(LexError {
+                        message: "unterminated char literal".into(),
+                        line,
+                    });
+                }
+                i += 1;
+                push!(Token::Char(value));
+            }
+            _ => {
+                let two = |a: char| bytes.get(i + 1) == Some(&(a as u8));
+                let (tok, used) = match c {
+                    '(' => (Token::LParen, 1),
+                    ')' => (Token::RParen, 1),
+                    '{' => (Token::LBrace, 1),
+                    '}' => (Token::RBrace, 1),
+                    '[' => (Token::LBracket, 1),
+                    ']' => (Token::RBracket, 1),
+                    ';' => (Token::Semi, 1),
+                    ',' => (Token::Comma, 1),
+                    '*' if two('=') => (Token::StarAssign, 2),
+                    '*' => (Token::Star, 1),
+                    '+' if two('=') => (Token::PlusAssign, 2),
+                    '+' if two('+') => (Token::PlusPlus, 2),
+                    '+' => (Token::Plus, 1),
+                    '/' if two('=') => (Token::SlashAssign, 2),
+                    '/' => (Token::Slash, 1),
+                    '%' => (Token::Percent, 1),
+                    '.' => (Token::Dot, 1),
+                    '&' if two('&') => (Token::AndAnd, 2),
+                    '&' => (Token::Amp, 1),
+                    '|' if two('|') => (Token::OrOr, 2),
+                    '|' => (Token::Pipe, 1),
+                    '^' => (Token::Caret, 1),
+                    '~' => (Token::Tilde, 1),
+                    '?' => (Token::Question, 1),
+                    ':' => (Token::Colon, 1),
+                    '-' if two('>') => (Token::Arrow, 2),
+                    '-' if two('=') => (Token::MinusAssign, 2),
+                    '-' if two('-') => (Token::MinusMinus, 2),
+                    '-' => (Token::Minus, 1),
+                    '=' if two('=') => (Token::Eq, 2),
+                    '=' => (Token::Assign, 1),
+                    '!' if two('=') => (Token::Ne, 2),
+                    '!' => (Token::Not, 1),
+                    '<' if two('<') => (Token::Shl, 2),
+                    '<' if two('=') => (Token::Le, 2),
+                    '<' => (Token::Lt, 1),
+                    '>' if two('>') => (Token::Shr, 2),
+                    '>' if two('=') => (Token::Ge, 2),
+                    '>' => (Token::Gt, 1),
+                    other => {
+                        return Err(LexError {
+                            message: format!("unexpected character `{other}`"),
+                            line,
+                        })
+                    }
+                };
+                push!(tok);
+                i += used;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Resolves an escape starting at `bytes[at] == '\\'`; returns the character
+/// and bytes consumed.
+fn unescape(bytes: &[u8], at: usize, line: u32) -> Result<(char, usize), LexError> {
+    match bytes.get(at + 1) {
+        Some(b'n') => Ok(('\n', 2)),
+        Some(b't') => Ok(('\t', 2)),
+        Some(b'r') => Ok(('\r', 2)),
+        Some(b'0') => Ok(('\0', 2)),
+        Some(b'\\') => Ok(('\\', 2)),
+        Some(b'\'') => Ok(('\'', 2)),
+        Some(b'"') => Ok(('"', 2)),
+        _ => Err(LexError { message: "bad escape sequence".into(), line }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tokens(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_declarations() {
+        assert_eq!(
+            tokens("int *p;"),
+            vec![Token::KwInt, Token::Star, Token::Ident("p".into()), Token::Semi]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_maximal_munch() {
+        assert_eq!(
+            tokens("a==b != c->d && e || !f <= g >= h"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Eq,
+                Token::Ident("b".into()),
+                Token::Ne,
+                Token::Ident("c".into()),
+                Token::Arrow,
+                Token::Ident("d".into()),
+                Token::AndAnd,
+                Token::Ident("e".into()),
+                Token::OrOr,
+                Token::Not,
+                Token::Ident("f".into()),
+                Token::Le,
+                Token::Ident("g".into()),
+                Token::Ge,
+                Token::Ident("h".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_literals() {
+        assert_eq!(
+            tokens(r#"0x10 42 'a' '\n' "hi\t""#),
+            vec![
+                Token::Int(16),
+                Token::Int(42),
+                Token::Char(97),
+                Token::Char(10),
+                Token::Str("hi\t".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let toks = lex("// one\n/* two\nthree */ x").unwrap();
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].token, Token::Ident("x".into()));
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let err = lex("\n\n  @").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("unexpected character"));
+        assert!(lex("\"abc").is_err());
+        assert!(lex("/* never closed").is_err());
+        assert!(lex("'ab'").is_err());
+    }
+
+    #[test]
+    fn null_keyword() {
+        assert_eq!(tokens("p = NULL;")[2], Token::KwNull);
+    }
+}

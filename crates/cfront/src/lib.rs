@@ -1,0 +1,34 @@
+//! A C-subset frontend for points-to analysis.
+//!
+//! The paper analyzes preprocessed C programs; this crate provides the
+//! corresponding substrate: a lexer ([`lex`]), a recursive-descent parser
+//! ([`parse`]) producing a compact AST ([`ast`]), and a pretty-printer
+//! ([`pretty`]) used by the synthetic benchmark generator and for round-trip
+//! testing.
+//!
+//! The subset covers what Andersen's analysis observes: pointers of any
+//! depth, address-of, dereference, assignment, function definitions and
+//! calls (including through function pointers), arrays (collapsed onto their
+//! element, as in Andersen's thesis), field-insensitive `struct` members,
+//! casts, and `if`/`while`/`for` control flow.
+//!
+//! # Examples
+//!
+//! ```
+//! use bane_cfront::parse::parse;
+//!
+//! let program = parse("int x; int *p; int main(void) { p = &x; return *p; }")?;
+//! assert_eq!(program.globals.len(), 2);
+//! assert!(program.ast_nodes() > 5);
+//! # Ok::<(), bane_cfront::parse::ParseError>(())
+//! ```
+
+pub mod ast;
+pub mod lex;
+pub mod parse;
+pub mod pretty;
+pub mod token;
+
+pub use ast::{BaseType, Decl, Expr, Function, Program, Stmt, StructDef, Type};
+pub use parse::{parse, ParseError};
+pub use pretty::program_to_c;

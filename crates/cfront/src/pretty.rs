@@ -1,0 +1,293 @@
+//! Pretty-printing the AST back to C source.
+//!
+//! The synthetic benchmark generator builds [`Program`]s directly and uses
+//! this printer to materialize `.c` files; the parser tests use it for
+//! round-tripping (parse → print → parse must be a fixpoint).
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole program as C source.
+pub fn program_to_c(program: &Program) -> String {
+    let mut out = String::new();
+    for s in &program.structs {
+        let _ = writeln!(out, "struct {} {{", s.name);
+        for f in &s.fields {
+            let _ = writeln!(out, "    {};", decl_to_c(f));
+        }
+        let _ = writeln!(out, "}};");
+    }
+    for g in &program.globals {
+        let _ = writeln!(out, "{};", decl_to_c(g));
+    }
+    for f in &program.functions {
+        let _ = write!(out, "{}", function_to_c(f));
+    }
+    out
+}
+
+/// Renders one function definition.
+pub fn function_to_c(f: &Function) -> String {
+    let params = if f.params.is_empty() {
+        "void".to_string()
+    } else {
+        f.params.iter().map(decl_head_to_c).collect::<Vec<_>>().join(", ")
+    };
+    let mut out = format!("{} {}({}) {{\n", type_prefix(&f.ret), f.name, params);
+    for s in &f.body {
+        write_stmt(&mut out, s, 1);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn write_block(out: &mut String, body: &[Stmt], level: usize) {
+    out.push_str("{\n");
+    for s in body {
+        write_stmt(out, s, level + 1);
+    }
+    indent(out, level);
+    out.push('}');
+}
+
+fn write_stmt(out: &mut String, stmt: &Stmt, level: usize) {
+    indent(out, level);
+    match stmt {
+        Stmt::Decl(d) => {
+            let _ = writeln!(out, "{};", decl_to_c(d));
+        }
+        Stmt::Expr(e) => {
+            let _ = writeln!(out, "{};", expr_to_c(e));
+        }
+        Stmt::If(c, t, e) => {
+            let _ = write!(out, "if ({}) ", expr_to_c(c));
+            write_block(out, t, level);
+            if !e.is_empty() {
+                out.push_str(" else ");
+                write_block(out, e, level);
+            }
+            out.push('\n');
+        }
+        Stmt::While(c, b) => {
+            let _ = write!(out, "while ({}) ", expr_to_c(c));
+            write_block(out, b, level);
+            out.push('\n');
+        }
+        Stmt::For(i, c, s, b) => {
+            let part = |e: &Option<Expr>| e.as_ref().map(expr_to_c).unwrap_or_default();
+            let _ = write!(out, "for ({}; {}; {}) ", part(i), part(c), part(s));
+            write_block(out, b, level);
+            out.push('\n');
+        }
+        Stmt::DoWhile(b, c) => {
+            out.push_str("do ");
+            write_block(out, b, level);
+            let _ = writeln!(out, " while ({});", expr_to_c(c));
+        }
+        Stmt::Switch(e, cases) => {
+            let _ = writeln!(out, "switch ({}) {{", expr_to_c(e));
+            for case in cases {
+                indent(out, level);
+                match case.value {
+                    Some(v) => {
+                        let _ = writeln!(out, "case {v}:");
+                    }
+                    None => {
+                        let _ = writeln!(out, "default:");
+                    }
+                }
+                for s in &case.body {
+                    write_stmt(out, s, level + 1);
+                }
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::Break => {
+            let _ = writeln!(out, "break;");
+        }
+        Stmt::Continue => {
+            let _ = writeln!(out, "continue;");
+        }
+        Stmt::Goto(label) => {
+            let _ = writeln!(out, "goto {label};");
+        }
+        Stmt::Label(label) => {
+            let _ = writeln!(out, "{label}:");
+        }
+        Stmt::Return(Some(e)) => {
+            let _ = writeln!(out, "return {};", expr_to_c(e));
+        }
+        Stmt::Return(None) => {
+            let _ = writeln!(out, "return;");
+        }
+        Stmt::Block(b) => {
+            write_block(out, b, level);
+            out.push('\n');
+        }
+    }
+}
+
+fn type_prefix(ty: &Type) -> String {
+    let base = match &ty.base {
+        BaseType::Int => "int".to_string(),
+        BaseType::Char => "char".to_string(),
+        BaseType::Void => "void".to_string(),
+        BaseType::Struct(tag) => format!("struct {tag}"),
+        BaseType::FnPtr => "int".to_string(), // printed via the declarator
+    };
+    let stars: String = "*".repeat(ty.ptr_depth as usize);
+    if stars.is_empty() {
+        base
+    } else {
+        format!("{base} {stars}")
+    }
+}
+
+/// Renders `type name` (no initializer).
+fn decl_head_to_c(d: &Decl) -> String {
+    if d.ty.base == BaseType::FnPtr {
+        // Depth includes the function-pointer star itself.
+        let extra = "*".repeat(d.ty.ptr_depth.saturating_sub(1) as usize);
+        return format!("int ({extra}*{})(void)", d.name);
+    }
+    let mut s = format!("{} {}", type_prefix(&d.ty), d.name);
+    if let Some(n) = d.ty.array {
+        let _ = write!(s, "[{n}]");
+    }
+    s
+}
+
+/// Renders a declaration with its initializer.
+pub fn decl_to_c(d: &Decl) -> String {
+    match &d.init {
+        Some(e) => format!("{} = {}", decl_head_to_c(d), expr_to_c(e)),
+        None => decl_head_to_c(d),
+    }
+}
+
+/// Renders an expression with minimal but safe parenthesization.
+pub fn expr_to_c(e: &Expr) -> String {
+    match e {
+        Expr::Id(name) => name.clone(),
+        Expr::Int(v) => v.to_string(),
+        Expr::Str(s) => format!("{s:?}"),
+        Expr::Null => "NULL".to_string(),
+        Expr::Sizeof(inner) => format!("sizeof({})", expr_to_c(inner)),
+        Expr::Unary(op, inner) => {
+            let sym = match op {
+                UnOp::Deref => "*",
+                UnOp::AddrOf => "&",
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+                UnOp::BitNot => "~",
+            };
+            format!("{sym}({})", expr_to_c(inner))
+        }
+        Expr::Binary(op, a, b) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Rem => "%",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Gt => ">",
+                BinOp::Le => "<=",
+                BinOp::Ge => ">=",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+                BinOp::BitAnd => "&",
+                BinOp::BitOr => "|",
+                BinOp::BitXor => "^",
+                BinOp::Shl => "<<",
+                BinOp::Shr => ">>",
+            };
+            format!("({} {} {})", expr_to_c(a), sym, expr_to_c(b))
+        }
+        Expr::Assign(a, b) => format!("{} = {}", expr_to_c(a), expr_to_c(b)),
+        Expr::Call(f, args) => {
+            let args: Vec<_> = args.iter().map(expr_to_c).collect();
+            format!("{}({})", callee_to_c(f), args.join(", "))
+        }
+        Expr::Index(a, i) => format!("{}[{}]", callee_to_c(a), expr_to_c(i)),
+        Expr::Member(a, field, true) => format!("{}->{}", callee_to_c(a), field),
+        Expr::Member(a, field, false) => format!("{}.{}", callee_to_c(a), field),
+        Expr::Cast(ty, inner) => format!("({})({})", type_prefix(ty), expr_to_c(inner)),
+        Expr::Ternary(c, t, f) => {
+            format!("({} ? {} : {})", expr_to_c(c), expr_to_c(t), expr_to_c(f))
+        }
+        Expr::Comma(a, b) => format!("({}, {})", expr_to_c(a), expr_to_c(b)),
+        Expr::InitList(items) => {
+            let items: Vec<_> = items.iter().map(expr_to_c).collect();
+            format!("{{{}}}", items.join(", "))
+        }
+    }
+}
+
+/// Postfix bases need parens unless they are already postfix/primary.
+fn callee_to_c(e: &Expr) -> String {
+    match e {
+        Expr::Id(_) | Expr::Call(..) | Expr::Index(..) | Expr::Member(..) => expr_to_c(e),
+        _ => format!("({})", expr_to_c(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    const SAMPLE: &str = "struct node { int v; struct node *next; };\n\
+        int g;\n\
+        int *gp = &g;\n\
+        int (*fp)(int, int);\n\
+        int add(int a, int b) { return a + b; }\n\
+        int main(void) {\n\
+            struct node n;\n\
+            struct node *h;\n\
+            int buf[8];\n\
+            h = &n;\n\
+            h->next = h;\n\
+            fp = &add;\n\
+            *gp = fp(1, 2);\n\
+            buf[0] = *gp;\n\
+            if (g > 0) { g = g - 1; } else { g = 0; }\n\
+            while (g) g = g - 1;\n\
+            for (g = 0; g < 8; g = g + 1) buf[g] = 0;\n\
+            return 0;\n\
+        }";
+
+    #[test]
+    fn print_parse_is_fixpoint() {
+        let p1 = parse(SAMPLE).unwrap();
+        let printed1 = program_to_c(&p1);
+        let p2 = parse(&printed1).unwrap();
+        let printed2 = program_to_c(&p2);
+        assert_eq!(printed1, printed2, "print∘parse is a fixpoint");
+        assert_eq!(p1.ast_nodes(), p2.ast_nodes(), "node counts survive round trips");
+    }
+
+    #[test]
+    fn prints_function_pointer_declarator() {
+        let p = parse("int (*fp)(void);").unwrap();
+        let printed = program_to_c(&p);
+        assert!(printed.contains("int (*fp)(void);"), "{printed}");
+    }
+
+    #[test]
+    fn prints_expressions_with_parens() {
+        let p = parse("int f(void) { return (1 + 2) * *&g; }").unwrap();
+        let printed = program_to_c(&p);
+        let p2 = parse(&printed).unwrap();
+        assert_eq!(p.functions[0].body, p2.functions[0].body);
+    }
+}

@@ -1,0 +1,206 @@
+//! Tokens of the C subset.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (content without quotes, escapes resolved).
+    Str(String),
+    /// Character literal (as its integer value).
+    Char(i64),
+
+    // Keywords.
+    KwInt,
+    KwChar,
+    KwVoid,
+    KwStruct,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    KwSizeof,
+    KwNull,
+    KwDo,
+    KwSwitch,
+    KwCase,
+    KwDefault,
+    KwBreak,
+    KwContinue,
+    KwStatic,
+    KwExtern,
+    KwGoto,
+
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Star,
+    Amp,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Assign,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    Dot,
+    Arrow,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PlusPlus,
+    MinusMinus,
+    Question,
+    Colon,
+    Pipe,
+    Caret,
+    Tilde,
+    Shl,
+    Shr,
+}
+
+impl Token {
+    /// Keyword lookup for an identifier-shaped lexeme.
+    pub fn keyword(s: &str) -> Option<Token> {
+        Some(match s {
+            "int" => Token::KwInt,
+            "char" => Token::KwChar,
+            "void" => Token::KwVoid,
+            "struct" => Token::KwStruct,
+            "if" => Token::KwIf,
+            "else" => Token::KwElse,
+            "while" => Token::KwWhile,
+            "for" => Token::KwFor,
+            "return" => Token::KwReturn,
+            "sizeof" => Token::KwSizeof,
+            "NULL" => Token::KwNull,
+            "do" => Token::KwDo,
+            "switch" => Token::KwSwitch,
+            "case" => Token::KwCase,
+            "default" => Token::KwDefault,
+            "break" => Token::KwBreak,
+            "continue" => Token::KwContinue,
+            "static" => Token::KwStatic,
+            "extern" => Token::KwExtern,
+            "goto" => Token::KwGoto,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Char(v) => write!(f, "'\\x{v:02x}'"),
+            Token::KwInt => write!(f, "int"),
+            Token::KwChar => write!(f, "char"),
+            Token::KwVoid => write!(f, "void"),
+            Token::KwStruct => write!(f, "struct"),
+            Token::KwIf => write!(f, "if"),
+            Token::KwElse => write!(f, "else"),
+            Token::KwWhile => write!(f, "while"),
+            Token::KwFor => write!(f, "for"),
+            Token::KwReturn => write!(f, "return"),
+            Token::KwSizeof => write!(f, "sizeof"),
+            Token::KwNull => write!(f, "NULL"),
+            Token::KwDo => write!(f, "do"),
+            Token::KwSwitch => write!(f, "switch"),
+            Token::KwCase => write!(f, "case"),
+            Token::KwDefault => write!(f, "default"),
+            Token::KwBreak => write!(f, "break"),
+            Token::KwContinue => write!(f, "continue"),
+            Token::KwStatic => write!(f, "static"),
+            Token::KwExtern => write!(f, "extern"),
+            Token::KwGoto => write!(f, "goto"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Semi => write!(f, ";"),
+            Token::Comma => write!(f, ","),
+            Token::Star => write!(f, "*"),
+            Token::Amp => write!(f, "&"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Assign => write!(f, "="),
+            Token::Eq => write!(f, "=="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Gt => write!(f, ">"),
+            Token::Le => write!(f, "<="),
+            Token::Ge => write!(f, ">="),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+            Token::Not => write!(f, "!"),
+            Token::Dot => write!(f, "."),
+            Token::Arrow => write!(f, "->"),
+            Token::PlusAssign => write!(f, "+="),
+            Token::MinusAssign => write!(f, "-="),
+            Token::StarAssign => write!(f, "*="),
+            Token::SlashAssign => write!(f, "/="),
+            Token::PlusPlus => write!(f, "++"),
+            Token::MinusMinus => write!(f, "--"),
+            Token::Question => write!(f, "?"),
+            Token::Colon => write!(f, ":"),
+            Token::Pipe => write!(f, "|"),
+            Token::Caret => write!(f, "^"),
+            Token::Tilde => write!(f, "~"),
+            Token::Shl => write!(f, "<<"),
+            Token::Shr => write!(f, ">>"),
+        }
+    }
+}
+
+/// A token with its source line (1-based), for error reporting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(Token::keyword("int"), Some(Token::KwInt));
+        assert_eq!(Token::keyword("NULL"), Some(Token::KwNull));
+        assert_eq!(Token::keyword("main"), None);
+    }
+
+    #[test]
+    fn display_round_trips_punctuation() {
+        assert_eq!(Token::Arrow.to_string(), "->");
+        assert_eq!(Token::Ident("x".into()).to_string(), "x");
+        assert_eq!(Token::Int(42).to_string(), "42");
+    }
+}

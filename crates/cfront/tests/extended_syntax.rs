@@ -1,0 +1,182 @@
+//! Tests for the extended C-subset syntax: ternary, comma, compound
+//! assignment, increments, bit operators, do/while, switch, goto/labels,
+//! storage qualifiers and initializer lists.
+
+use bane_cfront::ast::*;
+use bane_cfront::parse::parse;
+use bane_cfront::pretty::program_to_c;
+
+fn roundtrip(src: &str) -> Program {
+    let p1 = parse(src).unwrap_or_else(|e| panic!("parse failed: {e}\n{src}"));
+    let printed = program_to_c(&p1);
+    let p2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+    let printed2 = program_to_c(&p2);
+    assert_eq!(printed, printed2, "print∘parse fixpoint");
+    p1
+}
+
+#[test]
+fn ternary_parses_with_correct_precedence() {
+    let p = roundtrip("int f(int a) { return a > 0 ? a : -a; }");
+    let Stmt::Return(Some(Expr::Ternary(c, _, _))) = &p.functions[0].body[0] else {
+        panic!("expected ternary");
+    };
+    assert!(matches!(c.as_ref(), Expr::Binary(BinOp::Gt, _, _)));
+}
+
+#[test]
+fn nested_ternaries_are_right_associative() {
+    let p = roundtrip("int f(int a) { return a ? 1 : a ? 2 : 3; }");
+    let Stmt::Return(Some(Expr::Ternary(_, _, els))) = &p.functions[0].body[0] else {
+        panic!();
+    };
+    assert!(matches!(els.as_ref(), Expr::Ternary(..)));
+}
+
+#[test]
+fn compound_assignment_desugars() {
+    let p = roundtrip("void f(void) { x += 2; y -= 1; z *= 3; w /= 4; }");
+    let Stmt::Expr(Expr::Assign(lhs, rhs)) = &p.functions[0].body[0] else { panic!() };
+    assert_eq!(lhs.as_ref(), &Expr::id("x"));
+    assert!(matches!(rhs.as_ref(), Expr::Binary(BinOp::Add, _, _)));
+}
+
+#[test]
+fn increments_desugar_to_assignments() {
+    let p = roundtrip("void f(void) { ++x; x++; --y; y--; }");
+    for stmt in &p.functions[0].body {
+        let Stmt::Expr(Expr::Assign(_, rhs)) = stmt else { panic!("{stmt:?}") };
+        assert!(matches!(
+            rhs.as_ref(),
+            Expr::Binary(BinOp::Add | BinOp::Sub, _, _)
+        ));
+    }
+}
+
+#[test]
+fn comma_operator_binds_loosest() {
+    let p = roundtrip("void f(void) { a = 1, b = 2; }");
+    let Stmt::Expr(Expr::Comma(first, second)) = &p.functions[0].body[0] else {
+        panic!("expected comma expression: {:?}", p.functions[0].body[0]);
+    };
+    assert!(matches!(first.as_ref(), Expr::Assign(..)));
+    assert!(matches!(second.as_ref(), Expr::Assign(..)));
+}
+
+#[test]
+fn comma_in_for_and_args_disambiguates() {
+    let p = roundtrip(
+        "void f(void) { int i; int j; for (i = 0, j = 9; i < j; i++, j--) g(i, j); }",
+    );
+    let Stmt::For(Some(init), _, Some(step), body) = &p.functions[0].body[2] else {
+        panic!();
+    };
+    assert!(matches!(init, Expr::Comma(..)));
+    assert!(matches!(step, Expr::Comma(..)));
+    // g(i, j) has two arguments, not one comma expression.
+    let Stmt::Expr(Expr::Call(_, args)) = &body[0] else { panic!() };
+    assert_eq!(args.len(), 2);
+}
+
+#[test]
+fn bit_operators_have_c_precedence() {
+    let p = roundtrip("int f(int a, int b) { return a | b ^ a & b << 1; }");
+    // a | (b ^ (a & (b << 1)))
+    let Stmt::Return(Some(Expr::Binary(BinOp::BitOr, _, rhs))) = &p.functions[0].body[0]
+    else {
+        panic!();
+    };
+    let Expr::Binary(BinOp::BitXor, _, rhs) = rhs.as_ref() else { panic!() };
+    let Expr::Binary(BinOp::BitAnd, _, rhs) = rhs.as_ref() else { panic!() };
+    assert!(matches!(rhs.as_ref(), Expr::Binary(BinOp::Shl, _, _)));
+}
+
+#[test]
+fn unary_amp_still_means_address_of() {
+    let p = roundtrip("void f(void) { p = &x & &y; }");
+    // (&x) & (&y): binary BitAnd of two address-ofs.
+    let Stmt::Expr(Expr::Assign(_, rhs)) = &p.functions[0].body[0] else { panic!() };
+    let Expr::Binary(BinOp::BitAnd, a, b) = rhs.as_ref() else { panic!() };
+    assert!(matches!(a.as_ref(), Expr::Unary(UnOp::AddrOf, _)));
+    assert!(matches!(b.as_ref(), Expr::Unary(UnOp::AddrOf, _)));
+}
+
+#[test]
+fn do_while_and_switch() {
+    let p = roundtrip(
+        "void f(int n) {\n\
+           do { n = n - 1; } while (n > 0);\n\
+           switch (n) {\n\
+           case 0: g(); break;\n\
+           case -1: h(); break;\n\
+           default: k();\n\
+           }\n\
+         }",
+    );
+    assert!(matches!(p.functions[0].body[0], Stmt::DoWhile(..)));
+    let Stmt::Switch(_, cases) = &p.functions[0].body[1] else { panic!() };
+    assert_eq!(cases.len(), 3);
+    assert_eq!(cases[0].value, Some(0));
+    assert_eq!(cases[1].value, Some(-1));
+    assert_eq!(cases[2].value, None);
+    assert!(matches!(cases[0].body[1], Stmt::Break));
+}
+
+#[test]
+fn goto_labels_break_continue() {
+    let p = roundtrip(
+        "void f(void) {\n\
+           int i;\n\
+           again:\n\
+           i = i + 1;\n\
+           if (i < 3) goto again;\n\
+           while (1) { if (i) continue; break; }\n\
+         }",
+    );
+    assert!(matches!(p.functions[0].body[1], Stmt::Label(_)));
+    let body = &p.functions[0].body;
+    assert!(body.iter().any(|s| matches!(s, Stmt::If(_, t, _) if matches!(t[0], Stmt::Goto(_)))));
+}
+
+#[test]
+fn storage_qualifiers_are_accepted() {
+    let p = roundtrip(
+        "static int counter;\n\
+         extern int external;\n\
+         static int *get(void) { static int cell; return &cell; }",
+    );
+    assert_eq!(p.globals.len(), 2);
+    assert_eq!(p.functions.len(), 1);
+}
+
+#[test]
+fn initializer_lists_nest() {
+    let p = roundtrip(
+        "int xs[4] = {1, 2, 3, 4};\n\
+         int *ps[2] = {&a, &b};\n\
+         struct pair { int x; int y; };\n\
+         struct pair grid[2] = {{1, 2}, {3, 4}};",
+    );
+    let Some(Expr::InitList(items)) = &p.globals[0].init else { panic!() };
+    assert_eq!(items.len(), 4);
+    let Some(Expr::InitList(items)) = &p.globals[2].init else { panic!() };
+    assert!(matches!(items[0], Expr::InitList(_)));
+}
+
+#[test]
+fn trailing_comma_in_init_list() {
+    let p = roundtrip("int xs[2] = {1, 2,};");
+    let Some(Expr::InitList(items)) = &p.globals[0].init else { panic!() };
+    assert_eq!(items.len(), 2);
+}
+
+#[test]
+fn node_counts_cover_new_constructs() {
+    let p = parse(
+        "void f(int n) { do { n--; } while (n); switch (n) { default: break; } goto out; out: return; }",
+    )
+    .unwrap();
+    assert!(p.ast_nodes() > 10);
+    let p2 = parse(&program_to_c(&p)).unwrap();
+    assert_eq!(p.ast_nodes(), p2.ast_nodes());
+}

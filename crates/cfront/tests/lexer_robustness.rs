@@ -1,0 +1,52 @@
+//! Robustness tests for the lexer: it must never panic, whatever bytes it is
+//! fed, and tokenization must be stable under whitespace changes.
+
+use bane_cfront::lex::lex;
+use bane_cfront::token::Token;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary ASCII input never panics — it lexes or errors cleanly.
+    #[test]
+    fn never_panics_on_ascii(input in "[ -~\\n\\t]{0,200}") {
+        let _ = lex(&input);
+    }
+
+    /// Identifier-and-punctuation soup round-trips through Display.
+    #[test]
+    fn token_display_relexes(
+        idents in prop::collection::vec("[a-z][a-z0-9_]{0,8}", 1..10)
+    ) {
+        let source = idents.join(" + ");
+        let tokens = lex(&source).expect("valid source");
+        let rendered: Vec<String> =
+            tokens.iter().map(|s| s.token.to_string()).collect();
+        let relexed = lex(&rendered.join(" ")).expect("rendered tokens relex");
+        prop_assert_eq!(tokens.len(), relexed.len());
+        for (a, b) in tokens.iter().zip(&relexed) {
+            prop_assert_eq!(&a.token, &b.token);
+        }
+    }
+
+    /// Inserting extra spaces between tokens never changes the token stream.
+    #[test]
+    fn whitespace_insensitive(n_spaces in 1usize..5) {
+        let source = "int *p = &x; p += 1; f(p, q->r);";
+        let spaced: String = {
+            let tokens = lex(source).expect("valid");
+            let sep = " ".repeat(n_spaces);
+            tokens
+                .iter()
+                .map(|s| s.token.to_string())
+                .collect::<Vec<_>>()
+                .join(&sep)
+        };
+        let a: Vec<Token> =
+            lex(source).unwrap().into_iter().map(|s| s.token).collect();
+        let b: Vec<Token> =
+            lex(&spaced).unwrap().into_iter().map(|s| s.token).collect();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,185 @@
+//! Constructors and their signatures.
+//!
+//! Following Section 2.1 of the paper, every constructor `c ∈ Con` has a
+//! unique signature specifying its arity and the *variance* of each argument
+//! position. A constructor is covariant in an argument if the set denoted by
+//! `c(…)` grows as the argument grows, and contravariant if it shrinks.
+//!
+//! Variance drives the resolution rules **R**: decomposing
+//! `c(a₁,…,aₙ) ⊆ c(b₁,…,bₙ)` yields `aᵢ ⊆ bᵢ` for covariant positions and
+//! `bᵢ ⊆ aᵢ` for contravariant ones. Andersen's analysis (Section 3) uses a
+//! ternary `ref` constructor whose third argument is contravariant — that is
+//! how inclusion between references soundly becomes equality of contents.
+
+use bane_util::idx::IdxVec;
+use bane_util::newtype_index;
+
+newtype_index! {
+    /// Identifies a registered constructor.
+    pub struct Con("c");
+}
+
+/// The variance of a constructor argument position.
+///
+/// # Examples
+///
+/// ```
+/// use bane_core::cons::Variance;
+///
+/// assert_eq!(Variance::Covariant.flip(), Variance::Contravariant);
+/// assert_eq!(Variance::Contravariant.flip(), Variance::Covariant);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Variance {
+    /// `c(…)` grows as this argument grows.
+    Covariant,
+    /// `c(…)` shrinks as this argument grows.
+    Contravariant,
+}
+
+impl Variance {
+    /// Returns the opposite variance.
+    pub fn flip(self) -> Variance {
+        match self {
+            Variance::Covariant => Variance::Contravariant,
+            Variance::Contravariant => Variance::Covariant,
+        }
+    }
+}
+
+/// A constructor's name, arity and per-argument variances.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Signature {
+    name: String,
+    variances: Vec<Variance>,
+}
+
+impl Signature {
+    /// Creates a signature with the given argument variances.
+    pub fn new(name: impl Into<String>, variances: impl Into<Vec<Variance>>) -> Self {
+        Self { name: name.into(), variances: variances.into() }
+    }
+
+    /// The constructor's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The constructor's arity.
+    pub fn arity(&self) -> usize {
+        self.variances.len()
+    }
+
+    /// The per-argument variances.
+    pub fn variances(&self) -> &[Variance] {
+        &self.variances
+    }
+}
+
+/// The registry of constructors known to a solver instance.
+///
+/// # Examples
+///
+/// ```
+/// use bane_core::cons::{ConRegistry, Variance};
+///
+/// let mut cons = ConRegistry::new();
+/// let r = cons.register("ref", vec![
+///     Variance::Covariant,
+///     Variance::Covariant,
+///     Variance::Contravariant,
+/// ]);
+/// assert_eq!(cons.signature(r).arity(), 3);
+/// assert_eq!(cons.signature(r).name(), "ref");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ConRegistry {
+    sigs: IdxVec<Con, Signature>,
+}
+
+impl ConRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a constructor and returns its id.
+    ///
+    /// Names need not be unique: Andersen's analysis registers one nullary
+    /// "location name" constructor per abstract location, and synthesized
+    /// names may repeat across scopes.
+    pub fn register(&mut self, name: impl Into<String>, variances: Vec<Variance>) -> Con {
+        self.sigs.push(Signature::new(name, variances))
+    }
+
+    /// Registers a nullary (constant) constructor.
+    pub fn register_nullary(&mut self, name: impl Into<String>) -> Con {
+        self.register(name, Vec::new())
+    }
+
+    /// Returns the signature of `con`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `con` was not registered with this registry.
+    pub fn signature(&self, con: Con) -> &Signature {
+        &self.sigs[con]
+    }
+
+    /// Number of registered constructors.
+    pub fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// Whether no constructors are registered.
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
+
+    /// Iterates over `(id, signature)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Con, &Signature)> {
+        self.sigs.iter_enumerated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut cons = ConRegistry::new();
+        assert!(cons.is_empty());
+        let a = cons.register("pair", vec![Variance::Covariant, Variance::Covariant]);
+        let b = cons.register_nullary("unit");
+        assert_ne!(a, b);
+        assert_eq!(cons.len(), 2);
+        assert_eq!(cons.signature(a).arity(), 2);
+        assert_eq!(cons.signature(b).arity(), 0);
+        assert_eq!(cons.signature(b).name(), "unit");
+    }
+
+    #[test]
+    fn variance_flip_is_involution() {
+        for v in [Variance::Covariant, Variance::Contravariant] {
+            assert_eq!(v.flip().flip(), v);
+        }
+    }
+
+    #[test]
+    fn duplicate_names_get_distinct_ids() {
+        let mut cons = ConRegistry::new();
+        let a = cons.register_nullary("loc");
+        let b = cons.register_nullary("loc");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn iter_yields_in_registration_order() {
+        let mut cons = ConRegistry::new();
+        cons.register_nullary("a");
+        cons.register_nullary("b");
+        let names: Vec<_> = cons.iter().map(|(_, s)| s.name().to_string()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Graphviz (DOT) export of constraint graphs.
+//!
+//! Debugging a constraint resolution run without seeing the graph is
+//! miserable; [`Solver::to_dot`] renders the current canonical graph —
+//! variables (ellipses), sources (boxes), sinks (diamonds), predecessor
+//! edges dashed and successor edges solid, exactly the paper's drawing
+//! convention — plus collapsed classes as merged labels.
+//!
+//! Intended for small systems (examples, failing test cases); a benchmark's
+//! million-edge graph is not something `dot` will lay out.
+
+use crate::expr::Var;
+use crate::solver::Solver;
+use bane_util::idx::Idx;
+use std::fmt::Write as _;
+
+impl Solver {
+    /// Renders the current canonical constraint graph as Graphviz DOT.
+    ///
+    /// Collapsed variables appear merged into their witness, whose label
+    /// lists the class members. Stale duplicate edges are dropped.
+    pub fn to_dot(&mut self) -> String {
+        let n = self.graph_len();
+        // Group class members by representative for labels.
+        let mut members: Vec<Vec<Var>> = vec![Vec::new(); n];
+        for i in 0..n {
+            let v = Var::new(i);
+            let rep = self.find(v);
+            members[rep.index()].push(v);
+        }
+
+        let mut out = String::from("digraph constraints {\n");
+        out.push_str("    rankdir=LR;\n");
+        // Variable nodes.
+        for (i, class) in members.iter().enumerate() {
+            let v = Var::new(i);
+            if self.find(v) != v {
+                continue;
+            }
+            let label: Vec<String> = class.iter().map(|m| m.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "    v{} [shape=ellipse, label=\"{}\"];",
+                i,
+                label.join(" = ")
+            );
+        }
+        // Edges (canonicalized, deduplicated).
+        let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        let mut emit = |line: String, out: &mut String| {
+            if seen.insert(line.clone()) {
+                out.push_str(&line);
+            }
+        };
+        for i in 0..n {
+            let v = Var::new(i);
+            if self.find(v) != v {
+                continue;
+            }
+            let node_edges = self.node_edges(v);
+            for (u, pred) in node_edges.var_edges {
+                let line = if pred {
+                    format!("    v{} -> v{} [style=dashed];\n", u.index(), i)
+                } else {
+                    format!("    v{} -> v{};\n", i, u.index())
+                };
+                emit(line, &mut out);
+            }
+            for (term, is_source) in node_edges.term_edges {
+                let name = self.display(term.into()).replace('"', "'");
+                let term_node = format!("t{}", term.index());
+                if is_source {
+                    emit(
+                        format!(
+                            "    {term_node} [shape=box, label=\"{name}\"];\n    {term_node} -> v{i} [style=dashed];\n"
+                        ),
+                        &mut out,
+                    );
+                } else {
+                    emit(
+                        format!(
+                            "    s{} [shape=diamond, label=\"{name}\"];\n    v{i} -> s{};\n",
+                            term.index(),
+                            term.index()
+                        ),
+                        &mut out,
+                    );
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// The canonical edges of one node, gathered for rendering.
+pub(crate) struct NodeEdges {
+    /// `(other, is_pred)`: dashed pred edges come *from* other; solid succ
+    /// edges go *to* other.
+    pub var_edges: Vec<(Var, bool)>,
+    /// `(term, is_source)`.
+    pub term_edges: Vec<(crate::expr::TermId, bool)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::solver::{Solver, SolverConfig};
+
+    #[test]
+    fn dot_renders_nodes_edges_and_collapses() {
+        let mut s = Solver::new(SolverConfig::if_online());
+        let c = s.register_nullary("c");
+        let src = s.term(c, vec![]);
+        let (x, y, z) = (s.fresh_var(), s.fresh_var(), s.fresh_var());
+        s.add(src, x);
+        s.add(x, y);
+        s.add(y, x); // collapses
+        s.add(y, z);
+        s.solve();
+        let dot = s.to_dot();
+        assert!(dot.starts_with("digraph constraints {"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("shape=box"), "source rendered: {dot}");
+        assert!(dot.contains(" = "), "collapsed class label: {dot}");
+        // Two live variables after the collapse.
+        let var_nodes = dot.lines().filter(|l| l.contains("shape=ellipse")).count();
+        assert_eq!(var_nodes, 2, "{dot}");
+    }
+
+    #[test]
+    fn dot_renders_sinks() {
+        let mut s = Solver::new(SolverConfig::sf_plain());
+        let c = s.register_nullary("c");
+        let snk = s.term(c, vec![]);
+        let x = s.fresh_var();
+        s.add(x, snk);
+        s.solve();
+        let dot = s.to_dot();
+        assert!(dot.contains("shape=diamond"), "{dot}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Inconsistencies discovered during resolution.
+//!
+//! Unlike a type checker, a whole-program points-to analysis must keep going
+//! when it meets ill-typed flows (C programs cast wildly). The solver
+//! therefore *records* inconsistencies and continues; callers inspect
+//! [`Solver::inconsistencies`](crate::solver::Solver::inconsistencies)
+//! afterwards.
+
+use crate::expr::TermId;
+use std::fmt;
+
+/// A constraint that has no solution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Inconsistency {
+    /// `c(…) ⊆ d(…)` with `c ≠ d`.
+    ConstructorMismatch {
+        /// The source term.
+        lhs: TermId,
+        /// The sink term.
+        rhs: TermId,
+    },
+    /// A non-empty set expression was required to be a subset of `0`.
+    NonEmptyInZero {
+        /// The offending source term (`1` is represented as `None`).
+        lhs: Option<TermId>,
+    },
+    /// The universal set `1` was required to be a subset of a constructed term.
+    OneInTerm {
+        /// The sink term.
+        rhs: TermId,
+    },
+}
+
+impl fmt::Display for Inconsistency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inconsistency::ConstructorMismatch { lhs, rhs } => {
+                write!(f, "constructor mismatch: {lhs} ⊆ {rhs}")
+            }
+            Inconsistency::NonEmptyInZero { lhs: Some(t) } => {
+                write!(f, "non-empty term {t} constrained below 0")
+            }
+            Inconsistency::NonEmptyInZero { lhs: None } => {
+                write!(f, "universal set constrained below 0")
+            }
+            Inconsistency::OneInTerm { rhs } => {
+                write!(f, "universal set constrained below constructed term {rhs}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Inconsistency {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let cases = [
+            Inconsistency::ConstructorMismatch { lhs: TermId::new(0), rhs: TermId::new(1) },
+            Inconsistency::NonEmptyInZero { lhs: Some(TermId::new(2)) },
+            Inconsistency::NonEmptyInZero { lhs: None },
+            Inconsistency::OneInTerm { rhs: TermId::new(3) },
+        ];
+        for c in cases {
+            let s = c.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

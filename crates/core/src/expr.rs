@@ -1,0 +1,298 @@
+//! Set expressions and interned constructed terms.
+//!
+//! The constraint language of Section 2.1:
+//!
+//! ```text
+//! L, R ∈ se ::= X | c(se₁, …, seₙ) | 0 | 1
+//! ```
+//!
+//! Constructed terms are hash-consed in a [`TermArena`] so that a term used as
+//! a source (left of `⊆`) or sink (right of `⊆`) is a single graph node no
+//! matter how many constraints mention it — the paper's node counts (Table 1)
+//! are over *distinct* sources, variables and sinks.
+
+use bane_util::idx::Idx;
+use crate::cons::{Con, ConRegistry};
+use bane_util::newtype_index;
+use bane_util::{FxHashMap, FxHashSet};
+
+newtype_index! {
+    /// Identifies a set variable.
+    pub struct Var("X");
+}
+
+newtype_index! {
+    /// Identifies an interned constructed term.
+    pub struct TermId("t");
+}
+
+/// A set expression: a variable, the empty set, the universal set, or a
+/// constructed term.
+///
+/// # Examples
+///
+/// ```
+/// use bane_core::expr::{SetExpr, Var};
+///
+/// let x: SetExpr = Var::new(0).into();
+/// assert!(x.as_var().is_some());
+/// assert!(SetExpr::Zero.is_zero());
+/// assert!(SetExpr::One.is_one());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SetExpr {
+    /// The empty set `0`.
+    Zero,
+    /// The universal set `1`.
+    One,
+    /// A set variable.
+    Var(Var),
+    /// A constructed term `c(se₁, …, seₙ)`.
+    Term(TermId),
+}
+
+impl SetExpr {
+    /// Returns the variable if this is a `Var` expression.
+    pub fn as_var(self) -> Option<Var> {
+        match self {
+            SetExpr::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the term id if this is a `Term` expression.
+    pub fn as_term(self) -> Option<TermId> {
+        match self {
+            SetExpr::Term(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether this is the empty set.
+    pub fn is_zero(self) -> bool {
+        matches!(self, SetExpr::Zero)
+    }
+
+    /// Whether this is the universal set.
+    pub fn is_one(self) -> bool {
+        matches!(self, SetExpr::One)
+    }
+}
+
+impl From<Var> for SetExpr {
+    fn from(v: Var) -> SetExpr {
+        SetExpr::Var(v)
+    }
+}
+
+impl From<TermId> for SetExpr {
+    fn from(t: TermId) -> SetExpr {
+        SetExpr::Term(t)
+    }
+}
+
+/// The payload of an interned term.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TermData {
+    con: Con,
+    args: Box<[SetExpr]>,
+}
+
+impl TermData {
+    /// The term's constructor.
+    pub fn con(&self) -> Con {
+        self.con
+    }
+
+    /// The term's arguments.
+    pub fn args(&self) -> &[SetExpr] {
+        &self.args
+    }
+}
+
+/// A hash-consing arena for constructed terms.
+///
+/// # Examples
+///
+/// ```
+/// use bane_core::cons::{ConRegistry, Variance};
+/// use bane_core::expr::{SetExpr, TermArena};
+///
+/// let mut cons = ConRegistry::new();
+/// let unit = cons.register_nullary("unit");
+/// let mut terms = TermArena::new();
+/// let a = terms.intern(&cons, unit, vec![]);
+/// let b = terms.intern(&cons, unit, vec![]);
+/// assert_eq!(a, b, "identical terms share one id");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TermArena {
+    data: Vec<TermData>,
+    dedup: FxHashMap<TermData, TermId>,
+}
+
+impl TermArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns the term `con(args…)`, returning its unique id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args.len()` does not match the arity registered for `con`.
+    pub fn intern(&mut self, cons: &ConRegistry, con: Con, args: Vec<SetExpr>) -> TermId {
+        assert_eq!(
+            args.len(),
+            cons.signature(con).arity(),
+            "constructor {} expects {} arguments, got {}",
+            cons.signature(con).name(),
+            cons.signature(con).arity(),
+            args.len()
+        );
+        let key = TermData { con, args: args.into_boxed_slice() };
+        if let Some(&id) = self.dedup.get(&key) {
+            return id;
+        }
+        let id = TermId::new(self.data.len());
+        self.data.push(key.clone());
+        self.dedup.insert(key, id);
+        id
+    }
+
+    /// Returns the payload of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this arena.
+    pub fn data(&self, id: TermId) -> &TermData {
+        &self.data[id.index()]
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Iterates over all interned term ids.
+    pub fn ids(&self) -> impl Iterator<Item = TermId> + 'static {
+        (0..self.data.len()).map(TermId::new)
+    }
+
+    /// Renders `expr` for humans, e.g. `ref(loc_x, X3, X3)`.
+    pub fn display(&self, cons: &ConRegistry, expr: SetExpr) -> String {
+        match expr {
+            SetExpr::Zero => "0".to_string(),
+            SetExpr::One => "1".to_string(),
+            SetExpr::Var(v) => v.to_string(),
+            SetExpr::Term(t) => {
+                let data = self.data(t);
+                let name = cons.signature(data.con()).name();
+                if data.args().is_empty() {
+                    name.to_string()
+                } else {
+                    let args: Vec<_> =
+                        data.args().iter().map(|&a| self.display(cons, a)).collect();
+                    format!("{}({})", name, args.join(", "))
+                }
+            }
+        }
+    }
+
+    /// Collects every variable occurring (transitively) inside `expr`.
+    pub fn vars_of(&self, expr: SetExpr, out: &mut FxHashSet<Var>) {
+        match expr {
+            SetExpr::Zero | SetExpr::One => {}
+            SetExpr::Var(v) => {
+                out.insert(v);
+            }
+            SetExpr::Term(t) => {
+                for &arg in self.data(t).args() {
+                    self.vars_of(arg, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cons::Variance;
+
+    fn setup() -> (ConRegistry, TermArena) {
+        (ConRegistry::new(), TermArena::new())
+    }
+
+    #[test]
+    fn interning_dedups_structurally() {
+        let (mut cons, mut terms) = setup();
+        let r = cons.register(
+            "ref",
+            vec![Variance::Covariant, Variance::Covariant, Variance::Contravariant],
+        );
+        let x = Var::new(0);
+        let a = terms.intern(&cons, r, vec![SetExpr::One, x.into(), x.into()]);
+        let b = terms.intern(&cons, r, vec![SetExpr::One, x.into(), x.into()]);
+        let c = terms.intern(&cons, r, vec![SetExpr::Zero, x.into(), x.into()]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(terms.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 arguments")]
+    fn arity_mismatch_panics() {
+        let (mut cons, mut terms) = setup();
+        let p = cons.register("pair", vec![Variance::Covariant, Variance::Covariant]);
+        terms.intern(&cons, p, vec![SetExpr::Zero]);
+    }
+
+    #[test]
+    fn display_renders_nested_terms() {
+        let (mut cons, mut terms) = setup();
+        let l = cons.register_nullary("loc_x");
+        let r = cons.register(
+            "ref",
+            vec![Variance::Covariant, Variance::Covariant, Variance::Contravariant],
+        );
+        let loc = terms.intern(&cons, l, vec![]);
+        let v = Var::new(3);
+        let t = terms.intern(&cons, r, vec![loc.into(), v.into(), v.into()]);
+        assert_eq!(terms.display(&cons, t.into()), "ref(loc_x, X3, X3)");
+        assert_eq!(terms.display(&cons, SetExpr::Zero), "0");
+        assert_eq!(terms.display(&cons, SetExpr::One), "1");
+        assert_eq!(terms.display(&cons, v.into()), "X3");
+    }
+
+    #[test]
+    fn vars_of_collects_nested_variables() {
+        let (mut cons, mut terms) = setup();
+        let p = cons.register("pair", vec![Variance::Covariant, Variance::Covariant]);
+        let x = Var::new(1);
+        let y = Var::new(2);
+        let inner = terms.intern(&cons, p, vec![x.into(), SetExpr::Zero]);
+        let outer = terms.intern(&cons, p, vec![inner.into(), y.into()]);
+        let mut vars = FxHashSet::default();
+        terms.vars_of(outer.into(), &mut vars);
+        assert_eq!(vars.len(), 2);
+        assert!(vars.contains(&x) && vars.contains(&y));
+    }
+
+    #[test]
+    fn setexpr_accessors() {
+        let v = Var::new(7);
+        let e: SetExpr = v.into();
+        assert_eq!(e.as_var(), Some(v));
+        assert_eq!(e.as_term(), None);
+        assert!(!e.is_zero() && !e.is_one());
+        let t: SetExpr = TermId::new(0).into();
+        assert_eq!(t.as_term(), Some(TermId::new(0)));
+    }
+}

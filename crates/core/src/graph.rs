@@ -1,0 +1,367 @@
+//! Constraint-graph adjacency storage.
+//!
+//! Following Section 2.2, the solved form of a constraint system is a
+//! directed graph whose vertices are variables, sources (constructed terms
+//! left of `⊆`) and sinks (constructed terms right of `⊆`). Every edge is
+//! represented *exclusively* either as a predecessor edge or as a successor
+//! edge in the adjacency lists of its variable endpoint(s):
+//!
+//! - `c(…) ⊆ X` is always a predecessor edge (`c ∈ pred(X)`),
+//! - `X ⊆ c(…)` is always a successor edge (`c ∈ succ(X)`),
+//! - `X ⊆ Y` is a successor edge in standard form; in inductive form the
+//!   representation is chosen by the variable order (see
+//!   [`solver`](crate::solver)).
+//!
+//! Each adjacency list is paired with a dedup set so the solver can tell a
+//! *new* edge from a *redundant* addition — the paper's "Work" metric counts
+//! both. After cycles collapse, list entries can become stale (they name a
+//! forwarded variable); the solver canonicalizes lazily on traversal.
+
+use crate::expr::{TermId, Var};
+use crate::forward::Forwarding;
+use bane_util::idx::IdxVec;
+use bane_util::FxHashSet;
+
+/// Adjacency lists of one variable node.
+#[derive(Clone, Debug, Default)]
+pub struct VarNode {
+    pred_vars: Vec<Var>,
+    succ_vars: Vec<Var>,
+    pred_srcs: Vec<TermId>,
+    succ_snks: Vec<TermId>,
+    pred_var_set: FxHashSet<Var>,
+    succ_var_set: FxHashSet<Var>,
+    pred_src_set: FxHashSet<TermId>,
+    succ_snk_set: FxHashSet<TermId>,
+}
+
+impl VarNode {
+    /// Variables with a predecessor edge into this node (`v ⋯→ self`).
+    pub fn pred_vars(&self) -> &[Var] {
+        &self.pred_vars
+    }
+
+    /// Variables this node has a successor edge to (`self → v`).
+    pub fn succ_vars(&self) -> &[Var] {
+        &self.succ_vars
+    }
+
+    /// Source terms flowing into this node (`c(…) ⋯→ self`).
+    pub fn pred_srcs(&self) -> &[TermId] {
+        &self.pred_srcs
+    }
+
+    /// Sink terms this node flows into (`self → c(…)`).
+    pub fn succ_snks(&self) -> &[TermId] {
+        &self.succ_snks
+    }
+
+    fn take(&mut self) -> TakenEdges {
+        self.pred_var_set.clear();
+        self.succ_var_set.clear();
+        self.pred_src_set.clear();
+        self.succ_snk_set.clear();
+        TakenEdges {
+            pred_vars: std::mem::take(&mut self.pred_vars),
+            succ_vars: std::mem::take(&mut self.succ_vars),
+            pred_srcs: std::mem::take(&mut self.pred_srcs),
+            succ_snks: std::mem::take(&mut self.succ_snks),
+        }
+    }
+}
+
+/// Edges removed from a collapsed node, to be re-asserted against the witness.
+#[derive(Clone, Debug, Default)]
+pub struct TakenEdges {
+    /// `v ⋯→ collapsed`.
+    pub pred_vars: Vec<Var>,
+    /// `collapsed → v`.
+    pub succ_vars: Vec<Var>,
+    /// `c(…) ⋯→ collapsed`.
+    pub pred_srcs: Vec<TermId>,
+    /// `collapsed → c(…)`.
+    pub succ_snks: Vec<TermId>,
+}
+
+/// The outcome of an edge-insertion attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Insert {
+    /// The edge was not present and has been added.
+    New,
+    /// The edge was already present (a redundant addition).
+    Redundant,
+}
+
+/// Summary counts of the (canonicalized) graph, used for the paper's tables.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GraphCensus {
+    /// Representatives (live variable nodes).
+    pub live_vars: usize,
+    /// Distinct canonical variable-variable edges.
+    pub var_var_edges: usize,
+    /// Distinct canonical source→variable edges.
+    pub src_edges: usize,
+    /// Distinct canonical variable→sink edges.
+    pub snk_edges: usize,
+}
+
+impl GraphCensus {
+    /// Total distinct edges.
+    pub fn total_edges(&self) -> usize {
+        self.var_var_edges + self.src_edges + self.snk_edges
+    }
+}
+
+/// The variable-node store.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    nodes: IdxVec<Var, VarNode>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node for the next variable.
+    pub fn push_node(&mut self) -> Var {
+        self.nodes.push(VarNode::default())
+    }
+
+    /// Number of variable nodes ever created (including collapsed ones).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no variable nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Returns the node of `v`.
+    pub fn node(&self, v: Var) -> &VarNode {
+        &self.nodes[v]
+    }
+
+    /// Whether the predecessor edge `x ⋯→ y` is present (under the ids the
+    /// edge was inserted with; stale entries are the solver's concern).
+    pub fn has_pred_var(&self, y: Var, x: Var) -> bool {
+        self.nodes[y].pred_var_set.contains(&x)
+    }
+
+    /// Whether the successor edge `x → y` is present.
+    pub fn has_succ_var(&self, x: Var, y: Var) -> bool {
+        self.nodes[x].succ_var_set.contains(&y)
+    }
+
+    /// Whether the source edge `src ⋯→ y` is present.
+    pub fn has_src(&self, y: Var, src: TermId) -> bool {
+        self.nodes[y].pred_src_set.contains(&src)
+    }
+
+    /// Whether the sink edge `x → snk` is present.
+    pub fn has_snk(&self, x: Var, snk: TermId) -> bool {
+        self.nodes[x].succ_snk_set.contains(&snk)
+    }
+
+    /// Inserts the predecessor edge `x ⋯→ y` (a variable-variable constraint
+    /// represented on the predecessor side; inductive form only).
+    pub fn insert_pred_var(&mut self, y: Var, x: Var) -> Insert {
+        let node = &mut self.nodes[y];
+        if node.pred_var_set.insert(x) {
+            node.pred_vars.push(x);
+            Insert::New
+        } else {
+            Insert::Redundant
+        }
+    }
+
+    /// Inserts the successor edge `x → y`.
+    pub fn insert_succ_var(&mut self, x: Var, y: Var) -> Insert {
+        let node = &mut self.nodes[x];
+        if node.succ_var_set.insert(y) {
+            node.succ_vars.push(y);
+            Insert::New
+        } else {
+            Insert::Redundant
+        }
+    }
+
+    /// Inserts the source edge `src ⋯→ y`.
+    pub fn insert_src(&mut self, y: Var, src: TermId) -> Insert {
+        let node = &mut self.nodes[y];
+        if node.pred_src_set.insert(src) {
+            node.pred_srcs.push(src);
+            Insert::New
+        } else {
+            Insert::Redundant
+        }
+    }
+
+    /// Inserts the sink edge `x → snk`.
+    pub fn insert_snk(&mut self, x: Var, snk: TermId) -> Insert {
+        let node = &mut self.nodes[x];
+        if node.succ_snk_set.insert(snk) {
+            node.succ_snks.push(snk);
+            Insert::New
+        } else {
+            Insert::Redundant
+        }
+    }
+
+    /// Strips all edges off `v` (used when `v` collapses into a witness).
+    pub fn take_edges(&mut self, v: Var) -> TakenEdges {
+        self.nodes[v].take()
+    }
+
+    /// Counts distinct canonical edges and live nodes.
+    ///
+    /// Stale entries produced by collapsing are resolved through `fwd` and
+    /// deduplicated, so the census matches the graph a freshly-built solver
+    /// would have (the paper's "Edges" columns).
+    pub fn census(&self, fwd: &Forwarding) -> GraphCensus {
+        let mut census = GraphCensus::default();
+        let mut var_seen: FxHashSet<(Var, Var)> = FxHashSet::default();
+        let mut src_seen: FxHashSet<(Var, TermId)> = FxHashSet::default();
+        let mut snk_seen: FxHashSet<(Var, TermId)> = FxHashSet::default();
+        for (v, node) in self.nodes.iter_enumerated() {
+            if fwd.find_const(v) != v {
+                continue; // collapsed away
+            }
+            census.live_vars += 1;
+            for &u in &node.pred_vars {
+                let u = fwd.find_const(u);
+                if u != v && var_seen.insert((u, v)) {
+                    census.var_var_edges += 1;
+                }
+            }
+            for &u in &node.succ_vars {
+                let u = fwd.find_const(u);
+                if u != v && var_seen.insert((v, u)) {
+                    census.var_var_edges += 1;
+                }
+            }
+            for &s in &node.pred_srcs {
+                if src_seen.insert((v, s)) {
+                    census.src_edges += 1;
+                }
+            }
+            for &s in &node.succ_snks {
+                if snk_seen.insert((v, s)) {
+                    census.snk_edges += 1;
+                }
+            }
+        }
+        census
+    }
+
+    /// Collects the canonical variable-variable edges `(from, to)` meaning
+    /// `from ⊆ to`, resolving stale entries through `fwd`.
+    pub fn var_var_edges(&self, fwd: &Forwarding) -> Vec<(Var, Var)> {
+        let mut edges = Vec::new();
+        let mut seen: FxHashSet<(Var, Var)> = FxHashSet::default();
+        for (v, node) in self.nodes.iter_enumerated() {
+            if fwd.find_const(v) != v {
+                continue;
+            }
+            for &u in &node.pred_vars {
+                let u = fwd.find_const(u);
+                if u != v && seen.insert((u, v)) {
+                    edges.push((u, v));
+                }
+            }
+            for &u in &node.succ_vars {
+                let u = fwd.find_const(u);
+                if u != v && seen.insert((v, u)) {
+                    edges.push((v, u));
+                }
+            }
+        }
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_with(n: usize) -> (Graph, Forwarding) {
+        let mut g = Graph::new();
+        let mut f = Forwarding::new();
+        for _ in 0..n {
+            g.push_node();
+            f.push();
+        }
+        (g, f)
+    }
+
+    #[test]
+    fn inserts_dedup() {
+        let (mut g, _) = graph_with(3);
+        let (a, b) = (Var::new(0), Var::new(1));
+        assert_eq!(g.insert_succ_var(a, b), Insert::New);
+        assert_eq!(g.insert_succ_var(a, b), Insert::Redundant);
+        assert_eq!(g.insert_pred_var(b, a), Insert::New, "pred side is a separate store");
+        assert_eq!(g.node(a).succ_vars(), &[b]);
+        assert_eq!(g.node(b).pred_vars(), &[a]);
+
+        let t = TermId::new(0);
+        assert_eq!(g.insert_src(a, t), Insert::New);
+        assert_eq!(g.insert_src(a, t), Insert::Redundant);
+        assert_eq!(g.insert_snk(a, t), Insert::New);
+        assert_eq!(g.insert_snk(a, t), Insert::Redundant);
+    }
+
+    #[test]
+    fn take_edges_empties_node() {
+        let (mut g, _) = graph_with(2);
+        let (a, b) = (Var::new(0), Var::new(1));
+        g.insert_succ_var(a, b);
+        g.insert_src(a, TermId::new(4));
+        let taken = g.take_edges(a);
+        assert_eq!(taken.succ_vars, vec![b]);
+        assert_eq!(taken.pred_srcs, vec![TermId::new(4)]);
+        assert!(g.node(a).succ_vars().is_empty());
+        // Re-inserting after take is New again (sets were cleared).
+        assert_eq!(g.insert_succ_var(a, b), Insert::New);
+    }
+
+    #[test]
+    fn census_skips_collapsed_and_dedups_stale() {
+        let (mut g, mut f) = graph_with(3);
+        let (a, b, c) = (Var::new(0), Var::new(1), Var::new(2));
+        g.insert_succ_var(a, b);
+        g.insert_succ_var(a, c);
+        // Collapse c into b: the edge a→c becomes a stale duplicate of a→b.
+        f.union_into(c, b);
+        let census = g.census(&f);
+        assert_eq!(census.live_vars, 2);
+        assert_eq!(census.var_var_edges, 1);
+        assert_eq!(census.total_edges(), 1);
+    }
+
+    #[test]
+    fn census_drops_self_edges_created_by_collapse() {
+        let (mut g, mut f) = graph_with(2);
+        let (a, b) = (Var::new(0), Var::new(1));
+        g.insert_succ_var(a, b);
+        f.union_into(b, a);
+        let census = g.census(&f);
+        assert_eq!(census.var_var_edges, 0, "a→b became a self edge");
+        assert_eq!(census.live_vars, 1);
+    }
+
+    #[test]
+    fn var_var_edges_are_canonical_and_directed() {
+        let (mut g, mut f) = graph_with(4);
+        let vs: Vec<Var> = (0..4).map(Var::new).collect();
+        g.insert_succ_var(vs[0], vs[1]);
+        g.insert_pred_var(vs[2], vs[1]); // v1 ⊆ v2 on the pred side
+        g.insert_succ_var(vs[3], vs[0]);
+        f.union_into(vs[3], vs[0]); // v3 → v0 becomes self edge
+        let mut edges = g.var_var_edges(&f);
+        edges.sort();
+        assert_eq!(edges, vec![(vs[0], vs[1]), (vs[1], vs[2])]);
+    }
+}

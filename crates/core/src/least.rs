@@ -1,0 +1,247 @@
+//! Least-solution computation (Section 2.4, equation (1)).
+//!
+//! Standard form makes the least solution explicit: after closure, every
+//! source reaching a variable sits in its predecessor list. Inductive form
+//! does not — but because every variable-variable predecessor edge points
+//! from a smaller-ordered variable to a larger one, the least solution can be
+//! computed in a single pass over the variables in increasing order:
+//!
+//! ```text
+//! LS(Y) = { c(…) | c(…) ⋯→ Y }  ∪  ⋃ { LS(X) | X ⋯→ Y }
+//! ```
+//!
+//! As in the paper, every reported inductive-form timing *includes* this
+//! pass (the harness times `solve()` + `least_solution()` together).
+
+use bane_util::idx::Idx;
+use crate::expr::{TermId, Var};
+use crate::solver::{Form, Solver};
+
+/// The least solution of a solved constraint system: for every variable, the
+/// sorted set of source terms it contains.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeastSolution {
+    rep: Vec<Var>,
+    sets: Vec<Vec<TermId>>,
+}
+
+impl LeastSolution {
+    /// The least solution of `v` as a sorted, deduplicated slice of sources.
+    ///
+    /// Collapsed variables transparently resolve to their witness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to the solver that produced this value.
+    pub fn get(&self, v: Var) -> &[TermId] {
+        &self.sets[self.rep[v.index()].index()]
+    }
+
+    /// `|LS(v)|`.
+    pub fn size(&self, v: Var) -> usize {
+        self.get(v).len()
+    }
+
+    /// Whether `t ∈ LS(v)`.
+    pub fn contains(&self, v: Var, t: TermId) -> bool {
+        self.get(v).binary_search(&t).is_ok()
+    }
+
+    /// Number of variables covered (including collapsed ones).
+    pub fn len(&self) -> usize {
+        self.rep.len()
+    }
+
+    /// Whether no variables are covered.
+    pub fn is_empty(&self) -> bool {
+        self.rep.is_empty()
+    }
+
+    /// Sum of set sizes over canonical variables.
+    pub fn total_entries(&self) -> usize {
+        self.rep
+            .iter()
+            .enumerate()
+            .filter(|&(i, &r)| r.index() == i)
+            .map(|(i, _)| self.sets[i].len())
+            .sum()
+    }
+}
+
+impl Solver {
+    /// Computes the least solution of the solved system.
+    ///
+    /// For standard form this reads the explicit predecessor lists; for
+    /// inductive form it runs the increasing-order pass of equation (1).
+    /// Call after [`solve`](Solver::solve).
+    pub fn least_solution(&mut self) -> LeastSolution {
+        let (graph, fwd, order, form, _one) = self.parts_for_least();
+        let n = graph.len();
+        let mut rep: Vec<Var> = Vec::with_capacity(n);
+        for i in 0..n {
+            rep.push(fwd.find_const(Var::new(i)));
+        }
+        let mut sets: Vec<Vec<TermId>> = vec![Vec::new(); n];
+        let mut reps: Vec<Var> =
+            (0..n).map(Var::new).filter(|&v| rep[v.index()] == v).collect();
+
+        match form {
+            Form::Standard => {
+                for &v in &reps {
+                    let mut acc: Vec<TermId> = graph.node(v).pred_srcs().to_vec();
+                    acc.sort_unstable();
+                    acc.dedup();
+                    sets[v.index()] = acc;
+                }
+            }
+            Form::Inductive => {
+                // Predecessor edges always point from smaller to larger
+                // order, so ascending order is a valid evaluation order.
+                reps.sort_by_key(|&v| order.key(v));
+                for &v in &reps {
+                    let mut acc: Vec<TermId> = graph.node(v).pred_srcs().to_vec();
+                    for &raw in graph.node(v).pred_vars() {
+                        let u = fwd.find_const(raw);
+                        if u == v {
+                            continue; // stale self edge from a collapse
+                        }
+                        debug_assert!(
+                            order.lt(u, v),
+                            "inductive invariant: pred edges decrease the order"
+                        );
+                        acc.extend_from_slice(&sets[u.index()]);
+                    }
+                    acc.sort_unstable();
+                    acc.dedup();
+                    sets[v.index()] = acc;
+                }
+            }
+        }
+        LeastSolution { rep, sets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolverConfig;
+
+    /// Builds a diamond: c1 ⊆ a; a ⊆ b; a ⊆ c; b ⊆ d; c ⊆ d; c2 ⊆ c.
+    fn diamond(config: SolverConfig) -> (Solver, [Var; 4], [TermId; 2]) {
+        let mut s = Solver::new(config);
+        let c1 = s.register_nullary("c1");
+        let c2 = s.register_nullary("c2");
+        let t1 = s.term(c1, vec![]);
+        let t2 = s.term(c2, vec![]);
+        let vs = [s.fresh_var(), s.fresh_var(), s.fresh_var(), s.fresh_var()];
+        s.add(t1, vs[0]);
+        s.add(vs[0], vs[1]);
+        s.add(vs[0], vs[2]);
+        s.add(vs[1], vs[3]);
+        s.add(vs[2], vs[3]);
+        s.add(t2, vs[2]);
+        (s, vs, [t1, t2])
+    }
+
+    #[test]
+    fn diamond_least_solutions_agree_across_configs() {
+        let expected: [Vec<usize>; 4] = [vec![0], vec![0], vec![0, 1], vec![0, 1]];
+        for config in [
+            SolverConfig::sf_plain(),
+            SolverConfig::if_plain(),
+            SolverConfig::sf_online(),
+            SolverConfig::if_online(),
+        ] {
+            let (mut s, vs, ts) = diamond(config);
+            s.solve();
+            let resolved: Vec<Var> = vs.iter().map(|&v| s.find(v)).collect();
+            let ls = s.least_solution();
+            for (i, &v) in resolved.iter().enumerate() {
+                let want: Vec<TermId> = expected[i].iter().map(|&j| ts[j]).collect();
+                assert_eq!(ls.get(v), want.as_slice(), "{config:?} var {i}");
+                assert_eq!(ls.size(v), want.len());
+                for &t in &want {
+                    assert!(ls.contains(v, t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn collapsed_cycle_members_share_solutions() {
+        let mut s = Solver::new(SolverConfig::if_online());
+        let c = s.register_nullary("c");
+        let t = s.term(c, vec![]);
+        let (x, y, z) = (s.fresh_var(), s.fresh_var(), s.fresh_var());
+        s.add(x, y);
+        s.add(y, x);
+        s.add(t, x);
+        s.add(y, z);
+        s.solve();
+        let (x, y, z) = (s.find(x), s.find(y), s.find(z));
+        let ls = s.least_solution();
+        assert_eq!(x, y);
+        assert_eq!(ls.get(x), &[t]);
+        assert_eq!(ls.get(y), &[t]);
+        assert_eq!(ls.get(z), &[t]);
+        assert!(ls.total_entries() >= 2);
+        assert_eq!(ls.len(), 3);
+        assert!(!ls.is_empty());
+    }
+
+    #[test]
+    fn empty_solver_has_empty_solution() {
+        let mut s = Solver::new(SolverConfig::if_online());
+        s.solve();
+        let ls = s.least_solution();
+        assert!(ls.is_empty());
+        assert_eq!(ls.total_entries(), 0);
+    }
+
+    /// Random chains: IF least solution equals SF's explicit one.
+    #[test]
+    fn inductive_matches_standard_on_random_dags() {
+        use bane_util::SplitMix64;
+        let mut rng = SplitMix64::new(99);
+        for round in 0..20 {
+            let n = 30;
+            let mut edges = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if rng.next_bool(0.08) {
+                        edges.push((i, j));
+                    }
+                }
+            }
+            let n_srcs = 5;
+            let mut src_at = Vec::new();
+            for k in 0..n_srcs {
+                src_at.push((k, rng.next_below(n as u64) as usize));
+            }
+
+            let build = |config: SolverConfig| {
+                let mut s = Solver::new(config);
+                let vs: Vec<Var> = (0..n).map(|_| s.fresh_var()).collect();
+                let mut ts = Vec::new();
+                for k in 0..n_srcs {
+                    let c = s.register_nullary(format!("c{k}"));
+                    ts.push(s.term(c, vec![]));
+                }
+                for &(a, b) in &edges {
+                    s.add(vs[a], vs[b]);
+                }
+                for &(k, at) in &src_at {
+                    s.add(ts[k], vs[at]);
+                }
+                s.solve();
+                let resolved: Vec<Var> = vs.iter().map(|&v| s.find(v)).collect();
+                let ls = s.least_solution();
+                resolved.iter().map(|&v| ls.get(v).to_vec()).collect::<Vec<_>>()
+            };
+
+            let sf = build(SolverConfig::sf_plain());
+            let ifo = build(SolverConfig::if_online());
+            assert_eq!(sf, ifo, "round {round}");
+        }
+    }
+}

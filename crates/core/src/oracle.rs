@@ -1,0 +1,154 @@
+//! The oracle experiments' cycle partition (Section 4).
+//!
+//! The paper's `IF-Oracle` / `SF-Oracle` experiments assume an oracle that,
+//! whenever a fresh variable is created, predicts the strongly connected
+//! component the variable will eventually belong to and substitutes that
+//! component's witness. The runs then measure resolution with *perfect and
+//! zero-cost* cycle elimination — a lower bound for the online experiments.
+//!
+//! We realize the oracle in two phases, as the paper's own implementation
+//! must have: a first converged run records every variable-variable atomic
+//! constraint (and every online collapse) keyed by variable *creation index*;
+//! [`Partition::from_run`] then computes SCCs over that log and maps every
+//! creation index to its component witness (the smallest creation index in
+//! the component). A solver constructed with this partition returns the
+//! witness variable whenever a collapsed class member would be created.
+
+use crate::scc::{tarjan, SccStats};
+
+/// A partition of variable creation indices into aliasing classes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    rep: Vec<u32>,
+    stats: SccStats,
+}
+
+impl Partition {
+    /// The identity partition over `n` variables (no aliasing).
+    pub fn identity(n: usize) -> Self {
+        Self { rep: (0..n as u32).collect(), stats: SccStats::default() }
+    }
+
+    /// Builds the partition from a converged run's observations.
+    ///
+    /// - `n`: number of variables created by the run,
+    /// - `varvar`: every variable-variable atomic constraint `(x, y)` meaning
+    ///   `x ⊆ y` that was added as a graph edge (endpoints as creation
+    ///   indices, canonical at the time of addition),
+    /// - `unions`: every online collapse `(member, witness)`.
+    ///
+    /// Union records become mutual edges, so online-collapsed classes merge
+    /// with whatever cycles Tarjan finds among the remaining edges.
+    pub fn from_run(n: usize, varvar: &[(u32, u32)], unions: &[(u32, u32)]) -> Self {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(x, y) in varvar {
+            if (x as usize) < n && (y as usize) < n && x != y {
+                adj[x as usize].push(y);
+            }
+        }
+        for &(a, b) in unions {
+            if (a as usize) < n && (b as usize) < n && a != b {
+                adj[a as usize].push(b);
+                adj[b as usize].push(a);
+            }
+        }
+        let scc = tarjan(n, &adj);
+        let mut rep: Vec<u32> = (0..n as u32).collect();
+        // Witness = smallest creation index in each component.
+        let mut witness: Vec<u32> = vec![u32::MAX; scc.components().len()];
+        for i in 0..n as u32 {
+            let c = scc.comp_of(i) as usize;
+            witness[c] = witness[c].min(i);
+        }
+        for i in 0..n as u32 {
+            rep[i as usize] = witness[scc.comp_of(i) as usize];
+        }
+        let stats = SccStats::from(&scc);
+        Self { rep, stats }
+    }
+
+    /// The witness (class representative) of creation index `i`.
+    ///
+    /// Indices beyond the observed run map to themselves, so a slightly
+    /// longer replay run degrades gracefully.
+    pub fn rep_of(&self, i: u32) -> u32 {
+        self.rep.get(i as usize).copied().unwrap_or(i)
+    }
+
+    /// Whether `i` is a class witness (or unobserved).
+    pub fn is_witness(&self, i: u32) -> bool {
+        self.rep_of(i) == i
+    }
+
+    /// Number of variables covered by the partition.
+    pub fn len(&self) -> usize {
+        self.rep.len()
+    }
+
+    /// Whether the partition covers no variables.
+    pub fn is_empty(&self) -> bool {
+        self.rep.is_empty()
+    }
+
+    /// Number of variables aliased away (non-witnesses).
+    pub fn eliminated(&self) -> usize {
+        self.rep.iter().enumerate().filter(|&(i, &r)| i as u32 != r).count()
+    }
+
+    /// SCC statistics of the final graph (Table 1's final-SCC columns).
+    pub fn scc_stats(&self) -> SccStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_has_no_aliases() {
+        let p = Partition::identity(5);
+        for i in 0..5 {
+            assert!(p.is_witness(i));
+            assert_eq!(p.rep_of(i), i);
+        }
+        assert_eq!(p.eliminated(), 0);
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn cycle_maps_to_min_witness() {
+        // 1 ⊆ 2 ⊆ 3 ⊆ 1, plus 0 and 4 acyclic.
+        let p = Partition::from_run(5, &[(1, 2), (2, 3), (3, 1), (0, 1), (3, 4)], &[]);
+        assert_eq!(p.rep_of(1), 1);
+        assert_eq!(p.rep_of(2), 1);
+        assert_eq!(p.rep_of(3), 1);
+        assert_eq!(p.rep_of(0), 0);
+        assert_eq!(p.rep_of(4), 4);
+        assert_eq!(p.eliminated(), 2);
+        assert_eq!(p.scc_stats().vars_in_cycles, 3);
+        assert_eq!(p.scc_stats().max_component, 3);
+    }
+
+    #[test]
+    fn unions_merge_with_edges() {
+        // Edge cycle {2,3}; union record (4,2) pulls 4 into that class.
+        let p = Partition::from_run(5, &[(2, 3), (3, 2)], &[(4, 2)]);
+        assert_eq!(p.rep_of(3), 2);
+        assert_eq!(p.rep_of(4), 2);
+        assert_eq!(p.eliminated(), 2);
+    }
+
+    #[test]
+    fn out_of_range_indices_are_identity() {
+        let p = Partition::from_run(3, &[(0, 1), (1, 0)], &[]);
+        assert_eq!(p.rep_of(10), 10);
+        assert!(p.is_witness(10));
+    }
+
+    #[test]
+    fn self_edges_do_not_collapse() {
+        let p = Partition::from_run(2, &[(0, 0)], &[(1, 1)]);
+        assert_eq!(p.eliminated(), 0);
+    }
+}

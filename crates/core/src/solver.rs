@@ -1,0 +1,1293 @@
+//! The constraint resolution engine.
+//!
+//! A [`Solver`] holds a system of inclusion constraints and closes its graph
+//! representation under the transitive-closure rule `L ⋯→ X → R ⇒ L ⊆ R`
+//! plus the structural resolution rules **R** (Figure 1 of the paper,
+//! implemented in [`resolve_terms`](Solver::process)). The engine is
+//! parameterized on the paper's two axes:
+//!
+//! - [`Form`]: **standard form** (all variable-variable edges are successor
+//!   edges; the least solution becomes explicit) vs. **inductive form** (edge
+//!   representation chosen by the variable order `o(·)`; the least solution
+//!   is computed afterwards, see [`crate::least`]),
+//! - [`CycleElim`]: whether *partial online cycle elimination* (Section 2.5)
+//!   runs on every variable-variable edge insertion.
+//!
+//! A solver can also be constructed with an oracle [`Partition`] (Section 4's
+//! `SF-Oracle` / `IF-Oracle` experiments): variable creation then returns the
+//! class witness, so cycles never materialize at all.
+//!
+//! # Examples
+//!
+//! Solving `c ⊆ X ⊆ Y` and reading the least solution of `Y`:
+//!
+//! ```
+//! use bane_core::solver::{Solver, SolverConfig};
+//!
+//! let mut s = Solver::new(SolverConfig::if_online());
+//! let c = s.register_nullary("c");
+//! let src = s.term(c, vec![]);
+//! let (x, y) = (s.fresh_var(), s.fresh_var());
+//! s.add(src, x);
+//! s.add(x, y);
+//! s.solve();
+//! let ls = s.least_solution();
+//! assert_eq!(ls.get(s.find(y)), &[src]);
+//! ```
+
+use bane_util::idx::Idx;
+use crate::cons::{Con, ConRegistry, Variance};
+use crate::cycle::{ChainDir, ChainSearch, SfSearchPolicy, StepOrder};
+use crate::error::Inconsistency;
+use crate::expr::{SetExpr, TermArena, TermData, TermId, Var};
+use crate::forward::Forwarding;
+use crate::graph::{Graph, GraphCensus, Insert};
+use crate::oracle::Partition;
+use crate::order::{OrderPolicy, VarOrder};
+use crate::scc::{tarjan, SccStats};
+use crate::stats::Stats;
+use bane_util::FxHashSet;
+use std::collections::VecDeque;
+
+/// The constraint-graph representation (Sections 2.3 and 2.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Form {
+    /// Standard form: variable-variable constraints are always successor
+    /// edges; sources propagate forward so the least solution is explicit.
+    Standard,
+    /// Inductive form: edge representation chosen by the variable order.
+    Inductive,
+}
+
+/// Whether and how cycles are eliminated during resolution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CycleElim {
+    /// No cycle elimination (the `*-Plain` experiments).
+    Off,
+    /// Partial online cycle detection at every variable-variable edge
+    /// insertion (the `*-Online` experiments, Section 2.5).
+    Online,
+    /// *Periodic* offline elimination: a full Tarjan SCC pass over the
+    /// current variable-variable graph every `interval` processed
+    /// constraints — the prior-work strategy (\[FA96\]/\[FF97\]/\[MW97\]) that
+    /// the paper's introduction contrasts with the online approach. Each
+    /// pass finds *all* cycles present at that moment, but cycles forming
+    /// between passes still generate redundant work, and the passes
+    /// themselves cost O(V + E).
+    Periodic {
+        /// Processed-constraint count between offline SCC passes.
+        interval: u32,
+    },
+}
+
+/// Configuration of a solver run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// Graph representation.
+    pub form: Form,
+    /// Online cycle elimination on/off.
+    pub cycle_elim: CycleElim,
+    /// Chain-search policy for standard form's online detection.
+    ///
+    /// The paper's scheme follows successor edges to *lower*-ordered
+    /// variables; [`SfSearchPolicy::AlsoIncreasing`] is the 57%-detection
+    /// ablation mentioned in Section 4. Ignored by inductive form, whose
+    /// edge representation already implies the decreasing restriction.
+    pub sf_chain: SfSearchPolicy,
+    /// How the total variable order `o(·)` is chosen.
+    pub order: OrderPolicy,
+    /// Record the variable-variable constraint log needed to build the
+    /// oracle partition afterwards (small overhead; off by default except in
+    /// the `if_online` preset which feeds the oracle runs).
+    pub log_varvar: bool,
+}
+
+impl SolverConfig {
+    /// `SF-Plain`: standard form, no cycle elimination.
+    pub fn sf_plain() -> Self {
+        SolverConfig {
+            form: Form::Standard,
+            cycle_elim: CycleElim::Off,
+            sf_chain: SfSearchPolicy::Decreasing,
+            order: OrderPolicy::default(),
+            log_varvar: false,
+        }
+    }
+
+    /// `IF-Plain`: inductive form, no cycle elimination.
+    pub fn if_plain() -> Self {
+        SolverConfig { form: Form::Inductive, ..Self::sf_plain() }
+    }
+
+    /// `SF-Online`: standard form with partial online cycle elimination.
+    pub fn sf_online() -> Self {
+        SolverConfig { cycle_elim: CycleElim::Online, ..Self::sf_plain() }
+    }
+
+    /// `IF-Online`: inductive form with partial online cycle elimination.
+    ///
+    /// Enables the variable-variable log so the run can also produce the
+    /// oracle partition for the `*-Oracle` experiments.
+    pub fn if_online() -> Self {
+        SolverConfig {
+            form: Form::Inductive,
+            cycle_elim: CycleElim::Online,
+            log_varvar: true,
+            ..Self::sf_plain()
+        }
+    }
+
+    /// Replaces the order policy.
+    pub fn with_order(mut self, order: OrderPolicy) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Enables or disables the variable-variable constraint log.
+    pub fn with_log(mut self, log: bool) -> Self {
+        self.log_varvar = log;
+        self
+    }
+
+    /// Replaces the SF chain-search policy.
+    pub fn with_sf_chain(mut self, policy: SfSearchPolicy) -> Self {
+        self.sf_chain = policy;
+        self
+    }
+}
+
+impl Default for SolverConfig {
+    /// Defaults to the paper's best configuration, `IF-Online`.
+    fn default() -> Self {
+        Self::if_online()
+    }
+}
+
+/// Node counts of the current graph (Table 1's node columns).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeCounts {
+    /// Variables created (counting oracle-aliased creations).
+    pub vars_created: usize,
+    /// Live (non-collapsed, non-aliased) variable nodes.
+    pub live_vars: usize,
+    /// Distinct source terms.
+    pub sources: usize,
+    /// Distinct sink terms.
+    pub sinks: usize,
+}
+
+impl NodeCounts {
+    /// Total distinct graph nodes (live variables + sources + sinks).
+    pub fn total(&self) -> usize {
+        self.live_vars + self.sources + self.sinks
+    }
+}
+
+/// The inclusion-constraint solver.
+///
+/// See the [module documentation](self) for an overview and example.
+#[derive(Clone, Debug)]
+pub struct Solver {
+    config: SolverConfig,
+    cons: ConRegistry,
+    terms: TermArena,
+    graph: Graph,
+    fwd: Forwarding,
+    order: VarOrder,
+    search: ChainSearch,
+    pending: VecDeque<(SetExpr, SetExpr)>,
+    stats: Stats,
+    errors: Vec<Inconsistency>,
+    one_term: TermId,
+    zero_term: TermId,
+    varvar_log: Vec<(u32, u32)>,
+    union_log: Vec<(u32, u32)>,
+    oracle: Option<Partition>,
+    creation_count: u32,
+    creation_to_var: Vec<Var>,
+    source_terms: FxHashSet<TermId>,
+    sink_terms: FxHashSet<TermId>,
+}
+
+impl Solver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: SolverConfig) -> Self {
+        Self::build(config, None)
+    }
+
+    /// Creates a solver that pre-aliases variables per the oracle partition
+    /// (the paper's `*-Oracle` experiments).
+    ///
+    /// The partition must come from a converged run over the *same* constraint
+    /// generation sequence (see [`Solver::scc_partition`]).
+    pub fn with_oracle(config: SolverConfig, partition: Partition) -> Self {
+        Self::build(config, Some(partition))
+    }
+
+    fn build(config: SolverConfig, oracle: Option<Partition>) -> Self {
+        let mut cons = ConRegistry::new();
+        let mut terms = TermArena::new();
+        let one_con = cons.register_nullary("1");
+        let zero_con = cons.register_nullary("0");
+        let one_term = terms.intern(&cons, one_con, Vec::new());
+        let zero_term = terms.intern(&cons, zero_con, Vec::new());
+        Solver {
+            config,
+            cons,
+            terms,
+            graph: Graph::new(),
+            fwd: Forwarding::new(),
+            order: VarOrder::new(config.order),
+            search: ChainSearch::new(1024),
+            pending: VecDeque::new(),
+            stats: Stats::default(),
+            errors: Vec::new(),
+            one_term,
+            zero_term,
+            varvar_log: Vec::new(),
+            union_log: Vec::new(),
+            oracle,
+            creation_count: 0,
+            creation_to_var: Vec::new(),
+            source_terms: FxHashSet::default(),
+            sink_terms: FxHashSet::default(),
+        }
+    }
+
+    /// The configuration this solver runs under.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Registers a constructor with explicit argument variances.
+    pub fn register_con(&mut self, name: impl Into<String>, variances: Vec<Variance>) -> Con {
+        self.cons.register(name, variances)
+    }
+
+    /// Registers a nullary (constant) constructor.
+    pub fn register_nullary(&mut self, name: impl Into<String>) -> Con {
+        self.cons.register_nullary(name)
+    }
+
+    /// Interns the term `con(args…)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the argument count does not match the constructor's arity.
+    pub fn term(&mut self, con: Con, args: Vec<SetExpr>) -> TermId {
+        self.terms.intern(&self.cons, con, args)
+    }
+
+    /// Creates a fresh set variable.
+    ///
+    /// Under an oracle partition this may return an existing witness
+    /// variable instead of allocating a node.
+    pub fn fresh_var(&mut self) -> Var {
+        let ci = self.creation_count;
+        self.creation_count += 1;
+        if let Some(partition) = &self.oracle {
+            let rep = partition.rep_of(ci);
+            if rep != ci {
+                let v = self.creation_to_var[rep as usize];
+                self.creation_to_var.push(v);
+                self.stats.oracle_aliased += 1;
+                return v;
+            }
+        }
+        let v = self.graph.push_node();
+        let f = self.fwd.push();
+        debug_assert_eq!(v, f);
+        self.order.assign(v);
+        self.search.grow(self.graph.len());
+        if self.oracle.is_some() {
+            self.creation_to_var.push(v);
+        }
+        v
+    }
+
+    /// Number of `fresh_var` calls so far (creation indices `0..count`).
+    pub fn vars_created(&self) -> u32 {
+        self.creation_count
+    }
+
+    /// Adds the constraint `lhs ⊆ rhs` to the worklist.
+    ///
+    /// Call [`solve`](Solver::solve) (or [`atomize`](Solver::atomize)) to
+    /// process it; constraints may be added incrementally between calls.
+    pub fn add(&mut self, lhs: impl Into<SetExpr>, rhs: impl Into<SetExpr>) {
+        self.stats.constraints_added += 1;
+        self.pending.push_back((lhs.into(), rhs.into()));
+    }
+
+    /// Resolves all pending constraints, closing the graph transitively.
+    pub fn solve(&mut self) {
+        let finished = self.run(true, u64::MAX);
+        debug_assert!(finished);
+    }
+
+    /// Like [`solve`](Solver::solve) but gives up once the work counter
+    /// exceeds `max_work`; returns `true` if resolution finished.
+    ///
+    /// Used by the experiment harness to bound the `SF-Plain` blow-ups on
+    /// large benchmarks.
+    pub fn solve_limited(&mut self, max_work: u64) -> bool {
+        self.run(true, max_work)
+    }
+
+    /// Rewrites pending constraints to atomic form and records them as graph
+    /// edges *without* transitive closure or cycle elimination.
+    ///
+    /// This materializes the paper's *initial* constraint graph (Table 1's
+    /// initial-edge and initial-SCC columns). Use a dedicated solver instance
+    /// for this; mixing `atomize` and `solve` on one instance is not
+    /// supported.
+    pub fn atomize(&mut self) {
+        self.run(false, u64::MAX);
+    }
+
+    fn run(&mut self, closure: bool, max_work: u64) -> bool {
+        let periodic = match self.config.cycle_elim {
+            CycleElim::Periodic { interval } if closure => interval.max(1) as u64,
+            _ => 0,
+        };
+        while let Some((lhs, rhs)) = self.pending.pop_front() {
+            self.process(lhs, rhs, closure);
+            if periodic != 0 && self.stats.constraints_processed.is_multiple_of(periodic) {
+                self.offline_collapse();
+            }
+            if self.stats.work > max_work {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// One offline elimination pass: Tarjan over the current canonical
+    /// variable-variable edges, collapsing every non-trivial SCC.
+    fn offline_collapse(&mut self) {
+        let edges = self.graph.var_var_edges(&self.fwd);
+        let n = self.graph.len();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (a, b) in edges {
+            adj[a.index()].push(b.raw());
+        }
+        let scc = tarjan(n, &adj);
+        for comp in scc.nontrivial() {
+            let members: Vec<Var> = comp.iter().map(|&i| Var::new(i as usize)).collect();
+            self.collapse(&members);
+        }
+    }
+
+    fn inconsistent(&mut self, err: Inconsistency) {
+        self.stats.inconsistencies += 1;
+        self.errors.push(err);
+    }
+
+    fn process(&mut self, lhs: SetExpr, rhs: SetExpr, closure: bool) {
+        self.stats.constraints_processed += 1;
+        // Normalize: 0 ⊆ R and L ⊆ 1 are trivially true; the remaining
+        // occurrences of 1 (as a source) and 0 (as a sink) become the builtin
+        // nullary terms so the graph stores them uniformly.
+        let lhs = match lhs {
+            SetExpr::Zero => return,
+            SetExpr::One => SetExpr::Term(self.one_term),
+            SetExpr::Var(v) => SetExpr::Var(self.fwd.find(v)),
+            t @ SetExpr::Term(_) => t,
+        };
+        let rhs = match rhs {
+            SetExpr::One => return,
+            SetExpr::Zero => SetExpr::Term(self.zero_term),
+            SetExpr::Var(v) => SetExpr::Var(self.fwd.find(v)),
+            t @ SetExpr::Term(_) => t,
+        };
+        match (lhs, rhs) {
+            (SetExpr::Var(x), SetExpr::Var(y)) => self.var_var(x, y, closure),
+            (SetExpr::Var(x), SetExpr::Term(t)) => self.add_snk(x, t, closure),
+            (SetExpr::Term(s), SetExpr::Var(y)) => self.add_src(s, y, closure),
+            (SetExpr::Term(s), SetExpr::Term(t)) => self.resolve_terms(s, t),
+            _ => unreachable!("normalization removed 0/1"),
+        }
+    }
+
+    /// The resolution rules **R**: decompose `s ⊆ t` structurally.
+    fn resolve_terms(&mut self, s: TermId, t: TermId) {
+        self.stats.term_constraints += 1;
+        if s == t || s == self.zero_term || t == self.one_term {
+            return;
+        }
+        if s == self.one_term {
+            self.inconsistent(Inconsistency::OneInTerm { rhs: t });
+            return;
+        }
+        if t == self.zero_term {
+            self.inconsistent(Inconsistency::NonEmptyInZero { lhs: Some(s) });
+            return;
+        }
+        let (sc, tc) = (self.terms.data(s).con(), self.terms.data(t).con());
+        if sc != tc {
+            self.inconsistent(Inconsistency::ConstructorMismatch { lhs: s, rhs: t });
+            return;
+        }
+        self.stats.resolutions += 1;
+        let arity = self.cons.signature(sc).arity();
+        for i in 0..arity {
+            let a = self.terms.data(s).args()[i];
+            let b = self.terms.data(t).args()[i];
+            match self.cons.signature(sc).variances()[i] {
+                Variance::Covariant => self.pending.push_back((a, b)),
+                Variance::Contravariant => self.pending.push_back((b, a)),
+            }
+        }
+    }
+
+    /// Adds the source edge `s ⋯→ y` and fires the closure rule with `y` as
+    /// the pivot: `s ⊆ R` for every successor `R` of `y`.
+    fn add_src(&mut self, s: TermId, y: Var, closure: bool) {
+        self.source_terms.insert(s);
+        self.stats.work += 1;
+        if self.graph.insert_src(y, s) == Insert::Redundant {
+            self.stats.redundant += 1;
+            return;
+        }
+        if closure {
+            for i in 0..self.graph.node(y).succ_vars().len() {
+                let r = self.graph.node(y).succ_vars()[i];
+                self.pending.push_back((SetExpr::Term(s), SetExpr::Var(r)));
+            }
+            for i in 0..self.graph.node(y).succ_snks().len() {
+                let r = self.graph.node(y).succ_snks()[i];
+                self.pending.push_back((SetExpr::Term(s), SetExpr::Term(r)));
+            }
+        }
+    }
+
+    /// Adds the sink edge `x → t` and fires the closure rule with `x` as the
+    /// pivot: `L ⊆ t` for every predecessor `L` of `x`.
+    fn add_snk(&mut self, x: Var, t: TermId, closure: bool) {
+        self.sink_terms.insert(t);
+        self.stats.work += 1;
+        if self.graph.insert_snk(x, t) == Insert::Redundant {
+            self.stats.redundant += 1;
+            return;
+        }
+        if closure {
+            for i in 0..self.graph.node(x).pred_srcs().len() {
+                let l = self.graph.node(x).pred_srcs()[i];
+                self.pending.push_back((SetExpr::Term(l), SetExpr::Term(t)));
+            }
+            for i in 0..self.graph.node(x).pred_vars().len() {
+                let l = self.graph.node(x).pred_vars()[i];
+                self.pending.push_back((SetExpr::Var(l), SetExpr::Term(t)));
+            }
+        }
+    }
+
+    /// Handles the variable-variable constraint `x ⊆ y`: picks the edge
+    /// representation per the form, runs online cycle detection, inserts the
+    /// edge, and fires the closure rule.
+    fn var_var(&mut self, x: Var, y: Var, closure: bool) {
+        if x == y {
+            self.stats.self_constraints += 1;
+            return;
+        }
+        let as_pred = match self.config.form {
+            Form::Standard => false,
+            Form::Inductive => self.order.lt(x, y),
+        };
+        self.stats.work += 1;
+        if as_pred {
+            // x ⋯→ y: look for a successor chain y → … → x.
+            if self.graph.has_pred_var(y, x) {
+                self.stats.redundant += 1;
+                return;
+            }
+            if closure && self.config.cycle_elim == CycleElim::Online {
+                if let Some(path) = self.search.search(
+                    &self.graph,
+                    &self.fwd,
+                    &self.order,
+                    y,
+                    x,
+                    ChainDir::Succ,
+                    StepOrder::Decreasing,
+                    &mut self.stats.search,
+                ) {
+                    self.collapse(&path);
+                    return;
+                }
+            }
+            self.graph.insert_pred_var(y, x);
+            self.log_varvar(x, y);
+            if closure {
+                for i in 0..self.graph.node(y).succ_vars().len() {
+                    let r = self.graph.node(y).succ_vars()[i];
+                    self.pending.push_back((SetExpr::Var(x), SetExpr::Var(r)));
+                }
+                for i in 0..self.graph.node(y).succ_snks().len() {
+                    let r = self.graph.node(y).succ_snks()[i];
+                    self.pending.push_back((SetExpr::Var(x), SetExpr::Term(r)));
+                }
+            }
+        } else {
+            // x → y: look for a predecessor chain y ⋯→ … ⋯→ x (inductive
+            // form) or a successor chain y → … → x (standard form).
+            if self.graph.has_succ_var(x, y) {
+                self.stats.redundant += 1;
+                return;
+            }
+            if closure && self.config.cycle_elim == CycleElim::Online {
+                let attempts: Vec<(Var, Var, ChainDir, StepOrder)> = match self.config.form {
+                    Form::Inductive => {
+                        vec![(x, y, ChainDir::Pred, StepOrder::Decreasing)]
+                    }
+                    Form::Standard => self
+                        .config
+                        .sf_chain
+                        .steps()
+                        .iter()
+                        .map(|&step| (y, x, ChainDir::Succ, step))
+                        .collect(),
+                };
+                for (start, target, dir, step) in attempts {
+                    if let Some(path) = self.search.search(
+                        &self.graph,
+                        &self.fwd,
+                        &self.order,
+                        start,
+                        target,
+                        dir,
+                        step,
+                        &mut self.stats.search,
+                    ) {
+                        self.collapse(&path);
+                        return;
+                    }
+                }
+            }
+            self.graph.insert_succ_var(x, y);
+            self.log_varvar(x, y);
+            if closure {
+                for i in 0..self.graph.node(x).pred_srcs().len() {
+                    let l = self.graph.node(x).pred_srcs()[i];
+                    self.pending.push_back((SetExpr::Term(l), SetExpr::Var(y)));
+                }
+                for i in 0..self.graph.node(x).pred_vars().len() {
+                    let l = self.graph.node(x).pred_vars()[i];
+                    self.pending.push_back((SetExpr::Var(l), SetExpr::Var(y)));
+                }
+            }
+        }
+    }
+
+    fn log_varvar(&mut self, x: Var, y: Var) {
+        if self.config.log_varvar && self.oracle.is_none() {
+            self.varvar_log.push((x.raw(), y.raw()));
+        }
+    }
+
+    /// Collapses the cycle through `path`: forwards every member to the
+    /// lowest-ordered witness and re-asserts the absorbed edges against it.
+    fn collapse(&mut self, path: &[Var]) {
+        let mut members: Vec<Var> = path.iter().map(|&v| self.fwd.find(v)).collect();
+        members.sort_unstable();
+        members.dedup();
+        if members.len() < 2 {
+            return;
+        }
+        // The lowest-ordered member preserves the inductive-form invariant.
+        let witness = self.order.min_of(&members);
+        self.stats.cycles_collapsed += 1;
+        for &m in &members {
+            if m == witness {
+                continue;
+            }
+            self.stats.vars_eliminated += 1;
+            let taken = self.graph.take_edges(m);
+            if self.config.log_varvar && self.oracle.is_none() {
+                self.union_log.push((m.raw(), witness.raw()));
+            }
+            self.fwd.union_into(m, witness);
+            // Re-assert through the normal path so representation invariants
+            // are restored and the closure rule fires for the merged lists.
+            for s in taken.pred_srcs {
+                self.pending.push_back((SetExpr::Term(s), SetExpr::Var(witness)));
+            }
+            for u in taken.pred_vars {
+                self.pending.push_back((SetExpr::Var(u), SetExpr::Var(witness)));
+            }
+            for u in taken.succ_vars {
+                self.pending.push_back((SetExpr::Var(witness), SetExpr::Var(u)));
+            }
+            for t in taken.succ_snks {
+                self.pending.push_back((SetExpr::Var(witness), SetExpr::Term(t)));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection
+    // ------------------------------------------------------------------
+
+    /// The representative of `v` after collapses (with path compression).
+    pub fn find(&mut self, v: Var) -> Var {
+        self.fwd.find(v)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Inconsistencies recorded during resolution.
+    pub fn inconsistencies(&self) -> &[Inconsistency] {
+        &self.errors
+    }
+
+    /// The constructor registry.
+    pub fn cons(&self) -> &ConRegistry {
+        &self.cons
+    }
+
+    /// The term arena.
+    pub fn term_data(&self, id: TermId) -> &TermData {
+        self.terms.data(id)
+    }
+
+    /// Renders a set expression for humans.
+    pub fn display(&self, expr: SetExpr) -> String {
+        self.terms.display(&self.cons, expr)
+    }
+
+    /// Distinct canonical edge counts (the paper's "Edges" columns).
+    pub fn census(&self) -> GraphCensus {
+        self.graph.census(&self.fwd)
+    }
+
+    /// Node counts (Table 1's node columns).
+    pub fn node_counts(&self) -> NodeCounts {
+        let live = self.fwd.reps().count();
+        NodeCounts {
+            vars_created: self.creation_count as usize,
+            live_vars: live,
+            sources: self.source_terms.len(),
+            sinks: self.sink_terms.len(),
+        }
+    }
+
+    /// The canonical sources flowing into `v` (SF's explicit least solution),
+    /// sorted and deduplicated.
+    pub fn sources_of(&mut self, v: Var) -> Vec<TermId> {
+        let v = self.fwd.find(v);
+        let mut out: Vec<TermId> = self.graph.node(v).pred_srcs().to_vec();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// SCC statistics over the *current* variable-variable edges (used for
+    /// Table 1's initial-SCC columns after [`atomize`](Solver::atomize)).
+    pub fn var_var_scc_stats(&self) -> SccStats {
+        let edges = self.graph.var_var_edges(&self.fwd);
+        let n = self.graph.len();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (a, b) in edges {
+            adj[a.index()].push(b.raw());
+        }
+        SccStats::from(&tarjan(n, &adj))
+    }
+
+    /// Measures Theorem 5.2's quantity directly: for every live variable,
+    /// the number of variables reachable through a chain of `dir` edges with
+    /// strictly decreasing order; returns the mean (and maximum).
+    ///
+    /// For the paper's sparse graphs (final density ≈ 2/n) this should stay
+    /// near 2.2 — the reason partial online cycle detection is cheap.
+    pub fn chain_reach(&mut self, dir: ChainDir) -> (f64, usize) {
+        let mut visited = bane_util::EpochSet::new(self.graph.len());
+        let mut stack: Vec<Var> = Vec::new();
+        let mut total = 0usize;
+        let mut max = 0usize;
+        let mut live = 0usize;
+        for i in 0..self.graph.len() {
+            let v = Var::new(i);
+            if self.fwd.find_const(v) != v {
+                continue;
+            }
+            live += 1;
+            visited.begin();
+            visited.mark(v.index());
+            stack.clear();
+            stack.push(v);
+            let mut count = 0usize;
+            while let Some(u) = stack.pop() {
+                let list = match dir {
+                    ChainDir::Pred => self.graph.node(u).pred_vars(),
+                    ChainDir::Succ => self.graph.node(u).succ_vars(),
+                };
+                // Collect first to keep the borrow short.
+                let neighbors: Vec<Var> = list.to_vec();
+                for raw in neighbors {
+                    let w = self.fwd.find_const(raw);
+                    if w == u || !self.order.lt(w, u) {
+                        continue;
+                    }
+                    if visited.mark(w.index()) {
+                        count += 1;
+                        stack.push(w);
+                    }
+                }
+            }
+            total += count;
+            max = max.max(count);
+        }
+        if live == 0 {
+            (0.0, 0)
+        } else {
+            (total as f64 / live as f64, max)
+        }
+    }
+
+    /// Builds the oracle partition from this run's logs (requires
+    /// `log_varvar` and a converged [`solve`](Solver::solve)).
+    ///
+    /// Returns the identity partition if logging was disabled.
+    pub fn scc_partition(&self) -> Partition {
+        if !self.config.log_varvar || self.oracle.is_some() {
+            return Partition::identity(self.creation_count as usize);
+        }
+        Partition::from_run(self.creation_count as usize, &self.varvar_log, &self.union_log)
+    }
+
+    /// The logged variable-variable constraints (creation-index pairs).
+    pub fn varvar_log(&self) -> &[(u32, u32)] {
+        &self.varvar_log
+    }
+
+    /// The logged online collapses (member, witness creation-index pairs).
+    pub fn union_log(&self) -> &[(u32, u32)] {
+        &self.union_log
+    }
+
+    pub(crate) fn parts_for_least(
+        &mut self,
+    ) -> (&Graph, &Forwarding, &VarOrder, Form, TermId) {
+        (&self.graph, &self.fwd, &self.order, self.config.form, self.one_term)
+    }
+
+    /// Number of variable nodes ever created (including collapsed ones).
+    pub fn graph_len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Gathers the canonical edges of `v` for rendering (see [`crate::dot`]).
+    pub(crate) fn node_edges(&mut self, v: Var) -> crate::dot::NodeEdges {
+        let mut var_edges: Vec<(Var, bool)> = Vec::new();
+        let mut term_edges: Vec<(TermId, bool)> = Vec::new();
+        for &u in self.graph.node(v).pred_vars() {
+            let u = self.fwd.find_const(u);
+            if u != v {
+                var_edges.push((u, true));
+            }
+        }
+        for &u in self.graph.node(v).succ_vars() {
+            let u = self.fwd.find_const(u);
+            if u != v {
+                var_edges.push((u, false));
+            }
+        }
+        for &t in self.graph.node(v).pred_srcs() {
+            term_edges.push((t, true));
+        }
+        for &t in self.graph.node(v).succ_snks() {
+            term_edges.push((t, false));
+        }
+        crate::dot::NodeEdges { var_edges, term_edges }
+    }
+
+    /// The builtin term representing the universal set `1`.
+    pub fn one_term(&self) -> TermId {
+        self.one_term
+    }
+
+    /// The builtin term representing the empty set `0`.
+    pub fn zero_term(&self) -> TermId {
+        self.zero_term
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn configs() -> Vec<SolverConfig> {
+        vec![
+            SolverConfig::sf_plain(),
+            SolverConfig::if_plain(),
+            SolverConfig::sf_online(),
+            SolverConfig::if_online(),
+        ]
+    }
+
+    /// `c ⊆ X`, `X ⊆ Y` in every configuration: `LS(Y) = {c}`.
+    #[test]
+    fn transitive_source_propagation() {
+        for config in configs() {
+            let mut s = Solver::new(config);
+            let c = s.register_nullary("c");
+            let src = s.term(c, vec![]);
+            let (x, y) = (s.fresh_var(), s.fresh_var());
+            s.add(src, x);
+            s.add(x, y);
+            s.solve();
+            let yr = s.find(y);
+            let ls = s.least_solution();
+            assert_eq!(ls.get(yr), &[src], "{config:?}");
+        }
+    }
+
+    /// Source–sink meetings decompose by variance.
+    #[test]
+    fn covariant_and_contravariant_decomposition() {
+        for config in configs() {
+            let mut s = Solver::new(config);
+            let c = s.register_nullary("c");
+            let f = s.register_con("f", vec![Variance::Covariant, Variance::Contravariant]);
+            let csrc = s.term(c, vec![]);
+            let (a, b, p, q, mid) = (
+                s.fresh_var(),
+                s.fresh_var(),
+                s.fresh_var(),
+                s.fresh_var(),
+                s.fresh_var(),
+            );
+            // f(a, b̄) ⊆ mid ⊆ f(p, q̄)  ⇒  a ⊆ p and q ⊆ b.
+            let src = s.term(f, vec![a.into(), b.into()]);
+            let snk = s.term(f, vec![p.into(), q.into()]);
+            s.add(src, mid);
+            s.add(mid, snk);
+            // Witness flows: c ⊆ a must reach p; c2 ⊆ q must reach b.
+            let c2 = s.register_nullary("c2");
+            let c2src = s.term(c2, vec![]);
+            s.add(csrc, a);
+            s.add(c2src, q);
+            s.solve();
+            assert!(s.inconsistencies().is_empty(), "{config:?}");
+            let (pr, br) = (s.find(p), s.find(b));
+            let ls = s.least_solution();
+            assert_eq!(ls.get(pr), &[csrc], "covariant flow, {config:?}");
+            assert_eq!(ls.get(br), &[c2src], "contravariant flow, {config:?}");
+        }
+    }
+
+    #[test]
+    fn constructor_mismatch_is_recorded_not_fatal() {
+        let mut s = Solver::new(SolverConfig::if_online());
+        let c = s.register_nullary("c");
+        let d = s.register_nullary("d");
+        let (csrc, dsnk) = (s.term(c, vec![]), s.term(d, vec![]));
+        let x = s.fresh_var();
+        s.add(csrc, x);
+        s.add(x, dsnk);
+        s.solve();
+        assert_eq!(s.inconsistencies().len(), 1);
+        assert!(matches!(s.inconsistencies()[0], Inconsistency::ConstructorMismatch { .. }));
+        // Resolution continued: the source still reached x.
+        assert_eq!(s.sources_of(x).len(), 1);
+    }
+
+    #[test]
+    fn zero_and_one_are_trivial_bounds() {
+        let mut s = Solver::new(SolverConfig::if_online());
+        let x = s.fresh_var();
+        s.add(SetExpr::Zero, x);
+        s.add(x, SetExpr::One);
+        s.solve();
+        assert!(s.inconsistencies().is_empty());
+        assert_eq!(s.stats().work, 0, "no edges at all");
+    }
+
+    #[test]
+    fn one_into_constructed_sink_is_inconsistent() {
+        let mut s = Solver::new(SolverConfig::sf_plain());
+        let c = s.register_nullary("c");
+        let snk = s.term(c, vec![]);
+        let x = s.fresh_var();
+        s.add(SetExpr::One, x);
+        s.add(x, snk);
+        s.solve();
+        assert_eq!(s.inconsistencies().len(), 1);
+        assert!(matches!(s.inconsistencies()[0], Inconsistency::OneInTerm { .. }));
+    }
+
+    #[test]
+    fn source_into_zero_sink_is_inconsistent() {
+        let mut s = Solver::new(SolverConfig::sf_plain());
+        let c = s.register_nullary("c");
+        let src = s.term(c, vec![]);
+        let x = s.fresh_var();
+        s.add(src, x);
+        s.add(x, SetExpr::Zero);
+        s.solve();
+        assert_eq!(s.inconsistencies().len(), 1);
+        assert!(matches!(s.inconsistencies()[0], Inconsistency::NonEmptyInZero { .. }));
+    }
+
+    /// A two-cycle collapses under online elimination in both forms.
+    #[test]
+    fn two_cycle_collapses_online() {
+        for config in [SolverConfig::sf_online(), SolverConfig::if_online()] {
+            let mut s = Solver::new(config);
+            let (x, y) = (s.fresh_var(), s.fresh_var());
+            s.add(x, y);
+            s.add(y, x);
+            s.solve();
+            assert_eq!(s.find(x), s.find(y), "{config:?}");
+            assert_eq!(s.stats().vars_eliminated, 1, "{config:?}");
+            assert_eq!(s.stats().cycles_collapsed, 1, "{config:?}");
+        }
+    }
+
+    /// Without elimination the cycle persists but solutions agree.
+    #[test]
+    fn two_cycle_without_elimination_keeps_nodes() {
+        for config in [SolverConfig::sf_plain(), SolverConfig::if_plain()] {
+            let mut s = Solver::new(config);
+            let c = s.register_nullary("c");
+            let src = s.term(c, vec![]);
+            let (x, y) = (s.fresh_var(), s.fresh_var());
+            s.add(x, y);
+            s.add(y, x);
+            s.add(src, x);
+            s.solve();
+            assert_ne!(s.find(x), s.find(y));
+            assert_eq!(s.stats().vars_eliminated, 0);
+            let (xr, yr) = (s.find(x), s.find(y));
+            let ls = s.least_solution();
+            assert_eq!(ls.get(xr), &[src], "{config:?}");
+            assert_eq!(ls.get(yr), &[src], "{config:?}");
+        }
+    }
+
+    /// The paper's Figure 4 example: whether the full 3-cycle is caught
+    /// depends on edge insertion order, but it is a theorem that inductive
+    /// form exposes at least a *two*-cycle for every non-trivial SCC — so
+    /// online elimination always eliminates at least one variable, for every
+    /// insertion order and every variable order.
+    #[test]
+    fn if_online_eliminates_part_of_every_scc() {
+        // All 6 insertion orders of the 3-cycle edges.
+        let perms: Vec<Vec<usize>> = vec![
+            vec![0, 1, 2],
+            vec![0, 2, 1],
+            vec![1, 0, 2],
+            vec![1, 2, 0],
+            vec![2, 0, 1],
+            vec![2, 1, 0],
+        ];
+        for perm in perms {
+            for seed in 0..8u64 {
+                let mut s = Solver::new(
+                    SolverConfig::if_online().with_order(OrderPolicy::Random { seed }),
+                );
+                let vs = [s.fresh_var(), s.fresh_var(), s.fresh_var()];
+                let edges = [(0, 1), (1, 2), (2, 0)];
+                for &i in &perm {
+                    let (a, b) = edges[i];
+                    s.add(vs[a], vs[b]);
+                }
+                s.solve();
+                assert!(
+                    s.stats().vars_eliminated >= 1,
+                    "perm {perm:?} seed {seed}: no part of the SCC was eliminated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn work_counts_redundant_additions() {
+        let mut s = Solver::new(SolverConfig::sf_plain());
+        let (x, y) = (s.fresh_var(), s.fresh_var());
+        s.add(x, y);
+        s.add(x, y);
+        s.solve();
+        assert_eq!(s.stats().work, 2);
+        assert_eq!(s.stats().redundant, 1);
+        assert_eq!(s.stats().new_edges(), 1);
+    }
+
+    #[test]
+    fn census_counts_final_edges() {
+        let mut s = Solver::new(SolverConfig::sf_plain());
+        let c = s.register_nullary("c");
+        let src = s.term(c, vec![]);
+        let (x, y, z) = (s.fresh_var(), s.fresh_var(), s.fresh_var());
+        s.add(src, x);
+        s.add(x, y);
+        s.add(y, z);
+        s.solve();
+        let census = s.census();
+        // Edges: src⋯→x, src⋯→y, src⋯→z (propagated), x→y, y→z.
+        assert_eq!(census.src_edges, 3);
+        assert_eq!(census.var_var_edges, 2);
+        assert_eq!(census.total_edges(), 5);
+        let counts = s.node_counts();
+        assert_eq!(counts.live_vars, 3);
+        assert_eq!(counts.sources, 1);
+        assert_eq!(counts.sinks, 0);
+        assert_eq!(counts.total(), 4);
+    }
+
+    #[test]
+    fn atomize_skips_closure() {
+        let mut s = Solver::new(SolverConfig::sf_plain());
+        let c = s.register_nullary("c");
+        let src = s.term(c, vec![]);
+        let (x, y) = (s.fresh_var(), s.fresh_var());
+        s.add(src, x);
+        s.add(x, y);
+        s.atomize();
+        let census = s.census();
+        assert_eq!(census.src_edges, 1, "source not propagated");
+        assert_eq!(census.var_var_edges, 1);
+    }
+
+    #[test]
+    fn scc_partition_matches_cycles() {
+        let mut s = Solver::new(SolverConfig::if_plain().with_log(true));
+        let vs: Vec<Var> = (0..4).map(|_| s.fresh_var()).collect();
+        s.add(vs[0], vs[1]);
+        s.add(vs[1], vs[2]);
+        s.add(vs[2], vs[0]);
+        s.add(vs[2], vs[3]);
+        s.solve();
+        let p = s.scc_partition();
+        assert_eq!(p.rep_of(0), 0);
+        assert_eq!(p.rep_of(1), 0);
+        assert_eq!(p.rep_of(2), 0);
+        assert_eq!(p.rep_of(3), 3);
+        assert_eq!(p.scc_stats().vars_in_cycles, 3);
+    }
+
+    /// Oracle pre-aliasing produces identical solutions with zero cycles.
+    #[test]
+    fn oracle_run_avoids_cycles_and_agrees() {
+        // First run: converge with logging.
+        let gen = |s: &mut Solver| {
+            let c = s.register_nullary("c");
+            let src = s.term(c, vec![]);
+            let vs: Vec<Var> = (0..5).map(|_| s.fresh_var()).collect();
+            s.add(src, vs[0]);
+            s.add(vs[0], vs[1]);
+            s.add(vs[1], vs[2]);
+            s.add(vs[2], vs[0]); // 3-cycle
+            s.add(vs[2], vs[3]);
+            s.add(vs[3], vs[4]);
+            (src, vs)
+        };
+        let mut first = Solver::new(SolverConfig::if_online());
+        let _ = gen(&mut first);
+        first.solve();
+        let partition = first.scc_partition();
+        assert_eq!(partition.eliminated(), 2);
+
+        for base in [SolverConfig::sf_plain(), SolverConfig::if_plain()] {
+            let mut oracle = Solver::with_oracle(base, partition.clone());
+            let (src, vs) = gen(&mut oracle);
+            oracle.solve();
+            assert_eq!(oracle.stats().oracle_aliased, 2);
+            // All cycle members are literally the same node.
+            assert_eq!(oracle.find(vs[0]), oracle.find(vs[2]));
+            let end = oracle.find(vs[4]);
+            let ls = oracle.least_solution();
+            assert_eq!(ls.get(end), &[src], "{base:?}");
+        }
+    }
+
+    #[test]
+    fn solve_limited_bails_out() {
+        let mut s = Solver::new(SolverConfig::sf_plain());
+        // A chain with many sources: work exceeds the tiny limit.
+        let c = s.register_nullary("c");
+        let vs: Vec<Var> = (0..20).map(|_| s.fresh_var()).collect();
+        for i in 0..19 {
+            s.add(vs[i], vs[i + 1]);
+        }
+        for i in 0..10 {
+            let t = s.term(c, vec![]);
+            let _ = t;
+            s.add(t, vs[i % 3]);
+        }
+        assert!(!s.solve_limited(5));
+        // Finishing afterwards is allowed.
+        assert!(s.solve_limited(u64::MAX));
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let mut s = Solver::new(SolverConfig::if_online());
+        let r = s.register_con(
+            "ref",
+            vec![Variance::Covariant, Variance::Covariant, Variance::Contravariant],
+        );
+        let x = s.fresh_var();
+        let t = s.term(r, vec![SetExpr::One, x.into(), x.into()]);
+        assert_eq!(s.display(t.into()), "ref(1, X0, X0)");
+    }
+}
+
+#[cfg(test)]
+mod periodic_tests {
+    use super::*;
+
+    fn chain_with_cycle(config: SolverConfig) -> Solver {
+        let mut s = Solver::new(config);
+        let c = s.register_nullary("c");
+        let src = s.term(c, vec![]);
+        let vs: Vec<Var> = (0..30).map(|_| s.fresh_var()).collect();
+        for i in 0..29 {
+            s.add(vs[i], vs[i + 1]);
+        }
+        s.add(vs[29], vs[0]); // one big cycle
+        s.add(src, vs[0]);
+        s.solve();
+        s
+    }
+
+    #[test]
+    fn periodic_collapses_full_sccs() {
+        let config = SolverConfig {
+            cycle_elim: CycleElim::Periodic { interval: 16 },
+            ..SolverConfig::if_plain()
+        };
+        let mut s = chain_with_cycle(config);
+        // Every periodic pass is exhaustive, so the 30-cycle fully collapses.
+        assert_eq!(s.stats().vars_eliminated, 29);
+        let rep = s.find(Var::new(0));
+        for i in 1..30 {
+            assert_eq!(s.find(Var::new(i)), rep);
+        }
+    }
+
+    #[test]
+    fn periodic_agrees_with_online_solutions() {
+        let configs = [
+            SolverConfig::if_online(),
+            SolverConfig {
+                cycle_elim: CycleElim::Periodic { interval: 8 },
+                ..SolverConfig::if_plain()
+            },
+            SolverConfig {
+                cycle_elim: CycleElim::Periodic { interval: 1000 },
+                ..SolverConfig::sf_plain()
+            },
+        ];
+        let mut results = Vec::new();
+        for config in configs {
+            let mut s = chain_with_cycle(config);
+            let v = s.find(Var::new(15));
+            let ls = s.least_solution();
+            results.push(ls.get(v).to_vec());
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn periodic_interval_zero_is_saturated_to_one() {
+        let config = SolverConfig {
+            cycle_elim: CycleElim::Periodic { interval: 0 },
+            ..SolverConfig::if_plain()
+        };
+        let s = chain_with_cycle(config);
+        assert_eq!(s.stats().vars_eliminated, 29);
+    }
+
+    #[test]
+    fn atomize_skips_periodic_passes() {
+        let config = SolverConfig {
+            cycle_elim: CycleElim::Periodic { interval: 1 },
+            ..SolverConfig::if_plain()
+        };
+        let mut s = Solver::new(config);
+        let (x, y) = (s.fresh_var(), s.fresh_var());
+        s.add(x, y);
+        s.add(y, x);
+        s.atomize();
+        assert_eq!(s.stats().vars_eliminated, 0, "no elimination during atomize");
+    }
+}
+
+#[cfg(test)]
+mod incremental_tests {
+    use super::*;
+    use crate::cycle::ChainDir;
+
+    /// Constraints may be added and solved incrementally; later solves see
+    /// the closure of everything so far.
+    #[test]
+    fn incremental_adds_resolve_against_existing_closure() {
+        for config in [SolverConfig::sf_plain(), SolverConfig::if_online()] {
+            let mut s = Solver::new(config);
+            let c = s.register_nullary("c");
+            let src = s.term(c, vec![]);
+            let (x, y) = (s.fresh_var(), s.fresh_var());
+            s.add(src, x);
+            s.add(x, y);
+            s.solve();
+            // Second batch: a new variable downstream of the closed graph.
+            let z = s.fresh_var();
+            s.add(y, z);
+            s.solve();
+            let zr = s.find(z);
+            let ls = s.least_solution();
+            assert_eq!(ls.get(zr), &[src], "{config:?}");
+        }
+    }
+
+    /// A later batch can close a cycle with an earlier one; online
+    /// elimination still catches it.
+    #[test]
+    fn incremental_cycle_across_batches_collapses() {
+        let mut s = Solver::new(SolverConfig::if_online());
+        let (x, y) = (s.fresh_var(), s.fresh_var());
+        s.add(x, y);
+        s.solve();
+        s.add(y, x);
+        s.solve();
+        assert_eq!(s.find(x), s.find(y));
+        assert_eq!(s.stats().vars_eliminated, 1);
+    }
+
+    /// `chain_reach` measures the decreasing-chain reachability directly.
+    #[test]
+    fn chain_reach_counts_decreasing_walks() {
+        let mut s =
+            Solver::new(SolverConfig::if_plain().with_order(OrderPolicy::Creation));
+        let vs: Vec<Var> = (0..4).map(|_| s.fresh_var()).collect();
+        // Pred edges 0⋯→1⋯→2⋯→3 (creation order): from v3 the decreasing
+        // pred walk reaches 2, 1, 0; from v0 nothing.
+        s.add(vs[0], vs[1]);
+        s.add(vs[1], vs[2]);
+        s.add(vs[2], vs[3]);
+        s.solve();
+        let (mean, max) = s.chain_reach(ChainDir::Pred);
+        assert_eq!(max, 3);
+        // 0 + 1 + 2 + 3 reachable over 4 nodes = 1.5 mean.
+        assert!((mean - 1.5).abs() < 1e-9, "mean {mean}");
+        let (succ_mean, _) = s.chain_reach(ChainDir::Succ);
+        assert_eq!(succ_mean, 0.0, "no succ edges under creation order here");
+    }
+
+    /// Solving twice without new constraints is a no-op.
+    #[test]
+    fn solve_is_idempotent() {
+        let mut s = Solver::new(SolverConfig::if_online());
+        let (x, y) = (s.fresh_var(), s.fresh_var());
+        s.add(x, y);
+        s.solve();
+        let work = s.stats().work;
+        s.solve();
+        assert_eq!(s.stats().work, work);
+    }
+}

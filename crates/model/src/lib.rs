@@ -1,0 +1,32 @@
+//! The analytical model of Section 5, numerically and by simulation.
+//!
+//! The paper answers three questions analytically: why inductive form beats
+//! standard form (Theorem 5.1: ≈2.5× fewer expected edge additions at the
+//! benchmarks' densities), why partial online cycle elimination is fast
+//! (Theorem 5.2: ≈2.2 expected reachable variables per chain search), and
+//! why the elimination strategy works better for inductive form (transitive
+//! variable-variable edges shorten cycles).
+//!
+//! [`theory`] evaluates the expectation series exactly; [`simulate`] samples
+//! the model's random constraint graphs and runs the *real* solver on them,
+//! so predicted and measured work can be compared (the `model` binary in
+//! `bane-bench` prints both).
+//!
+//! # Examples
+//!
+//! ```
+//! use bane_model::theory;
+//!
+//! let n = 10_000;
+//! let ratio = theory::work_ratio(n, 2 * n / 3, 1.0 / n as f64);
+//! assert!((2.0..3.0).contains(&ratio), "Theorem 5.1: ≈ 2.5, got {ratio}");
+//!
+//! let reach = theory::expected_reachable(n, 2.0 / n as f64);
+//! assert!(reach < theory::reachable_limit(2.0), "Theorem 5.2 bound");
+//! ```
+
+pub mod simulate;
+pub mod theory;
+
+pub use simulate::{measured_work_ratio, run, SimConfig, SimResult};
+pub use theory::{expected_reachable, expected_work_if, expected_work_sf, reachable_limit, work_ratio};

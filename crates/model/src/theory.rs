@@ -1,0 +1,205 @@
+//! Numeric evaluation of the Section 5 analytical model.
+//!
+//! The model considers random constraint graphs `G = (V, E)` with `n`
+//! variable nodes and `m` source/sink nodes, where every ordered pair of
+//! distinct nodes carries an edge with probability `p`, the variable order
+//! is uniformly random, and only edge additions through *simple paths* are
+//! counted (i.e. perfect cycle elimination — the `*-Oracle` regime).
+//!
+//! Expected numbers of edge additions:
+//!
+//! ```text
+//! E(X_SF^{(c,X)})   = Σᵢ₌₁ⁿ⁻¹ C(n-1,i) · i! · p^{i+1}
+//! E(X_SF^{(c,c')})  = Σᵢ₌₁ⁿ   C(n,i)   · i! · p^{i+1}
+//! E(X_SF)           = m·n·E^{(c,X)} + m(m-1)·E^{(c,c')}
+//!
+//! E(X_IF^{(X₁,X₂)}) = Σᵢ₌₁ⁿ⁻² C(n-2,i) · i! · p^{i+1} · 2/((i+2)(i+1))
+//! E(X_IF^{(X,c)})   = Σᵢ₌₁ⁿ⁻¹ C(n-1,i) · i! · p^{i+1} · 1/(i+1)
+//! E(X_IF^{(c,c')})  = E(X_SF^{(c,c')})
+//! E(X_IF)           = m(m-1)·E^{(c,c')} + 2mn·E^{(X,c)} + n(n-1)·E^{(X₁,X₂)}
+//! ```
+//!
+//! (the `P_l(u,v)` factors are Lemma 5.3: the probability, over random
+//! orders, that an edge is added through a given simple path with `l`
+//! nodes). The chain-reachability bound of Theorem 5.2:
+//!
+//! ```text
+//! E(R_X) ≤ Σᵢ₌₁ⁿ⁻¹ C(n-1,i) · i! · pⁱ / (i+1)!  <  (e^k − 1 − k)/k   for p = k/n.
+//! ```
+//!
+//! All series are evaluated with iteratively updated falling-factorial
+//! products, which is numerically stable for the sparse regimes used here
+//! (`p` of order `1/n`).
+
+/// `E(X_SF^{(c,X)})`: expected additions of one source→variable edge.
+pub fn e_sf_cx(n: usize, p: f64) -> f64 {
+    sum_paths(n.saturating_sub(1), p, |_| 1.0)
+}
+
+/// `E(X_SF^{(c,c')})` = `E(X_IF^{(c,c')})`: one source→sink edge.
+pub fn e_cc(n: usize, p: f64) -> f64 {
+    sum_paths(n, p, |_| 1.0)
+}
+
+/// `E(X_IF^{(X₁,X₂)})`: one variable→variable edge under inductive form.
+pub fn e_if_xx(n: usize, p: f64) -> f64 {
+    sum_paths(n.saturating_sub(2), p, |i| 2.0 / (((i + 2) * (i + 1)) as f64))
+}
+
+/// `E(X_IF^{(X,c)})` (and symmetrically `(c,X)`).
+pub fn e_if_xc(n: usize, p: f64) -> f64 {
+    sum_paths(n.saturating_sub(1), p, |i| 1.0 / ((i + 1) as f64))
+}
+
+/// `Σᵢ₌₁^max fall(max, i) · p^{i+1} · weight(i)` where
+/// `fall(max, i) = max·(max-1)···(max-i+1) = C(max,i)·i!` counts ordered
+/// choices of `i` intermediate variables.
+fn sum_paths(max: usize, p: f64, weight: impl Fn(usize) -> f64) -> f64 {
+    let mut sum = 0.0;
+    // term_i = fall(max, i) · p^{i+1}
+    let mut term = p; // i = 0 basis: fall = 1, p^1
+    for i in 1..=max {
+        term *= (max - i + 1) as f64 * p;
+        if term < 1e-300 {
+            break; // series has converged far below representable relevance
+        }
+        sum += term * weight(i);
+    }
+    sum
+}
+
+/// `E(X_SF)`: expected total edge additions under standard form.
+pub fn expected_work_sf(n: usize, m: usize, p: f64) -> f64 {
+    (m * n) as f64 * e_sf_cx(n, p) + (m * m.saturating_sub(1)) as f64 * e_cc(n, p)
+}
+
+/// `E(X_IF)`: expected total edge additions under inductive form.
+pub fn expected_work_if(n: usize, m: usize, p: f64) -> f64 {
+    (m * m.saturating_sub(1)) as f64 * e_cc(n, p)
+        + (2 * m * n) as f64 * e_if_xc(n, p)
+        + (n * n.saturating_sub(1)) as f64 * e_if_xx(n, p)
+}
+
+/// `E(X_SF) / E(X_IF)` — Theorem 5.1 says ≈ 2.5 for `p = 1/n`, `m/n = 2/3`.
+pub fn work_ratio(n: usize, m: usize, p: f64) -> f64 {
+    expected_work_sf(n, m, p) / expected_work_if(n, m, p)
+}
+
+/// Upper bound on `E(R_X)`: expected variables reachable from a node through
+/// an order-decreasing chain.
+pub fn expected_reachable(n: usize, p: f64) -> f64 {
+    let max = n.saturating_sub(1);
+    let mut sum = 0.0;
+    // term_i = fall(max, i) · pⁱ ; weight 1/(i+1)!
+    let mut term = 1.0;
+    let mut fact = 1.0f64; // (i+1)!
+    for i in 1..=max {
+        term *= (max - i + 1) as f64 * p;
+        fact *= (i + 1) as f64;
+        let contribution = term / fact;
+        sum += contribution;
+        if contribution < 1e-16 && i > 4 {
+            break;
+        }
+    }
+    sum
+}
+
+/// The closed-form limit `(e^k − 1 − k)/k` of Theorem 5.2 for `p = k/n`.
+pub fn reachable_limit(k: f64) -> f64 {
+    (k.exp() - 1.0 - k) / k
+}
+
+/// The `√(πn/2)` approximation of equation (2), for reference output.
+pub fn sqrt_pi_n_over_2(n: usize) -> f64 {
+    (std::f64::consts::PI * n as f64 / 2.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Knuth's approximation (equation (2)): Σ C(n,i) i! n⁻ⁱ ≈ √(πn/2),
+    /// with an O(1) correction that vanishes relatively as n grows.
+    #[test]
+    fn equation_2_approximation_holds() {
+        let mut last_rel = f64::INFINITY;
+        for n in [100usize, 1_000, 10_000, 100_000] {
+            let p = 1.0 / n as f64;
+            // e_cc(n, p)/p = Σᵢ fall(n,i) pⁱ ≈ √(πn/2) (the i=0 term is 1).
+            let series = e_cc(n, p) / p + 1.0;
+            let approx = sqrt_pi_n_over_2(n);
+            let rel = (series - approx).abs() / approx;
+            assert!(rel < 0.08, "n={n}: series {series} vs approx {approx}");
+            assert!(rel < last_rel, "relative error shrinks with n");
+            last_rel = rel;
+        }
+        assert!(last_rel < 0.002, "asymptotic agreement, got {last_rel}");
+    }
+
+    /// Theorem 5.1: for p = 1/n and m = 2n/3 the work ratio approaches
+    /// 1 + n/m = 2.5 from below as the `2m·ln n + n` lower-order terms of
+    /// E(X_IF) fade (at n ≈ 10³ the ratio is still ≈ 1.5).
+    #[test]
+    fn theorem_5_1_ratio() {
+        let mut last = 0.0;
+        for n in [1_000usize, 10_000, 100_000, 1_000_000, 10_000_000] {
+            let m = 2 * n / 3;
+            let ratio = work_ratio(n, m, 1.0 / n as f64);
+            assert!(ratio > last, "ratio grows towards the limit (n={n})");
+            assert!(ratio < 2.5, "ratio approaches 2.5 from below (n={n}: {ratio})");
+            last = ratio;
+        }
+        assert!((last - 2.5).abs() < 0.2, "asymptotic ratio {last}");
+    }
+
+    /// Theorem 5.2: E(R_X) < (e² − 3)/2 ≈ 2.19 for p = 2/n, and the series
+    /// converges to the closed form from below as n grows.
+    #[test]
+    fn theorem_5_2_reachability() {
+        let limit = reachable_limit(2.0);
+        assert!((limit - 2.194).abs() < 0.01);
+        for n in [100usize, 1_000, 100_000] {
+            let r = expected_reachable(n, 2.0 / n as f64);
+            assert!(r < limit, "n={n}: {r} ≥ {limit}");
+            assert!(r > 0.5, "n={n}: implausibly small {r}");
+        }
+        let r = expected_reachable(1_000_000, 2e-6);
+        assert!((r - limit).abs() < 0.01, "large-n series {r} vs limit {limit}");
+    }
+
+    /// The model "relies on sparse graphs": E(R_X) climbs sharply past p=2/n.
+    #[test]
+    fn reachability_blows_up_when_dense() {
+        let n = 10_000;
+        let sparse = expected_reachable(n, 2.0 / n as f64);
+        let denser = expected_reachable(n, 6.0 / n as f64);
+        let dense = expected_reachable(n, 12.0 / n as f64);
+        assert!(denser > 5.0 * sparse, "{sparse} -> {denser}");
+        assert!(dense > 20.0 * denser, "{denser} -> {dense}");
+    }
+
+    /// In the paper's regime (p = 1/n, m = 2n/3) SF does strictly more
+    /// expected work than IF, increasingly so with n. (With very few
+    /// sources, IF's n(n-1) variable-variable term can dominate instead —
+    /// that is exactly the IF-Plain pathology Figure 7 shows.)
+    #[test]
+    fn sf_dominates_if_in_paper_regime() {
+        let mut last = 1.0;
+        for n in [500usize, 5_000, 50_000] {
+            let m = 2 * n / 3;
+            let p = 1.0 / n as f64;
+            let ratio = expected_work_sf(n, m, p) / expected_work_if(n, m, p);
+            assert!(ratio > 1.0, "n={n}: ratio {ratio}");
+            assert!(ratio > last, "n={n}: ratio should grow");
+            last = ratio;
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes_do_not_panic() {
+        assert_eq!(expected_work_sf(0, 0, 0.5), 0.0);
+        assert_eq!(expected_work_if(1, 1, 0.5), 0.0);
+        assert!(expected_reachable(1, 0.5) == 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Call-graph extraction from the solved points-to analysis.
+//!
+//! Every call site's callee-value variable is recorded during constraint
+//! generation ([`CallSite`](crate::location::CallSite)); after solving, its
+//! least solution contains the `lam` terms of the functions the site may
+//! invoke. This module assembles those into a per-function call graph —
+//! exactly how clients of Andersen's analysis (devirtualization, inliners,
+//! reachability) consume it.
+
+use crate::andersen::Analysis;
+use crate::location::{LocId, LocKind};
+use bane_util::{FxHashMap, FxHashSet};
+use std::collections::BTreeSet;
+
+/// The call graph derived from a solved analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallGraph {
+    /// Caller function name → callee function location ids (sorted).
+    edges: FxHashMap<String, BTreeSet<LocId>>,
+    /// Call sites whose callee set was empty (dead or through a null/opaque
+    /// pointer).
+    pub unresolved_sites: usize,
+    /// Total call sites examined.
+    pub total_sites: usize,
+}
+
+impl CallGraph {
+    /// Builds the call graph from a solved [`Analysis`].
+    pub fn from_analysis(analysis: &mut Analysis) -> CallGraph {
+        let ls = analysis.solver.least_solution();
+        let mut edges: FxHashMap<String, BTreeSet<LocId>> = FxHashMap::default();
+        let mut unresolved = 0;
+        let sites = analysis.locs.call_sites().to_vec();
+        for site in &sites {
+            let v = analysis.solver.find(site.callee_values);
+            let callees: BTreeSet<LocId> = ls
+                .get(v)
+                .iter()
+                .filter_map(|&t| analysis.locs.loc_of_term(t))
+                .filter(|&l| analysis.locs.get(l).kind == LocKind::Function)
+                .collect();
+            if callees.is_empty() {
+                unresolved += 1;
+            }
+            edges.entry(site.caller.clone()).or_default().extend(callees);
+        }
+        CallGraph { edges, unresolved_sites: unresolved, total_sites: sites.len() }
+    }
+
+    /// The functions `caller` may invoke (empty if unknown caller).
+    pub fn callees(&self, caller: &str) -> impl Iterator<Item = LocId> + '_ {
+        self.edges.get(caller).into_iter().flatten().copied()
+    }
+
+    /// Caller names with at least one resolved callee.
+    pub fn callers(&self) -> impl Iterator<Item = &str> {
+        self.edges.keys().map(String::as_str)
+    }
+
+    /// Total caller→callee edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(BTreeSet::len).sum()
+    }
+
+    /// Functions transitively reachable from `roots` (by location id).
+    pub fn reachable_from<'a>(
+        &self,
+        analysis: &Analysis,
+        roots: impl IntoIterator<Item = &'a str>,
+    ) -> BTreeSet<LocId> {
+        let mut seen: BTreeSet<LocId> = BTreeSet::new();
+        let mut work: Vec<String> = Vec::new();
+        let mut queued: FxHashSet<String> = FxHashSet::default();
+        for root in roots {
+            if let Some(info) = analysis.locs.fn_info(root) {
+                if seen.insert(info.loc) && queued.insert(root.to_string()) {
+                    work.push(root.to_string());
+                }
+            }
+        }
+        while let Some(caller) = work.pop() {
+            for callee in self.callees(&caller) {
+                if seen.insert(callee) {
+                    let name = analysis.locs.get(callee).name.clone();
+                    if queued.insert(name.clone()) {
+                        work.push(name);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::andersen;
+    use bane_cfront::parse::parse;
+    use bane_core::prelude::SolverConfig;
+
+    fn graph(src: &str) -> (Analysis, CallGraph) {
+        let program = parse(src).unwrap();
+        let mut analysis = andersen::analyze(&program, SolverConfig::if_online());
+        let cg = CallGraph::from_analysis(&mut analysis);
+        (analysis, cg)
+    }
+
+    fn callee_names(analysis: &Analysis, cg: &CallGraph, caller: &str) -> Vec<String> {
+        cg.callees(caller).map(|l| analysis.locs.get(l).name.clone()).collect()
+    }
+
+    #[test]
+    fn direct_calls_resolve() {
+        let (analysis, cg) = graph(
+            "void helper(void) { }\n\
+             void main(void) { helper(); }",
+        );
+        assert_eq!(callee_names(&analysis, &cg, "main"), vec!["helper"]);
+        assert_eq!(cg.total_sites, 1);
+        assert_eq!(cg.unresolved_sites, 0);
+    }
+
+    #[test]
+    fn function_pointer_calls_resolve_to_all_assigned() {
+        let (analysis, cg) = graph(
+            "void a(void) { }\n\
+             void b(void) { }\n\
+             void (*fp)(void);\n\
+             void main(int k) { fp = a; if (k) fp = b; fp(); }",
+        );
+        assert_eq!(callee_names(&analysis, &cg, "main"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn unresolved_sites_are_counted() {
+        let (_analysis, cg) = graph(
+            "void (*fp)(void);\n\
+             void main(void) { fp(); }",
+        );
+        assert_eq!(cg.total_sites, 1);
+        assert_eq!(cg.unresolved_sites, 1);
+    }
+
+    #[test]
+    fn reachability_walks_transitively() {
+        let (analysis, cg) = graph(
+            "void leaf(void) { }\n\
+             void mid(void) { leaf(); }\n\
+             void dead(void) { }\n\
+             void main(void) { mid(); }",
+        );
+        let reached = cg.reachable_from(&analysis, ["main"]);
+        let mut names: Vec<String> =
+            reached.iter().map(|&l| analysis.locs.get(l).name.clone()).collect();
+        names.sort();
+        assert_eq!(names, vec!["leaf", "main", "mid"]);
+        assert_eq!(cg.edge_count(), 2);
+        assert!(cg.callers().count() >= 2);
+    }
+
+    #[test]
+    fn recursive_functions_terminate() {
+        let (analysis, cg) = graph("void f(void) { f(); }\nvoid main(void) { f(); }");
+        let reached = cg.reachable_from(&analysis, ["main"]);
+        assert_eq!(reached.len(), 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! Points-to analyses over the C-subset AST.
+//!
+//! - [`andersen`]: Andersen's inclusion-based analysis expressed as set
+//!   constraints (Section 3 of the paper) — the workload driving every table
+//!   and figure of the evaluation.
+//! - [`steensgaard`]: Steensgaard's unification-based analysis, the faster
+//!   but less precise baseline the related work compares against.
+//! - [`location`]: the abstract-location table shared by both.
+//!
+//! # Examples
+//!
+//! ```
+//! use bane_cfront::parse::parse;
+//! use bane_core::prelude::SolverConfig;
+//! use bane_points_to::andersen;
+//!
+//! let program = parse("int x; int *p; void f(void) { p = &x; }")?;
+//! let mut analysis = andersen::analyze(&program, SolverConfig::if_online());
+//! let graph = analysis.points_to();
+//! let p = analysis.locs.by_name("p").unwrap();
+//! let x = analysis.locs.by_name("x").unwrap();
+//! assert_eq!(graph.targets(p), &[x]);
+//! # Ok::<(), bane_cfront::parse::ParseError>(())
+//! ```
+
+pub mod andersen;
+pub mod callgraph;
+pub mod location;
+pub mod steensgaard;
+
+pub use andersen::{analyze, analyze_with_oracle, generate, Analysis, PointsToGraph};
+pub use callgraph::CallGraph;
+pub use location::{CallSite, LocId, LocKind, Location, Locations};
+pub use steensgaard::SteensgaardResult;

@@ -1,0 +1,208 @@
+//! Abstract memory locations.
+//!
+//! Andersen's analysis abstracts memory as a finite set of *locations*: one
+//! per declared variable (globals, parameters, locals), one per function, one
+//! per string literal, and one for the elements of each array (arrays are
+//! collapsed onto a single weak element location, as in Andersen's thesis).
+//!
+//! Each location `l` pairs a *name* with a set variable `X_l` for its
+//! contents, realized in the solver as the source term
+//! `ref(loc_l, X_l, X̄_l)` of Section 3.1 — covariant `get`, contravariant
+//! `set`. Functions additionally carry a `lam` term
+//! `lam_k(P̄₁, …, P̄ₖ, R)` describing their parameters (contravariant) and
+//! return value (covariant).
+
+use bane_core::prelude::*;
+use bane_util::newtype_index;
+use bane_util::FxHashMap;
+
+newtype_index! {
+    /// Identifies an abstract memory location.
+    pub struct LocId("l");
+}
+
+/// What a location stands for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LocKind {
+    /// A global variable.
+    Global,
+    /// A local variable of the named function.
+    Local(String),
+    /// A parameter of the named function.
+    Param(String),
+    /// A function (the code object itself).
+    Function,
+    /// The collapsed element location of an array variable.
+    ArrayElem,
+    /// An anonymous string literal.
+    StrLit,
+}
+
+/// One abstract location and its solver artifacts.
+#[derive(Clone, Debug)]
+pub struct Location {
+    /// Display name (source identifier, possibly disambiguated).
+    pub name: String,
+    /// What the location stands for.
+    pub kind: LocKind,
+    /// The contents variable `X_l`.
+    pub content: Var,
+    /// The interned `ref(loc_l, X_l, X̄_l)` source/sink term.
+    pub ref_term: TermId,
+}
+
+/// Extra per-function information.
+#[derive(Clone, Debug)]
+pub struct FnInfo {
+    /// The function's own location.
+    pub loc: LocId,
+    /// Parameter locations, in order.
+    pub params: Vec<LocId>,
+    /// The set variable accumulating returned values.
+    pub ret: Var,
+    /// The interned `lam_k(…)` term.
+    pub lam_term: TermId,
+}
+
+/// One call site recorded during constraint generation: the enclosing
+/// function and the set variable holding the callee's possible values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallSite {
+    /// Name of the function containing the call (empty for global
+    /// initializers).
+    pub caller: String,
+    /// The set variable the callee expression's R-value flows into; after
+    /// solving, its least solution contains the `lam` terms of the possible
+    /// callees.
+    pub callee_values: Var,
+    /// Number of arguments at the site.
+    pub arity: usize,
+}
+
+/// The location table produced by constraint generation.
+#[derive(Clone, Debug, Default)]
+pub struct Locations {
+    locs: Vec<Location>,
+    fns: FxHashMap<String, FnInfo>,
+    by_value_term: FxHashMap<TermId, LocId>,
+    call_sites: Vec<CallSite>,
+}
+
+impl Locations {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a location; `value_term` is the term whose membership in a
+    /// points-to set means "points to this location" (`ref` for data
+    /// locations, `lam` for function values — both map back here).
+    pub fn push(&mut self, loc: Location) -> LocId {
+        let id = LocId::new(self.locs.len());
+        self.by_value_term.insert(loc.ref_term, id);
+        self.locs.push(loc);
+        id
+    }
+
+    /// Associates an additional value term (e.g. a function's `lam`) with a
+    /// location.
+    pub fn alias_term(&mut self, term: TermId, loc: LocId) {
+        self.by_value_term.insert(term, loc);
+    }
+
+    /// Registers per-function info.
+    pub fn set_fn(&mut self, name: impl Into<String>, info: FnInfo) {
+        self.fns.insert(name.into(), info);
+    }
+
+    /// Looks up a function by name.
+    pub fn fn_info(&self, name: &str) -> Option<&FnInfo> {
+        self.fns.get(name)
+    }
+
+    /// All function names.
+    pub fn fn_names(&self) -> impl Iterator<Item = &str> {
+        self.fns.keys().map(String::as_str)
+    }
+
+    /// The location a points-to set member term denotes, if any.
+    pub fn loc_of_term(&self, term: TermId) -> Option<LocId> {
+        self.by_value_term.get(&term).copied()
+    }
+
+    /// The location record for `id`.
+    pub fn get(&self, id: LocId) -> &Location {
+        &self.locs[id.raw() as usize]
+    }
+
+    /// Number of locations.
+    pub fn len(&self) -> usize {
+        self.locs.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.locs.is_empty()
+    }
+
+    /// Iterates over `(id, location)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (LocId, &Location)> {
+        self.locs.iter().enumerate().map(|(i, l)| (LocId::new(i), l))
+    }
+
+    /// Finds the first location with the given display name.
+    pub fn by_name(&self, name: &str) -> Option<LocId> {
+        self.locs.iter().position(|l| l.name == name).map(LocId::new)
+    }
+
+    /// Records a call site (used by constraint generation).
+    pub fn push_call_site(&mut self, site: CallSite) {
+        self.call_sites.push(site);
+    }
+
+    /// All recorded call sites, in generation order.
+    pub fn call_sites(&self) -> &[CallSite] {
+        &self.call_sites
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(name: &str, kind: LocKind) -> Location {
+        Location {
+            name: name.into(),
+            kind,
+            content: Var::new(0),
+            ref_term: TermId::new(0),
+        }
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut locs = Locations::new();
+        let a = locs.push(Location { ref_term: TermId::new(10), ..dummy("a", LocKind::Global) });
+        let b = locs.push(Location { ref_term: TermId::new(11), ..dummy("b", LocKind::Global) });
+        assert_ne!(a, b);
+        assert_eq!(locs.len(), 2);
+        assert_eq!(locs.loc_of_term(TermId::new(10)), Some(a));
+        assert_eq!(locs.loc_of_term(TermId::new(12)), None);
+        assert_eq!(locs.by_name("b"), Some(b));
+        assert_eq!(locs.get(a).name, "a");
+    }
+
+    #[test]
+    fn fn_info_and_term_alias() {
+        let mut locs = Locations::new();
+        let f = locs.push(Location { ref_term: TermId::new(5), ..dummy("f", LocKind::Function) });
+        locs.alias_term(TermId::new(6), f);
+        locs.set_fn(
+            "f",
+            FnInfo { loc: f, params: vec![], ret: Var::new(3), lam_term: TermId::new(6) },
+        );
+        assert_eq!(locs.loc_of_term(TermId::new(6)), Some(f));
+        assert_eq!(locs.fn_info("f").unwrap().loc, f);
+        assert_eq!(locs.fn_names().count(), 1);
+    }
+}

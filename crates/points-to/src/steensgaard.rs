@@ -1,0 +1,606 @@
+//! Steensgaard's unification-based points-to analysis (the baseline the
+//! paper's related work compares against, \[Ste96\]/\[SH97\]).
+//!
+//! Where Andersen's analysis keeps *inclusion* constraints (directional
+//! flow), Steensgaard *unifies*: an assignment `x = y` merges the points-to
+//! classes of `x` and `y`'s values. The result is near-linear time
+//! (union-find) but much less precise — every location's points-to set is an
+//! entire equivalence class. We implement it over the same AST so the
+//! benchmark harness can report the precision/time trade-off.
+
+use crate::location::LocId;
+use bane_cfront::ast::*;
+use bane_util::FxHashMap;
+
+/// An equivalence-class node (ECR) id.
+type Ecr = usize;
+
+/// The result of a Steensgaard run.
+#[derive(Clone, Debug)]
+pub struct SteensgaardResult {
+    /// Display names per location, aligned with [`LocId`] assignment order
+    /// (declaration order; not guaranteed to match Andersen's table).
+    names: Vec<String>,
+    /// Points-to sets per location, as sorted location indices.
+    targets: Vec<Vec<LocId>>,
+    /// Number of union operations performed.
+    pub unions: usize,
+}
+
+impl SteensgaardResult {
+    /// The points-to set of location `id`.
+    pub fn targets(&self, id: LocId) -> &[LocId] {
+        &self.targets[id.raw() as usize]
+    }
+
+    /// The display name of location `id`.
+    pub fn name(&self, id: LocId) -> &str {
+        &self.names[id.raw() as usize]
+    }
+
+    /// Finds a location by name.
+    pub fn by_name(&self, name: &str) -> Option<LocId> {
+        self.names.iter().position(|n| n == name).map(LocId::new)
+    }
+
+    /// Number of locations.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether there are no locations.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Total points-to edges (for precision comparison with Andersen).
+    pub fn total_edges(&self) -> usize {
+        self.targets.iter().map(Vec::len).sum()
+    }
+
+    /// Mean points-to set size over locations with non-empty sets.
+    pub fn mean_nonempty_size(&self) -> f64 {
+        let nonempty: Vec<usize> =
+            self.targets.iter().map(Vec::len).filter(|&n| n > 0).collect();
+        if nonempty.is_empty() {
+            0.0
+        } else {
+            nonempty.iter().sum::<usize>() as f64 / nonempty.len() as f64
+        }
+    }
+}
+
+/// Runs Steensgaard's analysis on `program`.
+pub fn analyze(program: &Program) -> SteensgaardResult {
+    let mut st = Steens::default();
+    st.program(program);
+    st.finish()
+}
+
+#[derive(Clone, Debug)]
+struct FnSig {
+    params: Vec<Ecr>,
+    ret: Ecr,
+}
+
+#[derive(Default)]
+struct Steens {
+    parent: Vec<Ecr>,
+    /// pts(class) — the class of values stored in this class of locations.
+    pts: FxHashMap<Ecr, Ecr>,
+    /// Function signature attached to a class of function values.
+    sigs: FxHashMap<Ecr, FnSig>,
+    /// Location cells (ECR per named location), with names.
+    loc_names: Vec<String>,
+    loc_cells: Vec<Ecr>,
+    scopes: Vec<FxHashMap<String, usize>>,
+    fn_of: FxHashMap<String, usize>,
+    current_ret: Option<Ecr>,
+    current_fn: String,
+    str_count: usize,
+    unions: usize,
+}
+
+impl Steens {
+    fn fresh(&mut self) -> Ecr {
+        let e = self.parent.len();
+        self.parent.push(e);
+        e
+    }
+
+    fn find(&mut self, mut e: Ecr) -> Ecr {
+        while self.parent[e] != e {
+            let gp = self.parent[self.parent[e]];
+            self.parent[e] = gp;
+            e = gp;
+        }
+        e
+    }
+
+    /// Unifies two classes, recursively merging their points-to successors
+    /// and function signatures (Steensgaard's `cjoin`).
+    ///
+    /// Class data is captured while `a` and `b` are still the valid map keys,
+    /// the merged entries are reinstalled under the surviving representative,
+    /// and only then do the recursive unifications run — so re-entrant joins
+    /// always see consistent maps.
+    fn join(&mut self, a: Ecr, b: Ecr) {
+        let (a, b) = (self.find(a), self.find(b));
+        if a == b {
+            return;
+        }
+        self.unions += 1;
+        let pa = self.pts.remove(&a);
+        let pb = self.pts.remove(&b);
+        let sa = self.sigs.remove(&a);
+        let sb = self.sigs.remove(&b);
+        self.parent[b] = a;
+
+        if let Some(x) = pa.or(pb) {
+            self.pts.insert(a, x);
+        }
+        if let Some(sig) = sa.clone().or(sb.clone()) {
+            self.sigs.insert(a, sig);
+        }
+        // Deferred recursive unifications.
+        if let (Some(x), Some(y)) = (pa, pb) {
+            self.join(x, y);
+        }
+        if let (Some(x), Some(y)) = (sa, sb) {
+            for (p, q) in x.params.iter().zip(&y.params) {
+                self.join(*p, *q);
+            }
+            self.join(x.ret, y.ret);
+        }
+    }
+
+    /// The points-to successor of a class, created on demand.
+    fn pts_of(&mut self, e: Ecr) -> Ecr {
+        let r = self.find(e);
+        if let Some(&p) = self.pts.get(&r) {
+            return p;
+        }
+        let p = self.fresh();
+        self.pts.insert(r, p);
+        p
+    }
+
+    fn new_loc(&mut self, name: String) -> usize {
+        let cell = self.fresh();
+        let idx = self.loc_names.len();
+        self.loc_names.push(name);
+        self.loc_cells.push(cell);
+        idx
+    }
+
+    fn bind(&mut self, name: &str, loc: usize) {
+        self.scopes.last_mut().expect("scope stack").insert(name.to_string(), loc);
+    }
+
+    fn lookup_or_implicit(&mut self, name: &str) -> usize {
+        if let Some(&loc) = self.scopes.iter().rev().find_map(|s| s.get(name)) {
+            return loc;
+        }
+        let loc = self.new_loc(name.to_string());
+        self.scopes[0].insert(name.to_string(), loc);
+        loc
+    }
+
+    // -- program ------------------------------------------------------------
+
+    fn program(&mut self, program: &Program) {
+        self.scopes.push(FxHashMap::default());
+        for g in &program.globals {
+            let loc = self.new_loc(g.name.clone());
+            self.bind(&g.name, loc);
+            if g.ty.array.is_some() {
+                let elem = self.new_loc(format!("{}[]", g.name));
+                let cell = self.loc_cells[loc];
+                let elem_cell = self.loc_cells[elem];
+                let p = self.pts_of(cell);
+                self.join(p, elem_cell);
+            }
+        }
+        for f in &program.functions {
+            self.declare_fn(f);
+        }
+        for g in &program.globals {
+            if let Some(init) = &g.init {
+                let loc = self.lookup_or_implicit(&g.name);
+                self.init_decl(loc, init);
+            }
+        }
+        for f in &program.functions {
+            self.fn_body(f);
+        }
+    }
+
+    fn declare_fn(&mut self, f: &Function) {
+        if self.fn_of.contains_key(&f.name) {
+            return;
+        }
+        let loc = self.new_loc(f.name.clone());
+        self.bind(&f.name.clone(), loc);
+        self.fn_of.insert(f.name.clone(), loc);
+        let cell = self.loc_cells[loc];
+        let fval = self.pts_of(cell);
+        let params: Vec<Ecr> = f
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let pname =
+                    if p.name.is_empty() { format!("arg{i}") } else { p.name.clone() };
+                let ploc = self.new_loc(format!("{}::{}", f.name, pname));
+                // The signature carries the parameter's *content* class:
+                // argument values unify with what the parameter holds.
+                let cell = self.loc_cells[ploc];
+                self.pts_of(cell)
+            })
+            .collect();
+        let ret = self.fresh();
+        let key = self.find(fval);
+        self.sigs.insert(key, FnSig { params, ret });
+    }
+
+    fn fn_body(&mut self, f: &Function) {
+        self.scopes.push(FxHashMap::default());
+        // Re-discover parameter locations by name prefix.
+        for (i, p) in f.params.iter().enumerate() {
+            if p.name.is_empty() {
+                continue;
+            }
+            let pname = format!("{}::{}", f.name, p.name);
+            if let Some(idx) = self.loc_names.iter().position(|n| *n == pname) {
+                self.bind(&p.name.clone(), idx);
+            }
+            let _ = i;
+        }
+        let floc = self.fn_of[&f.name];
+        let cell = self.loc_cells[floc];
+        let fval = self.pts_of(cell);
+        let key = self.find(fval);
+        self.current_ret = self.sigs.get(&key).map(|s| s.ret);
+        self.current_fn = f.name.clone();
+        self.stmts(&f.body);
+        self.current_ret = None;
+        self.scopes.pop();
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) {
+        self.scopes.push(FxHashMap::default());
+        for s in body {
+            self.stmt(s);
+        }
+        self.scopes.pop();
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Decl(d) => {
+                let loc = self.new_loc(format!("{}::{}", self.current_fn, d.name));
+                self.bind(&d.name.clone(), loc);
+                if d.ty.array.is_some() {
+                    let elem = self.new_loc(format!("{}::{}[]", self.current_fn, d.name));
+                    let cell = self.loc_cells[loc];
+                    let elem_cell = self.loc_cells[elem];
+                    let p = self.pts_of(cell);
+                    self.join(p, elem_cell);
+                }
+                if let Some(init) = &d.init {
+                    self.init_decl(loc, init);
+                }
+            }
+            Stmt::Expr(e) => {
+                self.lvalue(e);
+            }
+            Stmt::If(c, t, e) => {
+                self.lvalue(c);
+                self.stmts(t);
+                self.stmts(e);
+            }
+            Stmt::While(c, b) => {
+                self.lvalue(c);
+                self.stmts(b);
+            }
+            Stmt::For(i, c, s, b) => {
+                for part in [i, c, s].into_iter().flatten() {
+                    self.lvalue(part);
+                }
+                self.stmts(b);
+            }
+            Stmt::Return(Some(e)) => {
+                let lv = self.lvalue(e);
+                let rv = self.pts_of(lv);
+                if let Some(ret) = self.current_ret {
+                    self.join(ret, rv);
+                }
+            }
+            Stmt::DoWhile(b, c) => {
+                self.stmts(b);
+                self.lvalue(c);
+            }
+            Stmt::Switch(e, cases) => {
+                self.lvalue(e);
+                for case in cases {
+                    self.stmts(&case.body);
+                }
+            }
+            Stmt::Break | Stmt::Continue | Stmt::Goto(_) | Stmt::Label(_) => {}
+            Stmt::Return(None) => {}
+            Stmt::Block(b) => self.stmts(b),
+        }
+    }
+
+    /// A declaration initializer: element values of an initializer list
+    /// flow into the declared location's value class (arrays are already
+    /// collapsed in the unification view); plain initializers assign.
+    fn init_decl(&mut self, loc: usize, init: &Expr) {
+        let lv = self.loc_cells[loc];
+        match init {
+            Expr::InitList(items) => {
+                // For arrays, the elements live one indirection down.
+                let target = self.pts_of(lv);
+                for item in items {
+                    let li = self.lvalue(item);
+                    let (pi, pt) = (self.pts_of(li), self.pts_of(target));
+                    self.join(pt, pi);
+                }
+            }
+            _ => {
+                let rv = self.lvalue(init);
+                let (a, b) = (self.pts_of(lv), self.pts_of(rv));
+                self.join(a, b);
+            }
+        }
+    }
+
+    /// Evaluates `e` to the ECR of its *location* (L-value class).
+    fn lvalue(&mut self, e: &Expr) -> Ecr {
+        match e {
+            Expr::Id(name) => {
+                let loc = self.lookup_or_implicit(name);
+                self.loc_cells[loc]
+            }
+            Expr::Int(_) | Expr::Null => self.fresh(),
+            Expr::Sizeof(inner) => {
+                self.lvalue(inner);
+                self.fresh()
+            }
+            Expr::Str(_) => {
+                let id = self.str_count;
+                self.str_count += 1;
+                let loc = self.new_loc(format!("\"str{id}\""));
+                let holder = self.fresh();
+                let cell = self.loc_cells[loc];
+                let p = self.pts_of(holder);
+                self.join(p, cell);
+                holder
+            }
+            Expr::Unary(UnOp::AddrOf, inner) => {
+                if let Expr::Id(name) = inner.as_ref() {
+                    if self.fn_of.contains_key(name) {
+                        return self.lvalue(inner);
+                    }
+                }
+                let lv = self.lvalue(inner);
+                let holder = self.fresh();
+                let p = self.pts_of(holder);
+                self.join(p, lv);
+                holder
+            }
+            Expr::Unary(UnOp::Deref, inner) => {
+                let lv = self.lvalue(inner);
+                self.pts_of(lv)
+            }
+            Expr::Unary(_, inner) => {
+                self.lvalue(inner);
+                self.fresh()
+            }
+            Expr::Binary(op, a, b) => {
+                let la = self.lvalue(a);
+                let lb = self.lvalue(b);
+                match op {
+                    BinOp::Add | BinOp::Sub => {
+                        // Unification smears both sides together.
+                        let holder = self.fresh();
+                        let (pa, ph) = (self.pts_of(la), self.pts_of(holder));
+                        self.join(ph, pa);
+                        let (pb, ph2) = (self.pts_of(lb), self.pts_of(holder));
+                        self.join(ph2, pb);
+                        holder
+                    }
+                    _ => self.fresh(),
+                }
+            }
+            Expr::Assign(l, r) => {
+                let ll = self.lvalue(l);
+                let lr = self.lvalue(r);
+                let (a, b) = (self.pts_of(ll), self.pts_of(lr));
+                self.join(a, b);
+                ll
+            }
+            Expr::Call(callee, args) => {
+                let lc = self.lvalue(callee);
+                let fval = self.pts_of(lc);
+                let key = self.find(fval);
+                let sig = match self.sigs.get(&key) {
+                    Some(s) => s.clone(),
+                    None => {
+                        let params: Vec<Ecr> = (0..args.len()).map(|_| self.fresh()).collect();
+                        let ret = self.fresh();
+                        let sig = FnSig { params, ret };
+                        let key = self.find(fval);
+                        self.sigs.insert(key, sig.clone());
+                        sig
+                    }
+                };
+                for (arg, &param) in args.iter().zip(&sig.params) {
+                    let la = self.lvalue(arg);
+                    let ra = self.pts_of(la);
+                    self.join(param, ra);
+                }
+                for arg in args.iter().skip(sig.params.len()) {
+                    self.lvalue(arg);
+                }
+                let holder = self.fresh();
+                let p = self.pts_of(holder);
+                self.join(p, sig.ret);
+                holder
+            }
+            Expr::Index(base, idx) => {
+                self.lvalue(idx);
+                let lb = self.lvalue(base);
+                self.pts_of(lb)
+            }
+            Expr::Member(base, _field, arrow) => {
+                let lb = self.lvalue(base);
+                if *arrow {
+                    self.pts_of(lb)
+                } else {
+                    lb
+                }
+            }
+            Expr::Cast(_, inner) => self.lvalue(inner),
+            Expr::Ternary(c, t, f) => {
+                self.lvalue(c);
+                let lt = self.lvalue(t);
+                let lf = self.lvalue(f);
+                let holder = self.fresh();
+                let (pt, ph) = (self.pts_of(lt), self.pts_of(holder));
+                self.join(ph, pt);
+                let (pf, ph2) = (self.pts_of(lf), self.pts_of(holder));
+                self.join(ph2, pf);
+                holder
+            }
+            Expr::Comma(a, b) => {
+                self.lvalue(a);
+                self.lvalue(b)
+            }
+            Expr::InitList(items) => {
+                let holder = self.fresh();
+                for item in items {
+                    let li = self.lvalue(item);
+                    let (pi, ph) = (self.pts_of(li), self.pts_of(holder));
+                    self.join(ph, pi);
+                }
+                holder
+            }
+        }
+    }
+
+    fn finish(mut self) -> SteensgaardResult {
+        // Group locations by the class of their *cell*; pts(x) = named
+        // locations whose cell is in pts(class of x).
+        let n = self.loc_names.len();
+        let mut members: FxHashMap<Ecr, Vec<LocId>> = FxHashMap::default();
+        for i in 0..n {
+            let cell = self.loc_cells[i];
+            let rep = self.find(cell);
+            members.entry(rep).or_default().push(LocId::new(i));
+        }
+        // A function's *value* class stands for the function itself, so a
+        // pointer holding that value points to the function's location
+        // (mirroring Andersen's lam-term aliasing).
+        let fns: Vec<(String, usize)> =
+            self.fn_of.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        for (_, loc) in fns {
+            let cell = self.loc_cells[loc];
+            let fval = self.pts_of(cell);
+            let rep = self.find(fval);
+            let entry = members.entry(rep).or_default();
+            if !entry.contains(&LocId::new(loc)) {
+                entry.push(LocId::new(loc));
+            }
+        }
+        let mut targets = Vec::with_capacity(n);
+        for i in 0..n {
+            let cell = self.loc_cells[i];
+            let rep = self.find(cell);
+            let mut out = Vec::new();
+            if let Some(&p) = self.pts.get(&rep) {
+                let prep = self.find(p);
+                if let Some(list) = members.get(&prep) {
+                    out = list.clone();
+                }
+            }
+            out.sort_unstable();
+            targets.push(out);
+        }
+        SteensgaardResult { names: self.loc_names, targets, unions: self.unions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::andersen;
+    use bane_cfront::parse::parse;
+    use bane_core::prelude::SolverConfig;
+
+    fn targets_of(result: &SteensgaardResult, name: &str) -> Vec<String> {
+        let id = result.by_name(name).unwrap_or_else(|| panic!("location {name}"));
+        result.targets(id).iter().map(|&t| result.name(t).to_string()).collect()
+    }
+
+    #[test]
+    fn simple_address_of() {
+        let p = parse("int x;\nint *p;\nvoid f(void) { p = &x; }").unwrap();
+        let r = analyze(&p);
+        assert_eq!(targets_of(&r, "p"), vec!["x"]);
+    }
+
+    #[test]
+    fn unification_merges_distinct_targets() {
+        // Andersen: p → {x}, q → {y}. Steensgaard: the assignment r = p;
+        // r = q unifies x and y's classes, so both sets become {x, y}.
+        let src = "int x, y;\nint *p, *q, *r;\n\
+             void f(void) { p = &x; q = &y; r = p; r = q; }";
+        let program = parse(src).unwrap();
+        let st = analyze(&program);
+        let mut pt = targets_of(&st, "p");
+        pt.sort();
+        assert_eq!(pt, vec!["x", "y"], "unification smears");
+
+        // Andersen on the same program keeps them apart.
+        let mut an = andersen::analyze(&program, SolverConfig::if_online());
+        let graph = an.points_to();
+        let p_id = an.locs.by_name("p").unwrap();
+        assert_eq!(graph.targets(p_id).len(), 1, "Andersen stays precise");
+    }
+
+    #[test]
+    fn calls_unify_params() {
+        let src = "int g;\n\
+             void set(int *p) { *p = 1; }\n\
+             void main(void) { set(&g); }";
+        let st = analyze(&parse(src).unwrap());
+        assert_eq!(targets_of(&st, "set::p"), vec!["g"]);
+    }
+
+    #[test]
+    fn function_pointers_via_sig() {
+        let src = "int g;\n\
+             int *get(void) { return &g; }\n\
+             int *(*fp)(void);\n\
+             int *r;\n\
+             void main(void) { fp = get; r = fp(); }";
+        let st = analyze(&parse(src).unwrap());
+        assert_eq!(targets_of(&st, "r"), vec!["g"]);
+    }
+
+    #[test]
+    fn precision_is_never_better_than_andersen() {
+        // On a program with independent pointer chains, Steensgaard's total
+        // edge count is at least Andersen's.
+        let src = "int a, b, c;\n\
+             int *p1, *p2, *p3, *t;\n\
+             void f(void) { p1 = &a; p2 = &b; p3 = &c; t = p1; t = p2; t = p3; }";
+        let program = parse(src).unwrap();
+        let st = analyze(&program);
+        let mut an = andersen::analyze(&program, SolverConfig::if_online());
+        let graph = an.points_to();
+        assert!(st.total_edges() >= graph.total_edges());
+        assert!(st.mean_nonempty_size() >= graph.mean_nonempty_size());
+    }
+}

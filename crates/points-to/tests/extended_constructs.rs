@@ -1,0 +1,121 @@
+//! Points-to behavior of the extended C constructs: ternaries merge
+//! branches, initializer lists seed array elements, comma takes the right
+//! value, switch/do-while bodies are analyzed.
+
+use bane_cfront::parse::parse;
+use bane_core::prelude::SolverConfig;
+use bane_points_to::{andersen, steensgaard};
+use std::collections::BTreeSet;
+
+fn pts(src: &str, name: &str) -> BTreeSet<String> {
+    let program = parse(src).expect("program parses");
+    let mut analysis = andersen::analyze(&program, SolverConfig::if_online());
+    let id = analysis.locs.by_name(name).unwrap_or_else(|| panic!("location {name}"));
+    let graph = analysis.points_to();
+    graph.targets(id).iter().map(|&t| analysis.locs.get(t).name.clone()).collect()
+}
+
+fn set(names: &[&str]) -> BTreeSet<String> {
+    names.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn ternary_merges_both_branches() {
+    let m = pts(
+        "int x, y;\nint *p;\nvoid f(int c) { p = c ? &x : &y; }",
+        "p",
+    );
+    assert_eq!(m, set(&["x", "y"]));
+}
+
+#[test]
+fn comma_takes_the_right_value() {
+    let m = pts(
+        "int x, y;\nint *p, *q;\nvoid f(void) { p = (q = &x, &y); }",
+        "p",
+    );
+    assert_eq!(m, set(&["y"]));
+    let q = pts(
+        "int x, y;\nint *p, *q;\nvoid f(void) { p = (q = &x, &y); }",
+        "q",
+    );
+    assert_eq!(q, set(&["x"]));
+}
+
+#[test]
+fn initializer_lists_seed_array_elements() {
+    let src = "int x, y;\nint *ps[2] = {&x, &y};\nint **q;\nvoid f(void) { q = ps; }";
+    assert_eq!(pts(src, "ps[]"), set(&["x", "y"]));
+    assert_eq!(pts(src, "q"), set(&["ps[]"]));
+}
+
+#[test]
+fn scalar_initializers_still_assign() {
+    let src = "int x;\nint *p = &x;\nvoid f(void) { }";
+    assert_eq!(pts(src, "p"), set(&["x"]));
+}
+
+#[test]
+fn local_initializer_lists() {
+    let src = "int x, y;\nvoid f(void) { int *local[2] = {&x, &y}; int **q; q = local; }";
+    assert_eq!(pts(src, "f::local[]"), set(&["x", "y"]));
+}
+
+#[test]
+fn switch_and_do_while_bodies_flow() {
+    let src = "int x, y;\nint *p;\n\
+         void f(int n) {\n\
+           switch (n) {\n\
+           case 0: p = &x; break;\n\
+           default: p = &y;\n\
+           }\n\
+           do { p = p; } while (n--);\n\
+         }";
+    assert_eq!(pts(src, "p"), set(&["x", "y"]));
+}
+
+#[test]
+fn compound_assign_keeps_pointer_targets() {
+    // p += 1 desugars to p = p + 1; pointer arithmetic keeps targets.
+    let src = "int buf[4];\nint *p;\nvoid f(void) { p = buf; p += 1; }";
+    assert_eq!(pts(src, "p"), set(&["buf[]"]));
+}
+
+#[test]
+fn steensgaard_handles_extended_constructs() {
+    let src = "int x, y;\nint *p;\nvoid f(int c) { p = c ? &x : &y; }";
+    let st = steensgaard::analyze(&parse(src).unwrap());
+    let p = st.by_name("p").unwrap();
+    let targets: BTreeSet<&str> = st.targets(p).iter().map(|&t| st.name(t)).collect();
+    assert!(targets.contains("x") && targets.contains("y"));
+}
+
+#[test]
+fn all_configs_agree_on_extended_program() {
+    let src = "int a, b, c;\n\
+         int *p, *q;\n\
+         int *sel(int k, int *u, int *v) { return k ? u : v; }\n\
+         void f(int k) {\n\
+           int *arr[2] = {&a, &b};\n\
+           p = arr[0];\n\
+           q = sel(k, p, &c);\n\
+           switch (k) { case 1: p = q; break; default: q = p; }\n\
+         }";
+    let program = parse(src).unwrap();
+    let reference = {
+        let mut an = andersen::analyze(&program, SolverConfig::sf_plain());
+        let g = an.points_to();
+        (0..an.locs.len())
+            .map(|i| g.targets(bane_points_to::LocId::new(i)).to_vec())
+            .collect::<Vec<_>>()
+    };
+    for config in [SolverConfig::if_plain(), SolverConfig::sf_online(), SolverConfig::if_online()]
+    {
+        let mut an = andersen::analyze(&program, config);
+        let g = an.points_to();
+        let got: Vec<_> = (0..an.locs.len())
+            .map(|i| g.targets(bane_points_to::LocId::new(i)).to_vec())
+            .collect();
+        assert_eq!(got, reference, "{config:?}");
+    }
+}

@@ -1,0 +1,121 @@
+//! The benchmark suite mirroring the paper's Table 1.
+//!
+//! Each entry keeps the original benchmark's name and AST-node count; the
+//! program itself is synthesized (see [`crate::gen`]) since the 1998 sources
+//! are not available. A global `scale` shrinks every target uniformly so the
+//! whole suite (including the quadratic `SF-Plain` runs) finishes in
+//! reasonable time on a laptop; the paper's *shapes* are scale-invariant.
+
+use crate::gen::{generate, GenConfig};
+use bane_cfront::ast::Program;
+
+/// One suite entry: the paper benchmark it stands in for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SuiteEntry {
+    /// The 1998 benchmark's name.
+    pub name: &'static str,
+    /// The paper's AST-node count for it (Table 1).
+    pub ast_nodes: usize,
+}
+
+/// The Table 1 benchmark suite (names and AST sizes from the paper).
+pub const PAPER_SUITE: &[SuiteEntry] = &[
+    SuiteEntry { name: "allroots", ast_nodes: 700 },
+    SuiteEntry { name: "diff.diffh", ast_nodes: 935 },
+    SuiteEntry { name: "anagram", ast_nodes: 1_078 },
+    SuiteEntry { name: "genetic", ast_nodes: 1_412 },
+    SuiteEntry { name: "ks", ast_nodes: 2_284 },
+    SuiteEntry { name: "ul", ast_nodes: 2_395 },
+    SuiteEntry { name: "ft", ast_nodes: 3_027 },
+    SuiteEntry { name: "compress", ast_nodes: 3_333 },
+    SuiteEntry { name: "ratfor", ast_nodes: 5_269 },
+    SuiteEntry { name: "compiler", ast_nodes: 5_326 },
+    SuiteEntry { name: "assembler", ast_nodes: 6_516 },
+    SuiteEntry { name: "ML-typecheck", ast_nodes: 6_752 },
+    SuiteEntry { name: "eqntott", ast_nodes: 8_117 },
+    SuiteEntry { name: "simulator", ast_nodes: 10_946 },
+    SuiteEntry { name: "less-177", ast_nodes: 15_179 },
+    SuiteEntry { name: "li", ast_nodes: 16_828 },
+    SuiteEntry { name: "flex-2.4.7", ast_nodes: 18_628 },
+    SuiteEntry { name: "pmake", ast_nodes: 31_148 },
+    SuiteEntry { name: "make-3.75", ast_nodes: 36_892 },
+    SuiteEntry { name: "inform-5.5", ast_nodes: 38_874 },
+    SuiteEntry { name: "tar-1.11.2", ast_nodes: 41_420 },
+    SuiteEntry { name: "sgmls-1.1", ast_nodes: 44_533 },
+    SuiteEntry { name: "screen-3.5.2", ast_nodes: 49_292 },
+    SuiteEntry { name: "cvs-1.3", ast_nodes: 51_223 },
+    SuiteEntry { name: "espresso", ast_nodes: 56_938 },
+    SuiteEntry { name: "gawk-3.0.3", ast_nodes: 71_140 },
+    SuiteEntry { name: "povray-2.2", ast_nodes: 87_391 },
+];
+
+/// Synthesizes the stand-in program for `entry` at the given `scale`.
+///
+/// The seed is derived from the benchmark name, so each suite member is a
+/// *different* program, stable across runs and scales.
+pub fn suite_program(entry: &SuiteEntry, scale: f64) -> Program {
+    let target = ((entry.ast_nodes as f64 * scale) as usize).max(200);
+    let seed = name_seed(entry.name);
+    generate(&GenConfig::sized(target, seed))
+}
+
+/// Suite entries whose (scaled) size stays within `max_ast_nodes`.
+pub fn suite(scale: f64, max_ast_nodes: usize) -> Vec<(&'static SuiteEntry, Program)> {
+    PAPER_SUITE
+        .iter()
+        .filter(|e| ((e.ast_nodes as f64 * scale) as usize) <= max_ast_nodes)
+        .map(|e| (e, suite_program(e, scale)))
+        .collect()
+}
+
+/// A deterministic seed from a benchmark name (FNV-1a).
+fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_ordered_by_size() {
+        for w in PAPER_SUITE.windows(2) {
+            assert!(w[0].ast_nodes <= w[1].ast_nodes);
+        }
+        assert_eq!(PAPER_SUITE.len(), 27);
+    }
+
+    #[test]
+    fn scaled_programs_hit_targets() {
+        let entry = &PAPER_SUITE[3]; // genetic, 1412
+        let p = suite_program(entry, 1.0);
+        assert!(p.ast_nodes() >= entry.ast_nodes);
+        let small = suite_program(entry, 0.5);
+        assert!(small.ast_nodes() < p.ast_nodes());
+    }
+
+    #[test]
+    fn different_benchmarks_are_different_programs() {
+        let a = suite_program(&PAPER_SUITE[0], 1.0);
+        let b = suite_program(&PAPER_SUITE[1], 1.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn suite_filter_respects_cap() {
+        let entries = suite(1.0, 3_000);
+        assert!(entries.iter().all(|(e, _)| e.ast_nodes <= 3_000));
+        assert!(entries.len() >= 5);
+    }
+
+    #[test]
+    fn name_seed_is_stable() {
+        assert_eq!(name_seed("flex-2.4.7"), name_seed("flex-2.4.7"));
+        assert_ne!(name_seed("gawk-3.0.3"), name_seed("povray-2.2"));
+    }
+}

@@ -1,0 +1,253 @@
+//! Bit sets used by the solver's graph algorithms.
+//!
+//! [`BitSet`] is a plain growable bit set; [`EpochSet`] is a "visited marks"
+//! structure that can be cleared in O(1) by bumping an epoch counter — the
+//! online cycle-detection search runs on *every* variable-variable edge
+//! addition, so clearing a bitmap per search would dominate its cost.
+
+/// A growable bit set over `usize` elements.
+///
+/// # Examples
+///
+/// ```
+/// use bane_util::BitSet;
+///
+/// let mut s = BitSet::new(10);
+/// assert!(s.insert(3));
+/// assert!(!s.insert(3), "already present");
+/// assert!(s.contains(3));
+/// assert_eq!(s.count(), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates a set sized for elements `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self { words: vec![0; capacity.div_ceil(64)] }
+    }
+
+    fn ensure(&mut self, bit: usize) {
+        let word = bit / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+    }
+
+    /// Inserts `bit`; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, bit: usize) -> bool {
+        self.ensure(bit);
+        let (w, b) = (bit / 64, bit % 64);
+        let mask = 1u64 << b;
+        let fresh = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        fresh
+    }
+
+    /// Removes `bit`; returns `true` if it was present.
+    pub fn remove(&mut self, bit: usize) -> bool {
+        let (w, b) = (bit / 64, bit % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << b;
+        let present = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        present
+    }
+
+    /// Whether `bit` is present.
+    pub fn contains(&self, bit: usize) -> bool {
+        let (w, b) = (bit / 64, bit % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Number of elements present.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all elements (keeps capacity).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Unions `other` into `self`; returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut changed = false;
+        for (dst, &src) in self.words.iter_mut().zip(&other.words) {
+            let old = *dst;
+            *dst |= src;
+            changed |= *dst != old;
+        }
+        changed
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = BitSet::default();
+        for bit in iter {
+            s.insert(bit);
+        }
+        s
+    }
+}
+
+/// A visited-marks set with O(1) clearing via epoch stamps.
+///
+/// # Examples
+///
+/// ```
+/// use bane_util::EpochSet;
+///
+/// let mut v = EpochSet::new(8);
+/// v.begin();
+/// assert!(v.mark(2));
+/// assert!(!v.mark(2));
+/// v.begin(); // O(1) clear
+/// assert!(v.mark(2));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct EpochSet {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl EpochSet {
+    /// Creates a set sized for elements `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self { stamps: vec![0; capacity], epoch: 0 }
+    }
+
+    /// Starts a new generation, logically clearing all marks.
+    pub fn begin(&mut self) {
+        self.epoch = self.epoch.checked_add(1).unwrap_or_else(|| {
+            // Wrapped: physically reset (happens once per 2^32 searches).
+            self.stamps.fill(0);
+            1
+        });
+    }
+
+    /// Grows the domain to hold elements `0..capacity`.
+    pub fn grow(&mut self, capacity: usize) {
+        if capacity > self.stamps.len() {
+            self.stamps.resize(capacity, 0);
+        }
+    }
+
+    /// Marks `elem`; returns `true` if it was unmarked in this generation.
+    ///
+    /// Grows the set if `elem` is out of range.
+    pub fn mark(&mut self, elem: usize) -> bool {
+        if elem >= self.stamps.len() {
+            self.stamps.resize(elem + 1, 0);
+        }
+        if self.stamps[elem] == self.epoch {
+            false
+        } else {
+            self.stamps[elem] = self.epoch;
+            true
+        }
+    }
+
+    /// Whether `elem` is marked in the current generation.
+    pub fn is_marked(&self, elem: usize) -> bool {
+        self.stamps.get(elem).is_some_and(|&s| s == self.epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert!(s.insert(100)); // auto-grow
+        assert!(s.contains(100));
+        assert!(!s.contains(99));
+        assert!(!s.insert(100));
+        assert!(s.remove(100));
+        assert!(!s.remove(100));
+        assert!(s.is_empty());
+        assert!(!s.remove(100_000)); // out of range is a no-op
+    }
+
+    #[test]
+    fn count_and_iter() {
+        let s: BitSet = [1usize, 63, 64, 65, 200].into_iter().collect();
+        assert_eq!(s.count(), 5);
+        let elems: Vec<_> = s.iter().collect();
+        assert_eq!(elems, vec![1, 63, 64, 65, 200]);
+    }
+
+    #[test]
+    fn union() {
+        let mut a: BitSet = [1usize, 2].into_iter().collect();
+        let b: BitSet = [2usize, 300].into_iter().collect();
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b), "idempotent");
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 300]);
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut s: BitSet = (0..100).collect();
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(50));
+    }
+
+    #[test]
+    fn epoch_set_generations() {
+        let mut v = EpochSet::new(4);
+        v.begin();
+        assert!(v.mark(0));
+        assert!(v.is_marked(0));
+        assert!(!v.mark(0));
+        v.begin();
+        assert!(!v.is_marked(0));
+        assert!(v.mark(0));
+        // Auto-grow beyond initial capacity.
+        assert!(v.mark(1000));
+        assert!(v.is_marked(1000));
+        assert!(!v.is_marked(999));
+    }
+
+    #[test]
+    fn epoch_set_grow_preserves_marks() {
+        let mut v = EpochSet::new(2);
+        v.begin();
+        v.mark(1);
+        v.grow(100);
+        assert!(v.is_marked(1));
+        assert!(!v.is_marked(50));
+    }
+}

@@ -1,0 +1,298 @@
+//! Dense `u32` index newtypes.
+//!
+//! The solver identifies variables, terms, constructors and graph nodes by
+//! dense indices. The [`newtype_index!`](crate::newtype_index) macro generates
+//! a zero-cost newtype with the conversions and trait impls those ids need:
+//! `Copy`, ordering, hashing, `Display`/`Debug`, and `index`/`from_index`
+//! round-trips for vector-backed tables.
+
+/// The trait implemented by all [`newtype_index!`](crate::newtype_index) types.
+///
+/// Provides conversion to and from `usize` positions so generic containers
+/// (like [`IdxVec`]) can be keyed by typed ids.
+pub trait Idx: Copy + Eq + Ord + std::hash::Hash + std::fmt::Debug + 'static {
+    /// Creates an id from a dense position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` exceeds `u32::MAX`.
+    fn from_index(idx: usize) -> Self;
+
+    /// Returns the dense position of this id.
+    fn index(self) -> usize;
+}
+
+/// Declares a dense `u32` index newtype implementing [`Idx`].
+///
+/// # Examples
+///
+/// ```
+/// use bane_util::newtype_index;
+/// use bane_util::idx::Idx;
+///
+/// newtype_index! {
+///     /// Identifies a set variable.
+///     pub struct VarId("X");
+/// }
+///
+/// let v = VarId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.to_string(), "X3");
+/// ```
+#[macro_export]
+macro_rules! newtype_index {
+    ($(#[$meta:meta])* $vis:vis struct $name:ident($prefix:literal);) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        $vis struct $name(u32);
+
+        impl $name {
+            /// Creates an id with the given dense position.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `idx` exceeds `u32::MAX`.
+            #[inline]
+            $vis fn new(idx: usize) -> Self {
+                assert!(idx <= u32::MAX as usize, "index overflow");
+                Self(idx as u32)
+            }
+
+            /// Returns the raw `u32` value.
+            #[inline]
+            $vis fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl $crate::idx::Idx for $name {
+            #[inline]
+            fn from_index(idx: usize) -> Self {
+                Self::new(idx)
+            }
+
+            #[inline]
+            fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl ::std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl ::std::fmt::Display for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+/// A vector keyed by a typed dense index.
+///
+/// # Examples
+///
+/// ```
+/// use bane_util::newtype_index;
+/// use bane_util::idx::IdxVec;
+///
+/// newtype_index! {
+///     /// Example id.
+///     pub struct NodeId("n");
+/// }
+///
+/// let mut v: IdxVec<NodeId, &str> = IdxVec::new();
+/// let a = v.push("alpha");
+/// let b = v.push("beta");
+/// assert_eq!(v[a], "alpha");
+/// assert_eq!(v[b], "beta");
+/// assert_eq!(v.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct IdxVec<I: Idx, T> {
+    raw: Vec<T>,
+    _marker: std::marker::PhantomData<fn(I)>,
+}
+
+impl<I: Idx, T> IdxVec<I, T> {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        Self { raw: Vec::new(), _marker: std::marker::PhantomData }
+    }
+
+    /// Creates an empty vector with space for `cap` elements.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { raw: Vec::with_capacity(cap), _marker: std::marker::PhantomData }
+    }
+
+    /// Appends `value` and returns its id.
+    pub fn push(&mut self, value: T) -> I {
+        let id = I::from_index(self.raw.len());
+        self.raw.push(value);
+        id
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Returns the element for `id`, if in bounds.
+    pub fn get(&self, id: I) -> Option<&T> {
+        self.raw.get(id.index())
+    }
+
+    /// Returns a mutable reference for `id`, if in bounds.
+    pub fn get_mut(&mut self, id: I) -> Option<&mut T> {
+        self.raw.get_mut(id.index())
+    }
+
+    /// Iterates over `(id, &value)` pairs in id order.
+    pub fn iter_enumerated(&self) -> impl Iterator<Item = (I, &T)> {
+        self.raw.iter().enumerate().map(|(i, v)| (I::from_index(i), v))
+    }
+
+    /// Iterates over values in id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.raw.iter()
+    }
+
+    /// Iterates over values mutably in id order.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.raw.iter_mut()
+    }
+
+    /// Iterates over all ids in order.
+    pub fn indices(&self) -> impl Iterator<Item = I> + 'static {
+        (0..self.raw.len()).map(I::from_index)
+    }
+
+    /// Returns the id the next `push` would produce.
+    pub fn next_id(&self) -> I {
+        I::from_index(self.raw.len())
+    }
+
+    /// Exposes the underlying storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.raw
+    }
+}
+
+impl<I: Idx, T> Default for IdxVec<I, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I: Idx, T: std::fmt::Debug> std::fmt::Debug for IdxVec<I, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter_enumerated()).finish()
+    }
+}
+
+impl<I: Idx, T> std::ops::Index<I> for IdxVec<I, T> {
+    type Output = T;
+
+    fn index(&self, id: I) -> &T {
+        &self.raw[id.index()]
+    }
+}
+
+impl<I: Idx, T> std::ops::IndexMut<I> for IdxVec<I, T> {
+    fn index_mut(&mut self, id: I) -> &mut T {
+        &mut self.raw[id.index()]
+    }
+}
+
+impl<I: Idx, T> FromIterator<T> for IdxVec<I, T> {
+    fn from_iter<It: IntoIterator<Item = T>>(iter: It) -> Self {
+        Self { raw: Vec::from_iter(iter), _marker: std::marker::PhantomData }
+    }
+}
+
+impl<I: Idx, T> Extend<T> for IdxVec<I, T> {
+    fn extend<It: IntoIterator<Item = T>>(&mut self, iter: It) {
+        self.raw.extend(iter);
+    }
+}
+
+impl<'a, I: Idx, T> IntoIterator for &'a IdxVec<I, T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.raw.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    newtype_index! {
+        /// Test id.
+        pub struct TestId("t");
+    }
+
+    #[test]
+    fn newtype_roundtrip() {
+        let id = TestId::new(17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(id.raw(), 17);
+        assert_eq!(TestId::from_index(17), id);
+        assert_eq!(format!("{id}"), "t17");
+        assert_eq!(format!("{id:?}"), "t17");
+    }
+
+    #[test]
+    fn newtype_ordering() {
+        assert!(TestId::new(1) < TestId::new(2));
+        assert_eq!(TestId::new(5), TestId::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "index overflow")]
+    fn newtype_overflow_panics() {
+        let _ = TestId::new(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn idxvec_push_and_index() {
+        let mut v: IdxVec<TestId, String> = IdxVec::new();
+        assert!(v.is_empty());
+        let a = v.push("a".to_string());
+        let b = v.push("b".to_string());
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[a], "a");
+        assert_eq!(v[b], "b");
+        v[a].push('x');
+        assert_eq!(v[a], "ax");
+        assert_eq!(v.get(TestId::new(9)), None);
+    }
+
+    #[test]
+    fn idxvec_iterators() {
+        let v: IdxVec<TestId, u32> = (0..5).map(|i| i * 10).collect();
+        let pairs: Vec<_> = v.iter_enumerated().map(|(i, &x)| (i.index(), x)).collect();
+        assert_eq!(pairs, vec![(0, 0), (1, 10), (2, 20), (3, 30), (4, 40)]);
+        assert_eq!(v.indices().count(), 5);
+        assert_eq!(v.next_id(), TestId::new(5));
+        let sum: u32 = (&v).into_iter().sum();
+        assert_eq!(sum, 100);
+    }
+
+    #[test]
+    fn idxvec_extend() {
+        let mut v: IdxVec<TestId, u32> = IdxVec::with_capacity(4);
+        v.extend([1, 2, 3]);
+        assert_eq!(v.as_slice(), &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,167 @@
+//! A tiny deterministic PRNG.
+//!
+//! `bane-core` needs randomness in exactly one place: the paper's preferred
+//! *random variable order* `o(·)` for inductive form (Section 2.4: "we have
+//! found that a random order performs as well or better than any other order
+//! we picked"). To keep the core crate dependency-free and runs reproducible,
+//! we use SplitMix64 — a tiny, well-distributed 64-bit generator — rather
+//! than pulling `rand` into the solver.
+
+/// The SplitMix64 pseudo-random generator.
+///
+/// # Examples
+///
+/// ```
+/// use bane_util::SplitMix64;
+///
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64(), "same seed, same stream");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform value in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let raw = self.next_u64();
+            if raw < zone {
+                return raw % bound;
+            }
+        }
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+impl Default for SplitMix64 {
+    fn default() -> Self {
+        Self::new(0x5eed_5eed_5eed_5eed)
+    }
+}
+
+/// Fisher–Yates shuffles `slice` in place using `rng`.
+///
+/// # Examples
+///
+/// ```
+/// use bane_util::SplitMix64;
+/// use bane_util::rng::shuffle;
+///
+/// let mut xs: Vec<u32> = (0..10).collect();
+/// shuffle(&mut xs, &mut SplitMix64::new(1));
+/// let mut sorted = xs.clone();
+/// sorted.sort();
+/// assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+/// ```
+pub fn shuffle<T>(slice: &mut [T], rng: &mut SplitMix64) {
+    for i in (1..slice.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        slice.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible_streams() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..10_000 {
+            assert!(rng.next_below(7) < 7);
+        }
+        // Every residue appears for a small bound.
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[rng.next_below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        SplitMix64::new(1).next_below(0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(9);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn shuffle_is_permutation_and_seed_dependent() {
+        let base: Vec<u32> = (0..50).collect();
+        let mut x = base.clone();
+        let mut y = base.clone();
+        shuffle(&mut x, &mut SplitMix64::new(5));
+        shuffle(&mut y, &mut SplitMix64::new(6));
+        assert_ne!(x, y, "different seeds give different orders");
+        let mut sx = x.clone();
+        sx.sort();
+        assert_eq!(sx, base);
+    }
+
+    #[test]
+    fn shuffle_handles_degenerate_slices() {
+        let mut rng = SplitMix64::new(3);
+        let mut empty: [u32; 0] = [];
+        shuffle(&mut empty, &mut rng);
+        let mut one = [42];
+        shuffle(&mut one, &mut rng);
+        assert_eq!(one, [42]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Andersen's points-to analysis on a C program, with the Steensgaard
+//! baseline alongside — the paper's Section 3 workload end to end.
+//!
+//! Run with `cargo run --example points_to_report`.
+
+use bane::cfront::parse::parse;
+use bane::core::prelude::SolverConfig;
+use bane::points_to::{andersen, steensgaard};
+
+const PROGRAM: &str = r#"
+struct node { int value; struct node *next; };
+
+struct node pool[8];
+struct node *head;
+int x, y;
+int *p, *q, *r;
+int *(*chooser)(int *, int *);
+
+int *first(int *a, int *b) { return a; }
+int *second(int *a, int *b) { return b; }
+
+void build(void) {
+    head = &pool[0];
+    head->next = head;
+}
+
+int main(void) {
+    p = &x;
+    q = &y;
+    chooser = &first;
+    chooser = &second;
+    r = chooser(p, q);
+    *r = 42;
+    build();
+    return 0;
+}
+"#;
+
+fn main() {
+    let program = parse(PROGRAM).expect("example program parses");
+    println!("program: {} AST nodes\n", program.ast_nodes());
+
+    // Andersen (inclusion-based, with online cycle elimination).
+    let mut analysis = andersen::analyze(&program, SolverConfig::if_online());
+    let graph = analysis.points_to();
+    println!("Andersen points-to sets (IF-Online):");
+    for (id, loc) in analysis.locs.iter() {
+        let targets: Vec<&str> =
+            graph.targets(id).iter().map(|&t| analysis.locs.get(t).name.as_str()).collect();
+        if !targets.is_empty() {
+            println!("  {:<14} -> {{{}}}", loc.name, targets.join(", "));
+        }
+    }
+    println!(
+        "\n  work: {} edge additions, {} variables eliminated by cycle detection",
+        analysis.solver.stats().work,
+        analysis.solver.stats().vars_eliminated
+    );
+
+    // Steensgaard (unification-based) for comparison: r's set smears.
+    let st = steensgaard::analyze(&program);
+    println!("\nSteensgaard points-to sets (note the precision loss):");
+    for name in ["p", "q", "r", "chooser"] {
+        if let Some(id) = st.by_name(name) {
+            let targets: Vec<&str> = st.targets(id).iter().map(|&t| st.name(t)).collect();
+            println!("  {:<14} -> {{{}}}", name, targets.join(", "));
+        }
+    }
+    println!(
+        "\nmean points-to set size: Andersen {:.2} vs Steensgaard {:.2}",
+        graph.mean_nonempty_size(),
+        st.mean_nonempty_size()
+    );
+}

@@ -1,0 +1,136 @@
+//! End-to-end integration tests spanning the whole workspace:
+//! synthesize → pretty-print → re-parse → analyze under every experiment
+//! configuration → identical points-to solutions.
+
+use bane::cfront::parse::parse;
+use bane::cfront::pretty::program_to_c;
+use bane::core::prelude::*;
+use bane::points_to::{andersen, steensgaard, LocId};
+use bane::synth::gen::{generate, GenConfig};
+use std::collections::BTreeSet;
+
+/// Points-to sets by location id (ids are stable across configurations
+/// because constraint generation is deterministic).
+fn points_to_sets(
+    program: &bane::cfront::ast::Program,
+    config: SolverConfig,
+    partition: Option<&Partition>,
+) -> Vec<BTreeSet<LocId>> {
+    let mut analysis = match partition {
+        Some(p) => andersen::analyze_with_oracle(program, config, p.clone()),
+        None => andersen::analyze(program, config),
+    };
+    let graph = analysis.points_to();
+    (0..analysis.locs.len())
+        .map(|i| graph.targets(LocId::new(i)).iter().copied().collect())
+        .collect()
+}
+
+#[test]
+fn synthesized_program_round_trips_through_the_frontend() {
+    for seed in [1u64, 2, 3] {
+        let program = generate(&GenConfig::sized(2_000, seed));
+        let source = program_to_c(&program);
+        let reparsed = parse(&source).expect("pretty-printed output parses");
+        assert_eq!(reparsed, program, "seed {seed}: parse∘print is identity");
+    }
+}
+
+#[test]
+fn all_six_experiments_compute_the_same_points_to_graph() {
+    let program = generate(&GenConfig::sized(1_500, 42));
+
+    // Reference + oracle partition from IF-Online.
+    let mut first = andersen::analyze(&program, SolverConfig::if_online());
+    let reference: Vec<BTreeSet<LocId>> = {
+        let graph = first.points_to();
+        (0..first.locs.len())
+            .map(|i| graph.targets(LocId::new(i)).iter().copied().collect())
+            .collect()
+    };
+    let partition = first.solver.scc_partition();
+
+    let runs: Vec<(&str, SolverConfig, bool)> = vec![
+        ("SF-Plain", SolverConfig::sf_plain(), false),
+        ("IF-Plain", SolverConfig::if_plain(), false),
+        ("SF-Online", SolverConfig::sf_online(), false),
+        ("SF-Oracle", SolverConfig::sf_plain(), true),
+        ("IF-Oracle", SolverConfig::if_plain(), true),
+    ];
+    for (name, config, oracle) in runs {
+        let got = points_to_sets(&program, config, oracle.then_some(&partition));
+        assert_eq!(got, reference, "{name} disagrees with IF-Online");
+    }
+}
+
+#[test]
+fn points_to_is_stable_across_variable_orders() {
+    let program = generate(&GenConfig::sized(1_200, 9));
+    let reference = points_to_sets(&program, SolverConfig::if_online(), None);
+    for seed in [3u64, 17, 2024] {
+        let config = SolverConfig::if_online().with_order(OrderPolicy::Random { seed });
+        assert_eq!(points_to_sets(&program, config, None), reference, "seed {seed}");
+    }
+    let config = SolverConfig::if_online().with_order(OrderPolicy::Creation);
+    assert_eq!(points_to_sets(&program, config, None), reference, "creation order");
+}
+
+#[test]
+fn oracle_runs_collapse_nothing_and_alias_everything() {
+    let program = generate(&GenConfig::sized(1_500, 42));
+    let first = andersen::analyze(&program, SolverConfig::if_online());
+    let partition = first.solver.scc_partition();
+    let collapsible = partition.eliminated();
+    assert!(collapsible > 0, "benchmark should contain cycles");
+
+    for config in [SolverConfig::sf_plain(), SolverConfig::if_plain()] {
+        let analysis = andersen::analyze_with_oracle(&program, config, partition.clone());
+        assert_eq!(analysis.solver.stats().oracle_aliased as usize, collapsible);
+        assert_eq!(analysis.solver.stats().vars_eliminated, 0);
+        assert_eq!(analysis.solver.var_var_scc_stats().vars_in_cycles, 0, "acyclic");
+    }
+}
+
+#[test]
+fn online_elimination_reduces_work_on_cyclic_benchmarks() {
+    let program = generate(&GenConfig::sized(4_000, 7));
+
+    let run = |config: SolverConfig| {
+        let analysis = andersen::analyze(&program, config);
+        (*analysis.solver.stats(), analysis.solver.census().total_edges())
+    };
+    let (sf_plain, sf_plain_edges) = run(SolverConfig::sf_plain());
+    let (sf_online, _) = run(SolverConfig::sf_online());
+    let (if_online, if_online_edges) = run(SolverConfig::if_online());
+
+    assert!(sf_online.work < sf_plain.work, "online elimination reduces SF work");
+    assert!(if_online.work < sf_plain.work, "IF-Online beats SF-Plain on work");
+    assert!(if_online.vars_eliminated > sf_online.vars_eliminated, "IF detects more");
+    assert!(if_online_edges < sf_plain_edges, "collapsed graphs are smaller");
+}
+
+#[test]
+fn steensgaard_over_approximates_andersen() {
+    let program = generate(&GenConfig::sized(1_000, 5));
+    let mut analysis = andersen::analyze(&program, SolverConfig::if_online());
+    let a = analysis.points_to();
+    let s = steensgaard::analyze(&program);
+    // Same location table order for the shared prefix (both walk the AST the
+    // same way), so compare totals rather than per-id.
+    assert!(
+        s.total_edges() >= a.total_edges(),
+        "unification can only lose precision: {} < {}",
+        s.total_edges(),
+        a.total_edges()
+    );
+}
+
+#[test]
+fn suite_entries_are_deterministic_and_scaled() {
+    let e = &bane::synth::PAPER_SUITE[5];
+    let a = bane::synth::suite_program(e, 0.5);
+    let b = bane::synth::suite_program(e, 0.5);
+    assert_eq!(a, b);
+    let full = bane::synth::suite_program(e, 1.0);
+    assert!(full.ast_nodes() > a.ast_nodes());
+}

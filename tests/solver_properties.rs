@@ -1,0 +1,89 @@
+//! Property-based integration tests: random C-subset programs through the
+//! whole pipeline, asserting the semantic equivalences the paper relies on.
+
+use bane::core::prelude::*;
+use bane::points_to::{andersen, LocId};
+use bane::synth::gen::{generate, GenConfig};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn sets(
+    program: &bane::cfront::ast::Program,
+    config: SolverConfig,
+) -> Vec<BTreeSet<LocId>> {
+    let mut analysis = andersen::analyze(program, config);
+    let graph = analysis.points_to();
+    (0..analysis.locs.len())
+        .map(|i| graph.targets(LocId::new(i)).iter().copied().collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whatever program the generator produces, all four non-oracle
+    /// configurations agree on the points-to graph.
+    #[test]
+    fn configurations_agree_on_generated_programs(
+        seed in 0u64..1_000,
+        target in 300usize..1_500,
+    ) {
+        let program = generate(&GenConfig::sized(target, seed));
+        let reference = sets(&program, SolverConfig::if_online());
+        for config in [
+            SolverConfig::sf_plain(),
+            SolverConfig::if_plain(),
+            SolverConfig::sf_online(),
+        ] {
+            prop_assert_eq!(&sets(&program, config), &reference);
+        }
+    }
+
+    /// Work accounting stays consistent on arbitrary generated programs.
+    #[test]
+    fn work_accounting_invariants(seed in 0u64..1_000) {
+        let program = generate(&GenConfig::sized(800, seed));
+        for config in [SolverConfig::sf_online(), SolverConfig::if_online()] {
+            let analysis = andersen::analyze(&program, config);
+            let stats = analysis.solver.stats();
+            prop_assert!(stats.redundant <= stats.work);
+            prop_assert!(
+                (analysis.solver.census().total_edges() as u64) <= stats.new_edges()
+            );
+            // Every collapse eliminates at least one variable and every
+            // eliminated variable came from some collapse.
+            prop_assert!(stats.vars_eliminated >= stats.cycles_collapsed);
+            prop_assert_eq!(
+                stats.search.cycles_found,
+                stats.cycles_collapsed
+            );
+        }
+    }
+
+    /// The online detector never eliminates variables that are not in a
+    /// genuine SCC (soundness of collapsing).
+    #[test]
+    fn collapses_are_sound(seed in 0u64..1_000) {
+        let program = generate(&GenConfig::sized(700, seed));
+        // Ground truth from a logged plain run (no elimination involved).
+        let mut plain = Solver::new(SolverConfig::if_plain().with_log(true));
+        andersen::generate(&program, &mut plain);
+        plain.solve();
+        let truth = plain.scc_partition();
+
+        let mut online = Solver::new(SolverConfig::if_online());
+        let (locs, _) = andersen::generate(&program, &mut online);
+        online.solve();
+        let _ = locs;
+        // Any two creation indices merged online must be in the same true SCC.
+        for &(a, b) in online.union_log() {
+            prop_assert_eq!(
+                truth.rep_of(a),
+                truth.rep_of(b),
+                "online merged {} and {} which are not equal in all solutions",
+                a,
+                b
+            );
+        }
+    }
+}
