@@ -6,6 +6,7 @@
 //! benchmark, and the per-constraint overhead of the online searches is
 //! measured directly on random sparse graphs.
 
+use bane_core::graph::{Graph, SMALL_DEGREE_MAX};
 use bane_core::prelude::*;
 use bane_model::simulate::{run as sim_run, SimConfig};
 use bane_points_to::andersen;
@@ -55,5 +56,37 @@ fn bench_online_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_forms, bench_online_overhead);
+/// Adjacency insertion cost right at the hybrid storage's promotion
+/// boundary: one below (`SMALL_DEGREE_MAX - 1`, pure linear scan), exactly
+/// at it (the last small insert), and one above (first promoted insert plus
+/// hash probes). Each iteration builds the list from scratch and then
+/// replays every entry once more as a redundant probe, so both the `New`
+/// and the `Redundant` path are exercised at that degree.
+fn bench_promotion_boundary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adjacency_promotion_boundary");
+    for degree in [SMALL_DEGREE_MAX - 1, SMALL_DEGREE_MAX, SMALL_DEGREE_MAX + 1] {
+        group.bench_with_input(
+            BenchmarkId::new("insert_and_probe", degree),
+            &degree,
+            |b, &degree| {
+                b.iter(|| {
+                    let mut graph = Graph::new();
+                    let hub = graph.push_node();
+                    let others: Vec<Var> =
+                        (0..degree).map(|_| graph.push_node()).collect();
+                    for &v in &others {
+                        std::hint::black_box(graph.insert_succ_var(hub, v));
+                    }
+                    for &v in &others {
+                        std::hint::black_box(graph.insert_succ_var(hub, v));
+                    }
+                    std::hint::black_box(graph.node(hub).succ_vars().len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forms, bench_online_overhead, bench_promotion_boundary);
 criterion_main!(benches);

@@ -108,6 +108,14 @@ pub struct Measurement {
     pub finished: bool,
     /// Edges in the final graph (canonical census).
     pub edges: usize,
+    /// Distinct edges ever inserted over the whole run (work minus redundant
+    /// attempts) — a monotone counter, so also the peak of cumulative edge
+    /// insertions. Collapses remove edges from the graph but never from this
+    /// count, which is what makes it comparable across configurations.
+    pub peak_edges: u64,
+    /// Variables still live (not forwarded into a cycle witness) at the end
+    /// of the run.
+    pub live_vars: usize,
     /// Total edge additions including redundant ones (the "Work" column).
     pub work: u64,
     /// Resolution time (best of reps; includes the least-solution pass for
@@ -173,6 +181,8 @@ pub fn run_one(
             kind,
             finished,
             edges: solver.census().total_edges(),
+            peak_edges: stats.new_edges(),
+            live_vars: solver.node_counts().live_vars,
             work: stats.work,
             time: solve_time + ls_time,
             ls_time,
@@ -236,6 +246,8 @@ pub fn analyze_bench(name: &str, program: &Program) -> (BenchInfo, Partition, Me
         kind: ExperimentKind::IfOnline,
         finished: true,
         edges: solver.census().total_edges(),
+        peak_edges: stats.new_edges(),
+        live_vars: solver.node_counts().live_vars,
         work: stats.work,
         time: solve_time + ls_time,
         ls_time,
@@ -293,6 +305,8 @@ pub fn run_sf_increasing(program: &Program, limit: u64) -> Measurement {
         kind: ExperimentKind::SfOnline,
         finished,
         edges: solver.census().total_edges(),
+        peak_edges: stats.new_edges(),
+        live_vars: solver.node_counts().live_vars,
         work: stats.work,
         time,
         ls_time: Duration::ZERO,

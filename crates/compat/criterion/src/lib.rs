@@ -1,0 +1,220 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this in-tree crate
+//! provides the API subset the workspace's benches use — benchmark groups,
+//! [`BenchmarkId`], `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — backed by a
+//! simple best/median/mean wall-clock sampler instead of criterion's
+//! statistical machinery.
+//!
+//! Reports go to stdout, one line per benchmark:
+//!
+//! ```text
+//! group/name              samples=10  min=1.234ms  median=1.301ms  mean=1.310ms
+//! ```
+//!
+//! Set `BANE_BENCH_SAMPLES` to override every group's sample count (useful
+//! for CI smoke runs).
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size: 10 }
+    }
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+
+    /// An id naming only the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark with no input parameter.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId2>, mut f: impl FnMut(&mut Bencher)) {
+        self.run(id.into().label, &mut f);
+    }
+
+    /// Runs a benchmark with an input parameter.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.run(id.label, &mut |b| f(b, input));
+    }
+
+    /// Ends the group (upstream-compatible no-op).
+    pub fn finish(self) {}
+
+    fn run(&mut self, label: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let samples = std::env::var("BANE_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.sample_size)
+            .max(1);
+        let mut bencher = Bencher { samples: Vec::with_capacity(samples), target: samples };
+        f(&mut bencher);
+        let mut sorted = bencher.samples.clone();
+        sorted.sort();
+        let min = sorted.first().copied().unwrap_or_default();
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or_default();
+        let mean = if sorted.is_empty() {
+            Duration::ZERO
+        } else {
+            sorted.iter().sum::<Duration>() / sorted.len() as u32
+        };
+        println!(
+            "{:<40} samples={}  min={}  median={}  mean={}",
+            format!("{}/{}", self.name, label),
+            sorted.len(),
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+        );
+    }
+}
+
+/// String-or-id parameter accepted by [`BenchmarkGroup::bench_function`].
+pub struct BenchmarkId2 {
+    label: String,
+}
+
+impl From<&str> for BenchmarkId2 {
+    fn from(s: &str) -> Self {
+        BenchmarkId2 { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId2 {
+    fn from(label: String) -> Self {
+        BenchmarkId2 { label }
+    }
+}
+
+impl From<BenchmarkId> for BenchmarkId2 {
+    fn from(id: BenchmarkId) -> Self {
+        BenchmarkId2 { label: id.label }
+    }
+}
+
+/// Times closures: one warm-up call, then `target` timed samples.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target: usize,
+}
+
+impl Bencher {
+    /// Benchmarks `f`, timing each call individually.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        std::hint::black_box(f()); // warm-up
+        for _ in 0..self.target {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3}s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3}us", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+/// Re-export point used by generated harness code (upstream compatibility).
+pub fn default_criterion() -> Criterion {
+    Criterion::default()
+}
+
+/// Declares a benchmark group function from a list of bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::default_criterion();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.bench_function("fib", |b| b.iter(|| (1..20u64).product::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_and_records_samples() {
+        benches();
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12ns");
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("us"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with('s'));
+    }
+}

@@ -1,0 +1,574 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this in-tree crate
+//! implements the subset of the proptest API the workspace's property tests
+//! use: the [`proptest!`] macro, [`Strategy`] with `prop_map` /
+//! `prop_flat_map`, range and tuple strategies, [`Just`],
+//! `prop::collection::vec`, simple regex string strategies, and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case reports its case number and seed; the
+//!   run is fully deterministic, so re-running reproduces it exactly.
+//! - **Deterministic seeds.** Case `i` of test `name` always uses the same
+//!   seed (derived from FNV-1a of `name` and `i`), so failures are stable
+//!   across runs and machines — stronger reproducibility than upstream's
+//!   persisted regression files, which this crate ignores.
+//! - **Regex strategies** support the subset actually used in this
+//!   workspace: concatenations of literals and character classes
+//!   (`[a-z0-9_]`, ranges, `\n`/`\t`/`\\` escapes) with optional `{m,n}`
+//!   repetition.
+
+use std::fmt::Debug;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// The deterministic generator driving value generation (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..bound` (rejection sampled; `bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let raw = self.next_u64();
+            if raw < zone {
+                return raw % bound;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of random test values.
+///
+/// Upstream proptest couples strategies to shrinkable value trees; here a
+/// strategy is simply a deterministic function of the RNG state.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (upstream compatibility shim).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { inner: std::rc::Rc::new(self) }
+    }
+}
+
+/// A type-erased strategy.
+#[derive(Clone)]
+pub struct BoxedStrategy<T> {
+    inner: std::rc::Rc<dyn ErasedStrategy<T>>,
+}
+
+trait ErasedStrategy<T> {
+    fn erased_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> ErasedStrategy<S::Value> for S {
+    fn erased_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.erased_generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The result of [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64 - self.start as i64) as u64;
+                (self.start as i64 + rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(i64, i32, i16, i8);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// String strategies from a regex-subset pattern (see the module docs).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex::generate(self, rng)
+    }
+}
+
+mod regex {
+    //! A tiny generator for the regex subset the workspace's tests use:
+    //! sequences of atoms, where an atom is a literal character or a
+    //! character class, optionally followed by `{m,n}` repetition.
+
+    use super::TestRng;
+
+    enum Atom {
+        Lit(char),
+        Class(Vec<(char, char)>),
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let (class, next) = parse_class(&chars, i + 1, pattern);
+                    i = next;
+                    Atom::Class(class)
+                }
+                '\\' => {
+                    i += 2;
+                    Atom::Lit(unescape(chars.get(i - 1).copied().unwrap_or('\\')))
+                }
+                c => {
+                    i += 1;
+                    Atom::Lit(c)
+                }
+            };
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let (lo, hi, next) = parse_rep(&chars, i + 1, pattern);
+                i = next;
+                (lo, hi)
+            } else {
+                (1, 1)
+            };
+            let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..count {
+                match &atom {
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let total: u64 =
+                            ranges.iter().map(|&(a, b)| (b as u64) - (a as u64) + 1).sum();
+                        let mut pick = rng.below(total);
+                        for &(a, b) in ranges {
+                            let span = (b as u64) - (a as u64) + 1;
+                            if pick < span {
+                                out.push(char::from_u32(a as u32 + pick as u32).unwrap());
+                                break;
+                            }
+                            pick -= span;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    /// Parses `[...]` starting just past `[`; returns (ranges, index past `]`).
+    fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<(char, char)>, usize) {
+        let mut ranges = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let lo = if chars[i] == '\\' {
+                i += 1;
+                unescape(chars[i])
+            } else {
+                chars[i]
+            };
+            i += 1;
+            if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                i += 1;
+                let hi = if chars[i] == '\\' {
+                    i += 1;
+                    unescape(chars[i])
+                } else {
+                    chars[i]
+                };
+                i += 1;
+                assert!(lo <= hi, "bad class range in regex strategy {pattern:?}");
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        assert!(i < chars.len(), "unterminated class in regex strategy {pattern:?}");
+        (ranges, i + 1)
+    }
+
+    /// Parses `{m,n}` or `{n}` starting just past `{`; returns (lo, hi, index past `}`).
+    fn parse_rep(chars: &[char], mut i: usize, pattern: &str) -> (usize, usize, usize) {
+        let mut first = String::new();
+        while i < chars.len() && chars[i].is_ascii_digit() {
+            first.push(chars[i]);
+            i += 1;
+        }
+        let lo: usize = first.parse().unwrap_or_else(|_| panic!("bad repetition in {pattern:?}"));
+        let hi = if i < chars.len() && chars[i] == ',' {
+            i += 1;
+            let mut second = String::new();
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                second.push(chars[i]);
+                i += 1;
+            }
+            second.parse().unwrap_or_else(|_| panic!("bad repetition in {pattern:?}"))
+        } else {
+            lo
+        };
+        assert!(i < chars.len() && chars[i] == '}', "unterminated repetition in {pattern:?}");
+        assert!(lo <= hi, "bad repetition bounds in {pattern:?}");
+        (lo, hi, i + 1)
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s of values from `element`, with a length
+    /// drawn uniformly from `len`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors of `element` values with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.start + rng.below((self.len.end - self.len.start).max(1) as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `prop` module alias exposed by the upstream prelude.
+pub mod prop {
+    pub use super::collection;
+}
+
+/// Per-test configuration (subset of the upstream struct).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Runs `body` for every case, with deterministic per-case seeds; on panic,
+/// reports the case number and seed before propagating the failure.
+pub fn run_cases(config: &ProptestConfig, name: &str, mut body: impl FnMut(&mut TestRng)) {
+    let base = fnv1a(name.as_bytes());
+    for case in 0..config.cases {
+        let seed = base ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(case as u64 + 1));
+        let mut rng = TestRng::new(seed);
+        let result = catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(panic) = result {
+            eprintln!(
+                "proptest property `{name}` failed at case {case}/{} (seed {seed:#x})",
+                config.cases
+            );
+            resume_unwind(panic);
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// expands to a `#[test]` running the body over random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); ) => {};
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(&config, stringify!($name), |__proptest_rng| {
+                $crate::__proptest_bind! { __proptest_rng; $($args)* }
+                $body
+            });
+        }
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: binds `pat in strategy` args.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident; $(,)?) => {};
+    ($rng:ident; $pat:pat in $strat:expr) => {
+        let $pat = $crate::Strategy::generate(&($strat), $rng);
+    };
+    ($rng:ident; $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_bind! { $rng; $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property (maps to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property (maps to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Everything the tests import (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::new(1);
+        let strat = (3usize..20, 0u64..5);
+        for _ in 0..200 {
+            let (a, b) = strat.generate(&mut rng);
+            assert!((3..20).contains(&a));
+            assert!(b < 5);
+        }
+    }
+
+    #[test]
+    fn vec_and_flat_map_compose() {
+        let mut rng = TestRng::new(2);
+        let strat = (2usize..6).prop_flat_map(|n| {
+            (Just(n), prop::collection::vec(0usize..n, 1..10))
+        });
+        for _ in 0..100 {
+            let (n, items) = strat.generate(&mut rng);
+            assert!(!items.is_empty() && items.len() < 10);
+            assert!(items.iter().all(|&x| x < n));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,8}".generate(&mut rng);
+            let bytes = s.as_bytes();
+            assert!((1..=9).contains(&bytes.len()), "{s:?}");
+            assert!(bytes[0].is_ascii_lowercase());
+            assert!(bytes[1..]
+                .iter()
+                .all(|&b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_'));
+
+            let t = "[ -~\n\t]{0,200}".generate(&mut rng);
+            assert!(t.len() <= 200);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: multiple args, trailing comma, doc comments.
+        #[test]
+        fn macro_binds_arguments(
+            n in 1usize..10,
+            xs in prop::collection::vec(0u32..100, 0..5),
+        ) {
+            prop_assert!(n >= 1 && n < 10);
+            prop_assert!(xs.len() < 5);
+        }
+
+        #[test]
+        fn second_property_in_same_block(x in 0u64..7) {
+            prop_assert_ne!(x, 7);
+        }
+    }
+}

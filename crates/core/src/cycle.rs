@@ -16,6 +16,26 @@
 //! enforced explicitly, and the paper also mentions the more expensive
 //! *increasing*-chain variant for SF (57% detection), which we implement as
 //! an ablation ([`StepOrder::Increasing`]).
+//!
+//! # Counting invariant
+//!
+//! [`SearchStats`] counters are defined *identically* for every combination
+//! of form, [`ChainDir`], and [`StepOrder`], so SF and IF runs are directly
+//! comparable:
+//!
+//! - `searches` — one per [`ChainSearch::search`] call (SF's
+//!   [`SfSearchPolicy::AlsoIncreasing`] policy therefore counts two searches
+//!   per insertion, one per step order, as the paper's cost discussion
+//!   implies);
+//! - `edges_scanned` — one per adjacency entry dequeued from a visited
+//!   node's list, counted **before** the stale/self/order filters. Stale
+//!   entries and order-rejected steps cost a scan in either form, and the
+//!   count is independent of which side (pred/succ) represents the edge — a
+//!   succ-chain search of a graph counts exactly what a pred-chain search of
+//!   the transposed graph counts;
+//! - `nodes_visited` — one per node *marked* (entered), including the start
+//!   node, excluding the target (the search returns before marking it);
+//! - `cycles_found` — one per search that returned a chain.
 
 use bane_util::idx::Idx;
 use crate::expr::Var;
@@ -112,10 +132,14 @@ impl ChainSearch {
     /// Searches for a chain from `start` to `target` along `dir` edges,
     /// every step obeying `step` with respect to `order`.
     ///
-    /// Returns the node sequence `start, …, target` if a chain exists — these
-    /// are exactly the variables on the cycle the pending edge would close.
-    /// Neighbor entries are canonicalized through `fwd`; self loops and
-    /// already-visited nodes are skipped.
+    /// On success, fills `path` with the node sequence `start, …, target` —
+    /// exactly the variables on the cycle the pending edge would close — and
+    /// returns `true`; `path` is cleared either way. The caller owns the
+    /// buffer so the hot path allocates nothing (a found path reuses the
+    /// buffer's capacity). Neighbor entries are canonicalized through `fwd`;
+    /// self loops and already-visited nodes are skipped.
+    ///
+    /// Statistics accrue per the module-level counting invariant.
     #[allow(clippy::too_many_arguments)] // the search is parameterized by the paper's five knobs
     pub fn search(
         &mut self,
@@ -127,7 +151,9 @@ impl ChainSearch {
         dir: ChainDir,
         step: StepOrder,
         stats: &mut SearchStats,
-    ) -> Option<Vec<Var>> {
+        path: &mut Vec<Var>,
+    ) -> bool {
+        path.clear();
         stats.searches += 1;
         self.visited.begin();
         self.visited.mark(start.index());
@@ -146,6 +172,8 @@ impl ChainSearch {
             }
             let raw = list[frame.next_child];
             self.stack.last_mut().expect("frame exists").next_child += 1;
+            // The single counting site for `edges_scanned`: every dequeued
+            // entry, before any filtering (see the module docs).
             stats.edges_scanned += 1;
 
             let v = fwd.find_const(raw);
@@ -162,16 +190,16 @@ impl ChainSearch {
             }
             if v == target {
                 stats.cycles_found += 1;
-                let mut path: Vec<Var> = self.stack.iter().map(|f| f.node).collect();
+                path.extend(self.stack.iter().map(|f| f.node));
                 path.push(target);
-                return Some(path);
+                return true;
             }
             if self.visited.mark(v.index()) {
                 stats.nodes_visited += 1;
                 self.stack.push(Frame { node: v, next_child: 0 });
             }
         }
-        None
+        false
     }
 
     /// Grows the visited set to cover `capacity` variables.
@@ -202,6 +230,23 @@ mod tests {
         Var::new(i)
     }
 
+    /// Test convenience over the out-param API: returns the found path.
+    #[allow(clippy::too_many_arguments)]
+    fn run(
+        s: &mut ChainSearch,
+        g: &Graph,
+        f: &Forwarding,
+        o: &VarOrder,
+        start: Var,
+        target: Var,
+        dir: ChainDir,
+        step: StepOrder,
+        st: &mut SearchStats,
+    ) -> Option<Vec<Var>> {
+        let mut path = Vec::new();
+        s.search(g, f, o, start, target, dir, step, st, &mut path).then_some(path)
+    }
+
     #[test]
     fn finds_direct_pred_chain() {
         let (mut g, f, o, mut s) = setup(3);
@@ -209,8 +254,7 @@ mod tests {
         g.insert_pred_var(v(1), v(0));
         g.insert_pred_var(v(2), v(1));
         let mut st = SearchStats::default();
-        let path = s
-            .search(&g, &f, &o, v(2), v(0), ChainDir::Pred, StepOrder::Decreasing, &mut st)
+        let path = run(&mut s, &g, &f, &o, v(2), v(0), ChainDir::Pred, StepOrder::Decreasing, &mut st)
             .expect("chain exists");
         assert_eq!(path, vec![v(2), v(1), v(0)]);
         assert_eq!(st.cycles_found, 1);
@@ -226,11 +270,11 @@ mod tests {
         g.insert_succ_var(v(2), v(1));
         let mut st = SearchStats::default();
         let found =
-            s.search(&g, &f, &o, v(0), v(1), ChainDir::Succ, StepOrder::Decreasing, &mut st);
+            run(&mut s, &g, &f, &o, v(0), v(1), ChainDir::Succ, StepOrder::Decreasing, &mut st);
         assert!(found.is_none());
         // An unrestricted (full DFS) search finds it.
         let found =
-            s.search(&g, &f, &o, v(0), v(1), ChainDir::Succ, StepOrder::Unrestricted, &mut st);
+            run(&mut s, &g, &f, &o, v(0), v(1), ChainDir::Succ, StepOrder::Unrestricted, &mut st);
         assert_eq!(found.unwrap(), vec![v(0), v(2), v(1)]);
     }
 
@@ -240,10 +284,11 @@ mod tests {
         g.insert_succ_var(v(0), v(1));
         g.insert_succ_var(v(1), v(2));
         let mut st = SearchStats::default();
-        let up = s.search(&g, &f, &o, v(0), v(2), ChainDir::Succ, StepOrder::Increasing, &mut st);
+        let up =
+            run(&mut s, &g, &f, &o, v(0), v(2), ChainDir::Succ, StepOrder::Increasing, &mut st);
         assert_eq!(up.unwrap(), vec![v(0), v(1), v(2)]);
         let down =
-            s.search(&g, &f, &o, v(0), v(2), ChainDir::Succ, StepOrder::Decreasing, &mut st);
+            run(&mut s, &g, &f, &o, v(0), v(2), ChainDir::Succ, StepOrder::Decreasing, &mut st);
         assert!(down.is_none());
     }
 
@@ -256,7 +301,7 @@ mod tests {
         g.insert_pred_var(v(0), v(1));
         let mut st = SearchStats::default();
         let found =
-            s.search(&g, &f, &o, v(0), v(1), ChainDir::Pred, StepOrder::Decreasing, &mut st);
+            run(&mut s, &g, &f, &o, v(0), v(1), ChainDir::Pred, StepOrder::Decreasing, &mut st);
         assert!(found.is_none());
     }
 
@@ -269,21 +314,36 @@ mod tests {
         g.insert_pred_var(v(2), v(1));
         g.insert_pred_var(v(1), v(0));
         let mut st = SearchStats::default();
-        let path = s
-            .search(&g, &f, &o, v(2), v(0), ChainDir::Pred, StepOrder::Decreasing, &mut st)
+        let path = run(&mut s, &g, &f, &o, v(2), v(0), ChainDir::Pred, StepOrder::Decreasing, &mut st)
             .expect("chain through live edges");
         assert_eq!(path, vec![v(2), v(1), v(0)]);
     }
 
     #[test]
-    fn no_chain_returns_none_without_cycles_found() {
+    fn no_chain_returns_false_without_cycles_found() {
         let (g, f, o, mut s) = setup(3);
         let mut st = SearchStats::default();
         let found =
-            s.search(&g, &f, &o, v(2), v(0), ChainDir::Pred, StepOrder::Decreasing, &mut st);
+            run(&mut s, &g, &f, &o, v(2), v(0), ChainDir::Pred, StepOrder::Decreasing, &mut st);
         assert!(found.is_none());
         assert_eq!(st.cycles_found, 0);
         assert_eq!(st.searches, 1);
+    }
+
+    #[test]
+    fn found_path_reuses_the_callers_buffer() {
+        let (mut g, f, o, mut s) = setup(3);
+        g.insert_pred_var(v(1), v(0));
+        g.insert_pred_var(v(2), v(1));
+        let mut st = SearchStats::default();
+        let mut path = vec![v(2); 64]; // stale content + capacity
+        let cap = path.capacity();
+        assert!(s.search(&g, &f, &o, v(2), v(0), ChainDir::Pred, StepOrder::Decreasing, &mut st, &mut path));
+        assert_eq!(path, vec![v(2), v(1), v(0)], "buffer was cleared first");
+        assert_eq!(path.capacity(), cap, "no reallocation for short paths");
+        // A failed search leaves the buffer cleared.
+        assert!(!s.search(&g, &f, &o, v(0), v(2), ChainDir::Pred, StepOrder::Decreasing, &mut st, &mut path));
+        assert!(path.is_empty());
     }
 
     #[test]
@@ -299,7 +359,8 @@ mod tests {
         }
         let mut st = SearchStats::default();
         // Search for an absent target: forces full exploration.
-        let found = s.search(
+        let found = run(
+            &mut s,
             &g,
             &f,
             &o,
@@ -311,5 +372,57 @@ mod tests {
         );
         assert!(found.is_none());
         assert!(st.nodes_visited <= n as u64 + 1, "marks keep the walk linear");
+    }
+
+    /// The module-doc counting invariant, checked directly: a succ-chain
+    /// search (SF's direction) over a random graph produces *identical*
+    /// [`SearchStats`] to a pred-chain search (IF's direction) over the
+    /// transposed graph with mirrored entry order.
+    #[test]
+    fn stats_are_mirror_symmetric_between_sf_and_if_directions() {
+        use bane_util::SplitMix64;
+        let mut rng = SplitMix64::new(0xC0FFEE);
+        for round in 0..50 {
+            let n = 24;
+            let (mut g_succ, mut f, o, mut s) = setup(n);
+            let mut g_pred = Graph::new();
+            for _ in 0..n {
+                g_pred.push_node();
+            }
+            // Random edges inserted into both graphs in the same order, once
+            // as succ edges and once (transposed) as pred edges, so list
+            // entry order mirrors exactly. A few collapses make stale and
+            // self entries appear on both sides identically.
+            for _ in 0..60 {
+                let a = v(rng.next_below(n as u64) as usize);
+                let b = v(rng.next_below(n as u64) as usize);
+                g_succ.insert_succ_var(a, b);
+                g_pred.insert_pred_var(a, b);
+            }
+            for _ in 0..3 {
+                let a = v(rng.next_below(n as u64) as usize);
+                let b = v(rng.next_below(n as u64) as usize);
+                f.union_into(a, b);
+            }
+            for _ in 0..8 {
+                let start = f.find_const(v(rng.next_below(n as u64) as usize));
+                let target = v(rng.next_below(n as u64 + 1) as usize); // may be absent
+                for step in [StepOrder::Decreasing, StepOrder::Increasing, StepOrder::Unrestricted]
+                {
+                    let mut st_succ = SearchStats::default();
+                    let mut st_pred = SearchStats::default();
+                    let p1 = run(
+                        &mut s, &g_succ, &f, &o, start, target, ChainDir::Succ, step,
+                        &mut st_succ,
+                    );
+                    let p2 = run(
+                        &mut s, &g_pred, &f, &o, start, target, ChainDir::Pred, step,
+                        &mut st_pred,
+                    );
+                    assert_eq!(st_succ, st_pred, "round {round} {step:?}");
+                    assert_eq!(p1, p2, "round {round} {step:?}");
+                }
+            }
+        }
     }
 }

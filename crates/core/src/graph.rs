@@ -12,60 +12,188 @@
 //!   representation is chosen by the variable order (see
 //!   [`solver`](crate::solver)).
 //!
-//! Each adjacency list is paired with a dedup set so the solver can tell a
-//! *new* edge from a *redundant* addition — the paper's "Work" metric counts
-//! both. After cycles collapse, list entries can become stale (they name a
-//! forwarded variable); the solver canonicalizes lazily on traversal.
+//! # Hybrid adjacency representation
+//!
+//! Each adjacency list is an [`AdjList`]: an insertion-ordered `Vec` of
+//! entries plus a membership structure that adapts to the degree. Up to
+//! [`SMALL_DEGREE_MAX`] entries, membership is a linear scan of the `Vec`
+//! itself — no hash set is allocated at all, which covers the vast majority
+//! of nodes in the paper's sparse graphs (final density ≈ 2 edges per
+//! variable). Past the threshold the list *promotes*: a hash set over the
+//! inserted ids is built once and maintained from then on. A promoted list
+//! reverts to small mode only when its node collapses and
+//! [`take_edges`](Graph::take_edges) empties it.
+//!
+//! The distinction a caller can observe is `Insert::New` vs
+//! `Insert::Redundant` — the paper's "Work" metric counts both — and the
+//! hybrid keeps that classification *exactly* as a plain always-hashed
+//! implementation would: membership is decided on the **raw inserted ids**
+//! in both modes (the small list holds exactly the distinct raw ids, in
+//! insertion order, so a scan of it is the same predicate as a set lookup).
+//!
+//! # Stale entries and eager compaction
+//!
+//! After cycles collapse, list entries can become stale: they name a
+//! variable that has been forwarded into a witness. Traversals canonicalize
+//! entries through [`Forwarding`] on the fly, which is correct but makes
+//! every later traversal re-walk forwarding chains. [`Graph::compact_node`]
+//! eagerly rewrites stale entries *in place* to their current
+//! representative, once per node per collapse epoch (stamped with
+//! [`Forwarding::collapsed_count`]).
+//!
+//! Compaction deliberately preserves two things, keeping the Work and census
+//! counters byte-identical to an uncompacted run:
+//!
+//! 1. **The traversal multiset.** Entries are rewritten, never removed or
+//!    deduplicated — a stale duplicate still produces the same (redundant)
+//!    re-assertion work it always did, entry for entry, in the same order.
+//! 2. **The dedup domain.** Membership stays keyed by the raw ids the edges
+//!    were inserted with. Only *promoted* lists are compacted: their
+//!    membership lives in the hash set, which compaction leaves untouched.
+//!    Small lists double as their own membership structure, so rewriting
+//!    them would change which future insertions count as redundant — they
+//!    are left as-is (they are at most [`SMALL_DEGREE_MAX`] entries long, so
+//!    the canonicalize-on-traversal cost is bounded anyway).
 
 use crate::expr::{TermId, Var};
 use crate::forward::Forwarding;
 use bane_util::idx::IdxVec;
 use bane_util::FxHashSet;
+use std::hash::Hash;
+
+/// Maximum number of entries an adjacency list holds before promoting from
+/// linear-scan membership to a hash set.
+///
+/// 16 entries of a 4-byte id span a single cache line; a scan of them is
+/// consistently cheaper than hashing, and the paper's final graphs average
+/// about two variable-variable edges per node, so almost every list stays in
+/// small mode for its whole life.
+pub const SMALL_DEGREE_MAX: usize = 16;
+
+/// One adjacency list: insertion-ordered entries with degree-adaptive
+/// membership (see the [module docs](self)).
+#[derive(Clone, Debug)]
+pub struct AdjList<T> {
+    /// Distinct inserted ids, in insertion order. After promotion, entries
+    /// may be rewritten to their canonical representative by compaction; the
+    /// length and order never change outside [`AdjList::take`].
+    items: Vec<T>,
+    /// Raw inserted ids; empty exactly while the list is in small mode.
+    set: FxHashSet<T>,
+}
+
+// Manual impl: the derive would needlessly require `T: Default`.
+impl<T> Default for AdjList<T> {
+    fn default() -> Self {
+        AdjList { items: Vec::new(), set: FxHashSet::default() }
+    }
+}
+
+impl<T: Copy + Eq + Hash> AdjList<T> {
+    /// The entries, in insertion order.
+    #[inline]
+    fn as_slice(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Whether the list has promoted to hash-set membership.
+    #[inline]
+    fn is_promoted(&self) -> bool {
+        !self.set.is_empty()
+    }
+
+    /// Whether `item` (a raw id) was inserted before.
+    #[inline]
+    fn contains(&self, item: T) -> bool {
+        if self.is_promoted() {
+            self.set.contains(&item)
+        } else {
+            self.items.contains(&item)
+        }
+    }
+
+    /// Records `item`, reporting whether it is new. Promotes to a hash set
+    /// when the small list outgrows [`SMALL_DEGREE_MAX`].
+    #[inline]
+    fn insert(&mut self, item: T) -> Insert {
+        if self.is_promoted() {
+            if self.set.insert(item) {
+                self.items.push(item);
+                Insert::New
+            } else {
+                Insert::Redundant
+            }
+        } else {
+            if self.items.contains(&item) {
+                return Insert::Redundant;
+            }
+            self.items.push(item);
+            if self.items.len() > SMALL_DEGREE_MAX {
+                self.set.extend(self.items.iter().copied());
+            }
+            Insert::New
+        }
+    }
+
+    /// Empties the list, returning the entries and reverting to small mode.
+    fn take(&mut self) -> Vec<T> {
+        self.set.clear();
+        std::mem::take(&mut self.items)
+    }
+}
+
+impl AdjList<Var> {
+    /// Rewrites stale entries to their representative (promoted lists only;
+    /// see the module docs for why small lists must keep raw ids).
+    fn canonicalize(&mut self, fwd: &Forwarding) {
+        if !self.is_promoted() {
+            return;
+        }
+        for entry in &mut self.items {
+            *entry = fwd.find_const(*entry);
+        }
+    }
+}
 
 /// Adjacency lists of one variable node.
 #[derive(Clone, Debug, Default)]
 pub struct VarNode {
-    pred_vars: Vec<Var>,
-    succ_vars: Vec<Var>,
-    pred_srcs: Vec<TermId>,
-    succ_snks: Vec<TermId>,
-    pred_var_set: FxHashSet<Var>,
-    succ_var_set: FxHashSet<Var>,
-    pred_src_set: FxHashSet<TermId>,
-    succ_snk_set: FxHashSet<TermId>,
+    pred_vars: AdjList<Var>,
+    succ_vars: AdjList<Var>,
+    pred_srcs: AdjList<TermId>,
+    succ_snks: AdjList<TermId>,
+    /// [`Forwarding::collapsed_count`] as of the last
+    /// [`Graph::compact_node`] call; entries may be stale beyond it.
+    compacted_at: usize,
 }
 
 impl VarNode {
     /// Variables with a predecessor edge into this node (`v ⋯→ self`).
     pub fn pred_vars(&self) -> &[Var] {
-        &self.pred_vars
+        self.pred_vars.as_slice()
     }
 
     /// Variables this node has a successor edge to (`self → v`).
     pub fn succ_vars(&self) -> &[Var] {
-        &self.succ_vars
+        self.succ_vars.as_slice()
     }
 
     /// Source terms flowing into this node (`c(…) ⋯→ self`).
     pub fn pred_srcs(&self) -> &[TermId] {
-        &self.pred_srcs
+        self.pred_srcs.as_slice()
     }
 
     /// Sink terms this node flows into (`self → c(…)`).
     pub fn succ_snks(&self) -> &[TermId] {
-        &self.succ_snks
+        self.succ_snks.as_slice()
     }
 
     fn take(&mut self) -> TakenEdges {
-        self.pred_var_set.clear();
-        self.succ_var_set.clear();
-        self.pred_src_set.clear();
-        self.succ_snk_set.clear();
         TakenEdges {
-            pred_vars: std::mem::take(&mut self.pred_vars),
-            succ_vars: std::mem::take(&mut self.succ_vars),
-            pred_srcs: std::mem::take(&mut self.pred_srcs),
-            succ_snks: std::mem::take(&mut self.succ_snks),
+            pred_vars: self.pred_vars.take(),
+            succ_vars: self.succ_vars.take(),
+            pred_srcs: self.pred_srcs.take(),
+            succ_snks: self.succ_snks.take(),
         }
     }
 }
@@ -147,72 +275,67 @@ impl Graph {
     /// Whether the predecessor edge `x ⋯→ y` is present (under the ids the
     /// edge was inserted with; stale entries are the solver's concern).
     pub fn has_pred_var(&self, y: Var, x: Var) -> bool {
-        self.nodes[y].pred_var_set.contains(&x)
+        self.nodes[y].pred_vars.contains(x)
     }
 
     /// Whether the successor edge `x → y` is present.
     pub fn has_succ_var(&self, x: Var, y: Var) -> bool {
-        self.nodes[x].succ_var_set.contains(&y)
+        self.nodes[x].succ_vars.contains(y)
     }
 
     /// Whether the source edge `src ⋯→ y` is present.
     pub fn has_src(&self, y: Var, src: TermId) -> bool {
-        self.nodes[y].pred_src_set.contains(&src)
+        self.nodes[y].pred_srcs.contains(src)
     }
 
     /// Whether the sink edge `x → snk` is present.
     pub fn has_snk(&self, x: Var, snk: TermId) -> bool {
-        self.nodes[x].succ_snk_set.contains(&snk)
+        self.nodes[x].succ_snks.contains(snk)
     }
 
     /// Inserts the predecessor edge `x ⋯→ y` (a variable-variable constraint
     /// represented on the predecessor side; inductive form only).
     pub fn insert_pred_var(&mut self, y: Var, x: Var) -> Insert {
-        let node = &mut self.nodes[y];
-        if node.pred_var_set.insert(x) {
-            node.pred_vars.push(x);
-            Insert::New
-        } else {
-            Insert::Redundant
-        }
+        self.nodes[y].pred_vars.insert(x)
     }
 
     /// Inserts the successor edge `x → y`.
     pub fn insert_succ_var(&mut self, x: Var, y: Var) -> Insert {
-        let node = &mut self.nodes[x];
-        if node.succ_var_set.insert(y) {
-            node.succ_vars.push(y);
-            Insert::New
-        } else {
-            Insert::Redundant
-        }
+        self.nodes[x].succ_vars.insert(y)
     }
 
     /// Inserts the source edge `src ⋯→ y`.
     pub fn insert_src(&mut self, y: Var, src: TermId) -> Insert {
-        let node = &mut self.nodes[y];
-        if node.pred_src_set.insert(src) {
-            node.pred_srcs.push(src);
-            Insert::New
-        } else {
-            Insert::Redundant
-        }
+        self.nodes[y].pred_srcs.insert(src)
     }
 
     /// Inserts the sink edge `x → snk`.
     pub fn insert_snk(&mut self, x: Var, snk: TermId) -> Insert {
-        let node = &mut self.nodes[x];
-        if node.succ_snk_set.insert(snk) {
-            node.succ_snks.push(snk);
-            Insert::New
-        } else {
-            Insert::Redundant
-        }
+        self.nodes[x].succ_snks.insert(snk)
     }
 
     /// Strips all edges off `v` (used when `v` collapses into a witness).
     pub fn take_edges(&mut self, v: Var) -> TakenEdges {
         self.nodes[v].take()
+    }
+
+    /// Eagerly rewrites stale variable entries of `v`'s promoted lists to
+    /// their current representative, at most once per collapse epoch.
+    ///
+    /// Call before traversing `v`'s lists; a no-op when nothing collapsed
+    /// since the last call. See the [module docs](self) for the exact
+    /// compaction contract (entries are rewritten, never removed, and
+    /// membership stays keyed by raw ids).
+    #[inline]
+    pub fn compact_node(&mut self, v: Var, fwd: &Forwarding) {
+        let node = &mut self.nodes[v];
+        let epoch = fwd.collapsed_count();
+        if node.compacted_at == epoch {
+            return;
+        }
+        node.compacted_at = epoch;
+        node.pred_vars.canonicalize(fwd);
+        node.succ_vars.canonicalize(fwd);
     }
 
     /// Counts distinct canonical edges and live nodes.
@@ -230,24 +353,24 @@ impl Graph {
                 continue; // collapsed away
             }
             census.live_vars += 1;
-            for &u in &node.pred_vars {
+            for &u in node.pred_vars.as_slice() {
                 let u = fwd.find_const(u);
                 if u != v && var_seen.insert((u, v)) {
                     census.var_var_edges += 1;
                 }
             }
-            for &u in &node.succ_vars {
+            for &u in node.succ_vars.as_slice() {
                 let u = fwd.find_const(u);
                 if u != v && var_seen.insert((v, u)) {
                     census.var_var_edges += 1;
                 }
             }
-            for &s in &node.pred_srcs {
+            for &s in node.pred_srcs.as_slice() {
                 if src_seen.insert((v, s)) {
                     census.src_edges += 1;
                 }
             }
-            for &s in &node.succ_snks {
+            for &s in node.succ_snks.as_slice() {
                 if snk_seen.insert((v, s)) {
                     census.snk_edges += 1;
                 }
@@ -265,13 +388,13 @@ impl Graph {
             if fwd.find_const(v) != v {
                 continue;
             }
-            for &u in &node.pred_vars {
+            for &u in node.pred_vars.as_slice() {
                 let u = fwd.find_const(u);
                 if u != v && seen.insert((u, v)) {
                     edges.push((u, v));
                 }
             }
-            for &u in &node.succ_vars {
+            for &u in node.succ_vars.as_slice() {
                 let u = fwd.find_const(u);
                 if u != v && seen.insert((v, u)) {
                     edges.push((v, u));
@@ -363,5 +486,88 @@ mod tests {
         let mut edges = g.var_var_edges(&f);
         edges.sort();
         assert_eq!(edges, vec![(vs[0], vs[1]), (vs[1], vs[2])]);
+    }
+
+    #[test]
+    fn promotion_preserves_classification_and_order() {
+        let n = 3 * SMALL_DEGREE_MAX;
+        let (mut g, _) = graph_with(n + 1);
+        let hub = Var::new(n);
+        // Insert straddling the promotion boundary, with every insert
+        // repeated: the Redundant classification must not notice the switch.
+        for i in 0..n {
+            assert_eq!(g.insert_succ_var(hub, Var::new(i)), Insert::New, "i={i}");
+            assert_eq!(g.insert_succ_var(hub, Var::new(i)), Insert::Redundant, "i={i}");
+            assert!(g.has_succ_var(hub, Var::new(i)));
+        }
+        // Insertion order is preserved across the promotion.
+        let expect: Vec<Var> = (0..n).map(Var::new).collect();
+        assert_eq!(g.node(hub).succ_vars(), expect.as_slice());
+    }
+
+    #[test]
+    fn take_reverts_promoted_list_to_small_mode() {
+        let n = SMALL_DEGREE_MAX + 5;
+        let (mut g, _) = graph_with(n + 1);
+        let hub = Var::new(n);
+        for i in 0..n {
+            g.insert_pred_var(hub, Var::new(i));
+        }
+        let taken = g.take_edges(hub);
+        assert_eq!(taken.pred_vars.len(), n);
+        // After take, inserts classify as New again (fresh membership).
+        assert_eq!(g.insert_pred_var(hub, Var::new(0)), Insert::New);
+        assert_eq!(g.insert_pred_var(hub, Var::new(0)), Insert::Redundant);
+    }
+
+    #[test]
+    fn compaction_rewrites_promoted_entries_in_place() {
+        let n = SMALL_DEGREE_MAX + 4;
+        let (mut g, mut f) = graph_with(n + 2);
+        let hub = Var::new(n);
+        let witness = Var::new(n + 1);
+        for i in 0..n {
+            g.insert_succ_var(hub, Var::new(i));
+        }
+        // Collapse v0 into the witness; the hub's entry for v0 goes stale.
+        f.union_into(Var::new(0), witness);
+        g.compact_node(hub, &f);
+        assert_eq!(g.node(hub).succ_vars()[0], witness, "entry rewritten");
+        assert_eq!(g.node(hub).succ_vars().len(), n, "nothing removed");
+        // Membership stays keyed by the raw inserted ids: the stale id is
+        // still redundant, the witness it now points to is still new.
+        assert_eq!(g.insert_succ_var(hub, Var::new(0)), Insert::Redundant);
+        assert_eq!(g.insert_succ_var(hub, witness), Insert::New);
+    }
+
+    #[test]
+    fn compaction_leaves_small_lists_untouched() {
+        let (mut g, mut f) = graph_with(3);
+        let (a, b, c) = (Var::new(0), Var::new(1), Var::new(2));
+        g.insert_succ_var(a, b);
+        f.union_into(b, c);
+        g.compact_node(a, &f);
+        // The raw id is preserved: membership would change otherwise.
+        assert_eq!(g.node(a).succ_vars(), &[b]);
+        assert_eq!(g.insert_succ_var(a, b), Insert::Redundant);
+        assert_eq!(g.insert_succ_var(a, c), Insert::New);
+    }
+
+    #[test]
+    fn compaction_is_stamped_per_collapse_epoch() {
+        let n = SMALL_DEGREE_MAX + 1;
+        let (mut g, mut f) = graph_with(n + 3);
+        let hub = Var::new(n);
+        for i in 0..n {
+            g.insert_succ_var(hub, Var::new(i));
+        }
+        f.union_into(Var::new(0), Var::new(n + 1));
+        g.compact_node(hub, &f);
+        assert_eq!(g.node(hub).succ_vars()[0], Var::new(n + 1));
+        // A second collapse re-stales the same entry; a fresh compact call
+        // (new epoch) must pick it up.
+        f.union_into(Var::new(n + 1), Var::new(n + 2));
+        g.compact_node(hub, &f);
+        assert_eq!(g.node(hub).succ_vars()[0], Var::new(n + 2));
     }
 }

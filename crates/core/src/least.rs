@@ -19,10 +19,18 @@ use crate::solver::{Form, Solver};
 
 /// The least solution of a solved constraint system: for every variable, the
 /// sorted set of source terms it contains.
+///
+/// Sets are stored back to back in one arena with per-variable spans rather
+/// than as a `Vec` per variable: building the solution then costs one
+/// amortized allocation total instead of one per variable, and reading
+/// consecutive sets walks contiguous memory.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LeastSolution {
     rep: Vec<Var>,
-    sets: Vec<Vec<TermId>>,
+    arena: Vec<TermId>,
+    /// `spans[i]` is the arena range of canonical variable `i`'s set
+    /// (`0..0` for collapsed variables, which resolve through `rep`).
+    spans: Vec<(u32, u32)>,
 }
 
 impl LeastSolution {
@@ -34,7 +42,8 @@ impl LeastSolution {
     ///
     /// Panics if `v` does not belong to the solver that produced this value.
     pub fn get(&self, v: Var) -> &[TermId] {
-        &self.sets[self.rep[v.index()].index()]
+        let (start, end) = self.spans[self.rep[v.index()].index()];
+        &self.arena[start as usize..end as usize]
     }
 
     /// `|LS(v)|`.
@@ -59,12 +68,7 @@ impl LeastSolution {
 
     /// Sum of set sizes over canonical variables.
     pub fn total_entries(&self) -> usize {
-        self.rep
-            .iter()
-            .enumerate()
-            .filter(|&(i, &r)| r.index() == i)
-            .map(|(i, _)| self.sets[i].len())
-            .sum()
+        self.arena.len()
     }
 }
 
@@ -81,25 +85,91 @@ impl Solver {
         for i in 0..n {
             rep.push(fwd.find_const(Var::new(i)));
         }
-        let mut sets: Vec<Vec<TermId>> = vec![Vec::new(); n];
+        // All sets share one arena; `acc` is the only working buffer and is
+        // reused across variables, so the pass allocates O(1) vectors total
+        // instead of one `Vec` per variable.
+        let mut spans: Vec<(u32, u32)> = vec![(0, 0); n];
+        let mut arena: Vec<TermId> = Vec::new();
+        let mut acc: Vec<TermId> = Vec::new();
         let mut reps: Vec<Var> =
             (0..n).map(Var::new).filter(|&v| rep[v.index()] == v).collect();
+
+        /// Sorts, dedups, and appends `acc` to the arena as `v`'s span.
+        fn commit(
+            acc: &mut Vec<TermId>,
+            arena: &mut Vec<TermId>,
+            spans: &mut [(u32, u32)],
+            v: Var,
+        ) {
+            acc.sort_unstable();
+            acc.dedup();
+            append(acc, arena, spans, v);
+        }
+
+        /// Appends already-sorted, already-distinct `set` as `v`'s span.
+        fn append(
+            set: &[TermId],
+            arena: &mut Vec<TermId>,
+            spans: &mut [(u32, u32)],
+            v: Var,
+        ) {
+            let start = u32::try_from(arena.len()).expect("least-solution arena overflow");
+            arena.extend_from_slice(set);
+            let end = u32::try_from(arena.len()).expect("least-solution arena overflow");
+            spans[v.index()] = (start, end);
+        }
+
+        /// Merges two sorted distinct slices onto the end of `out`, dropping
+        /// duplicates across the two.
+        fn merge_dedup(a: &[TermId], b: &[TermId], out: &mut Vec<TermId>) {
+            out.reserve(a.len() + b.len());
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => {
+                        out.push(a[i]);
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        out.push(b[j]);
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        out.push(a[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            out.extend_from_slice(&a[i..]);
+            out.extend_from_slice(&b[j..]);
+        }
 
         match form {
             Form::Standard => {
                 for &v in &reps {
-                    let mut acc: Vec<TermId> = graph.node(v).pred_srcs().to_vec();
-                    acc.sort_unstable();
-                    acc.dedup();
-                    sets[v.index()] = acc;
+                    acc.clear();
+                    acc.extend_from_slice(graph.node(v).pred_srcs());
+                    commit(&mut acc, &mut arena, &mut spans, v);
                 }
             }
             Form::Inductive => {
                 // Predecessor edges always point from smaller to larger
                 // order, so ascending order is a valid evaluation order.
                 reps.sort_by_key(|&v| order.key(v));
+                // Reusable per-variable buffers: the sorted own-source run,
+                // the canonical predecessor spans feeding this variable, and
+                // the ping-pong state of the pairwise merge.
+                let mut srcs: Vec<TermId> = Vec::new();
+                let mut runs: Vec<(u32, u32)> = Vec::new();
+                let mut buf_b: Vec<TermId> = Vec::new();
+                let mut bounds_a: Vec<(u32, u32)> = Vec::new();
+                let mut bounds_b: Vec<(u32, u32)> = Vec::new();
                 for &v in &reps {
-                    let mut acc: Vec<TermId> = graph.node(v).pred_srcs().to_vec();
+                    srcs.clear();
+                    srcs.extend_from_slice(graph.node(v).pred_srcs());
+                    srcs.sort_unstable();
+                    runs.clear();
                     for &raw in graph.node(v).pred_vars() {
                         let u = fwd.find_const(raw);
                         if u == v {
@@ -109,15 +179,86 @@ impl Solver {
                             order.lt(u, v),
                             "inductive invariant: pred edges decrease the order"
                         );
-                        acc.extend_from_slice(&sets[u.index()]);
+                        let span = spans[u.index()];
+                        if span.1 > span.0 {
+                            runs.push(span);
+                        }
                     }
-                    acc.sort_unstable();
-                    acc.dedup();
-                    sets[v.index()] = acc;
+                    // The inputs are sorted runs (each span is sorted and
+                    // distinct; `srcs` is sorted and raw-distinct), so small
+                    // arities merge linearly instead of re-sorting. The
+                    // common cases by far are zero or one predecessor run.
+                    match (srcs.is_empty(), runs.as_slice()) {
+                        (true, []) => spans[v.index()] = (0, 0),
+                        (false, []) => append(&srcs, &mut arena, &mut spans, v),
+                        (true, &[(s, e)]) => {
+                            let start = u32::try_from(arena.len())
+                                .expect("least-solution arena overflow");
+                            arena.extend_from_within(s as usize..e as usize);
+                            spans[v.index()] = (start, start + (e - s));
+                        }
+                        _ => {
+                            // Two or more input runs: iterated pairwise
+                            // merging, O(total · log runs) with no sort.
+                            // Level 0 reads straight out of the arena (and
+                            // `srcs`); later levels ping-pong between two
+                            // scratch buffers.
+                            let extra = usize::from(!srcs.is_empty());
+                            let total = runs.len() + extra;
+                            let input = |i: usize| -> &[TermId] {
+                                if i < extra {
+                                    &srcs
+                                } else {
+                                    let (s, e) = runs[i - extra];
+                                    &arena[s as usize..e as usize]
+                                }
+                            };
+                            acc.clear();
+                            bounds_a.clear();
+                            let mut i = 0;
+                            while i < total {
+                                let start = acc.len() as u32;
+                                if i + 1 < total {
+                                    merge_dedup(input(i), input(i + 1), &mut acc);
+                                    i += 2;
+                                } else {
+                                    acc.extend_from_slice(input(i));
+                                    i += 1;
+                                }
+                                bounds_a.push((start, acc.len() as u32));
+                            }
+                            while bounds_a.len() > 1 {
+                                buf_b.clear();
+                                bounds_b.clear();
+                                let mut i = 0;
+                                while i < bounds_a.len() {
+                                    let start = buf_b.len() as u32;
+                                    if i + 1 < bounds_a.len() {
+                                        let (s1, e1) = bounds_a[i];
+                                        let (s2, e2) = bounds_a[i + 1];
+                                        merge_dedup(
+                                            &acc[s1 as usize..e1 as usize],
+                                            &acc[s2 as usize..e2 as usize],
+                                            &mut buf_b,
+                                        );
+                                        i += 2;
+                                    } else {
+                                        let (s, e) = bounds_a[i];
+                                        buf_b.extend_from_slice(&acc[s as usize..e as usize]);
+                                        i += 1;
+                                    }
+                                    bounds_b.push((start, buf_b.len() as u32));
+                                }
+                                std::mem::swap(&mut acc, &mut buf_b);
+                                std::mem::swap(&mut bounds_a, &mut bounds_b);
+                            }
+                            append(&acc, &mut arena, &mut spans, v);
+                        }
+                    }
                 }
             }
         }
-        LeastSolution { rep, sets }
+        LeastSolution { rep, arena, spans }
     }
 }
 

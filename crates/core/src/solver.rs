@@ -44,7 +44,7 @@ use crate::forward::Forwarding;
 use crate::graph::{Graph, GraphCensus, Insert};
 use crate::oracle::Partition;
 use crate::order::{OrderPolicy, VarOrder};
-use crate::scc::{tarjan, SccStats};
+use crate::scc::{tarjan, tarjan_with, SccStats, TarjanScratch};
 use crate::stats::Stats;
 use bane_util::FxHashSet;
 use std::collections::VecDeque;
@@ -196,6 +196,13 @@ pub struct Solver {
     order: VarOrder,
     search: ChainSearch,
     pending: VecDeque<(SetExpr, SetExpr)>,
+    // Reusable buffers: steady-state resolution must not allocate per
+    // processed constraint, so the cycle path, the collapse member list, and
+    // the periodic-pass Tarjan bookkeeping all live on the solver and are
+    // loaned out with `mem::take` where borrow splitting needs it.
+    path_buf: Vec<Var>,
+    members_buf: Vec<Var>,
+    scc_scratch: TarjanScratch,
     stats: Stats,
     errors: Vec<Inconsistency>,
     one_term: TermId,
@@ -240,6 +247,9 @@ impl Solver {
             order: VarOrder::new(config.order),
             search: ChainSearch::new(1024),
             pending: VecDeque::new(),
+            path_buf: Vec::new(),
+            members_buf: Vec::new(),
+            scc_scratch: TarjanScratch::default(),
             stats: Stats::default(),
             errors: Vec::new(),
             one_term,
@@ -371,11 +381,14 @@ impl Solver {
         for (a, b) in edges {
             adj[a.index()].push(b.raw());
         }
-        let scc = tarjan(n, &adj);
+        let scc = tarjan_with(&mut self.scc_scratch, n, &adj);
+        let mut members = std::mem::take(&mut self.path_buf);
         for comp in scc.nontrivial() {
-            let members: Vec<Var> = comp.iter().map(|&i| Var::new(i as usize)).collect();
+            members.clear();
+            members.extend(comp.iter().map(|&i| Var::new(i as usize)));
             self.collapse(&members);
         }
+        self.path_buf = members;
     }
 
     fn inconsistent(&mut self, err: Inconsistency) {
@@ -443,19 +456,21 @@ impl Solver {
     /// Adds the source edge `s ⋯→ y` and fires the closure rule with `y` as
     /// the pivot: `s ⊆ R` for every successor `R` of `y`.
     fn add_src(&mut self, s: TermId, y: Var, closure: bool) {
-        self.source_terms.insert(s);
         self.stats.work += 1;
         if self.graph.insert_src(y, s) == Insert::Redundant {
             self.stats.redundant += 1;
             return;
         }
+        // A redundant addition implies the term was registered when the edge
+        // first went in, so this hash insert only runs on new edges.
+        self.source_terms.insert(s);
         if closure {
-            for i in 0..self.graph.node(y).succ_vars().len() {
-                let r = self.graph.node(y).succ_vars()[i];
+            self.graph.compact_node(y, &self.fwd);
+            let node = self.graph.node(y);
+            for &r in node.succ_vars() {
                 self.pending.push_back((SetExpr::Term(s), SetExpr::Var(r)));
             }
-            for i in 0..self.graph.node(y).succ_snks().len() {
-                let r = self.graph.node(y).succ_snks()[i];
+            for &r in node.succ_snks() {
                 self.pending.push_back((SetExpr::Term(s), SetExpr::Term(r)));
             }
         }
@@ -464,19 +479,19 @@ impl Solver {
     /// Adds the sink edge `x → t` and fires the closure rule with `x` as the
     /// pivot: `L ⊆ t` for every predecessor `L` of `x`.
     fn add_snk(&mut self, x: Var, t: TermId, closure: bool) {
-        self.sink_terms.insert(t);
         self.stats.work += 1;
         if self.graph.insert_snk(x, t) == Insert::Redundant {
             self.stats.redundant += 1;
             return;
         }
+        self.sink_terms.insert(t);
         if closure {
-            for i in 0..self.graph.node(x).pred_srcs().len() {
-                let l = self.graph.node(x).pred_srcs()[i];
+            self.graph.compact_node(x, &self.fwd);
+            let node = self.graph.node(x);
+            for &l in node.pred_srcs() {
                 self.pending.push_back((SetExpr::Term(l), SetExpr::Term(t)));
             }
-            for i in 0..self.graph.node(x).pred_vars().len() {
-                let l = self.graph.node(x).pred_vars()[i];
+            for &l in node.pred_vars() {
                 self.pending.push_back((SetExpr::Var(l), SetExpr::Term(t)));
             }
         }
@@ -501,30 +516,21 @@ impl Solver {
                 self.stats.redundant += 1;
                 return;
             }
-            if closure && self.config.cycle_elim == CycleElim::Online {
-                if let Some(path) = self.search.search(
-                    &self.graph,
-                    &self.fwd,
-                    &self.order,
-                    y,
-                    x,
-                    ChainDir::Succ,
-                    StepOrder::Decreasing,
-                    &mut self.stats.search,
-                ) {
-                    self.collapse(&path);
-                    return;
-                }
+            if closure
+                && self.config.cycle_elim == CycleElim::Online
+                && self.search_cycle(y, x, ChainDir::Succ, StepOrder::Decreasing)
+            {
+                return;
             }
             self.graph.insert_pred_var(y, x);
             self.log_varvar(x, y);
             if closure {
-                for i in 0..self.graph.node(y).succ_vars().len() {
-                    let r = self.graph.node(y).succ_vars()[i];
+                self.graph.compact_node(y, &self.fwd);
+                let node = self.graph.node(y);
+                for &r in node.succ_vars() {
                     self.pending.push_back((SetExpr::Var(x), SetExpr::Var(r)));
                 }
-                for i in 0..self.graph.node(y).succ_snks().len() {
-                    let r = self.graph.node(y).succ_snks()[i];
+                for &r in node.succ_snks() {
                     self.pending.push_back((SetExpr::Var(x), SetExpr::Term(r)));
                 }
             }
@@ -536,47 +542,61 @@ impl Solver {
                 return;
             }
             if closure && self.config.cycle_elim == CycleElim::Online {
-                let attempts: Vec<(Var, Var, ChainDir, StepOrder)> = match self.config.form {
+                match self.config.form {
                     Form::Inductive => {
-                        vec![(x, y, ChainDir::Pred, StepOrder::Decreasing)]
+                        if self.search_cycle(x, y, ChainDir::Pred, StepOrder::Decreasing) {
+                            return;
+                        }
                     }
-                    Form::Standard => self
-                        .config
-                        .sf_chain
-                        .steps()
-                        .iter()
-                        .map(|&step| (y, x, ChainDir::Succ, step))
-                        .collect(),
-                };
-                for (start, target, dir, step) in attempts {
-                    if let Some(path) = self.search.search(
-                        &self.graph,
-                        &self.fwd,
-                        &self.order,
-                        start,
-                        target,
-                        dir,
-                        step,
-                        &mut self.stats.search,
-                    ) {
-                        self.collapse(&path);
-                        return;
+                    Form::Standard => {
+                        // `steps()` yields a static slice, so SF's one-or-two
+                        // attempts iterate without building a temporary list.
+                        for &step in self.config.sf_chain.steps() {
+                            if self.search_cycle(y, x, ChainDir::Succ, step) {
+                                return;
+                            }
+                        }
                     }
                 }
             }
             self.graph.insert_succ_var(x, y);
             self.log_varvar(x, y);
             if closure {
-                for i in 0..self.graph.node(x).pred_srcs().len() {
-                    let l = self.graph.node(x).pred_srcs()[i];
+                self.graph.compact_node(x, &self.fwd);
+                let node = self.graph.node(x);
+                for &l in node.pred_srcs() {
                     self.pending.push_back((SetExpr::Term(l), SetExpr::Var(y)));
                 }
-                for i in 0..self.graph.node(x).pred_vars().len() {
-                    let l = self.graph.node(x).pred_vars()[i];
+                for &l in node.pred_vars() {
                     self.pending.push_back((SetExpr::Var(l), SetExpr::Var(y)));
                 }
             }
         }
+    }
+
+    /// Runs one chain search and, if it closes a cycle, collapses it.
+    ///
+    /// Returns whether a cycle was found (the pending edge must then be
+    /// dropped, not inserted). The path lives in the solver's reusable
+    /// buffer, loaned out around the call so `collapse` can borrow freely.
+    fn search_cycle(&mut self, start: Var, target: Var, dir: ChainDir, step: StepOrder) -> bool {
+        let mut path = std::mem::take(&mut self.path_buf);
+        let found = self.search.search(
+            &self.graph,
+            &self.fwd,
+            &self.order,
+            start,
+            target,
+            dir,
+            step,
+            &mut self.stats.search,
+            &mut path,
+        );
+        if found {
+            self.collapse(&path);
+        }
+        self.path_buf = path;
+        found
     }
 
     fn log_varvar(&mut self, x: Var, y: Var) {
@@ -588,10 +608,13 @@ impl Solver {
     /// Collapses the cycle through `path`: forwards every member to the
     /// lowest-ordered witness and re-asserts the absorbed edges against it.
     fn collapse(&mut self, path: &[Var]) {
-        let mut members: Vec<Var> = path.iter().map(|&v| self.fwd.find(v)).collect();
+        let mut members = std::mem::take(&mut self.members_buf);
+        members.clear();
+        members.extend(path.iter().map(|&v| self.fwd.find(v)));
         members.sort_unstable();
         members.dedup();
         if members.len() < 2 {
+            self.members_buf = members;
             return;
         }
         // The lowest-ordered member preserves the inductive-form invariant.
@@ -622,6 +645,7 @@ impl Solver {
                 self.pending.push_back((SetExpr::Var(witness), SetExpr::Term(t)));
             }
         }
+        self.members_buf = members;
     }
 
     // ------------------------------------------------------------------
@@ -724,9 +748,7 @@ impl Solver {
                     ChainDir::Pred => self.graph.node(u).pred_vars(),
                     ChainDir::Succ => self.graph.node(u).succ_vars(),
                 };
-                // Collect first to keep the borrow short.
-                let neighbors: Vec<Var> = list.to_vec();
-                for raw in neighbors {
+                for &raw in list {
                     let w = self.fwd.find_const(raw);
                     if w == u || !self.order.lt(w, u) {
                         continue;

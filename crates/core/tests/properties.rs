@@ -8,9 +8,13 @@
 //! solver, plus the paper's theorem that inductive form exposes part of
 //! every non-trivial SCC.
 
+use bane_core::forward::Forwarding;
+use bane_core::graph::{Graph, GraphCensus, Insert};
 use bane_core::prelude::*;
+use bane_util::idx::Idx;
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
+use std::collections::HashSet;
 
 /// A randomly generated constraint system over `n` variables.
 ///
@@ -196,8 +200,184 @@ fn to_naive(
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// A naive reference for the graph's hybrid adjacency storage.
+// ---------------------------------------------------------------------------
+
+/// One random operation against both the real graph and the reference.
+#[derive(Debug, Clone, Copy)]
+enum AdjOp {
+    /// `insert_pred_var(b, a)` / `insert_succ_var(a, b)` / `insert_src(a, t)`
+    /// / `insert_snk(a, t)`, selected by `kind % 4`.
+    Insert { kind: u8, a: usize, b: usize },
+    /// Collapse node `a` into node `b` (skipped when already aliased),
+    /// re-asserting the collapsed node's edges like the solver does.
+    Collapse { a: usize, b: usize },
+    /// Eagerly compact node `a` — must never change anything observable.
+    Compact { a: usize },
+}
+
+fn adj_ops() -> impl Strategy<Value = (usize, Vec<AdjOp>)> {
+    (2usize..28).prop_flat_map(|n| {
+        // Weighted op choice via a selector: 0..8 insert (kind = sel % 4),
+        // 8 collapse, 9..11 compact. `b` ranges past `n` (it is reduced mod
+        // `n` for variable entries, used as-is for term ids) so adjacency
+        // lists regularly cross the promotion boundary in either id space.
+        let op = (0u8..11, 0..n, 0..4 * n).prop_map(move |(sel, a, b)| match sel {
+            0..=7 => AdjOp::Insert { kind: sel % 4, a, b },
+            8 => AdjOp::Collapse { a, b: b % n },
+            _ => AdjOp::Compact { a },
+        });
+        (Just(n), prop::collection::vec(op, 0..400))
+    })
+}
+
+/// Pure-`HashSet` reference model of the graph's adjacency: membership keyed
+/// by raw inserted ids, exactly the dedup domain the hybrid storage promises
+/// to preserve (see the `graph` module docs).
+#[derive(Debug, Clone, Default)]
+struct RefNode {
+    pred_vars: HashSet<Var>,
+    succ_vars: HashSet<Var>,
+    pred_srcs: HashSet<TermId>,
+    succ_snks: HashSet<TermId>,
+}
+
+/// Census over the reference model, mirroring `Graph::census` semantics:
+/// canonicalize entries, drop self edges, count distinct canonical edges.
+fn ref_census(nodes: &[RefNode], fwd: &Forwarding) -> GraphCensus {
+    let mut census = GraphCensus::default();
+    let mut var_seen: HashSet<(Var, Var)> = HashSet::new();
+    let mut src_seen: HashSet<(Var, TermId)> = HashSet::new();
+    let mut snk_seen: HashSet<(Var, TermId)> = HashSet::new();
+    for (i, node) in nodes.iter().enumerate() {
+        let v = Var::new(i);
+        if fwd.find_const(v) != v {
+            continue;
+        }
+        census.live_vars += 1;
+        for &u in &node.pred_vars {
+            let u = fwd.find_const(u);
+            if u != v && var_seen.insert((u, v)) {
+                census.var_var_edges += 1;
+            }
+        }
+        for &u in &node.succ_vars {
+            let u = fwd.find_const(u);
+            if u != v && var_seen.insert((v, u)) {
+                census.var_var_edges += 1;
+            }
+        }
+        for &s in &node.pred_srcs {
+            if src_seen.insert((v, s)) {
+                census.src_edges += 1;
+            }
+        }
+        for &s in &node.succ_snks {
+            if snk_seen.insert((v, s)) {
+                census.snk_edges += 1;
+            }
+        }
+    }
+    census
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The hybrid small-degree adjacency storage is observationally identical
+    /// to a plain hash-set implementation: same `Insert` classification on
+    /// every attempt and same census, across random edge streams that cross
+    /// the promotion boundary and interleave collapses and compaction.
+    #[test]
+    fn hybrid_adjacency_matches_hashset_reference((n, ops) in adj_ops()) {
+        let mut graph = Graph::new();
+        let mut fwd = Forwarding::new();
+        let mut reference: Vec<RefNode> = vec![RefNode::default(); n];
+        for _ in 0..n {
+            graph.push_node();
+            fwd.push();
+        }
+
+        for (step, &op) in ops.iter().enumerate() {
+            match op {
+                AdjOp::Insert { kind, a, b } => {
+                    // The solver always works on canonical nodes; raw entry
+                    // ids are whatever the constraint mentioned.
+                    let v = fwd.find(Var::new(a));
+                    let got;
+                    let want;
+                    match kind {
+                        0 => {
+                            let x = fwd.find(Var::new(b % n));
+                            got = graph.insert_pred_var(v, x);
+                            want = reference[v.index()].pred_vars.insert(x);
+                        }
+                        1 => {
+                            let y = fwd.find(Var::new(b % n));
+                            got = graph.insert_succ_var(v, y);
+                            want = reference[v.index()].succ_vars.insert(y);
+                        }
+                        2 => {
+                            let t = TermId::new(b);
+                            got = graph.insert_src(v, t);
+                            want = reference[v.index()].pred_srcs.insert(t);
+                        }
+                        _ => {
+                            let t = TermId::new(b);
+                            got = graph.insert_snk(v, t);
+                            want = reference[v.index()].succ_snks.insert(t);
+                        }
+                    }
+                    let want = if want { Insert::New } else { Insert::Redundant };
+                    prop_assert_eq!(got, want, "classification diverged at step {}", step);
+                }
+                AdjOp::Collapse { a, b } => {
+                    let src = fwd.find(Var::new(a));
+                    let witness = fwd.find(Var::new(b));
+                    if src == witness {
+                        continue;
+                    }
+                    fwd.union_into(src, witness);
+                    // Re-assert the collapsed node's edges against the
+                    // witness through canonical ids, as the solver's
+                    // collapse does via re-queued constraints.
+                    let taken = graph.take_edges(src);
+                    reference[src.index()] = RefNode::default();
+                    for &x in &taken.pred_vars {
+                        let x = fwd.find(x);
+                        if x != witness {
+                            let got = graph.insert_pred_var(witness, x);
+                            let want = reference[witness.index()].pred_vars.insert(x);
+                            prop_assert_eq!(got == Insert::New, want);
+                        }
+                    }
+                    for &y in &taken.succ_vars {
+                        let y = fwd.find(y);
+                        if y != witness {
+                            let got = graph.insert_succ_var(witness, y);
+                            let want = reference[witness.index()].succ_vars.insert(y);
+                            prop_assert_eq!(got == Insert::New, want);
+                        }
+                    }
+                    for &t in &taken.pred_srcs {
+                        let got = graph.insert_src(witness, t);
+                        let want = reference[witness.index()].pred_srcs.insert(t);
+                        prop_assert_eq!(got == Insert::New, want);
+                    }
+                    for &t in &taken.succ_snks {
+                        let got = graph.insert_snk(witness, t);
+                        let want = reference[witness.index()].succ_snks.insert(t);
+                        prop_assert_eq!(got == Insert::New, want);
+                    }
+                }
+                AdjOp::Compact { a } => {
+                    graph.compact_node(fwd.find(Var::new(a)), &fwd);
+                }
+            }
+        }
+        prop_assert_eq!(graph.census(&fwd), ref_census(&reference, &fwd));
+    }
 
     /// All six experiment configurations produce identical least solutions.
     #[test]
