@@ -11,13 +11,22 @@
 //!
 //! ```text
 //! bench_json [--scale f] [--max-ast n] [--reps n] [--limit n] [--only s]
-//!            [--fast] [--out path] [--label s]
+//!            [--fast] [--out path] [--label s] [--report path]
 //! ```
 //!
 //! Without `--out`, the snapshot is written to `BENCH_<n>.json` in the
 //! current directory, where `<n>` is one past the highest existing index
 //! (starting at 1). `--label` tags the snapshot (e.g. `seed`, `hybrid-adj`)
 //! so a directory of snapshots stays self-describing.
+//!
+//! In addition to the six timed configurations, one *observed* `IF-Online`
+//! run per benchmark records the `bane-obs` layer (phase timers, unified
+//! counters, event tail; see `docs/OBSERVABILITY.md`). Its `RunReport` is
+//! embedded in the snapshot as the benchmark's `obs` field, the merged
+//! aggregate is rendered as a phase/counter table on stderr, and `--report
+//! <path>` additionally writes the aggregate as standalone `bane-obs/1`
+//! JSON. Observed runs are separate solver instances: they never contribute
+//! to the regression timing fields.
 //!
 //! Field definitions (all times in nanoseconds):
 //!
@@ -38,7 +47,8 @@
 //! parser can read it.
 
 use bane_bench::cli::Options;
-use bane_bench::experiment::{analyze_bench, run_one, ExperimentKind, Measurement};
+use bane_bench::experiment::{analyze_bench, run_observed, run_one, ExperimentKind, Measurement};
+use bane_obs::RunReport;
 use std::fmt::Write as _;
 use std::time::SystemTime;
 
@@ -46,6 +56,7 @@ fn main() {
     // Split the driver-specific flags off before handing the rest to the
     // shared parser.
     let mut out_path: Option<String> = None;
+    let mut report_path: Option<String> = None;
     let mut label = String::from("unlabeled");
     let mut rest = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -55,13 +66,17 @@ fn main() {
                 Some(v) => out_path = Some(v),
                 None => die("--out expects a value"),
             },
+            "--report" => match args.next() {
+                Some(v) => report_path = Some(v),
+                None => die("--report expects a value"),
+            },
             "--label" => match args.next() {
                 Some(v) => label = v,
                 None => die("--label expects a value"),
             },
             "--help" | "-h" => die(
                 "options: --scale <f> --max-ast <n> --reps <n> --limit <n> \
-                 --only <substr> --fast --out <path> --label <s>",
+                 --only <substr> --fast --out <path> --label <s> --report <path>",
             ),
             _ => rest.push(arg),
         }
@@ -80,6 +95,7 @@ fn main() {
         opts.limit
     );
 
+    let mut aggregate = RunReport { label: "aggregate".to_string(), ..RunReport::default() };
     let mut benchmarks = String::new();
     for (i, (entry, program)) in selected.iter().enumerate() {
         let (info, partition, mut if_online) = analyze_bench(entry.name, program);
@@ -109,13 +125,21 @@ fn main() {
                 if m.finished { "" } else { "  [work limit]" },
             );
         }
+        // One recorded IF-Online run on top of the timed ones: phase timings
+        // and unified counters for this benchmark, merged into the aggregate.
+        let obs_label = format!("{}/IF-Online", entry.name);
+        let (_, obs_report) =
+            run_observed(program, ExperimentKind::IfOnline, None, u64::MAX, &obs_label);
+        aggregate.merge(&obs_report);
+
         if i > 0 {
             benchmarks.push(',');
         }
         let _ = write!(
             benchmarks,
             "\n    {{\"name\": {}, \"ast_nodes\": {}, \"loc\": {}, \"set_vars\": {}, \
-             \"initial_edges\": {}, \"collapsible\": {}, \"experiments\": [{}]}}",
+             \"initial_edges\": {}, \"collapsible\": {}, \"experiments\": [{}],\n     \
+             \"obs\": {}}}",
             json_string(&info.name),
             info.ast_nodes,
             info.loc,
@@ -123,15 +147,18 @@ fn main() {
             info.initial_edges,
             info.collapsible,
             experiments,
+            obs_report.to_json(),
         );
     }
+
+    eprintln!("{}", aggregate.render_table());
 
     let created_unix = SystemTime::now()
         .duration_since(SystemTime::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let json = format!(
-        "{{\n  \"schema\": \"bane-bench/1\",\n  \"label\": {},\n  \
+        "{{\n  \"schema\": \"bane-bench/2\",\n  \"label\": {},\n  \
          \"created_unix\": {},\n  \"scale\": {},\n  \"max_ast\": {},\n  \
          \"reps\": {},\n  \"limit\": {},\n  \"benchmarks\": [{}\n  ]\n}}\n",
         json_string(&label),
@@ -146,6 +173,14 @@ fn main() {
     let path = out_path.unwrap_or_else(next_snapshot_path);
     if let Err(e) = std::fs::write(&path, &json) {
         die(&format!("writing {path}: {e}"));
+    }
+    if let Some(rpath) = report_path {
+        let mut body = aggregate.to_json();
+        body.push('\n');
+        if let Err(e) = std::fs::write(&rpath, body) {
+            die(&format!("writing {rpath}: {e}"));
+        }
+        eprintln!("aggregate report: {rpath}");
     }
     println!("{path}");
 }

@@ -21,6 +21,7 @@ use bane_cfront::ast::Program;
 use bane_core::cycle::SfSearchPolicy;
 use bane_core::prelude::*;
 use bane_core::scc::SccStats;
+use bane_obs::{Counter, Phase, RunReport};
 use bane_points_to::andersen;
 use std::time::{Duration, Instant};
 
@@ -198,6 +199,85 @@ pub fn run_one(
         });
     }
     best.expect("reps >= 1")
+}
+
+/// [`run_one`] with the observability layer recording: one instrumented run
+/// returning both the usual [`Measurement`] and the solver's [`RunReport`]
+/// (phase timings, unified counters, event tail).
+///
+/// Constraint generation is timed under the `generate` phase and its sizes
+/// published as `gen.*` counters, so the report covers the whole run even
+/// though — per the paper's methodology — [`Measurement::time`] still counts
+/// resolution (plus the least-solution pass for inductive form) only.
+/// Recording is guaranteed not to change any measured quantity (pinned by
+/// `bane-core`'s obs-invariance tests), but a recorded run is *not* a
+/// best-of-reps run, so its wall time is reported via the phase table, not
+/// merged into regression timing fields.
+///
+/// # Panics
+///
+/// Panics if an oracle experiment is requested without a partition.
+pub fn run_observed(
+    program: &Program,
+    kind: ExperimentKind,
+    partition: Option<&Partition>,
+    limit: u64,
+    label: &str,
+) -> (Measurement, RunReport) {
+    assert!(
+        !kind.uses_oracle() || partition.is_some(),
+        "{} needs an oracle partition",
+        kind.name()
+    );
+    let mut solver = if kind.uses_oracle() {
+        Solver::with_oracle(kind.config(), partition.expect("checked above").clone())
+    } else {
+        Solver::new(kind.config())
+    };
+    solver.enable_obs();
+
+    if let Some(rec) = solver.obs() {
+        rec.start(Phase::Generate);
+    }
+    let (_locs, gen) = andersen::generate(program, &mut solver);
+    if let Some(rec) = solver.obs() {
+        rec.stop(Phase::Generate);
+        rec.set(Counter::GenConstraints, gen.constraints);
+        rec.set(Counter::GenLocations, gen.locations as u64);
+    }
+
+    let start = Instant::now();
+    let finished = solver.solve_limited(limit);
+    let solve_time = start.elapsed();
+    let ls_time = if solver.config().form == Form::Inductive {
+        let ls_start = Instant::now();
+        let _ls = solver.least_solution();
+        ls_start.elapsed()
+    } else {
+        Duration::ZERO
+    };
+
+    let stats = *solver.stats();
+    if let Some(rec) = solver.obs() {
+        rec.set(Counter::CensusPeakEdges, stats.new_edges());
+    }
+    let report = solver.run_report(label).expect("recording was enabled above");
+    let m = Measurement {
+        kind,
+        finished,
+        edges: solver.census().total_edges(),
+        peak_edges: stats.new_edges(),
+        live_vars: solver.node_counts().live_vars,
+        work: stats.work,
+        time: solve_time + ls_time,
+        ls_time,
+        vars_eliminated: stats.vars_eliminated,
+        oracle_aliased: stats.oracle_aliased,
+        mean_search_visits: stats.mean_search_visits(),
+        set_vars: solver.vars_created(),
+        inconsistencies: stats.inconsistencies,
+    };
+    (m, report)
 }
 
 /// Static (experiment-independent) data about one benchmark (Table 1's
@@ -390,6 +470,30 @@ mod tests {
                 matches!(kind, ExperimentKind::SfOnline | ExperimentKind::IfOnline)
             );
         }
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_reports_phases() {
+        let program = sample_program();
+        let plain = run_one(&program, ExperimentKind::IfOnline, None, u64::MAX, 1);
+        let (m, report) =
+            run_observed(&program, ExperimentKind::IfOnline, None, u64::MAX, "sample/IF-Online");
+        // Everything deterministic must agree with the unobserved run.
+        assert_eq!(m.work, plain.work);
+        assert_eq!(m.edges, plain.edges);
+        assert_eq!(m.peak_edges, plain.peak_edges);
+        assert_eq!(m.live_vars, plain.live_vars);
+        assert_eq!(m.vars_eliminated, plain.vars_eliminated);
+        assert!(m.finished);
+        // And the report covers the full pipeline.
+        assert_eq!(report.label, "sample/IF-Online");
+        assert!(report.phase("generate").is_some());
+        assert!(report.phase("resolve").is_some());
+        assert!(report.phase("least-solution").is_some());
+        assert_eq!(report.counter("work.total"), Some(m.work));
+        assert_eq!(report.counter("census.peak-edges"), Some(m.peak_edges));
+        assert!(report.counter("gen.constraints").unwrap_or(0) > 0);
+        assert!(report.counter("gen.locations").unwrap_or(0) > 0);
     }
 
     #[test]

@@ -2,14 +2,19 @@
 //! tables and figures.
 //!
 //! - [`experiment`]: the six Table 4 configurations, runnable on any
-//!   benchmark program with the paper's measurement methodology,
+//!   benchmark program with the paper's measurement methodology — plus
+//!   [`experiment::run_observed`], the same run with the `bane-obs`
+//!   recording layer live (phase timings, unified counters; see
+//!   `docs/OBSERVABILITY.md`),
 //! - [`cli`]: the `--scale/--max-ast/--reps/--limit/--only` options shared by
 //!   the binaries,
 //! - [`report`]: plain-text table rendering.
 //!
 //! Each table and figure has a dedicated binary (see `src/bin/`):
-//! `table1`–`table4`, `figure7`–`figure11`, `model`, and the `baseline`
-//! Steensgaard comparison. Criterion micro-benchmarks live in `benches/`.
+//! `table1`–`table4`, `figure7`–`figure11`, `model`, the `baseline`
+//! Steensgaard comparison, and the `bench_json` regression driver (which
+//! embeds a [`bane_obs::RunReport`] per benchmark in its snapshots).
+//! Criterion micro-benchmarks live in `benches/`.
 
 pub mod cli;
 pub mod experiment;

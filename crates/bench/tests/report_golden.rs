@@ -1,0 +1,86 @@
+//! Golden stability of the embedded `RunReport` (the `obs` field of
+//! `BENCH_<n>.json`).
+//!
+//! Two guarantees a snapshot consumer relies on:
+//!
+//! 1. **Round-trip fidelity** — the JSON a report emits parses back to an
+//!    identical report, and re-emitting the parsed report reproduces the
+//!    bytes. Anything less and diffing snapshots would show phantom churn.
+//! 2. **Schema stability** — on a fixed synthetic benchmark, two independent
+//!    recorded runs publish the same phases, the same counter names *and
+//!    values*, and the same event sequence. Only the nanosecond timings may
+//!    differ between runs; every other field is a deterministic function of
+//!    the input program.
+
+use bane_bench::experiment::{run_observed, ExperimentKind};
+use bane_obs::RunReport;
+use bane_synth::gen::GenConfig;
+
+fn fixed_program() -> bane_cfront::ast::Program {
+    // Small but non-trivial: enough pointer traffic for cycles, collapses,
+    // and a few thousand work units, at a size the test suite can afford.
+    bane_synth::gen::generate(&GenConfig::sized(1500, 42))
+}
+
+fn record() -> RunReport {
+    let program = fixed_program();
+    let (m, report) =
+        run_observed(&program, ExperimentKind::IfOnline, None, u64::MAX, "golden/IF-Online");
+    assert!(m.finished, "the fixed program must converge");
+    report
+}
+
+/// The schema-stable skeleton of a report: `(phase, calls)` rows, counter
+/// pairs, event kinds, and the drop count.
+type Skeleton = (Vec<(String, u64)>, Vec<(String, u64)>, Vec<String>, u64);
+
+/// Strips the fields that legitimately vary between runs (wall-clock
+/// nanoseconds), leaving the schema-stable skeleton.
+fn skeleton(r: &RunReport) -> Skeleton {
+    let phases = r.phases.iter().map(|p| (p.phase.clone(), p.calls)).collect();
+    let counters = r.counters.clone();
+    let events = r.events.iter().map(|e| e.event.kind().to_string()).collect();
+    (phases, counters, events, r.events_dropped)
+}
+
+#[test]
+fn report_round_trips_through_json_bytes() {
+    let report = record();
+    let json = report.to_json();
+    let parsed = RunReport::from_json(&json).expect("own output must parse");
+    assert_eq!(parsed, report, "parse(to_json(r)) must equal r");
+    assert_eq!(parsed.to_json(), json, "re-emitting must reproduce the bytes");
+}
+
+#[test]
+fn report_schema_is_stable_across_runs() {
+    let first = record();
+    let second = record();
+    assert_eq!(
+        skeleton(&first),
+        skeleton(&second),
+        "two recorded runs of the same program diverged in a non-timing field"
+    );
+    // The timing fields exist and are plausible even where they may differ.
+    for p in &first.phases {
+        assert!(p.calls > 0, "{}: zero-call phases must be filtered out", p.phase);
+        assert!(p.self_ns <= p.total_ns, "{}: self time exceeds total", p.phase);
+    }
+}
+
+#[test]
+fn report_counters_are_nonempty_and_canonical() {
+    let report = record();
+    assert!(report.counter("work.total").unwrap_or(0) > 0);
+    assert!(report.counter("gen.constraints").unwrap_or(0) > 0);
+    // Canonical registry order means snapshot diffs never reorder lines.
+    let names: Vec<&str> = report.counters.iter().map(|(n, _)| n.as_str()).collect();
+    let mut expected = names.clone();
+    expected.sort_by_key(|n| {
+        bane_obs::Counter::ALL
+            .iter()
+            .position(|c| c.name() == *n)
+            .expect("every published counter is in the registry")
+    });
+    assert_eq!(names, expected, "counters must appear in registry order");
+}

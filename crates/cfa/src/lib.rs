@@ -2,7 +2,7 @@
 //! future work ("We plan to study the impact of online cycle elimination on
 //! the performance of closure analysis in future work", Section 6).
 //!
-//! A small functional language ([`ast`], [`parse`]), monovariant closure
+//! A small functional language ([`ast`], [`mod@parse`]), monovariant closure
 //! analysis as inclusion constraints ([`analysis`]) using the same engine as
 //! the points-to experiments, and a synthetic generator of mutually
 //! recursive higher-order programs ([`gen`]) — the shape \[MW97\] reported as

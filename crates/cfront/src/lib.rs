@@ -2,7 +2,7 @@
 //!
 //! The paper analyzes preprocessed C programs; this crate provides the
 //! corresponding substrate: a lexer ([`lex`]), a recursive-descent parser
-//! ([`parse`]) producing a compact AST ([`ast`]), and a pretty-printer
+//! ([`mod@parse`]) producing a compact AST ([`ast`]), and a pretty-printer
 //! ([`pretty`]) used by the synthetic benchmark generator and for round-trip
 //! testing.
 //!

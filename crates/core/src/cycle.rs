@@ -35,7 +35,12 @@
 //!   the transposed graph counts;
 //! - `nodes_visited` — one per node *marked* (entered), including the start
 //!   node, excluding the target (the search returns before marking it);
-//! - `cycles_found` — one per search that returned a chain.
+//! - `cycles_found` — one per search that returned a chain;
+//! - `max_visits` — the largest per-search node-visit count seen so far, the
+//!   worst case behind Theorem 5.2's *mean* (surfaced as the
+//!   `search.max-visits` counter by the observability layer). Defined by the
+//!   same per-search `nodes_visited` delta in every configuration, so it
+//!   shares the mirror-symmetry guarantee of the other counters.
 
 use bane_util::idx::Idx;
 use crate::expr::Var;
@@ -108,6 +113,8 @@ pub struct SearchStats {
     pub edges_scanned: u64,
     /// Searches that found a cycle.
     pub cycles_found: u64,
+    /// Largest node-visit count of any single search.
+    pub max_visits: u64,
 }
 
 /// Reusable state for chain searches (visited marks + DFS stack).
@@ -155,6 +162,7 @@ impl ChainSearch {
     ) -> bool {
         path.clear();
         stats.searches += 1;
+        let visits_before = stats.nodes_visited;
         self.visited.begin();
         self.visited.mark(start.index());
         stats.nodes_visited += 1;
@@ -192,6 +200,7 @@ impl ChainSearch {
                 stats.cycles_found += 1;
                 path.extend(self.stack.iter().map(|f| f.node));
                 path.push(target);
+                stats.max_visits = stats.max_visits.max(stats.nodes_visited - visits_before);
                 return true;
             }
             if self.visited.mark(v.index()) {
@@ -199,6 +208,7 @@ impl ChainSearch {
                 self.stack.push(Frame { node: v, next_child: 0 });
             }
         }
+        stats.max_visits = stats.max_visits.max(stats.nodes_visited - visits_before);
         false
     }
 

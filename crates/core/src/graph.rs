@@ -140,6 +140,16 @@ impl<T: Copy + Eq + Hash> AdjList<T> {
         self.set.clear();
         std::mem::take(&mut self.items)
     }
+
+    /// Whether the immediately preceding [`insert`](AdjList::insert) was the
+    /// one that promoted this list: promotion happens exactly when a `New`
+    /// insert pushes the length past [`SMALL_DEGREE_MAX`], so the list is
+    /// promoted with `SMALL_DEGREE_MAX + 1` entries for precisely one insert.
+    #[cfg(feature = "obs")]
+    #[inline]
+    fn just_promoted(&self) -> bool {
+        self.is_promoted() && self.items.len() == SMALL_DEGREE_MAX + 1
+    }
 }
 
 impl AdjList<Var> {
@@ -211,6 +221,45 @@ pub struct TakenEdges {
     pub succ_snks: Vec<TermId>,
 }
 
+/// Which of a node's four adjacency lists an event refers to.
+#[cfg(feature = "obs")]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdjKind {
+    /// `pred_vars`: variables with a predecessor edge into the node.
+    PredVars,
+    /// `succ_vars`: variables the node has a successor edge to.
+    SuccVars,
+    /// `pred_srcs`: source terms flowing into the node.
+    PredSrcs,
+    /// `succ_snks`: sink terms the node flows into.
+    SuccSnks,
+}
+
+#[cfg(feature = "obs")]
+impl AdjKind {
+    /// The stable name used in `list-promoted` events
+    /// (see `docs/OBSERVABILITY.md`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AdjKind::PredVars => "pred-vars",
+            AdjKind::SuccVars => "succ-vars",
+            AdjKind::PredSrcs => "pred-srcs",
+            AdjKind::SuccSnks => "succ-snks",
+        }
+    }
+}
+
+/// One adjacency list crossing the [`SMALL_DEGREE_MAX`] promotion threshold
+/// (recorded only under the `obs` feature; see DESIGN.md §4b).
+#[cfg(feature = "obs")]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PromotionRecord {
+    /// The variable whose list promoted.
+    pub node: Var,
+    /// Which of its four lists promoted.
+    pub kind: AdjKind,
+}
+
 /// The outcome of an edge-insertion attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Insert {
@@ -244,6 +293,12 @@ impl GraphCensus {
 #[derive(Clone, Debug, Default)]
 pub struct Graph {
     nodes: IdxVec<Var, VarNode>,
+    /// Promotion log (obs builds only). Promotions are rare — a handful per
+    /// run even on the paper's largest benchmark — so an unbounded log is
+    /// safe, and pushes only happen on the promoting insert itself, never in
+    /// the redundant-insert steady state.
+    #[cfg(feature = "obs")]
+    promotions: Vec<PromotionRecord>,
 }
 
 impl Graph {
@@ -296,22 +351,49 @@ impl Graph {
     /// Inserts the predecessor edge `x ⋯→ y` (a variable-variable constraint
     /// represented on the predecessor side; inductive form only).
     pub fn insert_pred_var(&mut self, y: Var, x: Var) -> Insert {
-        self.nodes[y].pred_vars.insert(x)
+        let outcome = self.nodes[y].pred_vars.insert(x);
+        #[cfg(feature = "obs")]
+        if outcome == Insert::New && self.nodes[y].pred_vars.just_promoted() {
+            self.promotions.push(PromotionRecord { node: y, kind: AdjKind::PredVars });
+        }
+        outcome
     }
 
     /// Inserts the successor edge `x → y`.
     pub fn insert_succ_var(&mut self, x: Var, y: Var) -> Insert {
-        self.nodes[x].succ_vars.insert(y)
+        let outcome = self.nodes[x].succ_vars.insert(y);
+        #[cfg(feature = "obs")]
+        if outcome == Insert::New && self.nodes[x].succ_vars.just_promoted() {
+            self.promotions.push(PromotionRecord { node: x, kind: AdjKind::SuccVars });
+        }
+        outcome
     }
 
     /// Inserts the source edge `src ⋯→ y`.
     pub fn insert_src(&mut self, y: Var, src: TermId) -> Insert {
-        self.nodes[y].pred_srcs.insert(src)
+        let outcome = self.nodes[y].pred_srcs.insert(src);
+        #[cfg(feature = "obs")]
+        if outcome == Insert::New && self.nodes[y].pred_srcs.just_promoted() {
+            self.promotions.push(PromotionRecord { node: y, kind: AdjKind::PredSrcs });
+        }
+        outcome
     }
 
     /// Inserts the sink edge `x → snk`.
     pub fn insert_snk(&mut self, x: Var, snk: TermId) -> Insert {
-        self.nodes[x].succ_snks.insert(snk)
+        let outcome = self.nodes[x].succ_snks.insert(snk);
+        #[cfg(feature = "obs")]
+        if outcome == Insert::New && self.nodes[x].succ_snks.just_promoted() {
+            self.promotions.push(PromotionRecord { node: x, kind: AdjKind::SuccSnks });
+        }
+        outcome
+    }
+
+    /// The promotion log: every adjacency list that crossed the
+    /// [`SMALL_DEGREE_MAX`] threshold, in occurrence order (obs builds only).
+    #[cfg(feature = "obs")]
+    pub fn promotions(&self) -> &[PromotionRecord] {
+        &self.promotions
     }
 
     /// Strips all edges off `v` (used when `v` collapses into a witness).

@@ -79,6 +79,10 @@ impl Solver {
     /// inductive form it runs the increasing-order pass of equation (1).
     /// Call after [`solve`](Solver::solve).
     pub fn least_solution(&mut self) -> LeastSolution {
+        #[cfg(feature = "obs")]
+        if let Some(rec) = self.obs() {
+            rec.start(bane_obs::Phase::LeastSolution);
+        }
         let (graph, fwd, order, form, _one) = self.parts_for_least();
         let n = graph.len();
         let mut rep: Vec<Var> = Vec::with_capacity(n);
@@ -258,7 +262,15 @@ impl Solver {
                 }
             }
         }
-        LeastSolution { rep, arena, spans }
+        let result = LeastSolution { rep, arena, spans };
+        #[cfg(feature = "obs")]
+        if let Some(rec) = self.obs() {
+            let set_vars = result.spans.iter().filter(|(s, e)| e > s).count();
+            rec.set(bane_obs::Counter::LsSetVars, set_vars as u64);
+            rec.set(bane_obs::Counter::LsEntries, result.total_entries() as u64);
+            rec.stop(bane_obs::Phase::LeastSolution);
+        }
+        result
     }
 }
 

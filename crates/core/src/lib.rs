@@ -49,18 +49,32 @@
 //!
 //! # Crate map
 //!
-//! | module | contents |
-//! |---|---|
-//! | [`solver`] | the resolution engine and its configuration |
-//! | [`expr`], [`cons`] | set expressions, terms, constructor signatures |
-//! | [`cycle`] | the partial online chain searches of Section 2.5 |
-//! | [`order`] | the variable order `o(·)` policies of Section 2.4 |
-//! | [`least`] | least-solution computation (equation (1)) |
-//! | [`oracle`], [`scc`] | the oracle partition and Tarjan SCCs |
-//! | [`forward`] | forwarding pointers (union-find) for collapsed cycles |
-//! | [`graph`] | adjacency storage and edge accounting |
-//! | [`stats`] | the Work / Edges / eliminated-variables counters |
-//! | [`error`] | recorded inconsistencies |
+//! | module | paper section | contents |
+//! |---|---|---|
+//! | [`solver`] | §2.3–2.4, §4 | the resolution engine and its configuration |
+//! | [`expr`], [`cons`] | §2.1 | set expressions, terms, constructor signatures |
+//! | [`cycle`] | §2.5, §3, §5 | the partial online chain searches |
+//! | [`order`] | §2.4 | the variable order `o(·)` policies |
+//! | [`least`] | §2.4 eq. (1) | least-solution computation |
+//! | [`oracle`], [`scc`] | §4 | the oracle partition and Tarjan SCCs |
+//! | [`forward`] | §2.5 | forwarding pointers (union-find) for collapsed cycles |
+//! | [`graph`] | §2.2 | adjacency storage and edge accounting |
+//! | [`stats`] | §6 | the Work / Edges / eliminated-variables counters |
+//! | [`error`] | §2.1 | recorded inconsistencies |
+//! | [`dot`] | — | Graphviz rendering of the constraint graph |
+//! | `obs` (feature) | §6 | probe wiring for the `bane-obs` observability layer |
+//!
+//! # The `obs` feature
+//!
+//! With the `obs` cargo feature, the solver compiles in probes for the
+//! `bane-obs` observability layer: hierarchical phase timers, the unified
+//! counter registry, and a bounded event ring. The probes are inert until
+//! `Solver::enable_obs` is called; without the feature they do not exist at
+//! all, preserving this crate's allocation-free hot-path guarantees exactly.
+//! See `docs/OBSERVABILITY.md` for the gating contract and the report
+//! schema.
+
+#![deny(missing_docs)]
 
 pub mod cons;
 pub mod cycle;
@@ -70,6 +84,8 @@ pub mod expr;
 pub mod forward;
 pub mod graph;
 pub mod least;
+#[cfg(feature = "obs")]
+pub mod obs;
 pub mod oracle;
 pub mod order;
 pub mod scc;

@@ -1,0 +1,92 @@
+//! Counter unification between the solver's [`Stats`] and the `bane-obs`
+//! registry (compiled only under the `obs` feature).
+//!
+//! [`Stats`] and [`SearchStats`](crate::cycle::SearchStats) are the solver's
+//! *internal* counters: plain `u64` fields incremented on the hot path with
+//! zero indirection, whose exact values the regression snapshots pin. The
+//! observability layer's [`Counter`] registry is the
+//! *external* namespace those figures are published under. This module is
+//! the single mapping between the two — every `Stats` field corresponds to
+//! exactly one registry name, so a [`RunReport`](bane_obs::RunReport) never
+//! disagrees with [`Solver::stats`](crate::solver::Solver::stats).
+//!
+//! The mapping uses [`Recorder::set`](bane_obs::Recorder::set) (not `add`):
+//! `Stats` fields are cumulative totals, so re-publishing after more work
+//! simply overwrites with the newer total, making
+//! [`Solver::run_report`](crate::solver::Solver::run_report) safe to call
+//! repeatedly.
+
+use crate::stats::Stats;
+use bane_obs::{Counter, Recorder};
+
+/// Publishes every [`Stats`] field (including the nested search counters)
+/// into `rec` under its registry name.
+pub fn record_stats(rec: &Recorder, stats: &Stats) {
+    rec.set(Counter::ConstraintsAdded, stats.constraints_added);
+    rec.set(Counter::ConstraintsProcessed, stats.constraints_processed);
+    rec.set(Counter::ConstraintsTerm, stats.term_constraints);
+    rec.set(Counter::ConstraintsSelf, stats.self_constraints);
+    rec.set(Counter::WorkTotal, stats.work);
+    rec.set(Counter::WorkRedundant, stats.redundant);
+    rec.set(Counter::WorkResolutions, stats.resolutions);
+    rec.set(Counter::SearchCount, stats.search.searches);
+    rec.set(Counter::SearchNodesVisited, stats.search.nodes_visited);
+    rec.set(Counter::SearchEdgesScanned, stats.search.edges_scanned);
+    rec.set(Counter::SearchMaxVisits, stats.search.max_visits);
+    rec.set(Counter::CycleFound, stats.search.cycles_found);
+    rec.set(Counter::CycleCollapsed, stats.cycles_collapsed);
+    rec.set(Counter::CycleVarsEliminated, stats.vars_eliminated);
+    rec.set(Counter::OracleAliased, stats.oracle_aliased);
+    rec.set(Counter::ErrorsInconsistencies, stats.inconsistencies);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle::SearchStats;
+
+    #[test]
+    fn every_stats_field_round_trips_through_the_registry() {
+        let stats = Stats {
+            constraints_added: 1,
+            constraints_processed: 2,
+            work: 3,
+            redundant: 4,
+            term_constraints: 5,
+            resolutions: 6,
+            self_constraints: 7,
+            search: SearchStats {
+                searches: 8,
+                nodes_visited: 9,
+                edges_scanned: 10,
+                cycles_found: 11,
+                max_visits: 12,
+            },
+            cycles_collapsed: 13,
+            vars_eliminated: 14,
+            oracle_aliased: 15,
+            inconsistencies: 16,
+        };
+        let rec = Recorder::new();
+        record_stats(&rec, &stats);
+        assert_eq!(rec.get(Counter::ConstraintsAdded), 1);
+        assert_eq!(rec.get(Counter::ConstraintsProcessed), 2);
+        assert_eq!(rec.get(Counter::WorkTotal), 3);
+        assert_eq!(rec.get(Counter::WorkRedundant), 4);
+        assert_eq!(rec.get(Counter::ConstraintsTerm), 5);
+        assert_eq!(rec.get(Counter::WorkResolutions), 6);
+        assert_eq!(rec.get(Counter::ConstraintsSelf), 7);
+        assert_eq!(rec.get(Counter::SearchCount), 8);
+        assert_eq!(rec.get(Counter::SearchNodesVisited), 9);
+        assert_eq!(rec.get(Counter::SearchEdgesScanned), 10);
+        assert_eq!(rec.get(Counter::CycleFound), 11);
+        assert_eq!(rec.get(Counter::SearchMaxVisits), 12);
+        assert_eq!(rec.get(Counter::CycleCollapsed), 13);
+        assert_eq!(rec.get(Counter::CycleVarsEliminated), 14);
+        assert_eq!(rec.get(Counter::OracleAliased), 15);
+        assert_eq!(rec.get(Counter::ErrorsInconsistencies), 16);
+        // Re-publishing after further work overwrites, not accumulates.
+        record_stats(&rec, &stats);
+        assert_eq!(rec.get(Counter::WorkTotal), 3);
+    }
+}

@@ -67,6 +67,20 @@ impl Partition {
         Self { rep, stats }
     }
 
+    /// [`from_run`](Partition::from_run) with observability: times the
+    /// partition build under the `oracle-partition` phase (obs builds only).
+    /// The solver routes through this automatically when recording is on.
+    #[cfg(feature = "obs")]
+    pub fn from_run_observed(
+        n: usize,
+        varvar: &[(u32, u32)],
+        unions: &[(u32, u32)],
+        rec: &bane_obs::Recorder,
+    ) -> Self {
+        let _scope = rec.scope(bane_obs::Phase::OraclePartition);
+        Self::from_run(n, varvar, unions)
+    }
+
     /// The witness (class representative) of creation index `i`.
     ///
     /// Indices beyond the observed run map to themselves, so a slightly

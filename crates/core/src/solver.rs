@@ -3,7 +3,7 @@
 //! A [`Solver`] holds a system of inclusion constraints and closes its graph
 //! representation under the transitive-closure rule `L ⋯→ X → R ⇒ L ⊆ R`
 //! plus the structural resolution rules **R** (Figure 1 of the paper,
-//! implemented in [`resolve_terms`](Solver::process)). The engine is
+//! implemented in the private `Solver::process`). The engine is
 //! parameterized on the paper's two axes:
 //!
 //! - [`Form`]: **standard form** (all variable-variable edges are successor
@@ -48,6 +48,9 @@ use crate::scc::{tarjan, tarjan_with, SccStats, TarjanScratch};
 use crate::stats::Stats;
 use bane_util::FxHashSet;
 use std::collections::VecDeque;
+
+#[cfg(feature = "obs")]
+use bane_obs::{Event, Phase, Recorder, RunReport};
 
 /// The constraint-graph representation (Sections 2.3 and 2.4).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -214,6 +217,16 @@ pub struct Solver {
     creation_to_var: Vec<Var>,
     source_terms: FxHashSet<TermId>,
     sink_terms: FxHashSet<TermId>,
+    /// The optional observability recorder (obs builds only). `None` until
+    /// [`enable_obs`](Solver::enable_obs): probes compile to a null check
+    /// that the branch predictor retires for free, so an obs build with
+    /// recording off measures indistinguishably from a non-obs build.
+    #[cfg(feature = "obs")]
+    obs: Option<Box<Recorder>>,
+    /// Prefix of the graph's promotion log already turned into events by
+    /// [`run_report`](Solver::run_report).
+    #[cfg(feature = "obs")]
+    promotions_reported: usize,
 }
 
 impl Solver {
@@ -261,7 +274,81 @@ impl Solver {
             creation_to_var: Vec::new(),
             source_terms: FxHashSet::default(),
             sink_terms: FxHashSet::default(),
+            #[cfg(feature = "obs")]
+            obs: None,
+            #[cfg(feature = "obs")]
+            promotions_reported: 0,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Observability (obs feature only; see docs/OBSERVABILITY.md)
+    // ------------------------------------------------------------------
+
+    /// Turns on observability recording for this solver.
+    ///
+    /// Until this is called, the compiled-in probes are inert (a null check).
+    /// Idempotent: a second call keeps the existing recorder and its data.
+    #[cfg(feature = "obs")]
+    pub fn enable_obs(&mut self) {
+        if self.obs.is_none() {
+            self.obs = Some(Box::new(Recorder::new()));
+        }
+    }
+
+    /// The active recorder, if [`enable_obs`](Solver::enable_obs) was called.
+    #[cfg(feature = "obs")]
+    pub fn obs(&self) -> Option<&Recorder> {
+        self.obs.as_deref()
+    }
+
+    #[cfg(feature = "obs")]
+    #[inline]
+    fn obs_start(&self, phase: Phase) {
+        if let Some(o) = &self.obs {
+            o.start(phase);
+        }
+    }
+
+    #[cfg(feature = "obs")]
+    #[inline]
+    fn obs_stop(&self, phase: Phase) {
+        if let Some(o) = &self.obs {
+            o.stop(phase);
+        }
+    }
+
+    #[cfg(feature = "obs")]
+    #[inline]
+    fn obs_emit(&self, event: Event) {
+        if let Some(o) = &self.obs {
+            o.emit(event);
+        }
+    }
+
+    /// Snapshots the recorder into a [`RunReport`]: unifies [`Stats`], the
+    /// search counters, the graph census and node counts, and the adjacency
+    /// promotion log behind the counter registry, emits any promotions not
+    /// yet reported as events, and returns the labeled report.
+    ///
+    /// Returns `None` if [`enable_obs`](Solver::enable_obs) was never called.
+    /// Calling it repeatedly is safe: stats-derived counters are overwritten
+    /// (they are cumulative totals) and promotion events are emitted once.
+    #[cfg(feature = "obs")]
+    pub fn run_report(&mut self, label: &str) -> Option<RunReport> {
+        let census = self.census();
+        let counts = self.node_counts();
+        let rec = self.obs.as_deref()?;
+        crate::obs::record_stats(rec, &self.stats);
+        rec.set(bane_obs::Counter::CensusEdges, census.total_edges() as u64);
+        rec.set(bane_obs::Counter::CensusLiveVars, counts.live_vars as u64);
+        let promotions = self.graph.promotions();
+        rec.set(bane_obs::Counter::AdjPromotions, promotions.len() as u64);
+        for p in &promotions[self.promotions_reported..] {
+            rec.emit(Event::ListPromoted { node: p.node.raw(), kind: p.kind.name() });
+        }
+        self.promotions_reported = promotions.len();
+        Some(self.obs.as_deref()?.report(label))
     }
 
     /// The configuration this solver runs under.
@@ -356,6 +443,20 @@ impl Solver {
     }
 
     fn run(&mut self, closure: bool, max_work: u64) -> bool {
+        #[cfg(feature = "obs")]
+        self.obs_start(Phase::Resolve);
+        let finished = self.run_inner(closure, max_work);
+        #[cfg(feature = "obs")]
+        {
+            if !finished {
+                self.obs_emit(Event::WorkLimitHit { work: self.stats.work });
+            }
+            self.obs_stop(Phase::Resolve);
+        }
+        finished
+    }
+
+    fn run_inner(&mut self, closure: bool, max_work: u64) -> bool {
         let periodic = match self.config.cycle_elim {
             CycleElim::Periodic { interval } if closure => interval.max(1) as u64,
             _ => 0,
@@ -375,6 +476,8 @@ impl Solver {
     /// One offline elimination pass: Tarjan over the current canonical
     /// variable-variable edges, collapsing every non-trivial SCC.
     fn offline_collapse(&mut self) {
+        #[cfg(feature = "obs")]
+        self.obs_start(Phase::OfflinePass);
         let edges = self.graph.var_var_edges(&self.fwd);
         let n = self.graph.len();
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
@@ -389,10 +492,14 @@ impl Solver {
             self.collapse(&members);
         }
         self.path_buf = members;
+        #[cfg(feature = "obs")]
+        self.obs_stop(Phase::OfflinePass);
     }
 
     fn inconsistent(&mut self, err: Inconsistency) {
         self.stats.inconsistencies += 1;
+        #[cfg(feature = "obs")]
+        self.obs_emit(Event::Inconsistency);
         self.errors.push(err);
     }
 
@@ -413,12 +520,24 @@ impl Solver {
             SetExpr::Var(v) => SetExpr::Var(self.fwd.find(v)),
             t @ SetExpr::Term(_) => t,
         };
+        // The three edge-inserting arms share the EdgeInsert phase; term-term
+        // decomposition is structural, not an insertion, and stays outside.
+        #[cfg(feature = "obs")]
+        let is_edge = !matches!((&lhs, &rhs), (SetExpr::Term(_), SetExpr::Term(_)));
+        #[cfg(feature = "obs")]
+        if is_edge {
+            self.obs_start(Phase::EdgeInsert);
+        }
         match (lhs, rhs) {
             (SetExpr::Var(x), SetExpr::Var(y)) => self.var_var(x, y, closure),
             (SetExpr::Var(x), SetExpr::Term(t)) => self.add_snk(x, t, closure),
             (SetExpr::Term(s), SetExpr::Var(y)) => self.add_src(s, y, closure),
             (SetExpr::Term(s), SetExpr::Term(t)) => self.resolve_terms(s, t),
             _ => unreachable!("normalization removed 0/1"),
+        }
+        #[cfg(feature = "obs")]
+        if is_edge {
+            self.obs_stop(Phase::EdgeInsert);
         }
     }
 
@@ -581,6 +700,8 @@ impl Solver {
     /// buffer, loaned out around the call so `collapse` can borrow freely.
     fn search_cycle(&mut self, start: Var, target: Var, dir: ChainDir, step: StepOrder) -> bool {
         let mut path = std::mem::take(&mut self.path_buf);
+        #[cfg(feature = "obs")]
+        self.obs_start(Phase::CycleDetect);
         let found = self.search.search(
             &self.graph,
             &self.fwd,
@@ -592,6 +713,8 @@ impl Solver {
             &mut self.stats.search,
             &mut path,
         );
+        #[cfg(feature = "obs")]
+        self.obs_stop(Phase::CycleDetect);
         if found {
             self.collapse(&path);
         }
@@ -617,8 +740,15 @@ impl Solver {
             self.members_buf = members;
             return;
         }
+        #[cfg(feature = "obs")]
+        self.obs_start(Phase::Collapse);
         // The lowest-ordered member preserves the inductive-form invariant.
         let witness = self.order.min_of(&members);
+        #[cfg(feature = "obs")]
+        self.obs_emit(Event::CycleCollapsed {
+            witness: witness.raw(),
+            members: members.len() as u32,
+        });
         self.stats.cycles_collapsed += 1;
         for &m in &members {
             if m == witness {
@@ -646,6 +776,8 @@ impl Solver {
             }
         }
         self.members_buf = members;
+        #[cfg(feature = "obs")]
+        self.obs_stop(Phase::Collapse);
     }
 
     // ------------------------------------------------------------------
@@ -776,6 +908,15 @@ impl Solver {
     pub fn scc_partition(&self) -> Partition {
         if !self.config.log_varvar || self.oracle.is_some() {
             return Partition::identity(self.creation_count as usize);
+        }
+        #[cfg(feature = "obs")]
+        if let Some(rec) = &self.obs {
+            return Partition::from_run_observed(
+                self.creation_count as usize,
+                &self.varvar_log,
+                &self.union_log,
+                rec,
+            );
         }
         Partition::from_run(self.creation_count as usize, &self.varvar_log, &self.union_log)
     }

@@ -69,6 +69,13 @@ fn feed(solver: &mut Solver, vars: &[Var], srcs: &[TermId], snks: &[TermId]) {
 #[test]
 fn steady_state_resolution_does_not_allocate() {
     let mut solver = Solver::new(SolverConfig::if_online());
+    // With the `obs` feature on, recording must hold the same guarantee: the
+    // recorder's timer slots, counter array, and event ring are all
+    // preallocated at enable time, so live probes stay allocation-free on
+    // the steady-state path. (Without the feature this line compiles away,
+    // pinning the baseline.)
+    #[cfg(feature = "obs")]
+    solver.enable_obs();
     let vars: Vec<Var> = (0..150).map(|_| solver.fresh_var()).collect();
     let mut srcs = Vec::new();
     let mut snks = Vec::new();

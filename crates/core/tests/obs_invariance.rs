@@ -1,0 +1,142 @@
+//! Observability must be a pure observer (obs-feature builds only).
+//!
+//! The contract from `docs/OBSERVABILITY.md`: enabling recording changes
+//! *nothing* the solver computes — not the Work counter, not the census, not
+//! which variables collapse into which witnesses. These tests run identical
+//! constraint systems with recording on and off and require bit-identical
+//! results, then check that the published [`RunReport`] agrees with the
+//! solver's own [`Stats`].
+
+#![cfg(feature = "obs")]
+
+use bane_core::prelude::*;
+use bane_obs::Counter;
+
+/// A deterministic mixed workload: a long chain folded into cycles, term
+/// sources and sinks, and enough fan-out to exercise resolution.
+fn feed(solver: &mut Solver) -> Vec<Var> {
+    let con = solver.register_nullary("c");
+    let c = solver.term(con, vec![]);
+    let snk_con = solver.register_nullary("t");
+    let t = solver.term(snk_con, vec![]);
+    let vars: Vec<Var> = (0..60).map(|_| solver.fresh_var()).collect();
+    for i in 0..59 {
+        solver.add(vars[i], vars[i + 1]);
+    }
+    // Back edges close three cycles of different sizes.
+    solver.add(vars[9], vars[0]);
+    solver.add(vars[30], vars[20]);
+    solver.add(vars[59], vars[40]);
+    for i in (0..60).step_by(7) {
+        solver.add(c, vars[i]);
+    }
+    for i in (3..60).step_by(11) {
+        solver.add(vars[i], t);
+    }
+    vars
+}
+
+fn run(observe: bool) -> (Solver, Vec<Var>) {
+    let mut solver = Solver::new(SolverConfig::if_online());
+    if observe {
+        solver.enable_obs();
+    }
+    let vars = feed(&mut solver);
+    solver.solve();
+    (solver, vars)
+}
+
+#[test]
+fn recording_does_not_change_any_result() {
+    let (mut plain, vars_p) = run(false);
+    let (mut observed, vars_o) = run(true);
+
+    assert_eq!(plain.stats(), observed.stats(), "Stats diverged under recording");
+    assert_eq!(plain.census(), observed.census(), "census diverged under recording");
+    assert_eq!(plain.node_counts(), observed.node_counts());
+    for (&p, &o) in vars_p.iter().zip(&vars_o) {
+        assert_eq!(plain.find(p), observed.find(o), "witness diverged under recording");
+    }
+    let lsp = plain.least_solution();
+    let lso = observed.least_solution();
+    for (&p, &o) in vars_p.iter().zip(&vars_o) {
+        assert_eq!(lsp.get(plain.find(p)), lso.get(observed.find(o)));
+    }
+}
+
+#[test]
+fn report_counters_agree_with_solver_stats() {
+    let (mut solver, _) = run(true);
+    let stats = *solver.stats();
+    let census = solver.census();
+    let report = solver.run_report("invariance").expect("recording is enabled");
+
+    assert_eq!(report.counter("work.total"), Some(stats.work));
+    assert_eq!(report.counter("work.redundant"), Some(stats.redundant));
+    assert_eq!(report.counter("search.count"), Some(stats.search.searches));
+    assert_eq!(report.counter("cycle.found"), Some(stats.search.cycles_found));
+    assert_eq!(report.counter("cycle.collapsed"), Some(stats.cycles_collapsed));
+    assert_eq!(report.counter("cycle.vars-eliminated"), Some(stats.vars_eliminated));
+    assert_eq!(report.counter("census.edges"), Some(census.total_edges() as u64));
+    assert_eq!(report.counter("census.live-vars"), Some(census.live_vars as u64));
+
+    // The workload has cycles, so the phase hierarchy must show real time
+    // attributed to resolution and at least one cycle-detect call.
+    let resolve = report.phase("resolve").expect("resolve phase recorded");
+    assert!(resolve.calls >= 1);
+    let detect = report.phase("cycle-detect").expect("cycle-detect phase recorded");
+    assert_eq!(detect.calls, stats.search.searches);
+    let collapse = report.phase("collapse").expect("collapse phase recorded");
+    assert_eq!(collapse.calls, stats.cycles_collapsed);
+
+    // Every collapse surfaced as an event.
+    let collapses =
+        report.events.iter().filter(|e| e.event.kind() == "cycle-collapsed").count();
+    assert_eq!(collapses as u64, stats.cycles_collapsed);
+}
+
+#[test]
+fn run_report_is_idempotent_when_no_new_work_happens() {
+    let (mut solver, _) = run(true);
+    let first = solver.run_report("again").expect("recording is enabled");
+    let second = solver.run_report("again").expect("recording is enabled");
+    // Counters are published with overwrite semantics and promotion events
+    // are drained through a cursor, so a second report with no intervening
+    // work is identical (timers gained no calls either: report() only reads).
+    assert_eq!(first, second);
+}
+
+#[test]
+fn promotions_past_the_hybrid_threshold_surface_as_events() {
+    let mut solver = Solver::new(SolverConfig::if_online());
+    solver.enable_obs();
+    // A hub with 40 successors pushes its succ-vars list well past the
+    // degree-16 inline threshold from the hybrid adjacency representation.
+    let hub = solver.fresh_var();
+    let spokes: Vec<Var> = (0..40).map(|_| solver.fresh_var()).collect();
+    for &s in &spokes {
+        solver.add(hub, s);
+    }
+    solver.solve();
+    let report = solver.run_report("promotion").expect("recording is enabled");
+    assert!(
+        report.counter("adj.promotions").unwrap_or(0) >= 1,
+        "no promotion recorded for a degree-40 hub"
+    );
+    let promoted =
+        report.events.iter().filter(|e| e.event.kind() == "list-promoted").count();
+    assert!(promoted >= 1, "no list-promoted event for a degree-40 hub");
+}
+
+#[test]
+fn least_solution_publishes_its_counters() {
+    let (mut solver, vars) = run(true);
+    let ls = solver.least_solution();
+    let nonempty = vars.iter().filter(|&&v| !ls.get(solver.find(v)).is_empty()).count();
+    assert!(nonempty > 0, "workload should give some variables sources");
+    let report = solver.run_report("least").expect("recording is enabled");
+    let rec = solver.obs().expect("recording is enabled");
+    assert!(rec.get(Counter::LsSetVars) >= 1);
+    assert!(rec.get(Counter::LsEntries) >= rec.get(Counter::LsSetVars));
+    assert!(report.phase("least-solution").is_some());
+}

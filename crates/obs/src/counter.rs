@@ -1,0 +1,264 @@
+//! The named monotonic counter registry.
+//!
+//! One [`Counter`] per figure the workspace measures, with a stable dotted
+//! name (`work.total`, `search.edges-scanned`, …) used in reports and JSON.
+//! The registry unifies what used to be scattered across `Stats` in
+//! `bane-core`, the chain-search `SearchStats`, the graph census, and the
+//! constraint generators — one namespace, documented in
+//! `docs/OBSERVABILITY.md`.
+//!
+//! [`Counters`] is a fixed array indexed by the enum discriminant: no
+//! hashing, no allocation, `O(1)` add. Additions **saturate** at `u64::MAX`
+//! instead of wrapping, so a runaway probe can never flip a large figure
+//! into a small one.
+
+/// A named monotonic counter. See the [module docs](self) for the registry
+/// design and `docs/OBSERVABILITY.md` for what each figure means.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)] // the name() table below is the documentation of record
+pub enum Counter {
+    // -- constraint intake ---------------------------------------------
+    /// Constraints added to the system (`Stats::constraints_added`).
+    ConstraintsAdded = 0,
+    /// Constraints dequeued and processed (`Stats::constraints_processed`).
+    ConstraintsProcessed = 1,
+    /// Constraints between two constructed terms (`Stats::term_constraints`).
+    ConstraintsTerm = 2,
+    /// Trivial `X ⊆ X` constraints skipped (`Stats::self_constraints`).
+    ConstraintsSelf = 3,
+
+    // -- closure work (paper §6 "Work") --------------------------------
+    /// Paper's Work metric: edge-insertion attempts (`Stats::work`).
+    WorkTotal = 4,
+    /// Insertions that found the edge already present (`Stats::redundant`).
+    WorkRedundant = 5,
+    /// Transitive resolutions of matched source/sink pairs
+    /// (`Stats::resolutions`).
+    WorkResolutions = 6,
+
+    // -- partial online chain searches (paper §2.5 / §3) ---------------
+    /// Chain searches attempted (`SearchStats::searches`).
+    SearchCount = 7,
+    /// Nodes visited across all searches (`SearchStats::nodes_visited`).
+    SearchNodesVisited = 8,
+    /// Edges scanned across all searches (`SearchStats::edges_scanned`).
+    SearchEdgesScanned = 9,
+    /// Largest node-visit count of any single search.
+    SearchMaxVisits = 10,
+
+    // -- cycle elimination ----------------------------------------------
+    /// Cycles found by chain searches (`SearchStats::cycles_found`).
+    CycleFound = 11,
+    /// Cycles collapsed, online or offline (`Stats::cycles_collapsed`).
+    CycleCollapsed = 12,
+    /// Variables forwarded into a witness (`Stats::vars_eliminated`).
+    CycleVarsEliminated = 13,
+    /// Fresh variables aliased to an oracle witness at creation
+    /// (`Stats::oracle_aliased`).
+    OracleAliased = 14,
+
+    // -- hybrid adjacency storage (DESIGN.md §4b) -----------------------
+    /// Adjacency lists promoted past the degree-16 small-mode threshold.
+    AdjPromotions = 15,
+
+    // -- graph census -----------------------------------------------------
+    /// Distinct live edges at convergence.
+    CensusEdges = 16,
+    /// Peak distinct edges over the run.
+    CensusPeakEdges = 17,
+    /// Live (non-forwarded) variables at convergence.
+    CensusLiveVars = 18,
+
+    // -- least solution (paper §2.4) ------------------------------------
+    /// Variables whose least solution is non-empty.
+    LsSetVars = 19,
+    /// Total (var, source) entries in the least solution.
+    LsEntries = 20,
+
+    // -- constraint generation -------------------------------------------
+    /// Constraints emitted by a front-end generator.
+    GenConstraints = 21,
+    /// Abstract locations created by the points-to generator.
+    GenLocations = 22,
+
+    // -- errors -----------------------------------------------------------
+    /// Inconsistent constraints detected (`Stats::inconsistencies`).
+    ErrorsInconsistencies = 23,
+}
+
+impl Counter {
+    /// Number of registered counters.
+    pub const COUNT: usize = 24;
+
+    /// Every counter, in canonical report order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::ConstraintsAdded,
+        Counter::ConstraintsProcessed,
+        Counter::ConstraintsTerm,
+        Counter::ConstraintsSelf,
+        Counter::WorkTotal,
+        Counter::WorkRedundant,
+        Counter::WorkResolutions,
+        Counter::SearchCount,
+        Counter::SearchNodesVisited,
+        Counter::SearchEdgesScanned,
+        Counter::SearchMaxVisits,
+        Counter::CycleFound,
+        Counter::CycleCollapsed,
+        Counter::CycleVarsEliminated,
+        Counter::OracleAliased,
+        Counter::AdjPromotions,
+        Counter::CensusEdges,
+        Counter::CensusPeakEdges,
+        Counter::CensusLiveVars,
+        Counter::LsSetVars,
+        Counter::LsEntries,
+        Counter::GenConstraints,
+        Counter::GenLocations,
+        Counter::ErrorsInconsistencies,
+    ];
+
+    /// The stable dotted name used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::ConstraintsAdded => "constraints.added",
+            Counter::ConstraintsProcessed => "constraints.processed",
+            Counter::ConstraintsTerm => "constraints.term",
+            Counter::ConstraintsSelf => "constraints.self",
+            Counter::WorkTotal => "work.total",
+            Counter::WorkRedundant => "work.redundant",
+            Counter::WorkResolutions => "work.resolutions",
+            Counter::SearchCount => "search.count",
+            Counter::SearchNodesVisited => "search.nodes-visited",
+            Counter::SearchEdgesScanned => "search.edges-scanned",
+            Counter::SearchMaxVisits => "search.max-visits",
+            Counter::CycleFound => "cycle.found",
+            Counter::CycleCollapsed => "cycle.collapsed",
+            Counter::CycleVarsEliminated => "cycle.vars-eliminated",
+            Counter::OracleAliased => "oracle.aliased",
+            Counter::AdjPromotions => "adj.promotions",
+            Counter::CensusEdges => "census.edges",
+            Counter::CensusPeakEdges => "census.peak-edges",
+            Counter::CensusLiveVars => "census.live-vars",
+            Counter::LsSetVars => "ls.set-vars",
+            Counter::LsEntries => "ls.entries",
+            Counter::GenConstraints => "gen.constraints",
+            Counter::GenLocations => "gen.locations",
+            Counter::ErrorsInconsistencies => "errors.inconsistencies",
+        }
+    }
+
+    /// The counter with the given stable name, if any.
+    pub fn by_name(name: &str) -> Option<Counter> {
+        Counter::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
+/// Fixed-size counter store, indexed by [`Counter`]. See the
+/// [module docs](self).
+#[derive(Clone, Debug)]
+pub struct Counters {
+    values: [u64; Counter::COUNT],
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Counters { values: [0; Counter::COUNT] }
+    }
+}
+
+impl Counters {
+    /// A fresh, all-zero counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to `counter`, saturating at `u64::MAX`.
+    #[inline]
+    pub fn add(&mut self, counter: Counter, n: u64) {
+        let v = &mut self.values[counter as usize];
+        *v = v.saturating_add(n);
+    }
+
+    /// Overwrites `counter` with `value` (for gauge-style figures like the
+    /// census, where the source of truth is elsewhere).
+    #[inline]
+    pub fn set(&mut self, counter: Counter, value: u64) {
+        self.values[counter as usize] = value;
+    }
+
+    /// Raises `counter` to `value` if `value` is larger (for maxima like
+    /// `search.max-visits`).
+    #[inline]
+    pub fn max(&mut self, counter: Counter, value: u64) {
+        let v = &mut self.values[counter as usize];
+        *v = (*v).max(value);
+    }
+
+    /// Reads `counter`.
+    #[inline]
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.values[counter as usize]
+    }
+
+    /// Every counter with a non-zero value, as `(name, value)` pairs in
+    /// [`Counter::ALL`] order — the report form.
+    pub fn nonzero(&self) -> Vec<(String, u64)> {
+        Counter::ALL
+            .into_iter()
+            .filter(|c| self.values[*c as usize] != 0)
+            .map(|c| (c.name().to_string(), self.values[c as usize]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_names_round_trip_and_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in Counter::ALL {
+            assert!(seen.insert(c.name()), "duplicate name {}", c.name());
+            assert_eq!(Counter::by_name(c.name()), Some(c));
+        }
+        assert_eq!(seen.len(), Counter::COUNT);
+        assert_eq!(Counter::by_name("work.nope"), None);
+    }
+
+    #[test]
+    fn add_saturates_instead_of_wrapping() {
+        let mut c = Counters::new();
+        c.add(Counter::WorkTotal, u64::MAX - 5);
+        c.add(Counter::WorkTotal, 3);
+        assert_eq!(c.get(Counter::WorkTotal), u64::MAX - 2);
+        c.add(Counter::WorkTotal, 10);
+        assert_eq!(c.get(Counter::WorkTotal), u64::MAX, "saturated, not wrapped");
+        c.add(Counter::WorkTotal, 1);
+        assert_eq!(c.get(Counter::WorkTotal), u64::MAX);
+    }
+
+    #[test]
+    fn set_and_max_semantics() {
+        let mut c = Counters::new();
+        c.set(Counter::CensusEdges, 100);
+        c.set(Counter::CensusEdges, 40);
+        assert_eq!(c.get(Counter::CensusEdges), 40, "set overwrites");
+        c.max(Counter::SearchMaxVisits, 7);
+        c.max(Counter::SearchMaxVisits, 3);
+        assert_eq!(c.get(Counter::SearchMaxVisits), 7, "max keeps the peak");
+    }
+
+    #[test]
+    fn nonzero_reports_in_canonical_order() {
+        let mut c = Counters::new();
+        c.add(Counter::LsEntries, 2);
+        c.add(Counter::WorkTotal, 9);
+        let rows = c.nonzero();
+        assert_eq!(
+            rows,
+            vec![("work.total".to_string(), 9), ("ls.entries".to_string(), 2)]
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! The bounded event ring buffer.
+//!
+//! Counters summarize; events explain. Rare occurrences — an SCC collapse,
+//! an adjacency list promoted past the hybrid threshold, an inconsistency —
+//! carry payloads worth keeping individually, but an unbounded log would
+//! break the solver's steady-state allocation-free discipline. [`EventRing`]
+//! therefore preallocates a fixed capacity once and **overwrites the
+//! oldest** entry when full, keeping the most recent events and an honest
+//! count of how many were dropped.
+//!
+//! Every pushed event gets a monotonically increasing sequence number
+//! ([`EventRecord::seq`]) so reports can show ordering and gaps even after
+//! wraparound.
+
+/// Default capacity of the event ring ([`EventRing::new`] argument used by
+/// `Recorder::new`). Large enough for every collapse in the paper-scale
+/// benchmarks; small enough to stay cache-resident.
+pub const DEFAULT_EVENT_CAPACITY: usize = 256;
+
+/// A rare, individually recorded solver occurrence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A cycle was collapsed into its minimum-order witness.
+    CycleCollapsed {
+        /// Index of the witness variable the members were forwarded into.
+        witness: u32,
+        /// Number of variables in the collapsed cycle, witness included.
+        members: u32,
+    },
+    /// An adjacency list crossed the degree-16 hybrid threshold and was
+    /// promoted from linear-scan to hash-set mode (DESIGN.md §4b).
+    ListPromoted {
+        /// Index of the variable whose list was promoted.
+        node: u32,
+        /// Which of the node's four adjacency lists was promoted
+        /// (`"pred-vars"`, `"succ-vars"`, `"pred-srcs"`, `"succ-snks"`).
+        kind: &'static str,
+    },
+    /// An inconsistent constraint (`1 ⊆ 0`-shaped) was detected.
+    Inconsistency,
+    /// The resolution loop stopped early because it hit its work limit.
+    WorkLimitHit {
+        /// Work performed when the limit was hit.
+        work: u64,
+    },
+}
+
+impl Event {
+    /// The stable kind tag used in reports and JSON.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::CycleCollapsed { .. } => "cycle-collapsed",
+            Event::ListPromoted { .. } => "list-promoted",
+            Event::Inconsistency => "inconsistency",
+            Event::WorkLimitHit { .. } => "work-limit-hit",
+        }
+    }
+}
+
+/// An [`Event`] plus its position in the emission order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Zero-based emission index, monotone across the whole run (survives
+    /// ring wraparound).
+    pub seq: u64,
+    /// The event payload.
+    pub event: Event,
+}
+
+/// Fixed-capacity ring of the most recent events. See the
+/// [module docs](self).
+#[derive(Clone, Debug)]
+pub struct EventRing {
+    buf: Vec<EventRecord>,
+    capacity: usize,
+    /// Index of the oldest record in `buf` once the ring has wrapped.
+    head: usize,
+    emitted: u64,
+}
+
+impl Default for EventRing {
+    fn default() -> Self {
+        EventRing::new(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (at least 1), preallocated
+    /// up front so pushes never allocate.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing { buf: Vec::with_capacity(capacity), capacity, head: 0, emitted: 0 }
+    }
+
+    /// Records `event`, overwriting the oldest record when full.
+    #[inline]
+    pub fn push(&mut self, event: Event) {
+        let record = EventRecord { seq: self.emitted, event };
+        self.emitted += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(record);
+        } else {
+            self.buf[self.head] = record;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Total events emitted, including overwritten ones.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Number of events overwritten (lost) so far.
+    pub fn dropped(&self) -> u64 {
+        self.emitted - self.buf.len() as u64
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = EventRecord> + '_ {
+        let (wrapped, start) = self.buf.split_at(self.head);
+        start.iter().chain(wrapped.iter()).copied()
+    }
+
+    /// Forgets all retained events and resets the emission count.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.emitted = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_overwrites_oldest() {
+        let mut r = EventRing::new(3);
+        for w in 0..3u32 {
+            r.push(Event::CycleCollapsed { witness: w, members: 2 });
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 0);
+
+        r.push(Event::Inconsistency);
+        r.push(Event::WorkLimitHit { work: 9 });
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.emitted(), 5);
+        assert_eq!(r.dropped(), 2, "two oldest overwritten");
+
+        let kept: Vec<EventRecord> = r.iter().collect();
+        assert_eq!(kept.len(), 3);
+        // Oldest-first, with gap-free sequence numbers for what's retained.
+        assert_eq!(kept[0].seq, 2);
+        assert_eq!(kept[0].event, Event::CycleCollapsed { witness: 2, members: 2 });
+        assert_eq!(kept[1].seq, 3);
+        assert_eq!(kept[1].event, Event::Inconsistency);
+        assert_eq!(kept[2].seq, 4);
+        assert_eq!(kept[2].event, Event::WorkLimitHit { work: 9 });
+    }
+
+    #[test]
+    fn push_never_allocates_after_construction() {
+        let mut r = EventRing::new(4);
+        let cap_before = r.buf.capacity();
+        for i in 0..100 {
+            r.push(Event::WorkLimitHit { work: i });
+        }
+        assert_eq!(r.buf.capacity(), cap_before, "ring never grows");
+    }
+
+    #[test]
+    fn clear_resets_all_accounting() {
+        let mut r = EventRing::new(2);
+        r.push(Event::Inconsistency);
+        r.push(Event::Inconsistency);
+        r.push(Event::Inconsistency);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.emitted(), 0);
+        assert_eq!(r.dropped(), 0);
+        r.push(Event::WorkLimitHit { work: 1 });
+        let kept: Vec<EventRecord> = r.iter().collect();
+        assert_eq!(kept[0].seq, 0, "sequence restarts after clear");
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = EventRing::new(0);
+        r.push(Event::Inconsistency);
+        r.push(Event::WorkLimitHit { work: 3 });
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.iter().next().unwrap().event, Event::WorkLimitHit { work: 3 });
+    }
+
+    #[test]
+    fn event_kinds_are_stable() {
+        assert_eq!(Event::CycleCollapsed { witness: 0, members: 0 }.kind(), "cycle-collapsed");
+        assert_eq!(Event::ListPromoted { node: 0, kind: "pred-vars" }.kind(), "list-promoted");
+        assert_eq!(Event::Inconsistency.kind(), "inconsistency");
+        assert_eq!(Event::WorkLimitHit { work: 0 }.kind(), "work-limit-hit");
+    }
+}

@@ -1,0 +1,195 @@
+//! Solver observability: phase timers, counters, events, and run reports.
+//!
+//! The paper's entire empirical argument (§6, Tables 2–4) rests on being able
+//! to *measure* the solver — Work, edges scanned, cycles collapsed, per-phase
+//! time. This crate is the measurement substrate the rest of the workspace
+//! threads through the solver stack:
+//!
+//! - [`Phase`] / [`Timers`]: **hierarchical phase timers** with a
+//!   scoped-guard API ([`Timers::scope`]) or explicit
+//!   [`start`](Timers::start)/[`stop`](Timers::stop) pairs for hot paths
+//!   where a guard would fight the borrow checker. Nested phases attribute
+//!   child time to the parent, so every phase reports both *total* and
+//!   *self* time.
+//! - [`Counter`] / [`Counters`]: a **registry of named monotonic counters**
+//!   unifying the solver's `Stats`, the chain-search `SearchStats`, the
+//!   graph census, and the constraint-generation counts behind one stable
+//!   namespace (`work.total`, `search.edges-scanned`, …). Counters saturate
+//!   instead of wrapping.
+//! - [`Event`] / [`EventRing`]: a **bounded ring buffer** for rare events —
+//!   SCC collapses, adjacency-list promotions past the degree-16 hybrid
+//!   threshold, inconsistencies, work-limit hits. The ring never grows;
+//!   old events are overwritten and accounted in `events_dropped`.
+//! - [`RunReport`]: the machine-readable snapshot of all of the above,
+//!   serialized to JSON (hand-rolled — the build has no serde) with a
+//!   [round-tripping parser](RunReport::from_json), a human-readable
+//!   [table renderer](RunReport::render_table), and
+//!   [`merge`](RunReport::merge) for suite-level aggregation.
+//!
+//! # Zero-cost contract
+//!
+//! This crate is *always* functional; the zero-cost guarantee lives one
+//! level up. `bane-core` compiles its probes only under its `obs` cargo
+//! feature, and even then records only after `Solver::enable_obs` — see
+//! `docs/OBSERVABILITY.md` for the full gating contract. Everything here is
+//! allocation-free in steady state: timers and counters are fixed arrays,
+//! the ring buffer is preallocated, and the timer stack reserves its
+//! maximum practical depth up front.
+//!
+//! # Examples
+//!
+//! ```
+//! use bane_obs::{Counter, Phase, Recorder};
+//!
+//! let rec = Recorder::new();
+//! {
+//!     let _solve = rec.scope(Phase::Resolve);
+//!     {
+//!         let _search = rec.scope(Phase::CycleDetect);
+//!         // ... chain search ...
+//!     }
+//! }
+//! rec.add(Counter::WorkTotal, 42);
+//! let report = rec.report("example");
+//! assert_eq!(report.counter("work.total"), Some(42));
+//! let json = report.to_json();
+//! assert_eq!(bane_obs::RunReport::from_json(&json).unwrap(), report);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod counter;
+pub mod event;
+pub mod json;
+pub mod phase;
+pub mod report;
+
+pub use counter::{Counter, Counters};
+pub use event::{Event, EventRecord, EventRing, DEFAULT_EVENT_CAPACITY};
+pub use phase::{Phase, PhaseGuard, PhaseSnapshot, Timers};
+pub use report::{PhaseReport, RunReport};
+
+use std::cell::RefCell;
+
+/// One recorder bundling timers, counters, and the event ring.
+///
+/// All methods take `&self` (interior mutability) so probes can fire from
+/// inside `&mut self` solver methods without borrow gymnastics, and so
+/// scoped guards can nest.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    timers: Timers,
+    counters: RefCell<Counters>,
+    events: RefCell<EventRing>,
+}
+
+impl Recorder {
+    /// A recorder with the default event-ring capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A recorder whose event ring holds at most `event_capacity` events.
+    pub fn with_event_capacity(event_capacity: usize) -> Self {
+        Recorder {
+            timers: Timers::default(),
+            counters: RefCell::new(Counters::default()),
+            events: RefCell::new(EventRing::new(event_capacity)),
+        }
+    }
+
+    /// Starts `phase`; pair with [`stop`](Recorder::stop).
+    #[inline]
+    pub fn start(&self, phase: Phase) {
+        self.timers.start(phase);
+    }
+
+    /// Stops `phase`, accumulating its elapsed time.
+    #[inline]
+    pub fn stop(&self, phase: Phase) {
+        self.timers.stop(phase);
+    }
+
+    /// Starts `phase` and returns a guard that stops it on drop.
+    pub fn scope(&self, phase: Phase) -> PhaseGuard<'_> {
+        self.timers.scope(phase)
+    }
+
+    /// The timers, for direct inspection.
+    pub fn timers(&self) -> &Timers {
+        &self.timers
+    }
+
+    /// Adds `n` to `counter` (saturating).
+    #[inline]
+    pub fn add(&self, counter: Counter, n: u64) {
+        self.counters.borrow_mut().add(counter, n);
+    }
+
+    /// Overwrites `counter` with `value`.
+    #[inline]
+    pub fn set(&self, counter: Counter, value: u64) {
+        self.counters.borrow_mut().set(counter, value);
+    }
+
+    /// Reads `counter`.
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.counters.borrow().get(counter)
+    }
+
+    /// Records `event` in the ring buffer (overwriting the oldest event
+    /// when full).
+    #[inline]
+    pub fn emit(&self, event: Event) {
+        self.events.borrow_mut().push(event);
+    }
+
+    /// Number of events emitted so far (including dropped ones).
+    pub fn events_emitted(&self) -> u64 {
+        self.events.borrow().emitted()
+    }
+
+    /// Snapshots everything recorded so far into a [`RunReport`].
+    pub fn report(&self, label: &str) -> RunReport {
+        let events = self.events.borrow();
+        RunReport {
+            label: label.to_string(),
+            phases: self.timers.snapshot(),
+            counters: self.counters.borrow().nonzero(),
+            events: events.iter().collect(),
+            events_dropped: events.dropped(),
+        }
+    }
+
+    /// Clears all timers, counters, and events.
+    pub fn reset(&self) {
+        self.timers.reset();
+        *self.counters.borrow_mut() = Counters::default();
+        self.events.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_end_to_end() {
+        let rec = Recorder::new();
+        {
+            let _g = rec.scope(Phase::Resolve);
+            rec.add(Counter::WorkTotal, 7);
+            rec.emit(Event::CycleCollapsed { witness: 1, members: 3 });
+        }
+        rec.add(Counter::WorkTotal, 3);
+        let report = rec.report("t");
+        assert_eq!(report.counter("work.total"), Some(10));
+        assert_eq!(report.phases.len(), 1);
+        assert_eq!(report.phases[0].phase, Phase::Resolve.name());
+        assert_eq!(report.events.len(), 1);
+        rec.reset();
+        let empty = rec.report("t");
+        assert!(empty.phases.is_empty());
+        assert!(empty.events.is_empty());
+    }
+}

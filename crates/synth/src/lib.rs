@@ -3,7 +3,7 @@
 //! The paper evaluates on 27 C programs from 1998 (Table 1) that are not
 //! available here; this crate *simulates* them: [`gen`] produces seeded,
 //! deterministic C-subset programs with the pointer-intensity and cycle
-//! structure the paper's constraint graphs exhibit, and [`suite`] mirrors the
+//! structure the paper's constraint graphs exhibit, and [`mod@suite`] mirrors the
 //! Table 1 suite names and AST-node sizes.
 //!
 //! # Examples
