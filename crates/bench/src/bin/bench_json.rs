@@ -11,7 +11,7 @@
 //!
 //! ```text
 //! bench_json [--scale f] [--max-ast n] [--reps n] [--limit n] [--only s]
-//!            [--fast] [--out path] [--label s] [--report path]
+//!            [--threads n] [--fast] [--out path] [--label s] [--report path]
 //! ```
 //!
 //! Without `--out`, the snapshot is written to `BENCH_<n>.json` in the
@@ -42,12 +42,25 @@
 //! - `finished` — `false` when the `--limit` work bound stopped a `Plain`
 //!   run early; its numbers then reflect the truncated run.
 //!
+//! Since `bane-bench/3` the header also records the parallel context —
+//! `threads` (the `--threads` value), `git_revision`, and `logical_cpus` —
+//! and a `par_ls` section holds the `bane-par` scaling table: the largest
+//! selected benchmark's sequential baselines plus, for each thread count in
+//! {1, 2, 4, 8} ∪ {`--threads`}, the parallel least-solution and frontier
+//! engine wall times with their determinism checks (`ls_identical`,
+//! `frontier_deterministic` — both must read `true`; they are measured, not
+//! assumed). Every field that existed in `bane-bench/2` is emitted
+//! byte-identically; consumers of the old schema keep working unchanged.
+//!
 //! The JSON is hand-rolled (the build environment has no serde); the format
 //! is plain nested objects with no NaNs and no trailing commas, so any JSON
 //! parser can read it.
 
 use bane_bench::cli::Options;
-use bane_bench::experiment::{analyze_bench, run_observed, run_one, ExperimentKind, Measurement};
+use bane_bench::experiment::{
+    analyze_bench, run_observed, run_one, run_par_scaling, ExperimentKind, Measurement,
+    ParScaling,
+};
 use bane_obs::RunReport;
 use std::fmt::Write as _;
 use std::time::SystemTime;
@@ -76,7 +89,8 @@ fn main() {
             },
             "--help" | "-h" => die(
                 "options: --scale <f> --max-ast <n> --reps <n> --limit <n> \
-                 --only <substr> --fast --out <path> --label <s> --report <path>",
+                 --only <substr> --threads <n> --fast --out <path> --label <s> \
+                 --report <path>",
             ),
             _ => rest.push(arg),
         }
@@ -153,20 +167,58 @@ fn main() {
 
     eprintln!("{}", aggregate.render_table());
 
+    // The bane-par scaling table: the largest selected benchmark, at the
+    // canonical thread counts plus whatever `--threads` asked for.
+    let mut thread_counts = vec![1usize, 2, 4, 8];
+    if !thread_counts.contains(&opts.threads) {
+        thread_counts.push(opts.threads);
+        thread_counts.sort_unstable();
+    }
+    let par_ls_json = match selected.iter().max_by_key(|(e, _)| e.ast_nodes) {
+        Some((entry, program)) => {
+            eprintln!(
+                "bench_json: par scaling on {} (threads {:?})",
+                entry.name, thread_counts
+            );
+            let scaling = run_par_scaling(program, &thread_counts, opts.reps);
+            for row in &scaling.rows {
+                eprintln!(
+                    "  par {:<24} threads={} ls={:>12}ns (seq {:>12}ns) frontier={:>12}ns \
+                     identical={} deterministic={}",
+                    entry.name,
+                    row.threads,
+                    row.ls_ns,
+                    scaling.seq_ls_ns,
+                    row.frontier_wall_ns,
+                    row.ls_identical,
+                    row.frontier_deterministic,
+                );
+            }
+            par_scaling_json(entry.name, &scaling)
+        }
+        None => "null".to_string(),
+    };
+
     let created_unix = SystemTime::now()
         .duration_since(SystemTime::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let json = format!(
-        "{{\n  \"schema\": \"bane-bench/2\",\n  \"label\": {},\n  \
+        "{{\n  \"schema\": \"bane-bench/3\",\n  \"label\": {},\n  \
          \"created_unix\": {},\n  \"scale\": {},\n  \"max_ast\": {},\n  \
-         \"reps\": {},\n  \"limit\": {},\n  \"benchmarks\": [{}\n  ]\n}}\n",
+         \"reps\": {},\n  \"limit\": {},\n  \"threads\": {},\n  \
+         \"git_revision\": {},\n  \"logical_cpus\": {},\n  \
+         \"par_ls\": {},\n  \"benchmarks\": [{}\n  ]\n}}\n",
         json_string(&label),
         created_unix,
         json_f64(opts.scale),
         opts.max_ast,
         opts.reps,
         opts.limit,
+        opts.threads,
+        json_string(&git_revision()),
+        bane_par::available_threads(),
+        par_ls_json,
         benchmarks,
     );
 
@@ -188,6 +240,54 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
     std::process::exit(2);
+}
+
+/// The checkout's `HEAD` revision, or `"unknown"` outside a git worktree.
+fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The `par_ls` scaling section: sequential baselines plus one row per
+/// thread count with speedups relative to them.
+fn par_scaling_json(benchmark: &str, scaling: &ParScaling) -> String {
+    let mut rows = String::new();
+    for (i, row) in scaling.rows.iter().enumerate() {
+        if i > 0 {
+            rows.push(',');
+        }
+        let ls_speedup = scaling.seq_ls_ns as f64 / row.ls_ns.max(1) as f64;
+        let frontier_speedup =
+            scaling.seq_solve_ns as f64 / row.frontier_wall_ns.max(1) as f64;
+        let _ = write!(
+            rows,
+            "\n      {{\"threads\": {}, \"ls_ns\": {}, \"ls_speedup\": {}, \
+             \"ls_identical\": {}, \"frontier_wall_ns\": {}, \
+             \"frontier_speedup\": {}, \"frontier_deterministic\": {}}}",
+            row.threads,
+            row.ls_ns,
+            json_f64(ls_speedup),
+            row.ls_identical,
+            row.frontier_wall_ns,
+            json_f64(frontier_speedup),
+            row.frontier_deterministic,
+        );
+    }
+    format!(
+        "{{\"benchmark\": {}, \"seq_ls_ns\": {}, \"seq_solve_ns\": {}, \
+         \"rows\": [{}\n    ]}}",
+        json_string(benchmark),
+        scaling.seq_ls_ns,
+        scaling.seq_solve_ns,
+        rows,
+    )
 }
 
 /// `BENCH_<n>.json` with `<n>` one past the highest index already present in

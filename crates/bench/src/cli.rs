@@ -13,6 +13,8 @@ pub struct Options {
     pub limit: u64,
     /// Restrict to benchmarks whose name contains this string.
     pub only: Option<String>,
+    /// Worker threads for the `bane-par` engines (1 = sequential paths).
+    pub threads: usize,
 }
 
 impl Options {
@@ -26,13 +28,14 @@ impl Options {
             reps: 1,
             limit: 200_000_000,
             only: None,
+            threads: 1,
         }
     }
 
     /// Parses `args` (without the program name) over the given defaults.
     ///
     /// Recognized flags: `--scale <f>`, `--max-ast <n>`, `--reps <n>`,
-    /// `--limit <n>`, `--only <substring>`, `--fast`.
+    /// `--limit <n>`, `--only <substring>`, `--threads <n>`, `--fast`.
     ///
     /// # Errors
     ///
@@ -67,6 +70,11 @@ impl Options {
                 "--only" => {
                     self.only = Some(value("--only")?);
                 }
+                "--threads" => {
+                    self.threads = value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?;
+                }
                 "--fast" => {
                     self.scale = (self.scale * 0.5).min(0.1);
                     self.max_ast = self.max_ast.min(60_000);
@@ -74,7 +82,7 @@ impl Options {
                 "--help" | "-h" => {
                     return Err(
                         "options: --scale <f> --max-ast <n> --reps <n> --limit <n> \
-                         --only <substr> --fast"
+                         --only <substr> --threads <n> --fast"
                             .to_string(),
                     )
                 }
@@ -83,6 +91,9 @@ impl Options {
         }
         if self.scale <= 0.0 {
             return Err("--scale must be positive".to_string());
+        }
+        if self.threads == 0 {
+            return Err("--threads must be at least 1".to_string());
         }
         Ok(self)
     }
@@ -122,13 +133,20 @@ mod tests {
     #[test]
     fn parses_flags() {
         let o = Options::defaults(false)
-            .parse(args("--scale 0.5 --max-ast 9000 --reps 3 --limit 1000 --only flex"))
+            .parse(args("--scale 0.5 --max-ast 9000 --reps 3 --limit 1000 --only flex --threads 4"))
             .unwrap();
         assert_eq!(o.scale, 0.5);
         assert_eq!(o.max_ast, 9000);
         assert_eq!(o.reps, 3);
         assert_eq!(o.limit, 1000);
         assert_eq!(o.only.as_deref(), Some("flex"));
+        assert_eq!(o.threads, 4);
+    }
+
+    #[test]
+    fn threads_defaults_to_sequential() {
+        assert_eq!(Options::defaults(false).threads, 1);
+        assert_eq!(Options::defaults(true).threads, 1);
     }
 
     #[test]
@@ -137,6 +155,8 @@ mod tests {
         assert!(Options::defaults(false).parse(args("--scale abc")).is_err());
         assert!(Options::defaults(false).parse(args("--scale")).is_err());
         assert!(Options::defaults(false).parse(args("--scale 0")).is_err());
+        assert!(Options::defaults(false).parse(args("--threads 0")).is_err());
+        assert!(Options::defaults(false).parse(args("--threads x")).is_err());
     }
 
     #[test]

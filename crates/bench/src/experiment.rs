@@ -360,6 +360,102 @@ pub fn analyze_bench(name: &str, program: &Program) -> (BenchInfo, Partition, Me
     (info, partition, measurement)
 }
 
+/// One thread count's row of the `bane-par` scaling table.
+#[derive(Clone, Copy, Debug)]
+pub struct ParScalingRow {
+    /// Worker threads used.
+    pub threads: usize,
+    /// [`bane_par::ParLeast`] wall time at this thread count (best of reps).
+    pub ls_ns: u128,
+    /// Whether the parallel least solution was byte-identical to the
+    /// sequential pass (the engine's core contract; must always be `true`).
+    pub ls_identical: bool,
+    /// [`bane_par::FrontierSolver::solve`] wall time at this thread count.
+    pub frontier_wall_ns: u128,
+    /// Whether this thread count's frontier run reproduced the 1-thread
+    /// run's observables — stats (Work included), census, inconsistency
+    /// list, and least solution (must always be `true`).
+    pub frontier_deterministic: bool,
+}
+
+/// Scaling measurements for the `bane-par` engines on one benchmark.
+#[derive(Clone, Debug)]
+pub struct ParScaling {
+    /// Sequential [`Solver::least_solution`] wall time (best of reps) — the
+    /// baseline the rows' speedups are computed against.
+    pub seq_ls_ns: u128,
+    /// Sequential `IF-Online` resolution wall time (excluding the
+    /// least-solution pass) — the baseline for the frontier columns.
+    pub seq_solve_ns: u128,
+    /// One row per requested thread count.
+    pub rows: Vec<ParScalingRow>,
+}
+
+/// Runs the `bane-par` scaling experiment on `program`: the SCC-level
+/// parallel least solution and the frontier closure engine at each thread
+/// count in `thread_counts`, against sequential `IF-Online` baselines.
+///
+/// Determinism is *checked*, not assumed: every row records whether the
+/// least solution stayed byte-identical and whether the frontier run's
+/// observables matched the 1-thread run (which itself is checked
+/// semantically per variable against the sequential solver's solution).
+pub fn run_par_scaling(
+    program: &Program,
+    thread_counts: &[usize],
+    reps: usize,
+) -> ParScaling {
+    use bane_par::{FrontierSolver, ParLeast};
+
+    // Sequential baselines.
+    let mut solver = Solver::new(SolverConfig::if_online());
+    andersen::generate(program, &mut solver);
+    let start = Instant::now();
+    solver.solve();
+    let seq_solve_ns = start.elapsed().as_nanos();
+    let mut seq_ls_ns = u128::MAX;
+    let mut seq_ls = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let ls = solver.least_solution();
+        seq_ls_ns = seq_ls_ns.min(start.elapsed().as_nanos());
+        seq_ls = Some(ls);
+    }
+    let seq_ls = seq_ls.expect("reps >= 1");
+
+    // 1-thread frontier reference observables.
+    let frontier_reference = |threads: usize| -> (u128, Stats, Vec<Inconsistency>, LeastSolution)
+    {
+        let mut gen = Solver::new(SolverConfig::if_online());
+        andersen::generate(program, &mut gen);
+        let mut f = FrontierSolver::from_solver(gen, threads);
+        let start = Instant::now();
+        f.solve();
+        let wall = start.elapsed().as_nanos();
+        let ls = f.least_solution();
+        (wall, *f.stats(), f.inconsistencies().to_vec(), ls)
+    };
+    let (_, ref_stats, ref_errors, ref_ls) = frontier_reference(1);
+
+    let mut par = ParLeast::new();
+    let rows = thread_counts
+        .iter()
+        .map(|&threads| {
+            let mut ls_ns = u128::MAX;
+            for _ in 0..reps.max(1) {
+                let start = Instant::now();
+                par.run(&solver.least_parts(), threads, None);
+                ls_ns = ls_ns.min(start.elapsed().as_nanos());
+            }
+            let ls_identical = par.solution() == seq_ls;
+            let (frontier_wall_ns, stats, errors, ls) = frontier_reference(threads);
+            let frontier_deterministic =
+                stats == ref_stats && errors == ref_errors && ls == ref_ls;
+            ParScalingRow { threads, ls_ns, ls_identical, frontier_wall_ns, frontier_deterministic }
+        })
+        .collect();
+    ParScaling { seq_ls_ns, seq_solve_ns, rows }
+}
+
 /// Measures the fraction of collapsible cycle variables that online
 /// elimination actually removed (Figure 11's y-axis).
 pub fn detection_fraction(m: &Measurement, info: &BenchInfo) -> f64 {
@@ -494,6 +590,21 @@ mod tests {
         assert_eq!(report.counter("census.peak-edges"), Some(m.peak_edges));
         assert!(report.counter("gen.constraints").unwrap_or(0) > 0);
         assert!(report.counter("gen.locations").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn par_scaling_checks_hold_on_the_sample() {
+        let program = sample_program();
+        let scaling = run_par_scaling(&program, &[1, 2, 4], 1);
+        assert_eq!(scaling.rows.len(), 3);
+        assert!(scaling.seq_ls_ns > 0);
+        assert!(scaling.seq_solve_ns > 0);
+        for row in &scaling.rows {
+            assert!(row.ls_identical, "threads {}", row.threads);
+            assert!(row.frontier_deterministic, "threads {}", row.threads);
+            assert!(row.ls_ns > 0);
+            assert!(row.frontier_wall_ns > 0);
+        }
     }
 
     #[test]

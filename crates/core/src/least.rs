@@ -15,7 +15,130 @@
 
 use bane_util::idx::Idx;
 use crate::expr::{TermId, Var};
+use crate::forward::Forwarding;
+use crate::graph::Graph;
+use crate::order::VarOrder;
 use crate::solver::{Form, Solver};
+
+/// Borrowed view of exactly the solver state the least-solution pass reads.
+///
+/// Obtained from [`Solver::least_parts`] (or assembled directly by an
+/// external engine such as `bane-par` that owns the parts). Everything here
+/// is a shared reference to `Sync` data, so a `LeastParts` can be captured
+/// by scoped worker threads while the solver itself stays on the owning
+/// thread.
+#[derive(Clone, Copy)]
+pub struct LeastParts<'a> {
+    /// The solved constraint graph.
+    pub graph: &'a Graph,
+    /// Forwarding pointers for collapsed variables.
+    pub fwd: &'a Forwarding,
+    /// The variable order (drives the inductive-form evaluation order).
+    pub order: &'a VarOrder,
+    /// Which graph form the solver ran under.
+    pub form: Form,
+}
+
+impl LeastParts<'_> {
+    /// Fills `out` with the canonical representative of every variable
+    /// (`out[i] = find(i)`), reusing `out`'s capacity.
+    pub fn rep_map_into(&self, out: &mut Vec<Var>) {
+        let n = self.graph.len();
+        out.clear();
+        out.reserve(n);
+        for i in 0..n {
+            out.push(self.fwd.find_const(Var::new(i)));
+        }
+    }
+
+    /// Fills `out` with the canonical representatives in **layout order** —
+    /// the exact order the sequential pass commits spans to the arena:
+    /// creation order for standard form, increasing variable order for
+    /// inductive form. `rep` must come from
+    /// [`rep_map_into`](LeastParts::rep_map_into).
+    ///
+    /// Reuses `out`'s capacity and sorts in place, so a warmed caller
+    /// performs no allocation.
+    pub fn layout_order_into(&self, rep: &[Var], out: &mut Vec<Var>) {
+        out.clear();
+        out.extend((0..rep.len()).map(Var::new).filter(|&v| rep[v.index()] == v));
+        if let Form::Inductive = self.form {
+            // Keys are unique per variable, so the unstable sort is
+            // deterministic and matches the sequential pass's stable sort.
+            out.sort_unstable_by_key(|&v| self.order.key(v));
+        }
+    }
+
+    /// Computes the **condensation level** of every canonical variable over
+    /// the canonical predecessor DAG and returns the maximum level.
+    ///
+    /// Level 0 variables have no canonical variable predecessors; otherwise
+    /// `level(v) = 1 + max(level(preds))`. Because inductive-form
+    /// predecessor edges always decrease the variable order, every
+    /// predecessor of `v` appears before `v` in `layout`, making a single
+    /// forward sweep sufficient — and making each level an independent batch
+    /// a parallel evaluator can process with no intra-level dependencies.
+    /// For standard form every variable is level 0 (sets are read directly
+    /// from explicit predecessor lists).
+    ///
+    /// `out` is indexed by raw variable index; entries for non-canonical
+    /// variables are 0 and meaningless. Reuses `out`'s capacity.
+    pub fn levels_into(&self, rep: &[Var], layout: &[Var], out: &mut Vec<u32>) -> u32 {
+        out.clear();
+        out.resize(rep.len(), 0);
+        if let Form::Standard = self.form {
+            return 0;
+        }
+        let mut max_level = 0u32;
+        for &v in layout {
+            let mut level = 0u32;
+            for &raw in self.graph.node(v).pred_vars() {
+                let u = self.fwd.find_const(raw);
+                if u == v {
+                    continue; // stale self edge from a collapse
+                }
+                debug_assert!(
+                    self.order.lt(u, v),
+                    "inductive invariant: pred edges decrease the order"
+                );
+                level = level.max(out[u.index()] + 1);
+            }
+            out[v.index()] = level;
+            max_level = max_level.max(level);
+        }
+        max_level
+    }
+}
+
+/// Merges two sorted, internally distinct slices onto the end of `out`,
+/// dropping duplicates across the two.
+///
+/// This is the primitive both the sequential pass and the parallel
+/// evaluator in `bane-par` build set unions from; sharing it guarantees the
+/// two produce identical bytes for identical inputs.
+pub fn merge_sorted_dedup(a: &[TermId], b: &[TermId], out: &mut Vec<TermId>) {
+    out.reserve(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
 
 /// The least solution of a solved constraint system: for every variable, the
 /// sorted set of source terms it contains.
@@ -70,6 +193,32 @@ impl LeastSolution {
     pub fn total_entries(&self) -> usize {
         self.arena.len()
     }
+
+    /// Assembles a solution from its raw storage, the inverse of
+    /// [`raw_parts`](LeastSolution::raw_parts).
+    ///
+    /// This is the constructor external evaluators (`bane-par`) use to
+    /// produce output *byte-identical* to the sequential pass: `PartialEq`
+    /// on two `LeastSolution`s compares exactly these three buffers, so an
+    /// equality assertion pins layout, not just set contents.
+    ///
+    /// Invariants (debug-asserted): `rep` and `spans` have one entry per
+    /// variable, and every span lies inside `arena`.
+    pub fn from_parts(rep: Vec<Var>, arena: Vec<TermId>, spans: Vec<(u32, u32)>) -> Self {
+        debug_assert_eq!(rep.len(), spans.len());
+        debug_assert!(spans
+            .iter()
+            .all(|&(s, e)| s <= e && (e as usize) <= arena.len()));
+        LeastSolution { rep, arena, spans }
+    }
+
+    /// The raw storage: `(rep, arena, spans)`. `rep[i]` is variable `i`'s
+    /// canonical representative, and `spans[i]` indexes `arena` with
+    /// representative `i`'s sorted set (`(0, 0)` or an empty range when the
+    /// set is empty or `i` is collapsed).
+    pub fn raw_parts(&self) -> (&[Var], &[TermId], &[(u32, u32)]) {
+        (&self.rep, &self.arena, &self.spans)
+    }
 }
 
 impl Solver {
@@ -83,7 +232,7 @@ impl Solver {
         if let Some(rec) = self.obs() {
             rec.start(bane_obs::Phase::LeastSolution);
         }
-        let (graph, fwd, order, form, _one) = self.parts_for_least();
+        let LeastParts { graph, fwd, order, form } = self.least_parts();
         let n = graph.len();
         let mut rep: Vec<Var> = Vec::with_capacity(n);
         for i in 0..n {
@@ -121,32 +270,6 @@ impl Solver {
             arena.extend_from_slice(set);
             let end = u32::try_from(arena.len()).expect("least-solution arena overflow");
             spans[v.index()] = (start, end);
-        }
-
-        /// Merges two sorted distinct slices onto the end of `out`, dropping
-        /// duplicates across the two.
-        fn merge_dedup(a: &[TermId], b: &[TermId], out: &mut Vec<TermId>) {
-            out.reserve(a.len() + b.len());
-            let (mut i, mut j) = (0, 0);
-            while i < a.len() && j < b.len() {
-                match a[i].cmp(&b[j]) {
-                    std::cmp::Ordering::Less => {
-                        out.push(a[i]);
-                        i += 1;
-                    }
-                    std::cmp::Ordering::Greater => {
-                        out.push(b[j]);
-                        j += 1;
-                    }
-                    std::cmp::Ordering::Equal => {
-                        out.push(a[i]);
-                        i += 1;
-                        j += 1;
-                    }
-                }
-            }
-            out.extend_from_slice(&a[i..]);
-            out.extend_from_slice(&b[j..]);
         }
 
         match form {
@@ -223,7 +346,7 @@ impl Solver {
                             while i < total {
                                 let start = acc.len() as u32;
                                 if i + 1 < total {
-                                    merge_dedup(input(i), input(i + 1), &mut acc);
+                                    merge_sorted_dedup(input(i), input(i + 1), &mut acc);
                                     i += 2;
                                 } else {
                                     acc.extend_from_slice(input(i));
@@ -240,7 +363,7 @@ impl Solver {
                                     if i + 1 < bounds_a.len() {
                                         let (s1, e1) = bounds_a[i];
                                         let (s2, e2) = bounds_a[i + 1];
-                                        merge_dedup(
+                                        merge_sorted_dedup(
                                             &acc[s1 as usize..e1 as usize],
                                             &acc[s2 as usize..e2 as usize],
                                             &mut buf_b,

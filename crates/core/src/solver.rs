@@ -186,6 +186,46 @@ impl NodeCounts {
     }
 }
 
+/// The owned state a constraint-resolution engine runs on, decomposed from a
+/// [`Solver`] by [`Solver::into_engine_parts`].
+///
+/// Every field a worklist engine needs to resolve constraints — and nothing
+/// solver-strategy-specific (no chain-search scratch, no oracle logs). The
+/// fields are public by design: an external engine (such as `bane-par`'s
+/// frontier engine) takes full ownership and is responsible for upholding
+/// the representation invariants documented on each part (most importantly,
+/// inductive-form predecessor edges must keep decreasing the variable
+/// order).
+#[derive(Clone, Debug)]
+pub struct EngineParts {
+    /// The solver configuration (form, cycle elimination, order policy).
+    pub config: SolverConfig,
+    /// Registered constructors.
+    pub cons: ConRegistry,
+    /// Interned terms.
+    pub terms: TermArena,
+    /// The constraint graph.
+    pub graph: Graph,
+    /// Forwarding pointers for collapsed variables.
+    pub fwd: Forwarding,
+    /// The variable order.
+    pub order: VarOrder,
+    /// Constraints not yet resolved.
+    pub pending: VecDeque<(SetExpr, SetExpr)>,
+    /// Accumulated statistics (the paper's Work metric and friends).
+    pub stats: Stats,
+    /// Inconsistencies recorded so far.
+    pub errors: Vec<Inconsistency>,
+    /// The interned builtin `1` term.
+    pub one_term: TermId,
+    /// The interned builtin `0` term.
+    pub zero_term: TermId,
+    /// Distinct source terms inserted into the graph.
+    pub source_terms: FxHashSet<TermId>,
+    /// Distinct sink terms inserted into the graph.
+    pub sink_terms: FxHashSet<TermId>,
+}
+
 /// The inclusion-constraint solver.
 ///
 /// See the [module documentation](self) for an overview and example.
@@ -931,10 +971,57 @@ impl Solver {
         &self.union_log
     }
 
-    pub(crate) fn parts_for_least(
-        &mut self,
-    ) -> (&Graph, &Forwarding, &VarOrder, Form, TermId) {
-        (&self.graph, &self.fwd, &self.order, self.config.form, self.one_term)
+    /// Borrows exactly the parts the least-solution pass reads.
+    ///
+    /// This is the public hook the parallel engine (`bane-par`) computes the
+    /// least solution through: the returned references are all `Sync`, so
+    /// scoped worker threads can read the graph, forwarding pointers, and
+    /// variable order concurrently while the solver stays put. Meaningful
+    /// after [`solve`](Solver::solve) has converged.
+    pub fn least_parts(&self) -> crate::least::LeastParts<'_> {
+        crate::least::LeastParts {
+            graph: &self.graph,
+            fwd: &self.fwd,
+            order: &self.order,
+            form: self.config.form,
+        }
+    }
+
+    /// Decomposes the solver into its owned engine parts.
+    ///
+    /// This is the hand-off point to alternative execution engines (the
+    /// round-based frontier engine in `bane-par`): generate constraints
+    /// through the normal [`add`](Solver::add) API — or even partially
+    /// [`solve`](Solver::solve) — then move the graph, term arena, and
+    /// worklist into an engine with a different scheduling discipline.
+    /// The chain-search scratch, oracle logs, and observability recorder are
+    /// engine-local state and are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solver was built with an oracle partition
+    /// ([`Solver::with_oracle`]): oracle aliasing rewrites variable creation
+    /// itself and cannot be replayed by an external engine.
+    pub fn into_engine_parts(self) -> EngineParts {
+        assert!(
+            self.oracle.is_none(),
+            "into_engine_parts: oracle-partitioned solvers cannot be decomposed"
+        );
+        EngineParts {
+            config: self.config,
+            cons: self.cons,
+            terms: self.terms,
+            graph: self.graph,
+            fwd: self.fwd,
+            order: self.order,
+            pending: self.pending,
+            stats: self.stats,
+            errors: self.errors,
+            one_term: self.one_term,
+            zero_term: self.zero_term,
+            source_terms: self.source_terms,
+            sink_terms: self.sink_terms,
+        }
     }
 
     /// Number of variable nodes ever created (including collapsed ones).

@@ -117,4 +117,31 @@ fn steady_state_resolution_does_not_allocate() {
         allocations, 0,
         "steady-state resolution allocated {allocations} times over {work_done} work units"
     );
+
+    // The same guarantee extends to bane-par's level-parallel least pass on
+    // its single-threaded path (the multi-threaded path necessarily
+    // allocates for thread spawning and lock guards): after warm-up runs
+    // have grown the level index, the per-worker scratch, and the output
+    // arenas, re-evaluating the same solved graph allocates nothing. Two
+    // warm-ups, not one: the merge scratch is a ping-pong buffer pair, and
+    // when a run performs an odd number of swaps the pair starts the next
+    // run with capacities exchanged — after two runs both buffers have
+    // served both roles and are at their maximum size.
+    let mut par = bane_par::ParLeast::new();
+    par.run(&solver.least_parts(), 1, None);
+    par.run(&solver.least_parts(), 1, None);
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    par.run(&solver.least_parts(), 1, None);
+    COUNTING.store(false, Ordering::SeqCst);
+    let par_allocations = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        par_allocations, 0,
+        "steady-state parallel least pass allocated {par_allocations} times"
+    );
+    assert_eq!(
+        par.solution(),
+        solver.least_solution(),
+        "parallel least pass must stay byte-identical to the sequential one"
+    );
 }

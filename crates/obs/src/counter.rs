@@ -7,10 +7,17 @@
 //! constraint generators — one namespace, documented in
 //! `docs/OBSERVABILITY.md`.
 //!
-//! [`Counters`] is a fixed array indexed by the enum discriminant: no
-//! hashing, no allocation, `O(1)` add. Additions **saturate** at `u64::MAX`
-//! instead of wrapping, so a runaway probe can never flip a large figure
-//! into a small one.
+//! [`Counters`] is a fixed array of atomics indexed by the enum
+//! discriminant: no hashing, no allocation, `O(1)` add — and, since the
+//! parallel engine landed, **`Sync`**: probes can fire from worker threads
+//! without a lock (`bane-par` shares one `&Counters` across its shard
+//! scanners). All operations use relaxed atomics — counters are statistics,
+//! not synchronization — and additions **saturate** at `u64::MAX` instead of
+//! wrapping, so a runaway probe can never flip a large figure into a small
+//! one. The single-threaded fast path is one uncontended compare-exchange,
+//! still allocation-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A named monotonic counter. See the [module docs](self) for the registry
 /// design and `docs/OBSERVABILITY.md` for what each figure means.
@@ -84,11 +91,21 @@ pub enum Counter {
     // -- errors -----------------------------------------------------------
     /// Inconsistent constraints detected (`Stats::inconsistencies`).
     ErrorsInconsistencies = 23,
+
+    // -- parallel engine (bane-par, docs/PARALLELISM.md) ------------------
+    /// Frontier rounds executed by the parallel closure engine.
+    ParRounds = 24,
+    /// Proposals produced by parallel shard scans (one per frontier item).
+    ParProposals = 25,
+    /// Proposals applied by the deterministic commit phase.
+    ParCommits = 26,
+    /// Shard scans executed (rounds × active shards).
+    ParShardScans = 27,
 }
 
 impl Counter {
     /// Number of registered counters.
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 28;
 
     /// Every counter, in canonical report order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -116,6 +133,10 @@ impl Counter {
         Counter::GenConstraints,
         Counter::GenLocations,
         Counter::ErrorsInconsistencies,
+        Counter::ParRounds,
+        Counter::ParProposals,
+        Counter::ParCommits,
+        Counter::ParShardScans,
     ];
 
     /// The stable dotted name used in reports and JSON.
@@ -145,6 +166,10 @@ impl Counter {
             Counter::GenConstraints => "gen.constraints",
             Counter::GenLocations => "gen.locations",
             Counter::ErrorsInconsistencies => "errors.inconsistencies",
+            Counter::ParRounds => "par.rounds",
+            Counter::ParProposals => "par.proposals",
+            Counter::ParCommits => "par.commits",
+            Counter::ParShardScans => "par.shard-scans",
         }
     }
 
@@ -156,14 +181,28 @@ impl Counter {
 
 /// Fixed-size counter store, indexed by [`Counter`]. See the
 /// [module docs](self).
-#[derive(Clone, Debug)]
+///
+/// `Sync` by construction: every slot is an [`AtomicU64`], so one
+/// `&Counters` can be shared across worker threads and every probe remains
+/// lock- and allocation-free.
+#[derive(Debug)]
 pub struct Counters {
-    values: [u64; Counter::COUNT],
+    values: [AtomicU64; Counter::COUNT],
 }
 
 impl Default for Counters {
     fn default() -> Self {
-        Counters { values: [0; Counter::COUNT] }
+        Counters { values: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl Clone for Counters {
+    fn clone(&self) -> Self {
+        Counters {
+            values: std::array::from_fn(|i| {
+                AtomicU64::new(self.values[i].load(Ordering::Relaxed))
+            }),
+        }
     }
 }
 
@@ -174,31 +213,49 @@ impl Counters {
     }
 
     /// Adds `n` to `counter`, saturating at `u64::MAX`.
+    ///
+    /// Safe to call concurrently from any number of threads; saturation is
+    /// preserved under contention (a compare-exchange loop, not a blind
+    /// `fetch_add` that could wrap).
     #[inline]
-    pub fn add(&mut self, counter: Counter, n: u64) {
-        let v = &mut self.values[counter as usize];
-        *v = v.saturating_add(n);
+    pub fn add(&self, counter: Counter, n: u64) {
+        let slot = &self.values[counter as usize];
+        let mut cur = slot.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(n);
+            match slot.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
     }
 
     /// Overwrites `counter` with `value` (for gauge-style figures like the
     /// census, where the source of truth is elsewhere).
     #[inline]
-    pub fn set(&mut self, counter: Counter, value: u64) {
-        self.values[counter as usize] = value;
+    pub fn set(&self, counter: Counter, value: u64) {
+        self.values[counter as usize].store(value, Ordering::Relaxed);
     }
 
     /// Raises `counter` to `value` if `value` is larger (for maxima like
     /// `search.max-visits`).
     #[inline]
-    pub fn max(&mut self, counter: Counter, value: u64) {
-        let v = &mut self.values[counter as usize];
-        *v = (*v).max(value);
+    pub fn max(&self, counter: Counter, value: u64) {
+        self.values[counter as usize].fetch_max(value, Ordering::Relaxed);
     }
 
     /// Reads `counter`.
     #[inline]
     pub fn get(&self, counter: Counter) -> u64 {
-        self.values[counter as usize]
+        self.values[counter as usize].load(Ordering::Relaxed)
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        for slot in &self.values {
+            slot.store(0, Ordering::Relaxed);
+        }
     }
 
     /// Every counter with a non-zero value, as `(name, value)` pairs in
@@ -206,8 +263,8 @@ impl Counters {
     pub fn nonzero(&self) -> Vec<(String, u64)> {
         Counter::ALL
             .into_iter()
-            .filter(|c| self.values[*c as usize] != 0)
-            .map(|c| (c.name().to_string(), self.values[c as usize]))
+            .filter(|c| self.get(*c) != 0)
+            .map(|c| (c.name().to_string(), self.get(c)))
             .collect()
     }
 }
@@ -229,7 +286,7 @@ mod tests {
 
     #[test]
     fn add_saturates_instead_of_wrapping() {
-        let mut c = Counters::new();
+        let c = Counters::new();
         c.add(Counter::WorkTotal, u64::MAX - 5);
         c.add(Counter::WorkTotal, 3);
         assert_eq!(c.get(Counter::WorkTotal), u64::MAX - 2);
@@ -241,7 +298,7 @@ mod tests {
 
     #[test]
     fn set_and_max_semantics() {
-        let mut c = Counters::new();
+        let c = Counters::new();
         c.set(Counter::CensusEdges, 100);
         c.set(Counter::CensusEdges, 40);
         assert_eq!(c.get(Counter::CensusEdges), 40, "set overwrites");
@@ -252,7 +309,7 @@ mod tests {
 
     #[test]
     fn nonzero_reports_in_canonical_order() {
-        let mut c = Counters::new();
+        let c = Counters::new();
         c.add(Counter::LsEntries, 2);
         c.add(Counter::WorkTotal, 9);
         let rows = c.nonzero();
@@ -260,5 +317,32 @@ mod tests {
             rows,
             vec![("work.total".to_string(), 9), ("ls.entries".to_string(), 2)]
         );
+    }
+
+    #[test]
+    fn counters_are_sync_and_sum_correctly_across_threads() {
+        let c = Counters::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.add(Counter::ParProposals, 1);
+                    }
+                    c.max(Counter::SearchMaxVisits, 17);
+                });
+            }
+        });
+        assert_eq!(c.get(Counter::ParProposals), 4000);
+        assert_eq!(c.get(Counter::SearchMaxVisits), 17);
+    }
+
+    #[test]
+    fn clone_and_reset() {
+        let c = Counters::new();
+        c.add(Counter::WorkTotal, 5);
+        let d = c.clone();
+        c.reset();
+        assert_eq!(c.get(Counter::WorkTotal), 0);
+        assert_eq!(d.get(Counter::WorkTotal), 5, "clone is a snapshot");
     }
 }

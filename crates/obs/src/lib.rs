@@ -76,10 +76,16 @@ use std::cell::RefCell;
 /// All methods take `&self` (interior mutability) so probes can fire from
 /// inside `&mut self` solver methods without borrow gymnastics, and so
 /// scoped guards can nest.
+///
+/// The recorder as a whole is single-threaded (the timer stack and event
+/// ring use `RefCell`), but the counter registry is `Sync`: worker threads
+/// can bump counters directly through [`counters`](Recorder::counters)
+/// while the owning thread keeps the timers. Worker-side *timings* come
+/// back as raw nanoseconds via [`record_ns`](Recorder::record_ns).
 #[derive(Clone, Debug, Default)]
 pub struct Recorder {
     timers: Timers,
-    counters: RefCell<Counters>,
+    counters: Counters,
     events: RefCell<EventRing>,
 }
 
@@ -93,7 +99,7 @@ impl Recorder {
     pub fn with_event_capacity(event_capacity: usize) -> Self {
         Recorder {
             timers: Timers::default(),
-            counters: RefCell::new(Counters::default()),
+            counters: Counters::default(),
             events: RefCell::new(EventRing::new(event_capacity)),
         }
     }
@@ -120,21 +126,33 @@ impl Recorder {
         &self.timers
     }
 
+    /// Records one externally measured call of `phase` lasting `ns`
+    /// nanoseconds (see [`Timers::record_ns`]).
+    #[inline]
+    pub fn record_ns(&self, phase: Phase, ns: u64) {
+        self.timers.record_ns(phase, ns);
+    }
+
+    /// The `Sync` counter registry, for sharing with worker threads.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
     /// Adds `n` to `counter` (saturating).
     #[inline]
     pub fn add(&self, counter: Counter, n: u64) {
-        self.counters.borrow_mut().add(counter, n);
+        self.counters.add(counter, n);
     }
 
     /// Overwrites `counter` with `value`.
     #[inline]
     pub fn set(&self, counter: Counter, value: u64) {
-        self.counters.borrow_mut().set(counter, value);
+        self.counters.set(counter, value);
     }
 
     /// Reads `counter`.
     pub fn get(&self, counter: Counter) -> u64 {
-        self.counters.borrow().get(counter)
+        self.counters.get(counter)
     }
 
     /// Records `event` in the ring buffer (overwriting the oldest event
@@ -155,7 +173,7 @@ impl Recorder {
         RunReport {
             label: label.to_string(),
             phases: self.timers.snapshot(),
-            counters: self.counters.borrow().nonzero(),
+            counters: self.counters.nonzero(),
             events: events.iter().collect(),
             events_dropped: events.dropped(),
         }
@@ -164,7 +182,7 @@ impl Recorder {
     /// Clears all timers, counters, and events.
     pub fn reset(&self) {
         self.timers.reset();
-        *self.counters.borrow_mut() = Counters::default();
+        self.counters.reset();
         self.events.borrow_mut().clear();
     }
 }

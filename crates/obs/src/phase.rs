@@ -55,11 +55,18 @@ pub enum Phase {
     OraclePartition = 6,
     /// The least-solution pass (Section 2.4, equation (1)).
     LeastSolution = 7,
+    /// Parallel frontier scan: workers proposing edges against the frozen
+    /// graph (`bane-par`, docs/PARALLELISM.md). One call per shard scan.
+    ParScan = 8,
+    /// Deterministic commit of a round's proposals (`bane-par`).
+    ParCommit = 9,
+    /// The SCC-level-parallel least-solution pass (`bane-par`).
+    ParLeast = 10,
 }
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 11;
 
     /// Every phase, in canonical report order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -71,6 +78,9 @@ impl Phase {
         Phase::OfflinePass,
         Phase::OraclePartition,
         Phase::LeastSolution,
+        Phase::ParScan,
+        Phase::ParCommit,
+        Phase::ParLeast,
     ];
 
     /// The stable name used in reports and JSON.
@@ -84,6 +94,9 @@ impl Phase {
             Phase::OfflinePass => "offline-pass",
             Phase::OraclePartition => "oracle-partition",
             Phase::LeastSolution => "least-solution",
+            Phase::ParScan => "par-scan",
+            Phase::ParCommit => "par-commit",
+            Phase::ParLeast => "par-least",
         }
     }
 
@@ -176,6 +189,23 @@ impl Timers {
         slot.calls += 1;
         slot.total_ns = slot.total_ns.saturating_add(elapsed);
         slot.child_ns = slot.child_ns.saturating_add(frame.child_ns);
+    }
+
+    /// Records one already-measured call of `phase` lasting `ns`
+    /// nanoseconds.
+    ///
+    /// For spans timed *outside* this timer set — typically on a worker
+    /// thread, whose clock readings are handed back to the owning thread
+    /// after a barrier (the timer stack itself is single-threaded; only the
+    /// counter registry is `Sync`). The span is accounted flat: it joins no
+    /// parent/child attribution, so `child_ns` of any active phase is
+    /// unaffected.
+    #[inline]
+    pub fn record_ns(&self, phase: Phase, ns: u64) {
+        let mut slots = self.slots.borrow_mut();
+        let slot = &mut slots[phase as usize];
+        slot.calls += 1;
+        slot.total_ns = slot.total_ns.saturating_add(ns);
     }
 
     /// Starts `phase` and returns a guard stopping it when dropped.

@@ -1,0 +1,314 @@
+//! The **commit** half of the frontier engine: applying proposals to live
+//! state, in a fixed order, with deterministic re-validation.
+//!
+//! Proposals were computed against the frozen round-start state; by the time
+//! one commits, earlier commits in the same round may have inserted edges or
+//! collapsed cycles. The committer therefore re-derives everything cheap
+//! from live state (canonical endpoints, redundancy) and handles the one
+//! expensive frozen observation — the cycle-search verdict — by **staleness
+//! validation**, with one rule per verdict polarity:
+//!
+//! - A frozen **found path** stays valid as long as no collapse has
+//!   happened since the round began (`fwd.collapsed_count()` unchanged):
+//!   edges are only ever *removed* by a collapse, and forwarding pointers
+//!   are then identical to the frozen state, so the path is still a live
+//!   cycle. Insertions cannot invalidate an existing path.
+//! - A frozen **no-cycle** verdict is only valid while the variable-variable
+//!   graph is *untouched* — no collapse and no var-var edge insertion this
+//!   round. A new edge can close a cycle the frozen search proved absent
+//!   (the classic case: both halves of a 2-cycle arriving in one round).
+//!   Source/sink insertions don't matter: chain searches traverse var-var
+//!   edges only.
+//!
+//! A stale verdict is discarded and the search reruns against live state.
+//! By Theorem 5.2 those reruns are cheap — decreasing chains visit ~2
+//! nodes on the paper's graphs — so sequential re-validation does not
+//! dominate a round even when every verdict in it goes stale.
+//!
+//! Every input to these decisions — the commit order, the epoch, the live
+//! graph at each step — is itself a deterministic function of the frontier
+//! and the frozen scans, so the engine's stats (including the paper's Work
+//! metric), collapses, inconsistency list, and final graph reproduce exactly
+//! at any thread count. See `docs/PARALLELISM.md` for the full argument.
+
+use bane_core::cycle::{ChainDir, ChainSearch, StepOrder};
+use bane_core::expr::SetExpr;
+use bane_core::graph::Insert;
+use bane_core::solver::{CycleElim, EngineParts, Form};
+use bane_core::{TermId, Var};
+
+use crate::shard::Proposal;
+
+/// The sequential proposal applier. Owns the live-search scratch and the
+/// collapse buffers, all reused across commits (steady-state committing
+/// allocates only for genuinely new graph edges).
+#[derive(Debug, Default)]
+pub(crate) struct Committer {
+    search: ChainSearch,
+    path_buf: Vec<Var>,
+    members_buf: Vec<Var>,
+    /// Var-var edges inserted so far this round; while 0 (and no collapse
+    /// has occurred) the live var-var graph equals the frozen one and
+    /// frozen no-cycle verdicts remain proofs.
+    varvar_inserts: u64,
+}
+
+impl Committer {
+    /// Resets the per-round staleness tracking.
+    pub fn begin_round(&mut self) {
+        self.varvar_inserts = 0;
+    }
+    /// Applies one proposal to `parts`, pushing any derived constraints onto
+    /// `next` (the next round's frontier). `paths` and `derived` are the
+    /// proposal's shard-local flat buffers; `epoch` is the round-start
+    /// collapse count.
+    pub fn apply(
+        &mut self,
+        parts: &mut EngineParts,
+        p: &Proposal,
+        paths: &[Var],
+        derived: &[(SetExpr, SetExpr)],
+        next: &mut Vec<(SetExpr, SetExpr)>,
+        epoch: usize,
+    ) {
+        parts.stats.constraints_processed += 1;
+        match *p {
+            Proposal::Trivial => {}
+            Proposal::SelfVar => parts.stats.self_constraints += 1,
+            Proposal::TermTerm { derived: (ds, de), error, resolved } => {
+                parts.stats.term_constraints += 1;
+                if let Some(err) = error {
+                    parts.stats.inconsistencies += 1;
+                    parts.errors.push(err);
+                } else if resolved {
+                    parts.stats.resolutions += 1;
+                    next.extend_from_slice(&derived[ds as usize..de as usize]);
+                }
+            }
+            Proposal::Src { s, y } => self.commit_src(parts, s, y, next),
+            Proposal::Snk { x, t } => self.commit_snk(parts, x, t, next),
+            Proposal::VarVar { x, y, path } => {
+                self.commit_var_var(parts, x, y, path, paths, next, epoch)
+            }
+        }
+    }
+
+    /// Mirrors `Solver::add_src`: count Work, drop redundant edges, fan the
+    /// closure rule out over `y`'s successors.
+    fn commit_src(
+        &mut self,
+        parts: &mut EngineParts,
+        s: TermId,
+        y: Var,
+        next: &mut Vec<(SetExpr, SetExpr)>,
+    ) {
+        let y = parts.fwd.find(y);
+        parts.stats.work += 1;
+        if parts.graph.insert_src(y, s) == Insert::Redundant {
+            parts.stats.redundant += 1;
+            return;
+        }
+        parts.source_terms.insert(s);
+        parts.graph.compact_node(y, &parts.fwd);
+        let node = parts.graph.node(y);
+        for &r in node.succ_vars() {
+            next.push((SetExpr::Term(s), SetExpr::Var(r)));
+        }
+        for &r in node.succ_snks() {
+            next.push((SetExpr::Term(s), SetExpr::Term(r)));
+        }
+    }
+
+    /// Mirrors `Solver::add_snk`.
+    fn commit_snk(
+        &mut self,
+        parts: &mut EngineParts,
+        x: Var,
+        t: TermId,
+        next: &mut Vec<(SetExpr, SetExpr)>,
+    ) {
+        let x = parts.fwd.find(x);
+        parts.stats.work += 1;
+        if parts.graph.insert_snk(x, t) == Insert::Redundant {
+            parts.stats.redundant += 1;
+            return;
+        }
+        parts.sink_terms.insert(t);
+        parts.graph.compact_node(x, &parts.fwd);
+        let node = parts.graph.node(x);
+        for &l in node.pred_srcs() {
+            next.push((SetExpr::Term(l), SetExpr::Term(t)));
+        }
+        for &l in node.pred_vars() {
+            next.push((SetExpr::Var(l), SetExpr::Term(t)));
+        }
+    }
+
+    /// Mirrors `Solver::var_var`, substituting the epoch-validated frozen
+    /// search verdict for an inline search whenever it is still valid.
+    #[allow(clippy::too_many_arguments)] // internal plumbing mirrors var_var's knobs
+    fn commit_var_var(
+        &mut self,
+        parts: &mut EngineParts,
+        x: Var,
+        y: Var,
+        path: Option<(u32, u32)>,
+        paths: &[Var],
+        next: &mut Vec<(SetExpr, SetExpr)>,
+        epoch: usize,
+    ) {
+        let x = parts.fwd.find(x);
+        let y = parts.fwd.find(y);
+        if x == y {
+            parts.stats.self_constraints += 1;
+            return;
+        }
+        let as_pred = match parts.config.form {
+            Form::Standard => false,
+            Form::Inductive => parts.order.lt(x, y),
+        };
+        parts.stats.work += 1;
+        let redundant = if as_pred {
+            parts.graph.has_pred_var(y, x)
+        } else {
+            parts.graph.has_succ_var(x, y)
+        };
+        if redundant {
+            parts.stats.redundant += 1;
+            return;
+        }
+        if parts.config.cycle_elim == CycleElim::Online {
+            let no_collapse = parts.fwd.collapsed_count() == epoch;
+            let untouched = no_collapse && self.varvar_inserts == 0;
+            if let Some((ps, pe)) = path {
+                if no_collapse {
+                    // Edges are only removed by collapses, so the frozen
+                    // path is still a live cycle.
+                    self.path_buf.clear();
+                    self.path_buf.extend_from_slice(&paths[ps as usize..pe as usize]);
+                    self.collapse(parts, next);
+                    return;
+                }
+                if self.live_search(parts, x, y, as_pred) {
+                    self.collapse(parts, next);
+                    return;
+                }
+            } else if !untouched && self.live_search(parts, x, y, as_pred) {
+                // The frozen "no cycle" proof is stale: an edge inserted
+                // this round may have closed a chain the scan ruled out.
+                self.collapse(parts, next);
+                return;
+            }
+        }
+        self.varvar_inserts += 1;
+        if as_pred {
+            parts.graph.insert_pred_var(y, x);
+            parts.graph.compact_node(y, &parts.fwd);
+            let node = parts.graph.node(y);
+            for &r in node.succ_vars() {
+                next.push((SetExpr::Var(x), SetExpr::Var(r)));
+            }
+            for &r in node.succ_snks() {
+                next.push((SetExpr::Var(x), SetExpr::Term(r)));
+            }
+        } else {
+            parts.graph.insert_succ_var(x, y);
+            parts.graph.compact_node(x, &parts.fwd);
+            let node = parts.graph.node(x);
+            for &l in node.pred_srcs() {
+                next.push((SetExpr::Term(l), SetExpr::Var(y)));
+            }
+            for &l in node.pred_vars() {
+                next.push((SetExpr::Var(l), SetExpr::Var(y)));
+            }
+        }
+    }
+
+    /// Reruns `Solver::var_var`'s search against live state, leaving a found
+    /// path in `self.path_buf`.
+    fn live_search(&mut self, parts: &mut EngineParts, x: Var, y: Var, as_pred: bool) -> bool {
+        self.search.grow(parts.graph.len());
+        let (graph, fwd, order) = (&parts.graph, &parts.fwd, &parts.order);
+        let stats = &mut parts.stats.search;
+        if as_pred {
+            return self.search.search(
+                graph,
+                fwd,
+                order,
+                y,
+                x,
+                ChainDir::Succ,
+                StepOrder::Decreasing,
+                stats,
+                &mut self.path_buf,
+            );
+        }
+        match parts.config.form {
+            Form::Inductive => self.search.search(
+                graph,
+                fwd,
+                order,
+                x,
+                y,
+                ChainDir::Pred,
+                StepOrder::Decreasing,
+                stats,
+                &mut self.path_buf,
+            ),
+            Form::Standard => {
+                for &step in parts.config.sf_chain.steps() {
+                    if self.search.search(
+                        graph,
+                        fwd,
+                        order,
+                        y,
+                        x,
+                        ChainDir::Succ,
+                        step,
+                        stats,
+                        &mut self.path_buf,
+                    ) {
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Mirrors `Solver::collapse` over the path in `self.path_buf`: forward
+    /// every member to the lowest-ordered witness and re-assert the absorbed
+    /// edges through the next frontier.
+    fn collapse(&mut self, parts: &mut EngineParts, next: &mut Vec<(SetExpr, SetExpr)>) {
+        let members = &mut self.members_buf;
+        members.clear();
+        members.extend(self.path_buf.iter().map(|&v| parts.fwd.find(v)));
+        members.sort_unstable();
+        members.dedup();
+        if members.len() < 2 {
+            return;
+        }
+        let witness = parts.order.min_of(&*members);
+        parts.stats.cycles_collapsed += 1;
+        for &m in members.iter() {
+            if m == witness {
+                continue;
+            }
+            parts.stats.vars_eliminated += 1;
+            let taken = parts.graph.take_edges(m);
+            parts.fwd.union_into(m, witness);
+            for s in taken.pred_srcs {
+                next.push((SetExpr::Term(s), SetExpr::Var(witness)));
+            }
+            for u in taken.pred_vars {
+                next.push((SetExpr::Var(u), SetExpr::Var(witness)));
+            }
+            for u in taken.succ_vars {
+                next.push((SetExpr::Var(witness), SetExpr::Var(u)));
+            }
+            for t in taken.succ_snks {
+                next.push((SetExpr::Var(witness), SetExpr::Term(t)));
+            }
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! The deterministic frontier-batched closure engine.
+//!
+//! [`FrontierSolver`] resolves the same constraint systems as
+//! `bane-core`'s [`Solver`] but schedules the worklist in **rounds**: the
+//! current frontier of pending constraints is scanned *in parallel* against
+//! the frozen round-start state (each worker proposing outcomes for its
+//! [`chunk_range`] of items — the private `shard`
+//! module), then the proposals are **committed sequentially in frontier
+//! order** with epoch-validated re-checks (the private `commit` module).
+//! Constraints derived by a commit form the next round's frontier.
+//!
+//! The engine is deterministic *across thread counts*: the frontier, the
+//! proposals, the commit order, and therefore the final graph, the
+//! statistics (including the paper's Work metric), the inconsistency list,
+//! and the least solution are identical whether it runs on 1, 2, 4, or 8
+//! threads — pinned by `tests/determinism.rs`. Note the *round* schedule
+//! differs from the sequential solver's FIFO schedule, so stats that depend
+//! on processing order (Work, searches) can differ from `Solver::solve`'s,
+//! while the resolved graph semantics (finds, least solution,
+//! inconsistency multiset) agree.
+
+use bane_core::cycle::SearchStats;
+use bane_core::error::Inconsistency;
+use bane_core::expr::SetExpr;
+use bane_core::graph::GraphCensus;
+use bane_core::least::{LeastParts, LeastSolution};
+use bane_core::solver::{CycleElim, EngineParts, Solver, SolverConfig};
+use bane_core::stats::Stats;
+use bane_core::cons::{Con, Variance};
+use bane_core::{TermId, Var};
+use bane_obs::{Counter, Phase, Recorder, RunReport};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::commit::Committer;
+use crate::least::ParLeast;
+use crate::pool::{chunk_range, Pool};
+use crate::shard::{scan_item, ShardScratch};
+
+/// A parallel, deterministic constraint-resolution engine.
+///
+/// Construct one from a [`Solver`] carrying generated constraints (or build
+/// constraints directly through the mirrored `register_*`/`term`/
+/// `fresh_var`/`add` API), then call [`solve`](FrontierSolver::solve).
+///
+/// # Examples
+///
+/// ```
+/// use bane_core::solver::SolverConfig;
+/// use bane_par::FrontierSolver;
+///
+/// let mut f = FrontierSolver::new(SolverConfig::if_online(), 4);
+/// let c = f.register_nullary("c");
+/// let src = f.term(c, vec![]);
+/// let (x, y) = (f.fresh_var(), f.fresh_var());
+/// f.add(src, x);
+/// f.add(x, y);
+/// f.solve();
+/// let ls = f.least_solution();
+/// assert_eq!(ls.get(f.find(y)), &[src]);
+/// ```
+///
+/// # Panics
+///
+/// Construction panics for [`CycleElim::Periodic`] configurations: the
+/// periodic offline pass is keyed to the sequential solver's
+/// constraint-count schedule and has no round-based counterpart.
+#[derive(Debug)]
+pub struct FrontierSolver {
+    parts: EngineParts,
+    threads: usize,
+    frontier: Vec<(SetExpr, SetExpr)>,
+    next: Vec<(SetExpr, SetExpr)>,
+    shards: Vec<Mutex<ShardScratch>>,
+    committer: Committer,
+    par_least: ParLeast,
+    rounds: u64,
+    obs: Option<Box<Recorder>>,
+}
+
+impl FrontierSolver {
+    /// A fresh engine with the given configuration on `threads` workers
+    /// (clamped to at least 1).
+    pub fn new(config: SolverConfig, threads: usize) -> Self {
+        Self::from_solver(Solver::new(config), threads)
+    }
+
+    /// Takes over a solver's state (constraints may already be generated,
+    /// even partially solved) and resolves the rest round-based.
+    pub fn from_solver(solver: Solver, threads: usize) -> Self {
+        Self::from_parts(solver.into_engine_parts(), threads)
+    }
+
+    /// Builds the engine directly from decomposed [`EngineParts`].
+    pub fn from_parts(mut parts: EngineParts, threads: usize) -> Self {
+        assert!(
+            !matches!(parts.config.cycle_elim, CycleElim::Periodic { .. }),
+            "FrontierSolver supports CycleElim::Off and CycleElim::Online only"
+        );
+        let threads = threads.max(1);
+        let frontier: Vec<(SetExpr, SetExpr)> = parts.pending.drain(..).collect();
+        FrontierSolver {
+            parts,
+            threads,
+            frontier,
+            next: Vec::new(),
+            shards: (0..threads).map(|_| Mutex::new(ShardScratch::default())).collect(),
+            committer: Committer::default(),
+            par_least: ParLeast::new(),
+            rounds: 0,
+            obs: None,
+        }
+    }
+
+    /// Number of worker threads the engine scans with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    // ------------------------------------------------------------------
+    // Constraint building (mirrors the Solver API)
+    // ------------------------------------------------------------------
+
+    /// Registers a constructor with explicit argument variances.
+    pub fn register_con(&mut self, name: impl Into<String>, variances: Vec<Variance>) -> Con {
+        self.parts.cons.register(name, variances)
+    }
+
+    /// Registers a nullary (constant) constructor.
+    pub fn register_nullary(&mut self, name: impl Into<String>) -> Con {
+        self.parts.cons.register_nullary(name)
+    }
+
+    /// Interns the term `con(args…)`.
+    pub fn term(&mut self, con: Con, args: Vec<SetExpr>) -> TermId {
+        self.parts.terms.intern(&self.parts.cons, con, args)
+    }
+
+    /// Creates a fresh set variable.
+    pub fn fresh_var(&mut self) -> Var {
+        let v = self.parts.graph.push_node();
+        let f = self.parts.fwd.push();
+        debug_assert_eq!(v, f);
+        self.parts.order.assign(v);
+        v
+    }
+
+    /// Adds the constraint `lhs ⊆ rhs` to the next frontier.
+    pub fn add(&mut self, lhs: impl Into<SetExpr>, rhs: impl Into<SetExpr>) {
+        self.parts.stats.constraints_added += 1;
+        self.frontier.push((lhs.into(), rhs.into()));
+    }
+
+    // ------------------------------------------------------------------
+    // Resolution
+    // ------------------------------------------------------------------
+
+    /// Resolves all pending constraints to closure, round by round.
+    pub fn solve(&mut self) {
+        while !self.frontier.is_empty() {
+            self.rounds += 1;
+            self.round();
+        }
+    }
+
+    /// One scan/commit round over the current frontier.
+    fn round(&mut self) {
+        let epoch = self.parts.fwd.collapsed_count();
+        let threads = self.threads;
+        let len = self.frontier.len();
+        let timing = self.obs.is_some();
+        if let Some(rec) = self.obs.as_deref() {
+            rec.add(Counter::ParRounds, 1);
+            rec.add(Counter::ParProposals, len as u64);
+        }
+        let counters = self.obs.as_deref().map(|r| r.counters());
+
+        // Scan: workers propose against the frozen round-start state.
+        {
+            let parts = &self.parts;
+            let frontier = &self.frontier;
+            let shards = &self.shards;
+            let scan = |w: usize| {
+                let mut st = shards[w].lock().expect("shard mutex poisoned");
+                let st = &mut *st;
+                let t0 = timing.then(Instant::now);
+                st.begin_round(parts.graph.len());
+                let (cs, ce) = chunk_range(len, threads, w);
+                for &(lhs, rhs) in &frontier[cs..ce] {
+                    let p = scan_item(parts, lhs, rhs, st);
+                    st.proposals.push(p);
+                }
+                if let Some(t0) = t0 {
+                    st.scan_ns = t0.elapsed().as_nanos() as u64;
+                }
+                if let Some(c) = counters {
+                    c.add(Counter::ParShardScans, 1);
+                }
+            };
+            Pool::new(threads).broadcast(scan);
+        }
+
+        // Commit: apply every shard's proposals in frontier order. The
+        // chunk ranges concatenate to exactly `0..len`, so this sequence is
+        // identical at every thread count.
+        if let Some(rec) = self.obs.as_deref() {
+            rec.start(Phase::ParCommit);
+        }
+        let mut committed = 0u64;
+        self.committer.begin_round();
+        for w in 0..threads {
+            let st = self.shards[w].get_mut().expect("shard mutex poisoned");
+            if let Some(rec) = self.obs.as_deref() {
+                rec.record_ns(Phase::ParScan, st.scan_ns);
+            }
+            // Merge the shard's frozen-search counters in shard order; the
+            // aggregate is the same set of searches at any thread count.
+            merge_search(&mut self.parts.stats.search, &st.stats);
+            st.stats = SearchStats::default();
+            for i in 0..st.proposals.len() {
+                self.committer.apply(
+                    &mut self.parts,
+                    &st.proposals[i],
+                    &st.paths,
+                    &st.derived,
+                    &mut self.next,
+                    epoch,
+                );
+                committed += 1;
+            }
+        }
+        if let Some(rec) = self.obs.as_deref() {
+            rec.stop(Phase::ParCommit);
+            rec.add(Counter::ParCommits, committed);
+        }
+
+        std::mem::swap(&mut self.frontier, &mut self.next);
+        self.next.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection
+    // ------------------------------------------------------------------
+
+    /// The representative of `v` after collapses (with path compression).
+    pub fn find(&mut self, v: Var) -> Var {
+        self.parts.fwd.find(v)
+    }
+
+    /// Accumulated statistics (deterministic across thread counts).
+    pub fn stats(&self) -> &Stats {
+        &self.parts.stats
+    }
+
+    /// Inconsistencies recorded during resolution.
+    pub fn inconsistencies(&self) -> &[Inconsistency] {
+        &self.parts.errors
+    }
+
+    /// Distinct canonical edge counts of the solved graph.
+    pub fn census(&self) -> GraphCensus {
+        self.parts.graph.census(&self.parts.fwd)
+    }
+
+    /// Live (non-collapsed) variable count.
+    pub fn live_vars(&self) -> usize {
+        self.parts.fwd.reps().count()
+    }
+
+    /// Number of variable nodes ever created.
+    pub fn graph_len(&self) -> usize {
+        self.parts.graph.len()
+    }
+
+    /// The least solution of the solved system, computed by the
+    /// SCC-level-parallel evaluator on this engine's thread count.
+    /// Byte-identical to the sequential pass over the same graph.
+    pub fn least_solution(&mut self) -> LeastSolution {
+        let parts = LeastParts {
+            graph: &self.parts.graph,
+            fwd: &self.parts.fwd,
+            order: &self.parts.order,
+            form: self.parts.config.form,
+        };
+        self.par_least.run(&parts, self.threads, self.obs.as_deref());
+        self.par_least.solution()
+    }
+
+    /// Decomposes the engine back into its parts (e.g. to continue on a
+    /// sequential solver path or inspect the raw graph).
+    pub fn into_parts(self) -> EngineParts {
+        self.parts
+    }
+
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// Turns on observability recording (idempotent).
+    pub fn enable_obs(&mut self) {
+        if self.obs.is_none() {
+            self.obs = Some(Box::new(Recorder::new()));
+        }
+    }
+
+    /// The active recorder, if [`enable_obs`](FrontierSolver::enable_obs)
+    /// was called.
+    pub fn obs(&self) -> Option<&Recorder> {
+        self.obs.as_deref()
+    }
+
+    /// Publishes the engine's stats into the counter registry and snapshots
+    /// a labeled [`RunReport`]. Returns `None` without
+    /// [`enable_obs`](FrontierSolver::enable_obs).
+    pub fn run_report(&mut self, label: &str) -> Option<RunReport> {
+        let census = self.census();
+        let live = self.live_vars();
+        let rec = self.obs.as_deref()?;
+        let s = &self.parts.stats;
+        rec.set(Counter::ConstraintsAdded, s.constraints_added);
+        rec.set(Counter::ConstraintsProcessed, s.constraints_processed);
+        rec.set(Counter::ConstraintsTerm, s.term_constraints);
+        rec.set(Counter::ConstraintsSelf, s.self_constraints);
+        rec.set(Counter::WorkTotal, s.work);
+        rec.set(Counter::WorkRedundant, s.redundant);
+        rec.set(Counter::WorkResolutions, s.resolutions);
+        rec.set(Counter::SearchCount, s.search.searches);
+        rec.set(Counter::SearchNodesVisited, s.search.nodes_visited);
+        rec.set(Counter::SearchEdgesScanned, s.search.edges_scanned);
+        rec.set(Counter::SearchMaxVisits, s.search.max_visits);
+        rec.set(Counter::CycleFound, s.search.cycles_found);
+        rec.set(Counter::CycleCollapsed, s.cycles_collapsed);
+        rec.set(Counter::CycleVarsEliminated, s.vars_eliminated);
+        rec.set(Counter::ErrorsInconsistencies, s.inconsistencies);
+        rec.set(Counter::CensusEdges, census.total_edges() as u64);
+        rec.set(Counter::CensusLiveVars, live as u64);
+        Some(rec.report(label))
+    }
+}
+
+/// Sums `from` into `into` (component-wise; `max_visits` by maximum).
+fn merge_search(into: &mut SearchStats, from: &SearchStats) {
+    into.searches += from.searches;
+    into.nodes_visited += from.nodes_visited;
+    into.edges_scanned += from.edges_scanned;
+    into.cycles_found += from.cycles_found;
+    into.max_visits = into.max_visits.max(from.max_visits);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bane_core::solver::Form;
+
+    fn engine_configs() -> [SolverConfig; 4] {
+        [
+            SolverConfig::sf_plain(),
+            SolverConfig::if_plain(),
+            SolverConfig::sf_online(),
+            SolverConfig::if_online(),
+        ]
+    }
+
+    #[test]
+    fn transitive_source_propagation() {
+        for config in engine_configs() {
+            for threads in [1, 3] {
+                let mut f = FrontierSolver::new(config, threads);
+                let c = f.register_nullary("c");
+                let src = f.term(c, vec![]);
+                let (x, y) = (f.fresh_var(), f.fresh_var());
+                f.add(src, x);
+                f.add(x, y);
+                f.solve();
+                let yr = f.find(y);
+                let ls = f.least_solution();
+                assert_eq!(ls.get(yr), &[src], "{config:?} threads {threads}");
+                assert!(f.rounds() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn two_cycle_collapses_online() {
+        for config in [SolverConfig::sf_online(), SolverConfig::if_online()] {
+            let mut f = FrontierSolver::new(config, 2);
+            let (x, y) = (f.fresh_var(), f.fresh_var());
+            f.add(x, y);
+            f.add(y, x);
+            f.solve();
+            assert_eq!(f.find(x), f.find(y), "{config:?}");
+            assert_eq!(f.stats().cycles_collapsed, 1, "{config:?}");
+            assert_eq!(f.stats().vars_eliminated, 1, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn variance_decomposition_matches_solver() {
+        for threads in [1, 4] {
+            let mut f = FrontierSolver::new(SolverConfig::if_online(), threads);
+            let c = f.register_nullary("c");
+            let fc = f.register_con("f", vec![Variance::Covariant, Variance::Contravariant]);
+            let csrc = f.term(c, vec![]);
+            let (a, b, p, q, mid) =
+                (f.fresh_var(), f.fresh_var(), f.fresh_var(), f.fresh_var(), f.fresh_var());
+            let src = f.term(fc, vec![a.into(), b.into()]);
+            let snk = f.term(fc, vec![p.into(), q.into()]);
+            f.add(src, mid);
+            f.add(mid, snk);
+            let c2 = f.register_nullary("c2");
+            let c2src = f.term(c2, vec![]);
+            f.add(csrc, a);
+            f.add(c2src, q);
+            f.solve();
+            assert!(f.inconsistencies().is_empty());
+            let (pr, br) = (f.find(p), f.find(b));
+            let ls = f.least_solution();
+            assert_eq!(ls.get(pr), &[csrc], "covariant, threads {threads}");
+            assert_eq!(ls.get(br), &[c2src], "contravariant, threads {threads}");
+        }
+    }
+
+    #[test]
+    fn inconsistencies_are_recorded() {
+        let mut f = FrontierSolver::new(SolverConfig::if_online(), 2);
+        let c = f.register_nullary("c");
+        let d = f.register_nullary("d");
+        let (csrc, dsnk) = (f.term(c, vec![]), f.term(d, vec![]));
+        let x = f.fresh_var();
+        f.add(csrc, x);
+        f.add(x, dsnk);
+        f.solve();
+        assert_eq!(f.inconsistencies().len(), 1);
+        assert!(matches!(
+            f.inconsistencies()[0],
+            Inconsistency::ConstructorMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn takes_over_partially_solved_solver() {
+        let mut s = Solver::new(SolverConfig::if_online());
+        let c = s.register_nullary("c");
+        let src = s.term(c, vec![]);
+        let (x, y) = (s.fresh_var(), s.fresh_var());
+        s.add(src, x);
+        s.solve();
+        s.add(x, y);
+        let mut f = FrontierSolver::from_solver(s, 2);
+        f.solve();
+        let yr = f.find(y);
+        let ls = f.least_solution();
+        assert_eq!(ls.get(yr), &[src]);
+    }
+
+    #[test]
+    #[should_panic(expected = "CycleElim::Off and CycleElim::Online only")]
+    fn periodic_configs_are_rejected() {
+        let config = SolverConfig {
+            cycle_elim: CycleElim::Periodic { interval: 8 },
+            ..SolverConfig::if_plain()
+        };
+        let _ = FrontierSolver::new(config, 2);
+    }
+
+    #[test]
+    fn run_report_covers_par_counters() {
+        let mut f = FrontierSolver::new(SolverConfig::if_online(), 2);
+        f.enable_obs();
+        f.enable_obs(); // idempotent
+        let (x, y, z) = (f.fresh_var(), f.fresh_var(), f.fresh_var());
+        f.add(x, y);
+        f.add(y, z);
+        f.add(z, x);
+        f.solve();
+        let _ = f.least_solution();
+        let report = f.run_report("frontier").expect("obs enabled");
+        assert_eq!(report.counter("par.rounds"), Some(f.rounds()));
+        assert!(report.counter("par.commits").unwrap_or(0) >= 3);
+        assert!(report.counter("par.shard-scans").unwrap_or(0) >= f.rounds());
+        assert!(report.phases.iter().any(|p| p.phase == Phase::ParCommit.name()));
+        assert!(report.phases.iter().any(|p| p.phase == Phase::ParScan.name()));
+        assert!(report.phases.iter().any(|p| p.phase == Phase::ParLeast.name()));
+        assert!(f.obs().is_some());
+        assert_eq!(f.stats().constraints_added, 3);
+        let parts = f.into_parts();
+        assert_eq!(parts.config.form, Form::Inductive);
+    }
+}

@@ -1,0 +1,480 @@
+//! SCC-level-parallel least-solution evaluation.
+//!
+//! The sequential pass in `bane-core` evaluates equation (1) by walking the
+//! canonical variables in increasing order, each set the union of its own
+//! sources and its canonical predecessors' already-computed sets. The
+//! inductive-form invariant — predecessor edges always decrease the
+//! variable order — means the canonical predecessor graph is a DAG, so its
+//! **condensation levels** (`level(v) = 1 + max level of v's predecessors`)
+//! are independent batches: every variable on a level reads only sets
+//! committed on strictly lower levels. [`ParLeast`] evaluates each level's
+//! variables in parallel and commits the results in a fixed order, producing
+//! a [`LeastSolution`] **byte-identical** to the sequential pass at every
+//! thread count (`PartialEq` on `LeastSolution` compares the raw buffers, so
+//! the tests pin exactly that).
+//!
+//! # Why bytes match
+//!
+//! Each variable's set is canonical — sorted and deduplicated — so its
+//! content is independent of the merge structure that produced it. The only
+//! layout freedom is *arena order*, and the final relayout step writes sets
+//! in the sequential pass's exact commit order (creation order for standard
+//! form, increasing variable order for inductive form), including standard
+//! form's empty `(k, k)` spans. Identical contents in identical order is
+//! identical bytes.
+//!
+//! # Scheduling
+//!
+//! One [`Pool::broadcast`] spans the whole pass; workers meet at a
+//! [`Barrier`] twice per level (end of scan, end of commit). Worker results
+//! travel through per-worker [`Mutex`] slots — uncontended by construction:
+//! each worker locks only its own slot during the scan, and worker 0 drains
+//! them during the commit while everyone else waits at the barrier. With
+//! `threads == 1` the pass runs inline with no locks, no barriers, and —
+//! once warm — no allocations (pinned by `bane-core`'s allocation test).
+
+use bane_core::least::{merge_sorted_dedup, LeastParts, LeastSolution};
+use bane_core::solver::{Form, Solver};
+use bane_core::{TermId, Var};
+use bane_obs::{Counter, Phase, Recorder};
+use bane_util::idx::Idx;
+use std::sync::{Barrier, Mutex, RwLock};
+
+use crate::pool::{chunk_range, Pool};
+
+/// The shared evaluation state: the arena sets are committed into, plus the
+/// span of every canonical variable already evaluated.
+#[derive(Clone, Debug, Default)]
+struct WorkBufs {
+    arena: Vec<TermId>,
+    /// Indexed by raw variable index; `(0, 0)` until the variable's level
+    /// commits (and forever, for collapsed variables and empty sets).
+    spans: Vec<(u32, u32)>,
+}
+
+/// One worker's private scratch: scan output plus merge buffers.
+///
+/// Everything is reused across levels and across runs, so a warmed
+/// single-threaded pass allocates nothing.
+#[derive(Clone, Debug, Default)]
+struct WorkerState {
+    /// Concatenated result sets of this worker's chunk, in chunk order.
+    out: Vec<TermId>,
+    /// Per-chunk-item range into `out` (empty when the set is empty).
+    bounds: Vec<(u32, u32)>,
+    srcs: Vec<TermId>,
+    runs: Vec<(u32, u32)>,
+    acc: Vec<TermId>,
+    buf_b: Vec<TermId>,
+    bounds_a: Vec<(u32, u32)>,
+    bounds_b: Vec<(u32, u32)>,
+}
+
+/// A reusable SCC-level-parallel least-solution evaluator.
+///
+/// Feed it [`LeastParts`] (borrowed from a solved [`Solver`] or assembled by
+/// an engine that owns the parts) via [`run`](ParLeast::run), then read the
+/// result with [`solution`](ParLeast::solution). The output is
+/// byte-identical to [`Solver::least_solution`] at every thread count.
+///
+/// # Examples
+///
+/// ```
+/// use bane_core::solver::{Solver, SolverConfig};
+/// use bane_par::ParLeast;
+///
+/// let mut s = Solver::new(SolverConfig::if_online());
+/// let c = s.register_nullary("c");
+/// let src = s.term(c, vec![]);
+/// let (x, y) = (s.fresh_var(), s.fresh_var());
+/// s.add(src, x);
+/// s.add(x, y);
+/// s.solve();
+///
+/// let mut par = ParLeast::new();
+/// par.run(&s.least_parts(), 4, None);
+/// let ls = par.solution();
+/// assert_eq!(ls, s.least_solution()); // byte-identical
+/// assert_eq!(ls.get(s.find(y)), &[src]);
+/// ```
+#[derive(Debug, Default)]
+pub struct ParLeast {
+    rep: Vec<Var>,
+    layout: Vec<Var>,
+    levels: Vec<u32>,
+    /// Per-level counters, reused as bucket-fill cursors.
+    level_counts: Vec<u32>,
+    /// Per-level `(start, end)` into `level_order`.
+    level_ranges: Vec<(u32, u32)>,
+    /// `layout` stably bucketed by level: within a level, variables keep
+    /// their layout order, so concatenating worker chunks in worker order
+    /// reproduces it exactly.
+    level_order: Vec<Var>,
+    work: WorkBufs,
+    workers: Vec<Mutex<WorkerState>>,
+    final_arena: Vec<TermId>,
+    final_spans: Vec<(u32, u32)>,
+}
+
+impl ParLeast {
+    /// A fresh evaluator with no buffers warmed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluates the least solution of `parts` on `threads` workers
+    /// (clamped to at least 1), reusing all internal buffers.
+    ///
+    /// With a recorder, the whole pass is timed under
+    /// [`Phase::ParLeast`] and the `ls.*` counters are set to match the
+    /// sequential pass's accounting.
+    pub fn run(&mut self, parts: &LeastParts<'_>, threads: usize, rec: Option<&Recorder>) {
+        let t0 = rec.map(|_| std::time::Instant::now());
+        let threads = threads.max(1);
+        let parts = *parts;
+        parts.rep_map_into(&mut self.rep);
+        parts.layout_order_into(&self.rep, &mut self.layout);
+        let max_level = parts.levels_into(&self.rep, &self.layout, &mut self.levels);
+        let nlevels = if self.layout.is_empty() { 0 } else { max_level as usize + 1 };
+
+        // Stable counting sort of `layout` into per-level buckets.
+        self.level_ranges.clear();
+        self.level_counts.clear();
+        self.level_counts.resize(nlevels, 0);
+        for &v in &self.layout {
+            self.level_counts[self.levels[v.index()] as usize] += 1;
+        }
+        let mut start = 0u32;
+        for l in 0..nlevels {
+            let count = self.level_counts[l];
+            self.level_ranges.push((start, start + count));
+            self.level_counts[l] = start;
+            start += count;
+        }
+        self.level_order.clear();
+        self.level_order.resize(self.layout.len(), Var::new(0));
+        for &v in &self.layout {
+            let cursor = &mut self.level_counts[self.levels[v.index()] as usize];
+            self.level_order[*cursor as usize] = v;
+            *cursor += 1;
+        }
+
+        while self.workers.len() < threads {
+            self.workers.push(Mutex::new(WorkerState::default()));
+        }
+
+        let n = self.rep.len();
+        self.work.arena.clear();
+        self.work.spans.clear();
+        self.work.spans.resize(n, (0, 0));
+
+        if threads == 1 {
+            // Inline fast path: no locks, no barriers, no allocation once
+            // the buffers are warm.
+            let st = self.workers[0].get_mut().expect("worker mutex poisoned");
+            for &(ls, le) in &self.level_ranges {
+                let level = &self.level_order[ls as usize..le as usize];
+                scan_chunk(parts, &self.work, level, st);
+                commit_chunk(&mut self.work, level, st);
+            }
+        } else {
+            let work = RwLock::new(std::mem::take(&mut self.work));
+            let barrier = Barrier::new(threads);
+            let level_ranges = &self.level_ranges;
+            let level_order = &self.level_order;
+            let workers = &self.workers;
+            Pool::new(threads).broadcast(|w| {
+                for &(ls, le) in level_ranges {
+                    let level = &level_order[ls as usize..le as usize];
+                    {
+                        // Scan: every worker reads the frozen lower-level
+                        // spans and writes only its own slot.
+                        let frozen = work.read().expect("work lock poisoned");
+                        let mut st = workers[w].lock().expect("worker mutex poisoned");
+                        let (cs, ce) = chunk_range(level.len(), threads, w);
+                        scan_chunk(parts, &frozen, &level[cs..ce], &mut st);
+                    }
+                    barrier.wait();
+                    if w == 0 {
+                        // Commit: worker 0 appends every chunk in worker
+                        // order, reproducing the level's layout order.
+                        let mut open = work.write().expect("work lock poisoned");
+                        for (ww, worker) in workers.iter().enumerate().take(threads) {
+                            let st = worker.lock().expect("worker mutex poisoned");
+                            let (cs, ce) = chunk_range(level.len(), threads, ww);
+                            commit_chunk(&mut open, &level[cs..ce], &st);
+                        }
+                    }
+                    barrier.wait();
+                }
+            });
+            self.work = work.into_inner().expect("work lock poisoned");
+        }
+
+        // Relayout into the sequential pass's exact arena order. Standard
+        // form commits a span for every canonical variable (empty sets get
+        // the degenerate `(k, k)`); inductive form leaves empty sets at
+        // `(0, 0)`.
+        self.final_arena.clear();
+        self.final_spans.clear();
+        self.final_spans.resize(n, (0, 0));
+        for &v in &self.layout {
+            let (s, e) = self.work.spans[v.index()];
+            if e > s || matches!(parts.form, Form::Standard) {
+                let start = u32::try_from(self.final_arena.len())
+                    .expect("least-solution arena overflow");
+                self.final_arena
+                    .extend_from_slice(&self.work.arena[s as usize..e as usize]);
+                self.final_spans[v.index()] = (start, start + (e - s));
+            }
+        }
+
+        if let Some(rec) = rec {
+            let set_vars = self.final_spans.iter().filter(|(s, e)| e > s).count();
+            rec.set(Counter::LsSetVars, set_vars as u64);
+            rec.set(Counter::LsEntries, self.final_arena.len() as u64);
+            if let Some(t0) = t0 {
+                rec.record_ns(Phase::ParLeast, t0.elapsed().as_nanos() as u64);
+            }
+        }
+    }
+
+    /// The solution computed by the last [`run`](ParLeast::run), as an owned
+    /// [`LeastSolution`] (byte-identical to the sequential pass's).
+    ///
+    /// # Panics
+    ///
+    /// Panics (via the constructor's debug assertions) if called before any
+    /// `run`.
+    pub fn solution(&self) -> LeastSolution {
+        LeastSolution::from_parts(
+            self.rep.clone(),
+            self.final_arena.clone(),
+            self.final_spans.clone(),
+        )
+    }
+
+    /// Number of condensation levels the last run evaluated.
+    pub fn level_count(&self) -> usize {
+        self.level_ranges.len()
+    }
+}
+
+/// Evaluates `vars` (a slice of one level, in layout order) against the
+/// frozen lower-level `work` state, appending each result set to `st.out`.
+fn scan_chunk(parts: LeastParts<'_>, work: &WorkBufs, vars: &[Var], st: &mut WorkerState) {
+    let WorkerState { out, bounds, srcs, runs, acc, buf_b, bounds_a, bounds_b } = st;
+    out.clear();
+    bounds.clear();
+    for &v in vars {
+        let node = parts.graph.node(v);
+        srcs.clear();
+        srcs.extend_from_slice(node.pred_srcs());
+        srcs.sort_unstable();
+        let start = out.len() as u32;
+        match parts.form {
+            Form::Standard => {
+                // Standard form's sets are the explicit source lists.
+                srcs.dedup();
+                out.extend_from_slice(srcs);
+            }
+            Form::Inductive => {
+                runs.clear();
+                for &raw in node.pred_vars() {
+                    let u = parts.fwd.find_const(raw);
+                    if u == v {
+                        continue; // stale self edge from a collapse
+                    }
+                    let span = work.spans[u.index()];
+                    if span.1 > span.0 {
+                        runs.push(span);
+                    }
+                }
+                let srcs: &[TermId] = srcs;
+                let runs: &[(u32, u32)] = runs;
+                match (srcs.is_empty(), runs) {
+                    (true, []) => {}
+                    (false, []) => out.extend_from_slice(srcs),
+                    (true, &[(s, e)]) => {
+                        out.extend_from_slice(&work.arena[s as usize..e as usize])
+                    }
+                    _ => {
+                        // Iterated pairwise merging, same shape (and same
+                        // shared primitive) as the sequential pass.
+                        let extra = usize::from(!srcs.is_empty());
+                        let total = runs.len() + extra;
+                        let input = |i: usize| -> &[TermId] {
+                            if i < extra {
+                                srcs
+                            } else {
+                                let (s, e) = runs[i - extra];
+                                &work.arena[s as usize..e as usize]
+                            }
+                        };
+                        acc.clear();
+                        bounds_a.clear();
+                        let mut i = 0;
+                        while i < total {
+                            let run_start = acc.len() as u32;
+                            if i + 1 < total {
+                                merge_sorted_dedup(input(i), input(i + 1), acc);
+                                i += 2;
+                            } else {
+                                acc.extend_from_slice(input(i));
+                                i += 1;
+                            }
+                            bounds_a.push((run_start, acc.len() as u32));
+                        }
+                        while bounds_a.len() > 1 {
+                            buf_b.clear();
+                            bounds_b.clear();
+                            let mut i = 0;
+                            while i < bounds_a.len() {
+                                let run_start = buf_b.len() as u32;
+                                if i + 1 < bounds_a.len() {
+                                    let (s1, e1) = bounds_a[i];
+                                    let (s2, e2) = bounds_a[i + 1];
+                                    merge_sorted_dedup(
+                                        &acc[s1 as usize..e1 as usize],
+                                        &acc[s2 as usize..e2 as usize],
+                                        buf_b,
+                                    );
+                                    i += 2;
+                                } else {
+                                    let (s, e) = bounds_a[i];
+                                    buf_b.extend_from_slice(&acc[s as usize..e as usize]);
+                                    i += 1;
+                                }
+                                bounds_b.push((run_start, buf_b.len() as u32));
+                            }
+                            std::mem::swap(acc, buf_b);
+                            std::mem::swap(bounds_a, bounds_b);
+                        }
+                        out.extend_from_slice(acc);
+                    }
+                }
+            }
+        }
+        bounds.push((start, out.len() as u32));
+    }
+}
+
+/// Appends a worker's scanned sets for `vars` to the shared arena, in chunk
+/// order. Deterministic: pure concatenation, no reordering.
+fn commit_chunk(work: &mut WorkBufs, vars: &[Var], st: &WorkerState) {
+    debug_assert_eq!(st.bounds.len(), vars.len());
+    for (i, &v) in vars.iter().enumerate() {
+        let (s, e) = st.bounds[i];
+        if e > s {
+            let start =
+                u32::try_from(work.arena.len()).expect("least-solution arena overflow");
+            work.arena.extend_from_slice(&st.out[s as usize..e as usize]);
+            work.spans[v.index()] = (start, start + (e - s));
+        }
+    }
+}
+
+/// One-shot convenience: the least solution of a solved `solver` computed on
+/// `threads` workers. Byte-identical to [`Solver::least_solution`].
+pub fn least_solution(solver: &Solver, threads: usize) -> LeastSolution {
+    let mut par = ParLeast::new();
+    par.run(&solver.least_parts(), threads, None);
+    par.solution()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bane_core::solver::SolverConfig;
+    use bane_util::SplitMix64;
+
+    fn configs() -> [SolverConfig; 4] {
+        [
+            SolverConfig::sf_plain(),
+            SolverConfig::if_plain(),
+            SolverConfig::sf_online(),
+            SolverConfig::if_online(),
+        ]
+    }
+
+    /// Random layered constraint systems with cycles and sources.
+    fn random_solver(config: SolverConfig, seed: u64) -> Solver {
+        let mut rng = SplitMix64::new(seed);
+        let mut s = Solver::new(config);
+        let n = 60;
+        let vs: Vec<Var> = (0..n).map(|_| s.fresh_var()).collect();
+        let mut ts = Vec::new();
+        for k in 0..8 {
+            let c = s.register_nullary(format!("c{k}"));
+            ts.push(s.term(c, vec![]));
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.next_bool(0.05) {
+                    s.add(vs[i], vs[j]);
+                }
+            }
+        }
+        // A few back edges to form cycles.
+        for _ in 0..6 {
+            let a = rng.next_below(n as u64) as usize;
+            let b = rng.next_below(n as u64) as usize;
+            s.add(vs[a], vs[b]);
+        }
+        for (k, &t) in ts.iter().enumerate() {
+            s.add(t, vs[(k * 7) % n]);
+        }
+        s.solve();
+        s
+    }
+
+    #[test]
+    fn byte_identical_to_sequential_on_random_systems() {
+        for config in configs() {
+            for seed in 0..6u64 {
+                let mut s = random_solver(config, seed);
+                let seq = s.least_solution();
+                for threads in [1, 2, 4, 8] {
+                    let par = least_solution(&s, threads);
+                    assert_eq!(par, seq, "{config:?} seed {seed} threads {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evaluator_is_reusable_across_runs_and_thread_counts() {
+        let mut par = ParLeast::new();
+        for seed in [3u64, 4] {
+            let mut s = random_solver(SolverConfig::if_online(), seed);
+            let seq = s.least_solution();
+            for threads in [2, 1, 4] {
+                par.run(&s.least_parts(), threads, None);
+                assert_eq!(par.solution(), seq, "seed {seed} threads {threads}");
+            }
+            assert!(par.level_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn empty_system_yields_empty_solution() {
+        let mut s = Solver::new(SolverConfig::if_online());
+        s.solve();
+        let par = least_solution(&s, 4);
+        assert_eq!(par, s.least_solution());
+        assert!(par.is_empty());
+    }
+
+    #[test]
+    fn records_observability_counters() {
+        let mut s = random_solver(SolverConfig::if_online(), 1);
+        let seq = s.least_solution();
+        let rec = Recorder::new();
+        let mut par = ParLeast::new();
+        par.run(&s.least_parts(), 2, Some(&rec));
+        assert_eq!(par.solution(), seq);
+        assert_eq!(rec.get(Counter::LsEntries), seq.total_entries() as u64);
+        let report = rec.report("par-least");
+        assert!(report.phases.iter().any(|p| p.phase == Phase::ParLeast.name()));
+    }
+}

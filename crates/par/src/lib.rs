@@ -1,0 +1,46 @@
+//! Deterministic parallel execution engines for the bane constraint solver.
+//!
+//! The paper's solver is sequential; this crate adds parallelism **without
+//! giving up reproducibility**. Both engines follow the same discipline —
+//! *parallel proposal against frozen state, sequential commit in a fixed
+//! order* — so every observable output (graphs, statistics including the
+//! Work metric, inconsistency lists, least solutions down to the byte) is
+//! identical at every thread count. The regression story stays intact: a
+//! snapshot taken at `--threads 8` pins the same numbers as one taken
+//! sequentially.
+//!
+//! Two engines:
+//!
+//! - [`ParLeast`] (module [`least`]): SCC-level-parallel least-solution
+//!   evaluation. The inductive-form invariant makes the canonical
+//!   predecessor graph a DAG; its condensation levels are dependency-free
+//!   batches whose variables workers evaluate concurrently. Output is
+//!   **byte-identical** to `Solver::least_solution` (the `LeastSolution`
+//!   `PartialEq` compares raw buffers, so tests pin exactly that).
+//! - [`FrontierSolver`] (module [`frontier`]): round-based frontier-batched
+//!   closure. Workers scan disjoint chunks of the pending-constraint
+//!   frontier against the frozen round-start state and *propose*; a
+//!   sequential committer applies proposals in frontier order with
+//!   epoch-validated cycle-search verdicts (the private `shard` and
+//!   `commit` modules).
+//!
+//! Worker scheduling is the deliberately boring [`pool`] module: scoped
+//! threads, deterministic [`chunk_range`] partitioning, and a
+//! single-threaded fast path that is a plain function call (and, once warm,
+//! allocation-free — pinned by `bane-core`'s allocation test).
+//!
+//! See `docs/PARALLELISM.md` for the determinism argument and the
+//! commit-order guarantee, and `BENCH_3.json` for measured scaling.
+
+#![deny(missing_docs)]
+
+mod commit;
+mod shard;
+
+pub mod frontier;
+pub mod least;
+pub mod pool;
+
+pub use frontier::FrontierSolver;
+pub use least::{least_solution, ParLeast};
+pub use pool::{available_threads, chunk_range, Pool};

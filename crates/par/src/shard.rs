@@ -1,0 +1,258 @@
+//! The parallel **scan** half of the frontier engine: per-shard scratch and
+//! the pure proposal function.
+//!
+//! During a round, every worker walks its [`chunk_range`](crate::pool::chunk_range)
+//! of the frontier against the *frozen* round-start state (graph, forwarding
+//! pointers, order) and records one [`Proposal`] per item. A proposal is a
+//! pure function of `(frozen state, item)` — it does not depend on which
+//! worker computed it, how the frontier was chunked, or in what order other
+//! items were scanned. That is the first half of the engine's determinism
+//! argument; the second half (the fixed-order commit that re-validates each
+//! proposal against live state) lives in [`crate::commit`].
+
+use bane_core::cycle::{ChainDir, ChainSearch, SearchStats, StepOrder};
+use bane_core::error::Inconsistency;
+use bane_core::expr::SetExpr;
+use bane_core::solver::{CycleElim, EngineParts, Form};
+use bane_core::{TermId, Var};
+use bane_core::cons::Variance;
+
+/// What one frontier item resolved to against the frozen round-start state.
+///
+/// Variants carry *frozen* observations (canonical endpoints, a found cycle
+/// path, derived constraints); the committer re-validates everything that
+/// live state could have invalidated.
+#[derive(Clone, Debug)]
+pub(crate) enum Proposal {
+    /// `0 ⊆ R` or `L ⊆ 1`: trivially true, nothing to do.
+    Trivial,
+    /// `x ⊆ x` after frozen canonicalization.
+    SelfVar,
+    /// A variable-variable edge, with the frozen cycle-search outcome:
+    /// `path` is a range into the shard's flat path buffer when the frozen
+    /// search closed a cycle.
+    VarVar {
+        /// Frozen-canonical left endpoint.
+        x: Var,
+        /// Frozen-canonical right endpoint.
+        y: Var,
+        /// Arena range of the found cycle path, if any.
+        path: Option<(u32, u32)>,
+    },
+    /// A source edge `s ⋯→ y`.
+    Src {
+        /// The source term.
+        s: TermId,
+        /// Frozen-canonical target.
+        y: Var,
+    },
+    /// A sink edge `x → t`.
+    Snk {
+        /// Frozen-canonical origin.
+        x: Var,
+        /// The sink term.
+        t: TermId,
+    },
+    /// `s ⊆ t`: structural resolution. `derived` is a range into the
+    /// shard's flat derived-constraint buffer; `error` carries an
+    /// inconsistency; `resolved` is whether rule **R** fired.
+    TermTerm {
+        /// Arena range of derived argument constraints.
+        derived: (u32, u32),
+        /// Inconsistency detected structurally, if any.
+        error: Option<Inconsistency>,
+        /// Whether this counts as a resolution in the stats.
+        resolved: bool,
+    },
+}
+
+/// One worker's private round state: the proposals for its chunk plus the
+/// flat side buffers they index into. Reused across rounds, so steady-state
+/// scanning does not allocate.
+#[derive(Debug, Default)]
+pub(crate) struct ShardScratch {
+    pub proposals: Vec<Proposal>,
+    /// Flat storage for found cycle paths (`Proposal::VarVar::path`).
+    pub paths: Vec<Var>,
+    /// Flat storage for derived constraints (`Proposal::TermTerm::derived`).
+    pub derived: Vec<(SetExpr, SetExpr)>,
+    /// Scratch for a single search's path before it is flattened.
+    pub path_tmp: Vec<Var>,
+    pub search: ChainSearch,
+    /// Search counters accumulated this round; drained into the engine's
+    /// stats at commit (in shard order, so totals are deterministic).
+    pub stats: SearchStats,
+    /// Wall time of this shard's scan, nanoseconds (observability only).
+    pub scan_ns: u64,
+}
+
+impl ShardScratch {
+    /// Clears the per-round buffers (keeps capacity).
+    pub fn begin_round(&mut self, graph_len: usize) {
+        self.proposals.clear();
+        self.paths.clear();
+        self.derived.clear();
+        self.search.grow(graph_len);
+        self.scan_ns = 0;
+    }
+}
+
+/// Scans one frontier item against the frozen state, returning its proposal.
+///
+/// Mirrors `Solver::process`'s normalization exactly: `0 ⊆ R` and `L ⊆ 1`
+/// are trivial, remaining `1` sources and `0` sinks become the builtin
+/// terms, and variables canonicalize through the (frozen) forwarding
+/// pointers.
+pub(crate) fn scan_item(
+    parts: &EngineParts,
+    lhs: SetExpr,
+    rhs: SetExpr,
+    st: &mut ShardScratch,
+) -> Proposal {
+    let lhs = match lhs {
+        SetExpr::Zero => return Proposal::Trivial,
+        SetExpr::One => SetExpr::Term(parts.one_term),
+        SetExpr::Var(v) => SetExpr::Var(parts.fwd.find_const(v)),
+        t @ SetExpr::Term(_) => t,
+    };
+    let rhs = match rhs {
+        SetExpr::One => return Proposal::Trivial,
+        SetExpr::Zero => SetExpr::Term(parts.zero_term),
+        SetExpr::Var(v) => SetExpr::Var(parts.fwd.find_const(v)),
+        t @ SetExpr::Term(_) => t,
+    };
+    match (lhs, rhs) {
+        (SetExpr::Var(x), SetExpr::Var(y)) => scan_var_var(parts, x, y, st),
+        (SetExpr::Term(s), SetExpr::Var(y)) => Proposal::Src { s, y },
+        (SetExpr::Var(x), SetExpr::Term(t)) => Proposal::Snk { x, t },
+        (SetExpr::Term(s), SetExpr::Term(t)) => scan_terms(parts, s, t, st),
+        _ => unreachable!("normalization removed 0/1"),
+    }
+}
+
+/// The variable-variable scan: frozen canonicalization, frozen redundancy
+/// check, and — when the edge looks new — the frozen online cycle search.
+fn scan_var_var(parts: &EngineParts, x: Var, y: Var, st: &mut ShardScratch) -> Proposal {
+    if x == y {
+        return Proposal::SelfVar;
+    }
+    let as_pred = match parts.config.form {
+        Form::Standard => false,
+        Form::Inductive => parts.order.lt(x, y),
+    };
+    let redundant = if as_pred {
+        parts.graph.has_pred_var(y, x)
+    } else {
+        parts.graph.has_succ_var(x, y)
+    };
+    let mut path = None;
+    if !redundant && parts.config.cycle_elim == CycleElim::Online {
+        let found = frozen_search(parts, x, y, as_pred, st);
+        if found {
+            let start = st.paths.len() as u32;
+            st.paths.extend_from_slice(&st.path_tmp);
+            path = Some((start, st.paths.len() as u32));
+        }
+    }
+    Proposal::VarVar { x, y, path }
+}
+
+/// Runs the same searches `Solver::var_var` would, against frozen state.
+fn frozen_search(
+    parts: &EngineParts,
+    x: Var,
+    y: Var,
+    as_pred: bool,
+    st: &mut ShardScratch,
+) -> bool {
+    let (graph, fwd, order) = (&parts.graph, &parts.fwd, &parts.order);
+    if as_pred {
+        // x ⋯→ y: look for a successor chain y → … → x.
+        return st.search.search(
+            graph,
+            fwd,
+            order,
+            y,
+            x,
+            ChainDir::Succ,
+            StepOrder::Decreasing,
+            &mut st.stats,
+            &mut st.path_tmp,
+        );
+    }
+    match parts.config.form {
+        // x → y: look for a predecessor chain y ⋯→ … ⋯→ x.
+        Form::Inductive => st.search.search(
+            graph,
+            fwd,
+            order,
+            x,
+            y,
+            ChainDir::Pred,
+            StepOrder::Decreasing,
+            &mut st.stats,
+            &mut st.path_tmp,
+        ),
+        // Standard form: successor chains y → … → x under the policy steps.
+        Form::Standard => parts.config.sf_chain.steps().iter().any(|&step| {
+            st.search.search(
+                graph,
+                fwd,
+                order,
+                y,
+                x,
+                ChainDir::Succ,
+                step,
+                &mut st.stats,
+                &mut st.path_tmp,
+            )
+        }),
+    }
+}
+
+/// Structural resolution `s ⊆ t` (rule **R**), recorded rather than
+/// applied. Terms are interned and immutable, so nothing here can go stale:
+/// the committer replays the recorded outcome verbatim.
+fn scan_terms(parts: &EngineParts, s: TermId, t: TermId, st: &mut ShardScratch) -> Proposal {
+    let none = (st.derived.len() as u32, st.derived.len() as u32);
+    if s == t || s == parts.zero_term || t == parts.one_term {
+        return Proposal::TermTerm { derived: none, error: None, resolved: false };
+    }
+    if s == parts.one_term {
+        return Proposal::TermTerm {
+            derived: none,
+            error: Some(Inconsistency::OneInTerm { rhs: t }),
+            resolved: false,
+        };
+    }
+    if t == parts.zero_term {
+        return Proposal::TermTerm {
+            derived: none,
+            error: Some(Inconsistency::NonEmptyInZero { lhs: Some(s) }),
+            resolved: false,
+        };
+    }
+    let (sc, tc) = (parts.terms.data(s).con(), parts.terms.data(t).con());
+    if sc != tc {
+        return Proposal::TermTerm {
+            derived: none,
+            error: Some(Inconsistency::ConstructorMismatch { lhs: s, rhs: t }),
+            resolved: false,
+        };
+    }
+    let start = st.derived.len() as u32;
+    let arity = parts.cons.signature(sc).arity();
+    for i in 0..arity {
+        let a = parts.terms.data(s).args()[i];
+        let b = parts.terms.data(t).args()[i];
+        match parts.cons.signature(sc).variances()[i] {
+            Variance::Covariant => st.derived.push((a, b)),
+            Variance::Contravariant => st.derived.push((b, a)),
+        }
+    }
+    Proposal::TermTerm {
+        derived: (start, st.derived.len() as u32),
+        error: None,
+        resolved: true,
+    }
+}

@@ -1,0 +1,276 @@
+//! The engine's central contract: every observable output is identical at
+//! every thread count, and the parallel least solution is byte-identical to
+//! the sequential pass.
+//!
+//! Two layers of evidence:
+//!
+//! - a property test over randomized synthetic constraint systems (chains,
+//!   cycles, term structure, sources, sinks) comparing `FrontierSolver` runs
+//!   at 1/2/4/8 threads field by field — stats (the paper's Work metric
+//!   included), census, inconsistencies, finds, rounds, and the least
+//!   solution down to the byte;
+//! - a golden run on the paper-suite `povray-2.2` stand-in program through
+//!   the real Andersen front end, additionally cross-checked *semantically*
+//!   against the sequential `Solver` (the round schedule legitimately
+//!   differs from FIFO, so order-dependent stats may differ, but resolved
+//!   sets must not).
+
+use bane_core::prelude::*;
+use bane_par::{least_solution, FrontierSolver, ParLeast};
+use bane_points_to::andersen;
+use bane_synth::suite::{suite_program, PAPER_SUITE};
+use bane_util::SplitMix64;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Emits a randomized constraint system through any engine's mirrored API.
+struct SynthSystem {
+    n_vars: usize,
+    n_cons: usize,
+    edges: Vec<(usize, usize)>,
+    srcs: Vec<(usize, usize)>,
+    snks: Vec<(usize, usize)>,
+    pairs: Vec<(usize, usize, usize)>,
+}
+
+impl SynthSystem {
+    fn new(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let n_vars = 80;
+        let n_cons = 6;
+        let mut edges = Vec::new();
+        // Forward chains with a sprinkle of back edges: plenty of cycles.
+        for i in 0..n_vars {
+            for j in (i + 1)..n_vars {
+                if rng.next_bool(0.04) {
+                    edges.push((i, j));
+                }
+            }
+        }
+        for _ in 0..12 {
+            let a = rng.next_below(n_vars as u64) as usize;
+            let b = rng.next_below(n_vars as u64) as usize;
+            edges.push((a, b));
+        }
+        let srcs =
+            (0..10).map(|k| (k % n_cons, rng.next_below(n_vars as u64) as usize)).collect();
+        let snks =
+            (0..6).map(|k| (k % n_cons, rng.next_below(n_vars as u64) as usize)).collect();
+        // Constructed terms meeting through a middle variable, exercising
+        // variance decomposition (and the occasional constructor mismatch).
+        let pairs = (0..8)
+            .map(|_| {
+                (
+                    rng.next_below(n_vars as u64) as usize,
+                    rng.next_below(n_vars as u64) as usize,
+                    rng.next_below(n_vars as u64) as usize,
+                )
+            })
+            .collect();
+        SynthSystem { n_vars, n_cons, edges, srcs, snks, pairs }
+    }
+
+    fn build(&self, config: SolverConfig, threads: usize) -> FrontierSolver {
+        let mut f = FrontierSolver::new(config, threads);
+        let vs: Vec<Var> = (0..self.n_vars).map(|_| f.fresh_var()).collect();
+        let cons: Vec<_> =
+            (0..self.n_cons).map(|k| f.register_nullary(format!("c{k}"))).collect();
+        let pair_con =
+            f.register_con("pair", vec![Variance::Covariant, Variance::Contravariant]);
+        for &(a, b) in &self.edges {
+            f.add(vs[a], vs[b]);
+        }
+        for &(k, at) in &self.srcs {
+            let t = f.term(cons[k], vec![]);
+            f.add(t, vs[at]);
+        }
+        for &(k, at) in &self.snks {
+            let t = f.term(cons[k], vec![]);
+            f.add(vs[at], t);
+        }
+        for &(a, b, mid) in &self.pairs {
+            let src = f.term(pair_con, vec![vs[a].into(), vs[b].into()]);
+            let snk = f.term(pair_con, vec![vs[b].into(), vs[a].into()]);
+            f.add(src, vs[mid]);
+            f.add(vs[mid], snk);
+        }
+        f
+    }
+
+    fn build_sequential(&self, config: SolverConfig) -> Solver {
+        // Same creation sequence through the sequential API.
+        let mut s = Solver::new(config);
+        let vs: Vec<Var> = (0..self.n_vars).map(|_| s.fresh_var()).collect();
+        let cons: Vec<_> =
+            (0..self.n_cons).map(|k| s.register_nullary(format!("c{k}"))).collect();
+        let pair_con =
+            s.register_con("pair", vec![Variance::Covariant, Variance::Contravariant]);
+        for &(a, b) in &self.edges {
+            s.add(vs[a], vs[b]);
+        }
+        for &(k, at) in &self.srcs {
+            let t = s.term(cons[k], vec![]);
+            s.add(t, vs[at]);
+        }
+        for &(k, at) in &self.snks {
+            let t = s.term(cons[k], vec![]);
+            s.add(vs[at], t);
+        }
+        for &(a, b, mid) in &self.pairs {
+            let src = s.term(pair_con, vec![vs[a].into(), vs[b].into()]);
+            let snk = s.term(pair_con, vec![vs[b].into(), vs[a].into()]);
+            s.add(src, vs[mid]);
+            s.add(vs[mid], snk);
+        }
+        s
+    }
+}
+
+/// Everything a run exposes, gathered for whole-value comparison.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    stats: Stats,
+    census: bane_core::graph::GraphCensus,
+    errors: Vec<Inconsistency>,
+    rounds: u64,
+    finds: Vec<Var>,
+    ls: LeastSolution,
+}
+
+fn observe(mut f: FrontierSolver) -> Observed {
+    f.solve();
+    let finds = (0..f.graph_len()).map(|i| f.find(Var::new(i))).collect();
+    let ls = f.least_solution();
+    Observed {
+        stats: *f.stats(),
+        census: f.census(),
+        errors: f.inconsistencies().to_vec(),
+        rounds: f.rounds(),
+        finds,
+        ls,
+    }
+}
+
+#[test]
+fn synthetic_systems_reproduce_at_every_thread_count() {
+    let configs = [
+        SolverConfig::if_online(),
+        SolverConfig::sf_online(),
+        SolverConfig::if_plain(),
+        SolverConfig::sf_plain(),
+    ];
+    for config in configs {
+        for seed in 0..5u64 {
+            let sys = SynthSystem::new(seed);
+            let baseline = observe(sys.build(config, THREADS[0]));
+            for &threads in &THREADS[1..] {
+                let run = observe(sys.build(config, threads));
+                assert_eq!(
+                    run, baseline,
+                    "{config:?} seed {seed}: {threads}-thread run diverged from 1-thread"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn synthetic_systems_agree_semantically_with_sequential_solver() {
+    for config in [SolverConfig::if_online(), SolverConfig::sf_online()] {
+        for seed in 0..5u64 {
+            let sys = SynthSystem::new(seed);
+            let mut seq = sys.build_sequential(config);
+            seq.solve();
+            let n = seq.graph_len();
+            let seq_ls = seq.least_solution();
+            let mut seq_errors = seq.inconsistencies().to_vec();
+            seq_errors.sort_by_key(error_key);
+
+            let par = observe(sys.build(config, 4));
+            let mut par_errors = par.errors.clone();
+            par_errors.sort_by_key(error_key);
+            assert_eq!(par_errors, seq_errors, "{config:?} seed {seed}: inconsistency sets");
+            for i in 0..n {
+                let v = Var::new(i);
+                assert_eq!(
+                    par.ls.get(v),
+                    seq_ls.get(v),
+                    "{config:?} seed {seed}: LS(v{i}) diverged from sequential"
+                );
+            }
+        }
+    }
+}
+
+/// A stable sort key for inconsistency multiset comparison (the engines may
+/// discover the same errors in different orders).
+fn error_key(e: &Inconsistency) -> (u8, u32, u32) {
+    match *e {
+        Inconsistency::ConstructorMismatch { lhs, rhs } => (0, lhs.raw(), rhs.raw()),
+        Inconsistency::NonEmptyInZero { lhs } => (1, lhs.map_or(u32::MAX, |t| t.raw()), 0),
+        Inconsistency::OneInTerm { rhs } => (2, rhs.raw(), 0),
+    }
+}
+
+/// The paper-suite stand-in used by the goldens: `povray-2.2` scaled down to
+/// test size, through the real Andersen C front end.
+fn povray_solver() -> Solver {
+    let entry = PAPER_SUITE
+        .iter()
+        .find(|e| e.name == "povray-2.2")
+        .expect("povray-2.2 in the paper suite");
+    let program = suite_program(entry, 0.04);
+    let mut solver = Solver::new(SolverConfig::if_online());
+    let (_locs, gen) = andersen::generate(&program, &mut solver);
+    assert!(gen.constraints > 500, "stand-in should be non-trivial");
+    solver
+}
+
+#[test]
+fn parallel_least_solution_is_byte_identical_on_povray_standin() {
+    let mut solver = povray_solver();
+    solver.solve();
+    let seq = solver.least_solution();
+    let mut par = ParLeast::new();
+    for &threads in &THREADS {
+        par.run(&solver.least_parts(), threads, None);
+        assert_eq!(
+            par.solution(),
+            seq,
+            "povray stand-in: {threads}-thread least solution not byte-identical"
+        );
+        assert_eq!(least_solution(&solver, threads), seq);
+    }
+}
+
+#[test]
+fn frontier_engine_reproduces_and_agrees_on_povray_standin() {
+    let mut seq = povray_solver();
+    seq.solve();
+    let n = seq.graph_len();
+    let seq_ls = seq.least_solution();
+
+    let baseline = observe(FrontierSolver::from_solver(povray_solver(), THREADS[0]));
+    for &threads in &THREADS[1..] {
+        let run = observe(FrontierSolver::from_solver(povray_solver(), threads));
+        assert_eq!(
+            run, baseline,
+            "povray stand-in: {threads}-thread frontier run diverged from 1-thread"
+        );
+    }
+    // The stand-in's inconsistencies (if any) must match the sequential
+    // run's as a multiset; discovery order may differ across schedules.
+    let mut seq_errors = seq.inconsistencies().to_vec();
+    seq_errors.sort_by_key(error_key);
+    let mut par_errors = baseline.errors.clone();
+    par_errors.sort_by_key(error_key);
+    assert_eq!(par_errors, seq_errors, "povray stand-in: inconsistency sets");
+    for i in 0..n {
+        let v = Var::new(i);
+        assert_eq!(
+            baseline.ls.get(v),
+            seq_ls.get(v),
+            "povray stand-in: frontier LS(v{i}) diverged from sequential"
+        );
+    }
+}
