@@ -52,14 +52,24 @@
 //! assumed). Every field that existed in `bane-bench/2` is emitted
 //! byte-identically; consumers of the old schema keep working unchanged.
 //!
+//! `bane-bench/4` adds the frontier **batching** context: `batch_rounds`
+//! (the `--batch-rounds` value, used by the `par_ls` frontier runs) and a
+//! `par_batch` section measuring the largest benchmark at each batch size in
+//! {1, 8} ∪ {`--batch-rounds`} — wall time, the number of pool dispatches
+//! (`par.commit.broadcasts`, which must shrink as `K` grows), the round
+//! count (which must not change), and a per-row determinism check. The
+//! header also gains `single_cpu`: `true` when the machine exposes a single
+//! logical CPU, warning that parallel *speedups* in this snapshot are
+//! meaningless even though the determinism checks remain in force.
+//!
 //! The JSON is hand-rolled (the build environment has no serde); the format
 //! is plain nested objects with no NaNs and no trailing commas, so any JSON
 //! parser can read it.
 
 use bane_bench::cli::Options;
 use bane_bench::experiment::{
-    analyze_bench, run_observed, run_one, run_par_scaling, ExperimentKind, Measurement,
-    ParScaling,
+    analyze_bench, run_batch_scaling, run_observed, run_one, run_par_scaling, BatchScaling,
+    ExperimentKind, Measurement, ParScaling,
 };
 use bane_obs::RunReport;
 use std::fmt::Write as _;
@@ -89,8 +99,8 @@ fn main() {
             },
             "--help" | "-h" => die(
                 "options: --scale <f> --max-ast <n> --reps <n> --limit <n> \
-                 --only <substr> --threads <n> --fast --out <path> --label <s> \
-                 --report <path>",
+                 --only <substr> --threads <n> --batch-rounds <n> --fast \
+                 --out <path> --label <s> --report <path>",
             ),
             _ => rest.push(arg),
         }
@@ -174,13 +184,15 @@ fn main() {
         thread_counts.push(opts.threads);
         thread_counts.sort_unstable();
     }
-    let par_ls_json = match selected.iter().max_by_key(|(e, _)| e.ast_nodes) {
+    let largest = selected.iter().max_by_key(|(e, _)| e.ast_nodes);
+    let par_ls_json = match largest {
         Some((entry, program)) => {
             eprintln!(
-                "bench_json: par scaling on {} (threads {:?})",
-                entry.name, thread_counts
+                "bench_json: par scaling on {} (threads {:?}, K={})",
+                entry.name, thread_counts, opts.batch_rounds
             );
-            let scaling = run_par_scaling(program, &thread_counts, opts.reps);
+            let scaling =
+                run_par_scaling(program, &thread_counts, opts.batch_rounds, opts.reps);
             for row in &scaling.rows {
                 eprintln!(
                     "  par {:<24} threads={} ls={:>12}ns (seq {:>12}ns) frontier={:>12}ns \
@@ -199,16 +211,49 @@ fn main() {
         None => "null".to_string(),
     };
 
+    // The frontier batching table: the same largest benchmark at K ∈
+    // {1, 8} ∪ {--batch-rounds}, at the configured thread count.
+    let mut batch_sizes = vec![1usize, 8];
+    if !batch_sizes.contains(&opts.batch_rounds) {
+        batch_sizes.push(opts.batch_rounds);
+        batch_sizes.sort_unstable();
+    }
+    let par_batch_json = match largest {
+        Some((entry, program)) => {
+            eprintln!(
+                "bench_json: batch scaling on {} (threads {}, K {:?})",
+                entry.name, opts.threads, batch_sizes
+            );
+            let scaling = run_batch_scaling(program, opts.threads, &batch_sizes, opts.reps);
+            for row in &scaling.rows {
+                eprintln!(
+                    "  batch {:<22} K={} frontier={:>12}ns broadcasts={:<8} rounds={:<8} \
+                     deterministic={}",
+                    entry.name,
+                    row.batch_rounds,
+                    row.frontier_wall_ns,
+                    row.broadcasts,
+                    row.rounds,
+                    row.deterministic,
+                );
+            }
+            batch_scaling_json(entry.name, &scaling)
+        }
+        None => "null".to_string(),
+    };
+
     let created_unix = SystemTime::now()
         .duration_since(SystemTime::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
+    let logical_cpus = bane_par::available_threads();
     let json = format!(
-        "{{\n  \"schema\": \"bane-bench/3\",\n  \"label\": {},\n  \
+        "{{\n  \"schema\": \"bane-bench/4\",\n  \"label\": {},\n  \
          \"created_unix\": {},\n  \"scale\": {},\n  \"max_ast\": {},\n  \
          \"reps\": {},\n  \"limit\": {},\n  \"threads\": {},\n  \
-         \"git_revision\": {},\n  \"logical_cpus\": {},\n  \
-         \"par_ls\": {},\n  \"benchmarks\": [{}\n  ]\n}}\n",
+         \"batch_rounds\": {},\n  \"git_revision\": {},\n  \
+         \"logical_cpus\": {},\n  \"single_cpu\": {},\n  \
+         \"par_ls\": {},\n  \"par_batch\": {},\n  \"benchmarks\": [{}\n  ]\n}}\n",
         json_string(&label),
         created_unix,
         json_f64(opts.scale),
@@ -216,9 +261,12 @@ fn main() {
         opts.reps,
         opts.limit,
         opts.threads,
+        opts.batch_rounds,
         json_string(&git_revision()),
-        bane_par::available_threads(),
+        logical_cpus,
+        logical_cpus == 1,
         par_ls_json,
+        par_batch_json,
         benchmarks,
     );
 
@@ -286,6 +334,33 @@ fn par_scaling_json(benchmark: &str, scaling: &ParScaling) -> String {
         json_string(benchmark),
         scaling.seq_ls_ns,
         scaling.seq_solve_ns,
+        rows,
+    )
+}
+
+/// The `par_batch` section: one row per batch size, with the dispatch count
+/// under its unified-counter name `par.commit.broadcasts`.
+fn batch_scaling_json(benchmark: &str, scaling: &BatchScaling) -> String {
+    let mut rows = String::new();
+    for (i, row) in scaling.rows.iter().enumerate() {
+        if i > 0 {
+            rows.push(',');
+        }
+        let _ = write!(
+            rows,
+            "\n      {{\"batch_rounds\": {}, \"frontier_wall_ns\": {}, \
+             \"par.commit.broadcasts\": {}, \"rounds\": {}, \"deterministic\": {}}}",
+            row.batch_rounds,
+            row.frontier_wall_ns,
+            row.broadcasts,
+            row.rounds,
+            row.deterministic,
+        );
+    }
+    format!(
+        "{{\"benchmark\": {}, \"threads\": {}, \"rows\": [{}\n    ]}}",
+        json_string(benchmark),
+        scaling.threads,
         rows,
     )
 }

@@ -15,6 +15,9 @@ pub struct Options {
     pub only: Option<String>,
     /// Worker threads for the `bane-par` engines (1 = sequential paths).
     pub threads: usize,
+    /// Frontier rounds committed per pool dispatch (`K`; 1 = one broadcast
+    /// per round, the pre-batching behavior).
+    pub batch_rounds: usize,
 }
 
 impl Options {
@@ -29,13 +32,15 @@ impl Options {
             limit: 200_000_000,
             only: None,
             threads: 1,
+            batch_rounds: 1,
         }
     }
 
     /// Parses `args` (without the program name) over the given defaults.
     ///
     /// Recognized flags: `--scale <f>`, `--max-ast <n>`, `--reps <n>`,
-    /// `--limit <n>`, `--only <substring>`, `--threads <n>`, `--fast`.
+    /// `--limit <n>`, `--only <substring>`, `--threads <n>`,
+    /// `--batch-rounds <n>`, `--fast`.
     ///
     /// # Errors
     ///
@@ -75,6 +80,11 @@ impl Options {
                         .parse()
                         .map_err(|e| format!("--threads: {e}"))?;
                 }
+                "--batch-rounds" => {
+                    self.batch_rounds = value("--batch-rounds")?
+                        .parse()
+                        .map_err(|e| format!("--batch-rounds: {e}"))?;
+                }
                 "--fast" => {
                     self.scale = (self.scale * 0.5).min(0.1);
                     self.max_ast = self.max_ast.min(60_000);
@@ -82,7 +92,7 @@ impl Options {
                 "--help" | "-h" => {
                     return Err(
                         "options: --scale <f> --max-ast <n> --reps <n> --limit <n> \
-                         --only <substr> --threads <n> --fast"
+                         --only <substr> --threads <n> --batch-rounds <n> --fast"
                             .to_string(),
                     )
                 }
@@ -94,6 +104,9 @@ impl Options {
         }
         if self.threads == 0 {
             return Err("--threads must be at least 1".to_string());
+        }
+        if self.batch_rounds == 0 {
+            return Err("--batch-rounds must be at least 1".to_string());
         }
         Ok(self)
     }
@@ -133,7 +146,10 @@ mod tests {
     #[test]
     fn parses_flags() {
         let o = Options::defaults(false)
-            .parse(args("--scale 0.5 --max-ast 9000 --reps 3 --limit 1000 --only flex --threads 4"))
+            .parse(args(
+                "--scale 0.5 --max-ast 9000 --reps 3 --limit 1000 --only flex \
+                 --threads 4 --batch-rounds 8",
+            ))
             .unwrap();
         assert_eq!(o.scale, 0.5);
         assert_eq!(o.max_ast, 9000);
@@ -141,12 +157,15 @@ mod tests {
         assert_eq!(o.limit, 1000);
         assert_eq!(o.only.as_deref(), Some("flex"));
         assert_eq!(o.threads, 4);
+        assert_eq!(o.batch_rounds, 8);
     }
 
     #[test]
     fn threads_defaults_to_sequential() {
         assert_eq!(Options::defaults(false).threads, 1);
         assert_eq!(Options::defaults(true).threads, 1);
+        assert_eq!(Options::defaults(false).batch_rounds, 1);
+        assert_eq!(Options::defaults(true).batch_rounds, 1);
     }
 
     #[test]
@@ -157,6 +176,8 @@ mod tests {
         assert!(Options::defaults(false).parse(args("--scale 0")).is_err());
         assert!(Options::defaults(false).parse(args("--threads 0")).is_err());
         assert!(Options::defaults(false).parse(args("--threads x")).is_err());
+        assert!(Options::defaults(false).parse(args("--batch-rounds 0")).is_err());
+        assert!(Options::defaults(false).parse(args("--batch-rounds x")).is_err());
     }
 
     #[test]

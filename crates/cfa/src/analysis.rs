@@ -38,12 +38,14 @@ pub struct Cfa {
     lam_of_term: FxHashMap<TermId, ExprId>,
 }
 
-/// Generates the 0-CFA constraints for `program` into `solver`.
+/// Generates the 0-CFA constraints for `program` into any
+/// [`ConstraintBuilder`] (a solver, a frontier engine, or a bare
+/// [`Problem`]).
 ///
 /// Returns the cache variables and the `lam`-term table; does not solve.
-pub fn generate(
+pub fn generate<B: ConstraintBuilder>(
     program: &Program,
-    solver: &mut Solver,
+    solver: &mut B,
 ) -> (Vec<Var>, FxHashMap<TermId, ExprId>) {
     let lam_con = solver.register_con(
         "lam",
@@ -112,9 +114,9 @@ impl Cfa {
     }
 }
 
-struct Gen<'p, 's> {
+struct Gen<'p, 's, B> {
     program: &'p Program,
-    solver: &'s mut Solver,
+    solver: &'s mut B,
     lam_con: Con,
     caches: Vec<Var>,
     lam_of_term: FxHashMap<TermId, ExprId>,
@@ -122,7 +124,7 @@ struct Gen<'p, 's> {
     env: Vec<(String, Var)>,
 }
 
-impl Gen<'_, '_> {
+impl<B: ConstraintBuilder> Gen<'_, '_, B> {
     fn cache(&self, e: ExprId) -> Var {
         self.caches[e.index()]
     }

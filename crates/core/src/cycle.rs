@@ -218,6 +218,65 @@ impl ChainSearch {
     }
 }
 
+/// Reusable scratch for one *offline* cycle-elimination sweep: Tarjan over
+/// the current canonical variable-variable edges, exposing the non-trivial
+/// SCCs for the engine to collapse.
+///
+/// This is the shared half of [`CycleElim::Periodic`](crate::solver::CycleElim)
+/// — the part that only reads the graph. Both engines drive it the same way
+/// (compute, then collapse each component through their own collapse
+/// routine), which is what keeps the sequential solver's periodic passes and
+/// `bane-par`'s batch-boundary sweeps *observably identical*: the component
+/// order is Tarjan emission order (reverse topological) and the member order
+/// within a component is Tarjan stack-pop order, both fully determined by
+/// the canonical edge list.
+///
+/// The two-phase shape (compute into owned storage, collapse afterwards) is
+/// deliberate: collapsing mutates the graph, so the sweep result must not
+/// borrow it. All storage is reused across sweeps; a periodic run allocates
+/// only when the graph outgrows every previous sweep.
+#[derive(Clone, Debug, Default)]
+pub struct CycleSweep {
+    adj: Vec<Vec<u32>>,
+    scratch: crate::scc::TarjanScratch,
+    /// Members of all non-trivial components, flattened in component order.
+    members: Vec<Var>,
+    /// `members` span per non-trivial component.
+    spans: Vec<(u32, u32)>,
+}
+
+impl CycleSweep {
+    /// Runs Tarjan over `graph`'s canonical variable-variable edges and
+    /// records every non-trivial SCC. Returns the number of components
+    /// found; read them back with [`component`](CycleSweep::component).
+    pub fn compute(&mut self, graph: &Graph, fwd: &Forwarding) -> usize {
+        let n = graph.len();
+        for list in &mut self.adj {
+            list.clear();
+        }
+        self.adj.resize_with(n, Vec::new);
+        for (a, b) in graph.var_var_edges(fwd) {
+            self.adj[a.index()].push(b.raw());
+        }
+        let scc = crate::scc::tarjan_with(&mut self.scratch, n, &self.adj[..n]);
+        self.members.clear();
+        self.spans.clear();
+        for comp in scc.nontrivial() {
+            let start = self.members.len() as u32;
+            self.members.extend(comp.iter().map(|&i| Var::new(i as usize)));
+            self.spans.push((start, self.members.len() as u32));
+        }
+        self.spans.len()
+    }
+
+    /// The members of non-trivial component `i` of the last
+    /// [`compute`](CycleSweep::compute), in collapse order.
+    pub fn component(&self, i: usize) -> &[Var] {
+        let (start, end) = self.spans[i];
+        &self.members[start as usize..end as usize]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,84 @@
+//! The unified run/inspect surface every resolution engine implements.
+//!
+//! [`Engine`] abstracts over *how* a constraint system gets resolved — the
+//! sequential FIFO [`Solver`](crate::solver::Solver) (plain or
+//! oracle-partitioned) and `bane-par`'s round-based `FrontierSolver` — so
+//! harness code (benchmarks, experiments, property tests) is written once
+//! against the trait instead of branching on the engine type.
+//!
+//! The trait deliberately exposes only the *engine-generic* observables:
+//! resolution ([`solve`](Engine::solve) / [`solve_limited`](Engine::solve_limited)),
+//! statistics, inconsistencies, the graph census, canonical representatives,
+//! and the least solution. Engine-specific surfaces (the solver's oracle
+//! logs, the frontier engine's round counters) stay inherent.
+//!
+//! Every engine is also a [`ConstraintBuilder`], so a generic
+//! `fn run<E: Engine>(…)` can build *and* resolve; and every engine can be
+//! seeded from a recorded [`Problem`] via
+//! [`from_problem`](Engine::from_problem) — the hand-off that lets one
+//! generation pass drive several engines (clone the problem per engine).
+//!
+//! # Examples
+//!
+//! ```
+//! use bane_core::prelude::*;
+//!
+//! fn resolve_with<E: Engine>(problem: Problem) -> u64 {
+//!     let mut engine = E::from_problem(problem);
+//!     engine.solve();
+//!     engine.stats().work
+//! }
+//!
+//! let mut p = Problem::new(SolverConfig::if_online());
+//! let (x, y) = (p.fresh_var(), p.fresh_var());
+//! p.add(x, y);
+//! p.add(y, x);
+//! assert!(resolve_with::<Solver>(p) > 0);
+//! ```
+
+use crate::error::Inconsistency;
+use crate::expr::Var;
+use crate::graph::GraphCensus;
+use crate::least::LeastSolution;
+use crate::problem::{ConstraintBuilder, Problem};
+use crate::stats::Stats;
+
+/// A constraint-resolution engine: build (via [`ConstraintBuilder`]), run,
+/// inspect. See the [module docs](self).
+pub trait Engine: ConstraintBuilder {
+    /// Constructs the engine from a recorded [`Problem`], adopting its
+    /// constructors, terms, variables, and constraints.
+    ///
+    /// Parallel engines come up with their default worker/batch settings;
+    /// configure them through their inherent API afterwards.
+    fn from_problem(problem: Problem) -> Self
+    where
+        Self: Sized;
+
+    /// Resolves all pending constraints, closing the graph transitively.
+    fn solve(&mut self);
+
+    /// Like [`solve`](Engine::solve) but gives up once the work counter
+    /// exceeds `max_work`; returns `true` if resolution finished.
+    ///
+    /// Engines check the bound at their natural scheduling granularity (the
+    /// sequential solver per processed constraint, the frontier engine per
+    /// round), so an unfinished run may overshoot `max_work` by less than
+    /// one scheduling unit.
+    fn solve_limited(&mut self, max_work: u64) -> bool;
+
+    /// Accumulated statistics (the paper's Work metric and friends).
+    fn stats(&self) -> &Stats;
+
+    /// Inconsistencies recorded during resolution.
+    fn inconsistencies(&self) -> &[Inconsistency];
+
+    /// Distinct canonical edge counts of the current graph.
+    fn census(&self) -> GraphCensus;
+
+    /// The representative of `v` after collapses (with path compression).
+    fn find(&mut self, v: Var) -> Var;
+
+    /// The least solution of the resolved system.
+    fn least_solution(&mut self) -> LeastSolution;
+}

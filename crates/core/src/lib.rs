@@ -79,6 +79,7 @@
 pub mod cons;
 pub mod cycle;
 pub mod dot;
+pub mod engine;
 pub mod error;
 pub mod expr;
 pub mod forward;
@@ -88,6 +89,7 @@ pub mod least;
 pub mod obs;
 pub mod oracle;
 pub mod order;
+pub mod problem;
 pub mod scc;
 pub mod solver;
 pub mod stats;
@@ -95,11 +97,13 @@ pub mod stats;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use crate::cons::{Con, Variance};
+    pub use crate::engine::Engine;
     pub use crate::error::Inconsistency;
     pub use crate::expr::{SetExpr, TermId, Var};
     pub use crate::least::LeastSolution;
     pub use crate::oracle::Partition;
     pub use crate::order::OrderPolicy;
+    pub use crate::problem::{ConstraintBuilder, Problem};
     pub use crate::solver::{CycleElim, Form, Solver, SolverConfig};
     pub use crate::stats::Stats;
 }

@@ -37,14 +37,15 @@
 
 use bane_util::idx::Idx;
 use crate::cons::{Con, ConRegistry, Variance};
-use crate::cycle::{ChainDir, ChainSearch, SfSearchPolicy, StepOrder};
+use crate::cycle::{ChainDir, ChainSearch, CycleSweep, SfSearchPolicy, StepOrder};
 use crate::error::Inconsistency;
 use crate::expr::{SetExpr, TermArena, TermData, TermId, Var};
 use crate::forward::Forwarding;
 use crate::graph::{Graph, GraphCensus, Insert};
 use crate::oracle::Partition;
 use crate::order::{OrderPolicy, VarOrder};
-use crate::scc::{tarjan, tarjan_with, SccStats, TarjanScratch};
+use crate::problem::{ConstraintBuilder, Problem};
+use crate::scc::{tarjan, SccStats};
 use crate::stats::Stats;
 use bane_util::FxHashSet;
 use std::collections::VecDeque;
@@ -245,7 +246,7 @@ pub struct Solver {
     // loaned out with `mem::take` where borrow splitting needs it.
     path_buf: Vec<Var>,
     members_buf: Vec<Var>,
-    scc_scratch: TarjanScratch,
+    cycle_sweep: CycleSweep,
     stats: Stats,
     errors: Vec<Inconsistency>,
     one_term: TermId,
@@ -284,6 +285,43 @@ impl Solver {
         Self::build(config, Some(partition))
     }
 
+    /// Creates a solver from a recorded [`Problem`], adopting its
+    /// constructors and terms and replaying its variable creations and
+    /// constraints (see [`Engine::from_problem`](crate::engine::Engine)).
+    pub fn from_problem(problem: Problem) -> Self {
+        Self::adopt_problem(problem, None)
+    }
+
+    /// Like [`from_problem`](Solver::from_problem) but pre-aliasing variable
+    /// creations per the oracle partition, as
+    /// [`with_oracle`](Solver::with_oracle) does.
+    ///
+    /// Replaying the recorded creation sequence through
+    /// [`fresh_var`](Solver::fresh_var) reproduces the creation-index
+    /// bookkeeping exactly, so a partition computed from a converged run of
+    /// the same recording applies unchanged.
+    pub fn from_problem_with_oracle(problem: Problem, partition: Partition) -> Self {
+        Self::adopt_problem(problem, Some(partition))
+    }
+
+    fn adopt_problem(problem: Problem, oracle: Option<Partition>) -> Self {
+        let (config, cons, terms, vars, constraints) = problem.into_parts();
+        let mut solver = Self::build(config, oracle);
+        // Adopt the recording's registries wholesale. The builtin `1`/`0`
+        // prefix is identical by construction (debug-asserted), so every
+        // `Con`/`TermId` the generator observed stays valid.
+        debug_assert_eq!(solver.terms.len(), 2);
+        solver.cons = cons;
+        solver.terms = terms;
+        for _ in 0..vars {
+            solver.fresh_var();
+        }
+        for (lhs, rhs) in constraints {
+            solver.add(lhs, rhs);
+        }
+        solver
+    }
+
     fn build(config: SolverConfig, oracle: Option<Partition>) -> Self {
         let mut cons = ConRegistry::new();
         let mut terms = TermArena::new();
@@ -302,7 +340,7 @@ impl Solver {
             pending: VecDeque::new(),
             path_buf: Vec::new(),
             members_buf: Vec::new(),
-            scc_scratch: TarjanScratch::default(),
+            cycle_sweep: CycleSweep::default(),
             stats: Stats::default(),
             errors: Vec::new(),
             one_term,
@@ -515,23 +553,23 @@ impl Solver {
 
     /// One offline elimination pass: Tarjan over the current canonical
     /// variable-variable edges, collapsing every non-trivial SCC.
+    ///
+    /// The read-only half lives in [`CycleSweep`] (shared with `bane-par`'s
+    /// batch-boundary sweeps); this drives it with the solver's own
+    /// [`collapse`](Solver::collapse).
     fn offline_collapse(&mut self) {
         #[cfg(feature = "obs")]
         self.obs_start(Phase::OfflinePass);
-        let edges = self.graph.var_var_edges(&self.fwd);
-        let n = self.graph.len();
-        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for (a, b) in edges {
-            adj[a.index()].push(b.raw());
-        }
-        let scc = tarjan_with(&mut self.scc_scratch, n, &adj);
+        let mut sweep = std::mem::take(&mut self.cycle_sweep);
+        let count = sweep.compute(&self.graph, &self.fwd);
         let mut members = std::mem::take(&mut self.path_buf);
-        for comp in scc.nontrivial() {
+        for i in 0..count {
             members.clear();
-            members.extend(comp.iter().map(|&i| Var::new(i as usize)));
+            members.extend_from_slice(sweep.component(i));
             self.collapse(&members);
         }
         self.path_buf = members;
+        self.cycle_sweep = sweep;
         #[cfg(feature = "obs")]
         self.obs_stop(Phase::OfflinePass);
     }
@@ -1062,6 +1100,67 @@ impl Solver {
     /// The builtin term representing the empty set `0`.
     pub fn zero_term(&self) -> TermId {
         self.zero_term
+    }
+}
+
+// The sequential solver keeps its inherent construction/run methods as the
+// primary surface (they predate the traits and are not duplicated anywhere);
+// the trait impls delegate so generic harness code works on any engine. This
+// covers both plain and oracle-mode solvers — oracle aliasing lives inside
+// `fresh_var` and needs no separate impl.
+impl ConstraintBuilder for Solver {
+    fn register_con(&mut self, name: impl Into<String>, variances: Vec<Variance>) -> Con {
+        Solver::register_con(self, name, variances)
+    }
+
+    fn register_nullary(&mut self, name: impl Into<String>) -> Con {
+        Solver::register_nullary(self, name)
+    }
+
+    fn term(&mut self, con: Con, args: Vec<SetExpr>) -> TermId {
+        Solver::term(self, con, args)
+    }
+
+    fn fresh_var(&mut self) -> Var {
+        Solver::fresh_var(self)
+    }
+
+    fn add(&mut self, lhs: impl Into<SetExpr>, rhs: impl Into<SetExpr>) {
+        Solver::add(self, lhs, rhs)
+    }
+}
+
+impl crate::engine::Engine for Solver {
+    fn from_problem(problem: Problem) -> Self {
+        Solver::from_problem(problem)
+    }
+
+    fn solve(&mut self) {
+        Solver::solve(self)
+    }
+
+    fn solve_limited(&mut self, max_work: u64) -> bool {
+        Solver::solve_limited(self, max_work)
+    }
+
+    fn stats(&self) -> &Stats {
+        Solver::stats(self)
+    }
+
+    fn inconsistencies(&self) -> &[Inconsistency] {
+        Solver::inconsistencies(self)
+    }
+
+    fn census(&self) -> GraphCensus {
+        Solver::census(self)
+    }
+
+    fn find(&mut self, v: Var) -> Var {
+        Solver::find(self, v)
+    }
+
+    fn least_solution(&mut self) -> crate::least::LeastSolution {
+        Solver::least_solution(self)
     }
 }
 

@@ -101,11 +101,21 @@ pub enum Counter {
     ParCommits = 26,
     /// Shard scans executed (rounds × active shards).
     ParShardScans = 27,
+    /// Commit broadcasts executed: pool dispatches that ran one *batch* of
+    /// up to `K` propose/commit rounds. Equal to `par.rounds` at `K = 1`;
+    /// strictly smaller once batching amortizes dispatch.
+    ParCommitBroadcasts = 28,
+    /// Batches that ran their full `K` rounds (did not drain the frontier or
+    /// hit the work bound early).
+    ParBatchFull = 29,
+    /// Periodic cycle sweeps run at batch round boundaries
+    /// (`CycleElim::Periodic` under the frontier engine).
+    ParBatchSweeps = 30,
 }
 
 impl Counter {
     /// Number of registered counters.
-    pub const COUNT: usize = 28;
+    pub const COUNT: usize = 31;
 
     /// Every counter, in canonical report order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -137,6 +147,9 @@ impl Counter {
         Counter::ParProposals,
         Counter::ParCommits,
         Counter::ParShardScans,
+        Counter::ParCommitBroadcasts,
+        Counter::ParBatchFull,
+        Counter::ParBatchSweeps,
     ];
 
     /// The stable dotted name used in reports and JSON.
@@ -170,6 +183,9 @@ impl Counter {
             Counter::ParProposals => "par.proposals",
             Counter::ParCommits => "par.commits",
             Counter::ParShardScans => "par.shard-scans",
+            Counter::ParCommitBroadcasts => "par.commit.broadcasts",
+            Counter::ParBatchFull => "par.batch.full",
+            Counter::ParBatchSweeps => "par.batch.sweeps",
         }
     }
 

@@ -62,11 +62,15 @@ pub enum Phase {
     ParCommit = 9,
     /// The SCC-level-parallel least-solution pass (`bane-par`).
     ParLeast = 10,
+    /// One batched frontier broadcast: up to `K` propose/commit rounds
+    /// executed inside a single pool dispatch (`bane-par` batching).
+    /// Encloses the per-round `ParScan`/`ParCommit` attributions.
+    ParBatch = 11,
 }
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 12;
 
     /// Every phase, in canonical report order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -81,6 +85,7 @@ impl Phase {
         Phase::ParScan,
         Phase::ParCommit,
         Phase::ParLeast,
+        Phase::ParBatch,
     ];
 
     /// The stable name used in reports and JSON.
@@ -97,6 +102,7 @@ impl Phase {
             Phase::ParScan => "par-scan",
             Phase::ParCommit => "par-commit",
             Phase::ParLeast => "par-least",
+            Phase::ParBatch => "par-batch",
         }
     }
 

@@ -1,0 +1,270 @@
+//! Multi-round **batched** execution of the frontier engine.
+//!
+//! One [`run_batch`] call dispatches a single [`Pool::broadcast`] and runs up
+//! to `K` propose/commit rounds inside it, instead of paying one broadcast
+//! (thread spawn + join) per round. Per-round semantics are *unchanged*:
+//! workers scan the current frontier against the frozen round-start state,
+//! then worker 0 commits every proposal sequentially in frontier order with
+//! the same polarity-split staleness validation the unbatched engine used —
+//! so the committed sequence, and with it every observable output (graph,
+//! Work counters, inconsistency order, least solution), is byte-identical at
+//! every thread count and every `K`. Batching only moves the *round barrier*
+//! from "join all threads, return to the caller, broadcast again" down to an
+//! in-pool [`Barrier`], amortizing dispatch overhead across `K` rounds.
+//!
+//! The protocol per round, with `threads` workers inside one broadcast:
+//!
+//! 1. **scan** — every worker takes a read lock on the shared [`BatchCore`],
+//!    scans its [`chunk_range`] of the frontier into its shard scratch;
+//! 2. barrier;
+//! 3. **commit** — worker 0 takes the write lock, applies all proposals in
+//!    shard order (= frontier order), runs a periodic cycle sweep if the
+//!    round crossed the `CycleElim::Periodic` schedule boundary, swaps the
+//!    frontier, and decides whether the batch continues (another round to
+//!    run, `K` not yet exhausted, work bound not hit);
+//! 4. barrier; workers read the continue flag and loop or exit.
+//!
+//! The `RwLock` + `Barrier` + `AtomicBool` trio makes every cross-thread
+//! hand-off an explicit synchronization edge (TSan-clean by construction).
+//! At `threads == 1` the broadcast is an inline call and every lock is
+//! uncontended.
+//!
+//! Periodic sweeps run at *round* boundaries — `K`-invariant and
+//! thread-invariant, because the round sequence itself does not depend on
+//! how rounds are grouped into batches. See `docs/PARALLELISM.md`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex, RwLock};
+use std::time::Instant;
+
+use bane_core::cycle::SearchStats;
+use bane_core::expr::SetExpr;
+use bane_core::solver::{CycleElim, EngineParts};
+use bane_obs::{Counter, Counters};
+
+use crate::commit::Committer;
+use crate::pool::{chunk_range, Pool};
+use crate::shard::{scan_item, ShardScratch};
+
+/// Everything a batch borrows from the engine, for one [`run_batch`] call.
+pub(crate) struct BatchArgs<'a> {
+    pub parts: &'a mut EngineParts,
+    pub frontier: &'a mut Vec<(SetExpr, SetExpr)>,
+    pub next: &'a mut Vec<(SetExpr, SetExpr)>,
+    pub shards: &'a [Mutex<ShardScratch>],
+    pub committer: &'a mut Committer,
+    pub threads: usize,
+    /// Maximum rounds this batch may run (`K`, clamped to at least 1).
+    pub batch_rounds: usize,
+    /// Work bound checked at round boundaries (`u64::MAX` for `solve`).
+    pub max_work: u64,
+    /// Next `constraints_processed` threshold that triggers a periodic
+    /// sweep (ignored unless the config is `CycleElim::Periodic`).
+    pub next_sweep_at: &'a mut u64,
+    /// Live counter registry (`Sync`), if observability is enabled. The
+    /// non-`Sync` half of the recorder (phase timers) cannot cross into the
+    /// broadcast; timings accumulate in [`BatchTelemetry`] instead and the
+    /// caller replays them afterwards.
+    pub counters: Option<&'a Counters>,
+    /// Whether to measure phase timings into the telemetry buffers.
+    pub timing: bool,
+}
+
+/// Phase timings captured inside the broadcast, replayed into the recorder
+/// by the caller (the phase timers are thread-local by design).
+#[derive(Debug, Default)]
+pub(crate) struct BatchTelemetry {
+    /// One entry per shard scan, in commit (shard) order.
+    pub scan_ns: Vec<u64>,
+    /// One entry per committed round.
+    pub commit_ns: Vec<u64>,
+    /// One entry per periodic sweep.
+    pub sweep_ns: Vec<u64>,
+}
+
+/// What one batch did.
+#[derive(Debug)]
+pub(crate) struct BatchOutcome {
+    /// Rounds executed in this batch (1..=`batch_rounds`).
+    pub rounds_run: u64,
+    /// Whether the batch used its full `K` rounds.
+    pub ran_full: bool,
+    /// Whether the work bound was exceeded (the engine must stop).
+    pub work_exceeded: bool,
+    /// Captured phase timings (empty unless `timing`).
+    pub telemetry: BatchTelemetry,
+}
+
+/// The shared mutable state of one batch, behind the `RwLock`.
+struct BatchCore<'a> {
+    parts: &'a mut EngineParts,
+    frontier: &'a mut Vec<(SetExpr, SetExpr)>,
+    next: &'a mut Vec<(SetExpr, SetExpr)>,
+    committer: &'a mut Committer,
+    next_sweep_at: &'a mut u64,
+    rounds_run: u64,
+    work_exceeded: bool,
+    telemetry: BatchTelemetry,
+}
+
+impl BatchCore<'_> {
+    /// Worker 0's round commit: apply every shard's proposals in frontier
+    /// order, sweep if the periodic schedule says so, swap the frontier.
+    /// Returns whether the batch should run another round.
+    fn commit_round(
+        &mut self,
+        shards: &[Mutex<ShardScratch>],
+        threads: usize,
+        batch_rounds: usize,
+        max_work: u64,
+        counters: Option<&Counters>,
+        timing: bool,
+    ) -> bool {
+        let t0 = timing.then(Instant::now);
+        let epoch = self.parts.fwd.collapsed_count();
+        if let Some(c) = counters {
+            c.add(Counter::ParRounds, 1);
+            c.add(Counter::ParProposals, self.frontier.len() as u64);
+        }
+        self.rounds_run += 1;
+        self.committer.begin_round();
+        let mut committed = 0u64;
+        for shard in shards.iter().take(threads) {
+            let mut st = shard.lock().expect("shard mutex poisoned");
+            let st = &mut *st;
+            if timing {
+                self.telemetry.scan_ns.push(st.scan_ns);
+            }
+            // Merge the shard's frozen-search counters in shard order; the
+            // aggregate is the same set of searches at any thread count.
+            merge_search(&mut self.parts.stats.search, &st.stats);
+            st.stats = SearchStats::default();
+            for i in 0..st.proposals.len() {
+                self.committer.apply(
+                    self.parts,
+                    &st.proposals[i],
+                    &st.paths,
+                    &st.derived,
+                    self.next,
+                    epoch,
+                );
+                committed += 1;
+            }
+        }
+        if let Some(c) = counters {
+            c.add(Counter::ParCommits, committed);
+        }
+        // Periodic sweep at the round boundary, before the swap so absorbed
+        // edges re-enter the schedule through the next frontier. The
+        // threshold is a pure function of `constraints_processed`, which is
+        // itself thread- and K-invariant, so the sweep schedule is too.
+        if let CycleElim::Periodic { interval } = self.parts.config.cycle_elim {
+            let interval = interval.max(1) as u64;
+            if self.parts.stats.constraints_processed >= *self.next_sweep_at {
+                let ts = timing.then(Instant::now);
+                self.committer.periodic_sweep(self.parts, self.next);
+                if let Some(c) = counters {
+                    c.add(Counter::ParBatchSweeps, 1);
+                }
+                *self.next_sweep_at =
+                    (self.parts.stats.constraints_processed / interval + 1) * interval;
+                if let Some(ts) = ts {
+                    self.telemetry.sweep_ns.push(ts.elapsed().as_nanos() as u64);
+                }
+            }
+        }
+        std::mem::swap(self.frontier, self.next);
+        self.next.clear();
+        if let Some(t0) = t0 {
+            self.telemetry.commit_ns.push(t0.elapsed().as_nanos() as u64);
+        }
+        if self.parts.stats.work > max_work {
+            self.work_exceeded = true;
+            return false;
+        }
+        !self.frontier.is_empty() && self.rounds_run < batch_rounds as u64
+    }
+}
+
+/// Runs one batch of up to `args.batch_rounds` rounds inside a single pool
+/// broadcast. See the [module docs](self) for the protocol.
+pub(crate) fn run_batch(args: BatchArgs<'_>) -> BatchOutcome {
+    let BatchArgs {
+        parts,
+        frontier,
+        next,
+        shards,
+        committer,
+        threads,
+        batch_rounds,
+        max_work,
+        next_sweep_at,
+        counters,
+        timing,
+    } = args;
+    let batch_rounds = batch_rounds.max(1);
+    let core = RwLock::new(BatchCore {
+        parts,
+        frontier,
+        next,
+        committer,
+        next_sweep_at,
+        rounds_run: 0,
+        work_exceeded: false,
+        telemetry: BatchTelemetry::default(),
+    });
+    let barrier = Barrier::new(threads);
+    let more = AtomicBool::new(true);
+
+    Pool::new(threads).broadcast(|w| loop {
+        // Scan: propose against the frozen round-start state, under the
+        // read lock (shared with the other workers, never with the commit).
+        {
+            let core = core.read().expect("batch lock poisoned");
+            let frozen: &EngineParts = core.parts;
+            let len = core.frontier.len();
+            let mut st = shards[w].lock().expect("shard mutex poisoned");
+            let st = &mut *st;
+            let t0 = timing.then(Instant::now);
+            st.begin_round(frozen.graph.len());
+            let (cs, ce) = chunk_range(len, threads, w);
+            for &(lhs, rhs) in &core.frontier[cs..ce] {
+                let p = scan_item(frozen, lhs, rhs, st);
+                st.proposals.push(p);
+            }
+            if let Some(t0) = t0 {
+                st.scan_ns = t0.elapsed().as_nanos() as u64;
+            }
+            if let Some(c) = counters {
+                c.add(Counter::ParShardScans, 1);
+            }
+        }
+        barrier.wait();
+        if w == 0 {
+            let mut core = core.write().expect("batch lock poisoned");
+            let cont = core.commit_round(shards, threads, batch_rounds, max_work, counters, timing);
+            more.store(cont, Ordering::Release);
+        }
+        barrier.wait();
+        if !more.load(Ordering::Acquire) {
+            return;
+        }
+    });
+
+    let core = core.into_inner().expect("batch lock poisoned");
+    BatchOutcome {
+        rounds_run: core.rounds_run,
+        ran_full: core.rounds_run == batch_rounds as u64,
+        work_exceeded: core.work_exceeded,
+        telemetry: core.telemetry,
+    }
+}
+
+/// Sums `from` into `into` (component-wise; `max_visits` by maximum).
+pub(crate) fn merge_search(into: &mut SearchStats, from: &SearchStats) {
+    into.searches += from.searches;
+    into.nodes_visited += from.nodes_visited;
+    into.edges_scanned += from.edges_scanned;
+    into.cycles_found += from.cycles_found;
+    into.max_visits = into.max_visits.max(from.max_visits);
+}

@@ -31,7 +31,7 @@
 //! metric), collapses, inconsistency list, and final graph reproduce exactly
 //! at any thread count. See `docs/PARALLELISM.md` for the full argument.
 
-use bane_core::cycle::{ChainDir, ChainSearch, StepOrder};
+use bane_core::cycle::{ChainDir, ChainSearch, CycleSweep, StepOrder};
 use bane_core::expr::SetExpr;
 use bane_core::graph::Insert;
 use bane_core::solver::{CycleElim, EngineParts, Form};
@@ -47,6 +47,8 @@ pub(crate) struct Committer {
     search: ChainSearch,
     path_buf: Vec<Var>,
     members_buf: Vec<Var>,
+    /// Tarjan scratch for batch-boundary periodic sweeps.
+    sweep: CycleSweep,
     /// Var-var edges inserted so far this round; while 0 (and no collapse
     /// has occurred) the live var-var graph equals the frozen one and
     /// frozen no-cycle verdicts remain proofs.
@@ -57,6 +59,29 @@ impl Committer {
     /// Resets the per-round staleness tracking.
     pub fn begin_round(&mut self) {
         self.varvar_inserts = 0;
+    }
+
+    /// One offline elimination pass at a round boundary — the frontier
+    /// analogue of the sequential solver's `offline_collapse`
+    /// (`CycleElim::Periodic`).
+    ///
+    /// Runs the shared [`CycleSweep`] over the live canonical graph and
+    /// collapses every non-trivial SCC through this committer's own
+    /// [`collapse`](Committer::collapse), so absorbed edges are re-asserted
+    /// onto `next` and re-enter the frontier schedule. Must run *before* the
+    /// frontier/next swap; collapses performed here advance the forwarding
+    /// epoch exactly like online collapses, so frozen verdicts from
+    /// not-yet-committed rounds are invalidated by the ordinary staleness
+    /// rules.
+    pub fn periodic_sweep(&mut self, parts: &mut EngineParts, next: &mut Vec<(SetExpr, SetExpr)>) {
+        let mut sweep = std::mem::take(&mut self.sweep);
+        let count = sweep.compute(&parts.graph, &parts.fwd);
+        for i in 0..count {
+            self.path_buf.clear();
+            self.path_buf.extend_from_slice(sweep.component(i));
+            self.collapse(parts, next);
+        }
+        self.sweep = sweep;
     }
     /// Applies one proposal to `parts`, pushing any derived constraints onto
     /// `next` (the next round's frontier). `paths` and `derived` are the

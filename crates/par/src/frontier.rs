@@ -4,77 +4,94 @@
 //! `bane-core`'s [`Solver`] but schedules the worklist in **rounds**: the
 //! current frontier of pending constraints is scanned *in parallel* against
 //! the frozen round-start state (each worker proposing outcomes for its
-//! [`chunk_range`] of items — the private `shard`
+//! [`chunk_range`](crate::chunk_range) of items — the private `shard`
 //! module), then the proposals are **committed sequentially in frontier
 //! order** with epoch-validated re-checks (the private `commit` module).
 //! Constraints derived by a commit form the next round's frontier.
 //!
-//! The engine is deterministic *across thread counts*: the frontier, the
-//! proposals, the commit order, and therefore the final graph, the
-//! statistics (including the paper's Work metric), the inconsistency list,
-//! and the least solution are identical whether it runs on 1, 2, 4, or 8
-//! threads — pinned by `tests/determinism.rs`. Note the *round* schedule
-//! differs from the sequential solver's FIFO schedule, so stats that depend
-//! on processing order (Work, searches) can differ from `Solver::solve`'s,
-//! while the resolved graph semantics (finds, least solution,
-//! inconsistency multiset) agree.
+//! Rounds are grouped into **batches** of up to `K` rounds
+//! ([`set_batch_rounds`](FrontierSolver::set_batch_rounds)), each batch
+//! running inside a single pool dispatch so thread spawn/join cost is paid
+//! once per batch instead of once per round — the private `batch` module
+//! documents the in-pool protocol. Per-round semantics are identical at
+//! every `K`.
+//!
+//! The engine is deterministic *across thread counts and batch sizes*: the
+//! frontier, the proposals, the commit order, and therefore the final graph,
+//! the statistics (including the paper's Work metric), the inconsistency
+//! list, and the least solution are identical whether it runs on 1, 2, 4, or
+//! 8 threads, batched or not — pinned by `tests/determinism.rs`. Note the
+//! *round* schedule differs from the sequential solver's FIFO schedule, so
+//! stats that depend on processing order (Work, searches) can differ from
+//! `Solver::solve`'s, while the resolved graph semantics (finds, least
+//! solution, inconsistency multiset) agree.
+//!
+//! All `CycleElim` modes are supported. `Off` and `Online` behave as in the
+//! sequential solver; [`CycleElim::Periodic`] runs offline Tarjan sweeps at
+//! round boundaries whenever `constraints_processed` crosses the interval
+//! schedule — the round-granularity analogue of the sequential solver's
+//! per-constraint check, and like everything else independent of thread
+//! count and `K`.
 
-use bane_core::cycle::SearchStats;
+use bane_core::cons::{Con, Variance};
+use bane_core::engine::Engine;
 use bane_core::error::Inconsistency;
 use bane_core::expr::SetExpr;
 use bane_core::graph::GraphCensus;
 use bane_core::least::{LeastParts, LeastSolution};
+use bane_core::problem::{ConstraintBuilder, Problem};
 use bane_core::solver::{CycleElim, EngineParts, Solver, SolverConfig};
 use bane_core::stats::Stats;
-use bane_core::cons::{Con, Variance};
 use bane_core::{TermId, Var};
 use bane_obs::{Counter, Phase, Recorder, RunReport};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use crate::batch::{run_batch, BatchArgs};
 use crate::commit::Committer;
 use crate::least::ParLeast;
-use crate::pool::{chunk_range, Pool};
-use crate::shard::{scan_item, ShardScratch};
+use crate::shard::ShardScratch;
 
 /// A parallel, deterministic constraint-resolution engine.
 ///
-/// Construct one from a [`Solver`] carrying generated constraints (or build
-/// constraints directly through the mirrored `register_*`/`term`/
-/// `fresh_var`/`add` API), then call [`solve`](FrontierSolver::solve).
+/// Construct one from a [`Solver`] carrying generated constraints, from a
+/// recorded [`Problem`] via [`Engine::from_problem`], or empty via
+/// [`new`](FrontierSolver::new) — then build constraints through the
+/// [`ConstraintBuilder`] trait and resolve through the [`Engine`] trait.
 ///
 /// # Examples
 ///
 /// ```
-/// use bane_core::solver::SolverConfig;
+/// use bane_core::prelude::*;
 /// use bane_par::FrontierSolver;
 ///
-/// let mut f = FrontierSolver::new(SolverConfig::if_online(), 4);
-/// let c = f.register_nullary("c");
-/// let src = f.term(c, vec![]);
-/// let (x, y) = (f.fresh_var(), f.fresh_var());
-/// f.add(src, x);
-/// f.add(x, y);
+/// let mut p = Problem::new(SolverConfig::if_online());
+/// let c = p.register_nullary("c");
+/// let src = p.term(c, vec![]);
+/// let (x, y) = (p.fresh_var(), p.fresh_var());
+/// p.add(src, x);
+/// p.add(x, y);
+///
+/// let mut f = FrontierSolver::from_problem(p);
+/// f.set_threads(4);
+/// f.set_batch_rounds(8);
 /// f.solve();
 /// let ls = f.least_solution();
 /// assert_eq!(ls.get(f.find(y)), &[src]);
 /// ```
-///
-/// # Panics
-///
-/// Construction panics for [`CycleElim::Periodic`] configurations: the
-/// periodic offline pass is keyed to the sequential solver's
-/// constraint-count schedule and has no round-based counterpart.
 #[derive(Debug)]
 pub struct FrontierSolver {
     parts: EngineParts,
     threads: usize,
+    batch_rounds: usize,
     frontier: Vec<(SetExpr, SetExpr)>,
     next: Vec<(SetExpr, SetExpr)>,
     shards: Vec<Mutex<ShardScratch>>,
     committer: Committer,
     par_least: ParLeast,
     rounds: u64,
+    batches: u64,
+    next_sweep_at: u64,
     obs: Option<Box<Recorder>>,
 }
 
@@ -93,21 +110,29 @@ impl FrontierSolver {
 
     /// Builds the engine directly from decomposed [`EngineParts`].
     pub fn from_parts(mut parts: EngineParts, threads: usize) -> Self {
-        assert!(
-            !matches!(parts.config.cycle_elim, CycleElim::Periodic { .. }),
-            "FrontierSolver supports CycleElim::Off and CycleElim::Online only"
-        );
         let threads = threads.max(1);
         let frontier: Vec<(SetExpr, SetExpr)> = parts.pending.drain(..).collect();
+        // The periodic schedule continues from wherever the previous engine
+        // left off: the next interval boundary above `constraints_processed`.
+        let next_sweep_at = match parts.config.cycle_elim {
+            CycleElim::Periodic { interval } => {
+                let interval = interval.max(1) as u64;
+                (parts.stats.constraints_processed / interval + 1) * interval
+            }
+            _ => u64::MAX,
+        };
         FrontierSolver {
             parts,
             threads,
+            batch_rounds: 1,
             frontier,
             next: Vec::new(),
             shards: (0..threads).map(|_| Mutex::new(ShardScratch::default())).collect(),
             committer: Committer::default(),
             par_least: ParLeast::new(),
             rounds: 0,
+            batches: 0,
+            next_sweep_at,
             obs: None,
         }
     }
@@ -117,130 +142,141 @@ impl FrontierSolver {
         self.threads
     }
 
+    /// Re-targets the engine to `threads` workers (clamped to at least 1).
+    ///
+    /// Safe at any point between batches; every observable output is
+    /// independent of the thread count.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+        self.shards
+            .resize_with(self.threads, || Mutex::new(ShardScratch::default()));
+    }
+
+    /// Maximum rounds per batch (`K`).
+    pub fn batch_rounds(&self) -> usize {
+        self.batch_rounds
+    }
+
+    /// Sets the maximum rounds one batch may run inside a single pool
+    /// dispatch (clamped to at least 1; 1 restores unbatched behavior).
+    ///
+    /// Batching only amortizes dispatch overhead — every observable output
+    /// is independent of `K`.
+    pub fn set_batch_rounds(&mut self, batch_rounds: usize) {
+        self.batch_rounds = batch_rounds.max(1);
+    }
+
     /// Rounds executed so far.
     pub fn rounds(&self) -> u64 {
         self.rounds
     }
 
+    /// Batches (pool dispatches) executed so far. Equal to
+    /// [`rounds`](FrontierSolver::rounds) at `K = 1`; strictly smaller once
+    /// batching takes effect.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
     // ------------------------------------------------------------------
-    // Constraint building (mirrors the Solver API)
+    // Constraint building — deprecated mirrors of `ConstraintBuilder`
     // ------------------------------------------------------------------
 
     /// Registers a constructor with explicit argument variances.
+    #[deprecated(note = "use the `bane_core::ConstraintBuilder` trait")]
     pub fn register_con(&mut self, name: impl Into<String>, variances: Vec<Variance>) -> Con {
-        self.parts.cons.register(name, variances)
+        ConstraintBuilder::register_con(self, name, variances)
     }
 
     /// Registers a nullary (constant) constructor.
+    #[deprecated(note = "use the `bane_core::ConstraintBuilder` trait")]
     pub fn register_nullary(&mut self, name: impl Into<String>) -> Con {
-        self.parts.cons.register_nullary(name)
+        ConstraintBuilder::register_nullary(self, name)
     }
 
     /// Interns the term `con(args…)`.
+    #[deprecated(note = "use the `bane_core::ConstraintBuilder` trait")]
     pub fn term(&mut self, con: Con, args: Vec<SetExpr>) -> TermId {
-        self.parts.terms.intern(&self.parts.cons, con, args)
+        ConstraintBuilder::term(self, con, args)
     }
 
     /// Creates a fresh set variable.
+    #[deprecated(note = "use the `bane_core::ConstraintBuilder` trait")]
     pub fn fresh_var(&mut self) -> Var {
-        let v = self.parts.graph.push_node();
-        let f = self.parts.fwd.push();
-        debug_assert_eq!(v, f);
-        self.parts.order.assign(v);
-        v
+        ConstraintBuilder::fresh_var(self)
     }
 
     /// Adds the constraint `lhs ⊆ rhs` to the next frontier.
+    #[deprecated(note = "use the `bane_core::ConstraintBuilder` trait")]
     pub fn add(&mut self, lhs: impl Into<SetExpr>, rhs: impl Into<SetExpr>) {
-        self.parts.stats.constraints_added += 1;
-        self.frontier.push((lhs.into(), rhs.into()));
+        ConstraintBuilder::add(self, lhs, rhs)
     }
 
     // ------------------------------------------------------------------
-    // Resolution
+    // Resolution — deprecated mirrors of `Engine`
     // ------------------------------------------------------------------
 
     /// Resolves all pending constraints to closure, round by round.
+    #[deprecated(note = "use the `bane_core::Engine` trait")]
     pub fn solve(&mut self) {
-        while !self.frontier.is_empty() {
-            self.rounds += 1;
-            self.round();
-        }
+        Engine::solve(self)
     }
 
-    /// One scan/commit round over the current frontier.
-    fn round(&mut self) {
-        let epoch = self.parts.fwd.collapsed_count();
-        let threads = self.threads;
-        let len = self.frontier.len();
+    /// The shared solve loop: batches until the frontier drains or the work
+    /// bound trips. Returns whether resolution finished.
+    fn run(&mut self, max_work: u64) -> bool {
+        while !self.frontier.is_empty() {
+            if self.batch(max_work) {
+                // Mirrors `Solver::solve_limited`: exceeding the bound
+                // reports unfinished even if that round drained the frontier.
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Runs one batch of up to `batch_rounds` rounds in a single pool
+    /// dispatch, then replays the captured phase timings into the recorder
+    /// (the timer half of the recorder is thread-local and cannot cross
+    /// into the pool). Returns whether the work bound was exceeded.
+    fn batch(&mut self, max_work: u64) -> bool {
         let timing = self.obs.is_some();
-        if let Some(rec) = self.obs.as_deref() {
-            rec.add(Counter::ParRounds, 1);
-            rec.add(Counter::ParProposals, len as u64);
-        }
         let counters = self.obs.as_deref().map(|r| r.counters());
-
-        // Scan: workers propose against the frozen round-start state.
-        {
-            let parts = &self.parts;
-            let frontier = &self.frontier;
-            let shards = &self.shards;
-            let scan = |w: usize| {
-                let mut st = shards[w].lock().expect("shard mutex poisoned");
-                let st = &mut *st;
-                let t0 = timing.then(Instant::now);
-                st.begin_round(parts.graph.len());
-                let (cs, ce) = chunk_range(len, threads, w);
-                for &(lhs, rhs) in &frontier[cs..ce] {
-                    let p = scan_item(parts, lhs, rhs, st);
-                    st.proposals.push(p);
-                }
-                if let Some(t0) = t0 {
-                    st.scan_ns = t0.elapsed().as_nanos() as u64;
-                }
-                if let Some(c) = counters {
-                    c.add(Counter::ParShardScans, 1);
-                }
-            };
-            Pool::new(threads).broadcast(scan);
-        }
-
-        // Commit: apply every shard's proposals in frontier order. The
-        // chunk ranges concatenate to exactly `0..len`, so this sequence is
-        // identical at every thread count.
+        let t0 = timing.then(Instant::now);
+        let outcome = run_batch(BatchArgs {
+            parts: &mut self.parts,
+            frontier: &mut self.frontier,
+            next: &mut self.next,
+            shards: &self.shards,
+            committer: &mut self.committer,
+            threads: self.threads,
+            batch_rounds: self.batch_rounds,
+            max_work,
+            next_sweep_at: &mut self.next_sweep_at,
+            counters,
+            timing,
+        });
+        self.rounds += outcome.rounds_run;
+        self.batches += 1;
         if let Some(rec) = self.obs.as_deref() {
-            rec.start(Phase::ParCommit);
-        }
-        let mut committed = 0u64;
-        self.committer.begin_round();
-        for w in 0..threads {
-            let st = self.shards[w].get_mut().expect("shard mutex poisoned");
-            if let Some(rec) = self.obs.as_deref() {
-                rec.record_ns(Phase::ParScan, st.scan_ns);
+            rec.add(Counter::ParCommitBroadcasts, 1);
+            if outcome.ran_full {
+                rec.add(Counter::ParBatchFull, 1);
             }
-            // Merge the shard's frozen-search counters in shard order; the
-            // aggregate is the same set of searches at any thread count.
-            merge_search(&mut self.parts.stats.search, &st.stats);
-            st.stats = SearchStats::default();
-            for i in 0..st.proposals.len() {
-                self.committer.apply(
-                    &mut self.parts,
-                    &st.proposals[i],
-                    &st.paths,
-                    &st.derived,
-                    &mut self.next,
-                    epoch,
-                );
-                committed += 1;
+            for &ns in &outcome.telemetry.scan_ns {
+                rec.record_ns(Phase::ParScan, ns);
+            }
+            for &ns in &outcome.telemetry.commit_ns {
+                rec.record_ns(Phase::ParCommit, ns);
+            }
+            for &ns in &outcome.telemetry.sweep_ns {
+                rec.record_ns(Phase::OfflinePass, ns);
+            }
+            if let Some(t0) = t0 {
+                rec.record_ns(Phase::ParBatch, t0.elapsed().as_nanos() as u64);
             }
         }
-        if let Some(rec) = self.obs.as_deref() {
-            rec.stop(Phase::ParCommit);
-            rec.add(Counter::ParCommits, committed);
-        }
-
-        std::mem::swap(&mut self.frontier, &mut self.next);
-        self.next.clear();
+        outcome.work_exceeded
     }
 
     // ------------------------------------------------------------------
@@ -248,23 +284,27 @@ impl FrontierSolver {
     // ------------------------------------------------------------------
 
     /// The representative of `v` after collapses (with path compression).
+    #[deprecated(note = "use the `bane_core::Engine` trait")]
     pub fn find(&mut self, v: Var) -> Var {
-        self.parts.fwd.find(v)
+        Engine::find(self, v)
     }
 
     /// Accumulated statistics (deterministic across thread counts).
+    #[deprecated(note = "use the `bane_core::Engine` trait")]
     pub fn stats(&self) -> &Stats {
-        &self.parts.stats
+        Engine::stats(self)
     }
 
     /// Inconsistencies recorded during resolution.
+    #[deprecated(note = "use the `bane_core::Engine` trait")]
     pub fn inconsistencies(&self) -> &[Inconsistency] {
-        &self.parts.errors
+        Engine::inconsistencies(self)
     }
 
     /// Distinct canonical edge counts of the solved graph.
+    #[deprecated(note = "use the `bane_core::Engine` trait")]
     pub fn census(&self) -> GraphCensus {
-        self.parts.graph.census(&self.parts.fwd)
+        Engine::census(self)
     }
 
     /// Live (non-collapsed) variable count.
@@ -280,15 +320,9 @@ impl FrontierSolver {
     /// The least solution of the solved system, computed by the
     /// SCC-level-parallel evaluator on this engine's thread count.
     /// Byte-identical to the sequential pass over the same graph.
+    #[deprecated(note = "use the `bane_core::Engine` trait")]
     pub fn least_solution(&mut self) -> LeastSolution {
-        let parts = LeastParts {
-            graph: &self.parts.graph,
-            fwd: &self.parts.fwd,
-            order: &self.parts.order,
-            form: self.parts.config.form,
-        };
-        self.par_least.run(&parts, self.threads, self.obs.as_deref());
-        self.par_least.solution()
+        Engine::least_solution(self)
     }
 
     /// Decomposes the engine back into its parts (e.g. to continue on a
@@ -318,7 +352,7 @@ impl FrontierSolver {
     /// a labeled [`RunReport`]. Returns `None` without
     /// [`enable_obs`](FrontierSolver::enable_obs).
     pub fn run_report(&mut self, label: &str) -> Option<RunReport> {
-        let census = self.census();
+        let census = self.parts.graph.census(&self.parts.fwd);
         let live = self.live_vars();
         let rec = self.obs.as_deref()?;
         let s = &self.parts.stats;
@@ -343,13 +377,77 @@ impl FrontierSolver {
     }
 }
 
-/// Sums `from` into `into` (component-wise; `max_visits` by maximum).
-fn merge_search(into: &mut SearchStats, from: &SearchStats) {
-    into.searches += from.searches;
-    into.nodes_visited += from.nodes_visited;
-    into.edges_scanned += from.edges_scanned;
-    into.cycles_found += from.cycles_found;
-    into.max_visits = into.max_visits.max(from.max_visits);
+impl ConstraintBuilder for FrontierSolver {
+    fn register_con(&mut self, name: impl Into<String>, variances: Vec<Variance>) -> Con {
+        self.parts.cons.register(name, variances)
+    }
+
+    fn register_nullary(&mut self, name: impl Into<String>) -> Con {
+        self.parts.cons.register_nullary(name)
+    }
+
+    fn term(&mut self, con: Con, args: Vec<SetExpr>) -> TermId {
+        self.parts.terms.intern(&self.parts.cons, con, args)
+    }
+
+    fn fresh_var(&mut self) -> Var {
+        let v = self.parts.graph.push_node();
+        let f = self.parts.fwd.push();
+        debug_assert_eq!(v, f);
+        self.parts.order.assign(v);
+        v
+    }
+
+    fn add(&mut self, lhs: impl Into<SetExpr>, rhs: impl Into<SetExpr>) {
+        self.parts.stats.constraints_added += 1;
+        self.frontier.push((lhs.into(), rhs.into()));
+    }
+}
+
+impl Engine for FrontierSolver {
+    /// Adopts a recorded [`Problem`] on 1 thread with `K = 1`; re-target
+    /// with [`set_threads`](FrontierSolver::set_threads) and
+    /// [`set_batch_rounds`](FrontierSolver::set_batch_rounds) — neither
+    /// changes any observable output.
+    fn from_problem(problem: Problem) -> Self {
+        Self::from_solver(Solver::from_problem(problem), 1)
+    }
+
+    fn solve(&mut self) {
+        let finished = self.run(u64::MAX);
+        debug_assert!(finished);
+    }
+
+    fn solve_limited(&mut self, max_work: u64) -> bool {
+        self.run(max_work)
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.parts.stats
+    }
+
+    fn inconsistencies(&self) -> &[Inconsistency] {
+        &self.parts.errors
+    }
+
+    fn census(&self) -> GraphCensus {
+        self.parts.graph.census(&self.parts.fwd)
+    }
+
+    fn find(&mut self, v: Var) -> Var {
+        self.parts.fwd.find(v)
+    }
+
+    fn least_solution(&mut self) -> LeastSolution {
+        let parts = LeastParts {
+            graph: &self.parts.graph,
+            fwd: &self.parts.fwd,
+            order: &self.parts.order,
+            form: self.parts.config.form,
+        };
+        self.par_least.run(&parts, self.threads, self.obs.as_deref());
+        self.par_least.solution()
+    }
 }
 
 #[cfg(test)]
@@ -366,21 +464,29 @@ mod tests {
         ]
     }
 
+    /// `c ⊆ x ⊆ y` through any builder (generic ⇒ trait methods, no
+    /// deprecation).
+    fn build_chain<B: ConstraintBuilder>(f: &mut B) -> (TermId, Var) {
+        let c = f.register_nullary("c");
+        let src = f.term(c, vec![]);
+        let (x, y) = (f.fresh_var(), f.fresh_var());
+        f.add(src, x);
+        f.add(x, y);
+        (src, y)
+    }
+
     #[test]
     fn transitive_source_propagation() {
         for config in engine_configs() {
             for threads in [1, 3] {
                 let mut f = FrontierSolver::new(config, threads);
-                let c = f.register_nullary("c");
-                let src = f.term(c, vec![]);
-                let (x, y) = (f.fresh_var(), f.fresh_var());
-                f.add(src, x);
-                f.add(x, y);
-                f.solve();
-                let yr = f.find(y);
-                let ls = f.least_solution();
+                let (src, y) = build_chain(&mut f);
+                Engine::solve(&mut f);
+                let yr = Engine::find(&mut f, y);
+                let ls = Engine::least_solution(&mut f);
                 assert_eq!(ls.get(yr), &[src], "{config:?} threads {threads}");
                 assert!(f.rounds() >= 2);
+                assert_eq!(f.batches(), f.rounds(), "K = 1: one dispatch per round");
             }
         }
     }
@@ -389,37 +495,45 @@ mod tests {
     fn two_cycle_collapses_online() {
         for config in [SolverConfig::sf_online(), SolverConfig::if_online()] {
             let mut f = FrontierSolver::new(config, 2);
-            let (x, y) = (f.fresh_var(), f.fresh_var());
-            f.add(x, y);
-            f.add(y, x);
-            f.solve();
-            assert_eq!(f.find(x), f.find(y), "{config:?}");
-            assert_eq!(f.stats().cycles_collapsed, 1, "{config:?}");
-            assert_eq!(f.stats().vars_eliminated, 1, "{config:?}");
+            let (x, y) = (
+                ConstraintBuilder::fresh_var(&mut f),
+                ConstraintBuilder::fresh_var(&mut f),
+            );
+            ConstraintBuilder::add(&mut f, x, y);
+            ConstraintBuilder::add(&mut f, y, x);
+            Engine::solve(&mut f);
+            assert_eq!(Engine::find(&mut f, x), Engine::find(&mut f, y), "{config:?}");
+            assert_eq!(Engine::stats(&f).cycles_collapsed, 1, "{config:?}");
+            assert_eq!(Engine::stats(&f).vars_eliminated, 1, "{config:?}");
         }
+    }
+
+    fn build_variance<B: ConstraintBuilder>(f: &mut B) -> (TermId, TermId, Var, Var) {
+        let c = f.register_nullary("c");
+        let fc = f.register_con("f", vec![Variance::Covariant, Variance::Contravariant]);
+        let csrc = f.term(c, vec![]);
+        let (a, b, p, q, mid) =
+            (f.fresh_var(), f.fresh_var(), f.fresh_var(), f.fresh_var(), f.fresh_var());
+        let src = f.term(fc, vec![a.into(), b.into()]);
+        let snk = f.term(fc, vec![p.into(), q.into()]);
+        f.add(src, mid);
+        f.add(mid, snk);
+        let c2 = f.register_nullary("c2");
+        let c2src = f.term(c2, vec![]);
+        f.add(csrc, a);
+        f.add(c2src, q);
+        (csrc, c2src, p, b)
     }
 
     #[test]
     fn variance_decomposition_matches_solver() {
         for threads in [1, 4] {
             let mut f = FrontierSolver::new(SolverConfig::if_online(), threads);
-            let c = f.register_nullary("c");
-            let fc = f.register_con("f", vec![Variance::Covariant, Variance::Contravariant]);
-            let csrc = f.term(c, vec![]);
-            let (a, b, p, q, mid) =
-                (f.fresh_var(), f.fresh_var(), f.fresh_var(), f.fresh_var(), f.fresh_var());
-            let src = f.term(fc, vec![a.into(), b.into()]);
-            let snk = f.term(fc, vec![p.into(), q.into()]);
-            f.add(src, mid);
-            f.add(mid, snk);
-            let c2 = f.register_nullary("c2");
-            let c2src = f.term(c2, vec![]);
-            f.add(csrc, a);
-            f.add(c2src, q);
-            f.solve();
-            assert!(f.inconsistencies().is_empty());
-            let (pr, br) = (f.find(p), f.find(b));
-            let ls = f.least_solution();
+            let (csrc, c2src, p, b) = build_variance(&mut f);
+            Engine::solve(&mut f);
+            assert!(Engine::inconsistencies(&f).is_empty());
+            let (pr, br) = (Engine::find(&mut f, p), Engine::find(&mut f, b));
+            let ls = Engine::least_solution(&mut f);
             assert_eq!(ls.get(pr), &[csrc], "covariant, threads {threads}");
             assert_eq!(ls.get(br), &[c2src], "contravariant, threads {threads}");
         }
@@ -428,16 +542,17 @@ mod tests {
     #[test]
     fn inconsistencies_are_recorded() {
         let mut f = FrontierSolver::new(SolverConfig::if_online(), 2);
-        let c = f.register_nullary("c");
-        let d = f.register_nullary("d");
-        let (csrc, dsnk) = (f.term(c, vec![]), f.term(d, vec![]));
-        let x = f.fresh_var();
-        f.add(csrc, x);
-        f.add(x, dsnk);
-        f.solve();
-        assert_eq!(f.inconsistencies().len(), 1);
+        let c = ConstraintBuilder::register_nullary(&mut f, "c");
+        let d = ConstraintBuilder::register_nullary(&mut f, "d");
+        let csrc = ConstraintBuilder::term(&mut f, c, vec![]);
+        let dsnk = ConstraintBuilder::term(&mut f, d, vec![]);
+        let x = ConstraintBuilder::fresh_var(&mut f);
+        ConstraintBuilder::add(&mut f, csrc, x);
+        ConstraintBuilder::add(&mut f, x, dsnk);
+        Engine::solve(&mut f);
+        assert_eq!(Engine::inconsistencies(&f).len(), 1);
         assert!(matches!(
-            f.inconsistencies()[0],
+            Engine::inconsistencies(&f)[0],
             Inconsistency::ConstructorMismatch { .. }
         ));
     }
@@ -452,42 +567,158 @@ mod tests {
         s.solve();
         s.add(x, y);
         let mut f = FrontierSolver::from_solver(s, 2);
-        f.solve();
-        let yr = f.find(y);
-        let ls = f.least_solution();
+        Engine::solve(&mut f);
+        let yr = Engine::find(&mut f, y);
+        let ls = Engine::least_solution(&mut f);
         assert_eq!(ls.get(yr), &[src]);
     }
 
     #[test]
-    #[should_panic(expected = "CycleElim::Off and CycleElim::Online only")]
-    fn periodic_configs_are_rejected() {
+    fn from_problem_matches_direct_construction() {
+        let mut p = Problem::new(SolverConfig::if_online());
+        let (src, y) = build_chain(&mut p);
+        let mut f = FrontierSolver::from_problem(p);
+        assert_eq!(f.threads(), 1);
+        f.set_threads(3);
+        f.set_batch_rounds(4);
+        Engine::solve(&mut f);
+        let yr = Engine::find(&mut f, y);
+        let ls = Engine::least_solution(&mut f);
+        assert_eq!(ls.get(yr), &[src]);
+    }
+
+    /// `CycleElim::Periodic` on the frontier engine: a plain-form config
+    /// never searches online, so only the batch-boundary sweep can collapse
+    /// the cycle — and it must agree with the sequential periodic solver.
+    #[test]
+    fn periodic_sweeps_collapse_plain_form_cycles() {
         let config = SolverConfig {
-            cycle_elim: CycleElim::Periodic { interval: 8 },
+            cycle_elim: CycleElim::Periodic { interval: 1 },
             ..SolverConfig::if_plain()
         };
-        let _ = FrontierSolver::new(config, 2);
+        let mut s = Solver::new(config);
+        let (sx, sy) = (s.fresh_var(), s.fresh_var());
+        s.add(sx, sy);
+        s.add(sy, sx);
+        s.solve();
+
+        for threads in [1, 3] {
+            for k in [1, 8] {
+                let mut f = FrontierSolver::new(config, threads);
+                f.set_batch_rounds(k);
+                let (x, y) = (
+                    ConstraintBuilder::fresh_var(&mut f),
+                    ConstraintBuilder::fresh_var(&mut f),
+                );
+                ConstraintBuilder::add(&mut f, x, y);
+                ConstraintBuilder::add(&mut f, y, x);
+                Engine::solve(&mut f);
+                let label = format!("threads {threads} K {k}");
+                assert_eq!(Engine::find(&mut f, x), Engine::find(&mut f, y), "{label}");
+                assert_eq!(Engine::stats(&f).cycles_collapsed, 1, "{label}");
+                assert_eq!(Engine::stats(&f).vars_eliminated, 1, "{label}");
+                assert_eq!(
+                    Engine::stats(&f).cycles_collapsed,
+                    s.stats().cycles_collapsed,
+                    "{label}: agrees with sequential periodic"
+                );
+                assert_eq!(s.find(sx), Engine::find(&mut f, x), "{label}");
+            }
+        }
+    }
+
+    #[test]
+    fn batching_is_observably_identical_and_amortizes_dispatch() {
+        let mut reference: Option<(Stats, GraphCensus, LeastSolution, u64)> = None;
+        for threads in [1, 2] {
+            for k in [1, 2, 8] {
+                let mut f = FrontierSolver::new(SolverConfig::if_online(), threads);
+                f.set_batch_rounds(k);
+                let (csrc, c2src, p, b) = build_variance(&mut f);
+                let _ = (csrc, c2src);
+                Engine::solve(&mut f);
+                let _ = (Engine::find(&mut f, p), Engine::find(&mut f, b));
+                let stats = *Engine::stats(&f);
+                let census = Engine::census(&f);
+                let ls = Engine::least_solution(&mut f);
+                let rounds = f.rounds();
+                if k > 1 {
+                    assert!(
+                        f.batches() < rounds,
+                        "threads {threads} K {k}: batching must amortize dispatches"
+                    );
+                }
+                match &reference {
+                    None => reference = Some((stats, census, ls, rounds)),
+                    Some((s0, c0, l0, r0)) => {
+                        let label = format!("threads {threads} K {k}");
+                        assert_eq!(&stats, s0, "{label}: stats");
+                        assert_eq!(&census, c0, "{label}: census");
+                        assert_eq!(&ls, l0, "{label}: least solution");
+                        assert_eq!(rounds, *r0, "{label}: rounds");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_limited_stops_at_the_work_bound() {
+        let mut f = FrontierSolver::new(SolverConfig::if_online(), 2);
+        let (src, y) = build_chain(&mut f);
+        let _ = (src, y);
+        assert!(!Engine::solve_limited(&mut f, 0), "bound 0 must trip");
+        let mut g = FrontierSolver::new(SolverConfig::if_online(), 2);
+        let _ = build_chain(&mut g);
+        assert!(Engine::solve_limited(&mut g, u64::MAX));
+    }
+
+    /// The deprecated inherent mirrors still delegate to the trait impls.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_inherent_mirrors_still_work() {
+        let mut f = FrontierSolver::new(SolverConfig::if_online(), 2);
+        let c = f.register_nullary("c");
+        let src = f.term(c, vec![]);
+        let (x, y) = (f.fresh_var(), f.fresh_var());
+        f.add(src, x);
+        f.add(x, y);
+        f.solve();
+        assert!(f.inconsistencies().is_empty());
+        assert_eq!(f.census().total_edges(), f.census().total_edges());
+        assert!(f.stats().work > 0);
+        let yr = f.find(y);
+        assert_eq!(f.least_solution().get(yr), &[src]);
     }
 
     #[test]
     fn run_report_covers_par_counters() {
         let mut f = FrontierSolver::new(SolverConfig::if_online(), 2);
+        f.set_batch_rounds(8);
         f.enable_obs();
         f.enable_obs(); // idempotent
-        let (x, y, z) = (f.fresh_var(), f.fresh_var(), f.fresh_var());
-        f.add(x, y);
-        f.add(y, z);
-        f.add(z, x);
-        f.solve();
-        let _ = f.least_solution();
+        let (x, y, z) = (
+            ConstraintBuilder::fresh_var(&mut f),
+            ConstraintBuilder::fresh_var(&mut f),
+            ConstraintBuilder::fresh_var(&mut f),
+        );
+        ConstraintBuilder::add(&mut f, x, y);
+        ConstraintBuilder::add(&mut f, y, z);
+        ConstraintBuilder::add(&mut f, z, x);
+        Engine::solve(&mut f);
+        let _ = Engine::least_solution(&mut f);
         let report = f.run_report("frontier").expect("obs enabled");
         assert_eq!(report.counter("par.rounds"), Some(f.rounds()));
+        assert_eq!(report.counter("par.commit.broadcasts"), Some(f.batches()));
+        assert!(f.batches() < f.rounds(), "K = 8 batches several rounds per dispatch");
         assert!(report.counter("par.commits").unwrap_or(0) >= 3);
         assert!(report.counter("par.shard-scans").unwrap_or(0) >= f.rounds());
         assert!(report.phases.iter().any(|p| p.phase == Phase::ParCommit.name()));
         assert!(report.phases.iter().any(|p| p.phase == Phase::ParScan.name()));
+        assert!(report.phases.iter().any(|p| p.phase == Phase::ParBatch.name()));
         assert!(report.phases.iter().any(|p| p.phase == Phase::ParLeast.name()));
         assert!(f.obs().is_some());
-        assert_eq!(f.stats().constraints_added, 3);
+        assert_eq!(Engine::stats(&f).constraints_added, 3);
         let parts = f.into_parts();
         assert_eq!(parts.config.form, Form::Inductive);
     }

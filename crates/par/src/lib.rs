@@ -22,7 +22,15 @@
 //!   frontier against the frozen round-start state and *propose*; a
 //!   sequential committer applies proposals in frontier order with
 //!   epoch-validated cycle-search verdicts (the private `shard` and
-//!   `commit` modules).
+//!   `commit` modules). Rounds are grouped into **batches** of up to `K`
+//!   rounds per pool dispatch (the private `batch` module), amortizing
+//!   spawn/join overhead without changing a single observable — and
+//!   `CycleElim::Periodic` runs its offline sweeps at round boundaries
+//!   inside the batch loop.
+//!
+//! Both engines implement `bane-core`'s `ConstraintBuilder`/`Engine` traits,
+//! so harness code builds a `Problem` once and hands it to either engine via
+//! `Engine::from_problem`.
 //!
 //! Worker scheduling is the deliberately boring [`pool`] module: scoped
 //! threads, deterministic [`chunk_range`] partitioning, and a
@@ -30,10 +38,12 @@
 //! allocation-free — pinned by `bane-core`'s allocation test).
 //!
 //! See `docs/PARALLELISM.md` for the determinism argument and the
-//! commit-order guarantee, and `BENCH_3.json` for measured scaling.
+//! commit-order guarantee (including under `K > 1` batching), and
+//! `BENCH_4.json` for measured scaling.
 
 #![deny(missing_docs)]
 
+mod batch;
 mod commit;
 mod shard;
 

@@ -39,11 +39,13 @@ pub struct GenStats {
     pub implicit_globals: usize,
 }
 
-/// Generates Andersen constraints for `program` into `solver`.
+/// Generates Andersen constraints for `program` into any
+/// [`ConstraintBuilder`] — a [`Solver`], a `FrontierSolver`, or a plain
+/// [`Problem`] to be handed to an engine later.
 ///
-/// Does **not** solve; callers time [`Solver::solve`] separately (that is the
+/// Does **not** solve; callers time [`Engine::solve`] separately (that is the
 /// quantity the paper's tables report). Returns the location table.
-pub fn generate(program: &Program, solver: &mut Solver) -> (Locations, GenStats) {
+pub fn generate<B: ConstraintBuilder>(program: &Program, solver: &mut B) -> (Locations, GenStats) {
     let mut gen = Gen::new(solver);
     gen.program(program);
     let stats = gen.stats;
@@ -166,8 +168,8 @@ impl PointsToGraph {
 // The generator
 // ---------------------------------------------------------------------------
 
-struct Gen<'s> {
-    solver: &'s mut Solver,
+struct Gen<'s, B> {
+    solver: &'s mut B,
     locs: Locations,
     ref_con: Con,
     lam_cons: FxHashMap<usize, Con>,
@@ -183,8 +185,8 @@ struct Gen<'s> {
     stats: GenStats,
 }
 
-impl<'s> Gen<'s> {
-    fn new(solver: &'s mut Solver) -> Self {
+impl<'s, B: ConstraintBuilder> Gen<'s, B> {
+    fn new(solver: &'s mut B) -> Self {
         let ref_con = solver.register_con(
             "ref",
             vec![Variance::Covariant, Variance::Covariant, Variance::Contravariant],
