@@ -62,6 +62,18 @@
 //! logical CPU, warning that parallel *speedups* in this snapshot are
 //! meaningless even though the determinism checks remain in force.
 //!
+//! `bane-bench/5` adds the search-kernel **memo** telemetry: each `par_ls`
+//! row carries `search.memo.hit` and `search.memo.miss` — the negative
+//! cycle-search memo traffic of that thread count's frontier run. These are
+//! telemetry, *not* stable observables: hits come from duplicate frontier
+//! items re-running a search against the same frozen graph revision, so the
+//! split varies with chunking while every stable field stays byte-identical
+//! (the sequential solver's hit count is structurally 0 — each miss there
+//! mutates the graph before the key can recur). The sequential observed
+//! runs' `obs` reports likewise surface the new unified counters
+//! (`search.memo.*`, `epoch.resets`, `csr.build`). Every field that existed
+//! in `bane-bench/4` is emitted byte-identically.
+//!
 //! The JSON is hand-rolled (the build environment has no serde); the format
 //! is plain nested objects with no NaNs and no trailing commas, so any JSON
 //! parser can read it.
@@ -196,7 +208,7 @@ fn main() {
             for row in &scaling.rows {
                 eprintln!(
                     "  par {:<24} threads={} ls={:>12}ns (seq {:>12}ns) frontier={:>12}ns \
-                     identical={} deterministic={}",
+                     identical={} deterministic={} memo={}/{}",
                     entry.name,
                     row.threads,
                     row.ls_ns,
@@ -204,6 +216,8 @@ fn main() {
                     row.frontier_wall_ns,
                     row.ls_identical,
                     row.frontier_deterministic,
+                    row.memo_hits,
+                    row.memo_hits + row.memo_misses,
                 );
             }
             par_scaling_json(entry.name, &scaling)
@@ -248,7 +262,7 @@ fn main() {
         .unwrap_or(0);
     let logical_cpus = bane_par::available_threads();
     let json = format!(
-        "{{\n  \"schema\": \"bane-bench/4\",\n  \"label\": {},\n  \
+        "{{\n  \"schema\": \"bane-bench/5\",\n  \"label\": {},\n  \
          \"created_unix\": {},\n  \"scale\": {},\n  \"max_ast\": {},\n  \
          \"reps\": {},\n  \"limit\": {},\n  \"threads\": {},\n  \
          \"batch_rounds\": {},\n  \"git_revision\": {},\n  \
@@ -318,7 +332,8 @@ fn par_scaling_json(benchmark: &str, scaling: &ParScaling) -> String {
             rows,
             "\n      {{\"threads\": {}, \"ls_ns\": {}, \"ls_speedup\": {}, \
              \"ls_identical\": {}, \"frontier_wall_ns\": {}, \
-             \"frontier_speedup\": {}, \"frontier_deterministic\": {}}}",
+             \"frontier_speedup\": {}, \"frontier_deterministic\": {}, \
+             \"search.memo.hit\": {}, \"search.memo.miss\": {}}}",
             row.threads,
             row.ls_ns,
             json_f64(ls_speedup),
@@ -326,6 +341,8 @@ fn par_scaling_json(benchmark: &str, scaling: &ParScaling) -> String {
             row.frontier_wall_ns,
             json_f64(frontier_speedup),
             row.frontier_deterministic,
+            row.memo_hits,
+            row.memo_misses,
         );
     }
     format!(

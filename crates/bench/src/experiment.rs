@@ -376,6 +376,15 @@ pub struct ParScalingRow {
     /// run's observables — stats (Work included), census, inconsistency
     /// list, and least solution (must always be `true`).
     pub frontier_deterministic: bool,
+    /// Negative cycle-search memo hits in the frontier run's scan phase.
+    /// Telemetry, not a stable observable: hits come from duplicate frontier
+    /// items re-running a search against the same frozen revision, so the
+    /// count varies with chunking (sequential `Solver` hits are always 0 —
+    /// every miss there mutates the graph before the key can recur).
+    pub memo_hits: u64,
+    /// Negative cycle-search memo misses in the frontier run (telemetry,
+    /// like [`memo_hits`](ParScalingRow::memo_hits)).
+    pub memo_misses: u64,
 }
 
 /// Scaling measurements for the `bane-par` engines on one benchmark.
@@ -429,8 +438,8 @@ pub fn run_par_scaling(
     let seq_ls = seq_ls.expect("reps >= 1");
 
     // 1-thread frontier reference observables.
-    let frontier_reference = |threads: usize| -> (u128, Stats, Vec<Inconsistency>, LeastSolution)
-    {
+    type FrontierRun = (u128, (u64, u64), Stats, Vec<Inconsistency>, LeastSolution);
+    let frontier_reference = |threads: usize| -> FrontierRun {
         let mut f = FrontierSolver::from_problem(problem.clone());
         f.set_threads(threads);
         f.set_batch_rounds(batch_rounds);
@@ -438,9 +447,10 @@ pub fn run_par_scaling(
         Engine::solve(&mut f);
         let wall = start.elapsed().as_nanos();
         let ls = Engine::least_solution(&mut f);
-        (wall, *Engine::stats(&f), Engine::inconsistencies(&f).to_vec(), ls)
+        let memo = f.search_memo_counts();
+        (wall, memo, *Engine::stats(&f), Engine::inconsistencies(&f).to_vec(), ls)
     };
-    let (_, ref_stats, ref_errors, ref_ls) = frontier_reference(1);
+    let (_, _, ref_stats, ref_errors, ref_ls) = frontier_reference(1);
 
     let mut par = ParLeast::new();
     let rows = thread_counts
@@ -453,10 +463,19 @@ pub fn run_par_scaling(
                 ls_ns = ls_ns.min(start.elapsed().as_nanos());
             }
             let ls_identical = par.solution() == seq_ls;
-            let (frontier_wall_ns, stats, errors, ls) = frontier_reference(threads);
+            let (frontier_wall_ns, (memo_hits, memo_misses), stats, errors, ls) =
+                frontier_reference(threads);
             let frontier_deterministic =
                 stats == ref_stats && errors == ref_errors && ls == ref_ls;
-            ParScalingRow { threads, ls_ns, ls_identical, frontier_wall_ns, frontier_deterministic }
+            ParScalingRow {
+                threads,
+                ls_ns,
+                ls_identical,
+                frontier_wall_ns,
+                frontier_deterministic,
+                memo_hits,
+                memo_misses,
+            }
         })
         .collect();
     ParScaling { seq_ls_ns, seq_solve_ns, rows }
@@ -694,6 +713,10 @@ mod tests {
                 );
                 assert!(row.ls_ns > 0);
                 assert!(row.frontier_wall_ns > 0);
+                assert!(
+                    row.memo_misses > 0,
+                    "the sample runs cycle searches, so the memo gets consulted"
+                );
             }
         }
     }

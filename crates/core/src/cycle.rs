@@ -47,10 +47,10 @@ use crate::expr::Var;
 use crate::forward::Forwarding;
 use crate::graph::Graph;
 use crate::order::VarOrder;
-use bane_util::EpochSet;
+use bane_util::{EpochSetImpl, EpochStamp, FxHashMap};
 
 /// Which adjacency lists the chain search follows.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ChainDir {
     /// Follow predecessor edges (`pred_chain` in the paper).
     Pred,
@@ -59,7 +59,7 @@ pub enum ChainDir {
 }
 
 /// The order restriction applied at every search step.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum StepOrder {
     /// Only step to variables *smaller* in the order (the paper's scheme).
     Decreasing,
@@ -117,12 +117,17 @@ pub struct SearchStats {
     pub max_visits: u64,
 }
 
-/// Reusable state for chain searches (visited marks + DFS stack).
+/// Reusable state for chain searches (visited marks + DFS stack), generic
+/// over the epoch stamp width (use the [`ChainSearch`] alias unless testing
+/// wraparound).
 #[derive(Clone, Debug, Default)]
-pub struct ChainSearch {
-    visited: EpochSet,
+pub struct ChainSearchImpl<E: EpochStamp = u32> {
+    visited: EpochSetImpl<E>,
     stack: Vec<Frame>,
 }
+
+/// The production chain-search scratch: `u32` epoch stamps.
+pub type ChainSearch = ChainSearchImpl<u32>;
 
 #[derive(Clone, Copy, Debug)]
 struct Frame {
@@ -130,10 +135,16 @@ struct Frame {
     next_child: usize,
 }
 
-impl ChainSearch {
+impl<E: EpochStamp> ChainSearchImpl<E> {
     /// Creates search state for graphs of about `capacity` variables.
     pub fn new(capacity: usize) -> Self {
-        Self { visited: EpochSet::new(capacity), stack: Vec::new() }
+        Self { visited: EpochSetImpl::new(capacity), stack: Vec::new() }
+    }
+
+    /// Number of physical wraparound resets of the visited set (feeds the
+    /// `epoch.resets` observability counter).
+    pub fn epoch_resets(&self) -> u64 {
+        self.visited.resets()
     }
 
     /// Searches for a chain from `start` to `target` along `dir` edges,
@@ -218,6 +229,179 @@ impl ChainSearch {
     }
 }
 
+/// A snapshot of the graph mutations that can change a chain search's
+/// outcome or cost, used to validate memoized negative verdicts (DESIGN.md
+/// §4d).
+///
+/// The counters are split by polarity because a chain search only ever scans
+/// one side of the adjacency: a [`ChainDir::Pred`] search reads predecessor
+/// lists exclusively, so successor inserts provably cannot change which
+/// entries it dequeues — and vice versa. Collapses invalidate everything
+/// (forwarding changes which nodes entries canonicalize to). Eager
+/// compaction is deliberately *not* a revision: it rewrites stale entries in
+/// place without changing the traversal multiset (see
+/// [`graph`](crate::graph) module docs), so a memoized verdict — including
+/// its exact `nodes_visited`/`edges_scanned` deltas — stays valid across it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GraphRevision {
+    pred: u64,
+    succ: u64,
+    collapses: usize,
+}
+
+impl GraphRevision {
+    /// Snapshots the current revision of `graph` + `fwd`.
+    pub fn of(graph: &Graph, fwd: &Forwarding) -> Self {
+        GraphRevision {
+            pred: graph.pred_var_revision(),
+            succ: graph.succ_var_revision(),
+            collapses: fwd.collapsed_count(),
+        }
+    }
+
+    /// Whether a verdict for a `dir`-direction search recorded at `self` is
+    /// still exact at `now`.
+    fn still_valid(self, now: GraphRevision, dir: ChainDir) -> bool {
+        self.collapses == now.collapses
+            && match dir {
+                ChainDir::Pred => self.pred == now.pred,
+                ChainDir::Succ => self.succ == now.succ,
+            }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct MemoEntry {
+    rev: GraphRevision,
+    /// The search's `nodes_visited` delta (also its `max_visits` candidate).
+    nodes: u64,
+    /// The search's `edges_scanned` delta.
+    edges: u64,
+}
+
+/// Negative-result memoization for chain searches (DESIGN.md §4d).
+///
+/// Caches "no cycle found from `(start, target, dir, step)`" verdicts keyed
+/// by [`GraphRevision`]. A hit answers without touching the graph while
+/// replaying the recorded per-search [`SearchStats`] deltas, so every
+/// paper-observable counter is byte-identical to a live re-search — which is
+/// sound because a matching revision guarantees the re-search would dequeue
+/// the *same entry sequence* (same lists, same lengths, same canonical
+/// targets) and therefore produce the same verdict and the same counts.
+///
+/// Found cycles are never cached: the caller needs the path, and the
+/// subsequent collapse invalidates the revision immediately anyway.
+///
+/// Invalidation is exact in the sense the paper's Work metric requires:
+/// collapses and polarity-matching *new* edge inserts invalidate; redundant
+/// insert attempts, source/sink inserts, and eager compaction do not.
+///
+/// In the sequential solver same-key repeats are rare (the redundancy check
+/// fires first, and every non-redundant search is immediately followed by an
+/// insert or a collapse), so the memo is near-transparent there; the real
+/// hits come from `bane-par`'s scan phase, where duplicate frontier items in
+/// one round repeat identical searches against the unchanged round-start
+/// graph.
+///
+/// Storage is a reusable hash map that only grows while *new* keys miss;
+/// steady-state re-feeds of redundant constraints never reach the memo at
+/// all, preserving the zero-allocation pin.
+#[derive(Clone, Debug)]
+pub struct SearchMemo {
+    map: FxHashMap<(Var, Var, ChainDir, StepOrder), MemoEntry>,
+    hits: u64,
+    misses: u64,
+    enabled: bool,
+}
+
+impl Default for SearchMemo {
+    fn default() -> Self {
+        SearchMemo { map: FxHashMap::default(), hits: 0, misses: 0, enabled: true }
+    }
+}
+
+impl SearchMemo {
+    /// Creates an enabled, empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Turns memoization off (every call falls through to the live search,
+    /// counting neither hits nor misses) or back on. Used by the census
+    /// equivalence tests and as an operational kill switch.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Number of searches answered from a still-valid negative verdict.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of searches that ran live (no entry, or a stale one).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops every cached verdict, keeping allocated capacity.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Runs `search` through the memo: a still-valid negative verdict for
+    /// `(start, target, dir, step)` answers `false` without traversal,
+    /// replaying the recorded stats deltas; otherwise the live
+    /// [`ChainSearchImpl::search`] runs (same contract, including `path`
+    /// handling) and a negative outcome is recorded at the current
+    /// [`GraphRevision`].
+    #[allow(clippy::too_many_arguments)] // mirrors the search it wraps
+    pub fn search<E: EpochStamp>(
+        &mut self,
+        search: &mut ChainSearchImpl<E>,
+        graph: &Graph,
+        fwd: &Forwarding,
+        order: &VarOrder,
+        start: Var,
+        target: Var,
+        dir: ChainDir,
+        step: StepOrder,
+        stats: &mut SearchStats,
+        path: &mut Vec<Var>,
+    ) -> bool {
+        if !self.enabled {
+            return search.search(graph, fwd, order, start, target, dir, step, stats, path);
+        }
+        let rev = GraphRevision::of(graph, fwd);
+        let key = (start, target, dir, step);
+        if let Some(entry) = self.map.get(&key) {
+            if entry.rev.still_valid(rev, dir) {
+                self.hits += 1;
+                path.clear();
+                stats.searches += 1;
+                stats.nodes_visited += entry.nodes;
+                stats.edges_scanned += entry.edges;
+                stats.max_visits = stats.max_visits.max(entry.nodes);
+                return false;
+            }
+        }
+        self.misses += 1;
+        let nodes_before = stats.nodes_visited;
+        let edges_before = stats.edges_scanned;
+        let found = search.search(graph, fwd, order, start, target, dir, step, stats, path);
+        if !found {
+            self.map.insert(
+                key,
+                MemoEntry {
+                    rev,
+                    nodes: stats.nodes_visited - nodes_before,
+                    edges: stats.edges_scanned - edges_before,
+                },
+            );
+        }
+        found
+    }
+}
+
 /// Reusable scratch for one *offline* cycle-elimination sweep: Tarjan over
 /// the current canonical variable-variable edges, exposing the non-trivial
 /// SCCs for the engine to collapse.
@@ -274,6 +458,12 @@ impl CycleSweep {
     pub fn component(&self, i: usize) -> &[Var] {
         let (start, end) = self.spans[i];
         &self.members[start as usize..end as usize]
+    }
+
+    /// Physical wraparound resets of the Tarjan scratch's visited set (feeds
+    /// the `epoch.resets` observability counter).
+    pub fn epoch_resets(&self) -> u64 {
+        self.scratch.epoch_resets()
     }
 }
 
@@ -443,6 +633,38 @@ mod tests {
         assert!(st.nodes_visited <= n as u64 + 1, "marks keep the walk linear");
     }
 
+    /// 300 searches over `u8` epoch stamps force the visited set's
+    /// wraparound reset (at search 256); results and stats must keep
+    /// matching a fresh searcher, and the reset must be counted.
+    #[test]
+    fn tiny_epoch_search_survives_wraparound() {
+        let (mut g, f, o, _) = setup(4);
+        g.insert_pred_var(v(1), v(0));
+        g.insert_pred_var(v(2), v(1));
+        g.insert_pred_var(v(3), v(2));
+        let mut tiny: ChainSearchImpl<u8> = ChainSearchImpl::new(4);
+        let mut tiny_path = Vec::new();
+        for round in 0..300usize {
+            let (start, target) = if round % 2 == 0 { (v(3), v(0)) } else { (v(0), v(3)) };
+            let mut st_tiny = SearchStats::default();
+            let found = tiny.search(
+                &g, &f, &o, start, target, ChainDir::Pred, StepOrder::Decreasing,
+                &mut st_tiny, &mut tiny_path,
+            );
+            let mut fresh = ChainSearch::new(4);
+            let mut st_fresh = SearchStats::default();
+            let mut fresh_path = Vec::new();
+            let found_fresh = fresh.search(
+                &g, &f, &o, start, target, ChainDir::Pred, StepOrder::Decreasing,
+                &mut st_fresh, &mut fresh_path,
+            );
+            assert_eq!(found, found_fresh, "round {round} diverged after epoch wrap");
+            assert_eq!(tiny_path, fresh_path, "round {round}");
+            assert_eq!(st_tiny, st_fresh, "round {round}");
+        }
+        assert_eq!(tiny.epoch_resets(), 1, "u8 epochs wrap once in 300 searches");
+    }
+
     /// The module-doc counting invariant, checked directly: a succ-chain
     /// search (SF's direction) over a random graph produces *identical*
     /// [`SearchStats`] to a pred-chain search (IF's direction) over the
@@ -493,5 +715,125 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A memo hit replays the exact stats of the live search it short-cuts,
+    /// and redundant insert attempts do not invalidate the verdict.
+    #[test]
+    fn memo_hit_replays_exact_stats_and_ignores_redundant_inserts() {
+        let (mut g, f, o, mut s) = setup(4);
+        g.insert_pred_var(v(2), v(1));
+        g.insert_pred_var(v(1), v(0));
+        let mut memo = SearchMemo::new();
+        let mut path = Vec::new();
+
+        let mut st_live = SearchStats::default();
+        let found = memo.search(
+            &mut s, &g, &f, &o, v(2), v(3), ChainDir::Pred, StepOrder::Decreasing,
+            &mut st_live, &mut path,
+        );
+        assert!(!found);
+        assert_eq!((memo.hits(), memo.misses()), (0, 1));
+
+        // Redundant attempts bump no revision: the verdict must still hit.
+        assert_eq!(g.insert_pred_var(v(2), v(1)), crate::graph::Insert::Redundant);
+        let mut st_hit = SearchStats::default();
+        path.extend([v(0); 3]); // stale content must be cleared on a hit too
+        let found = memo.search(
+            &mut s, &g, &f, &o, v(2), v(3), ChainDir::Pred, StepOrder::Decreasing,
+            &mut st_hit, &mut path,
+        );
+        assert!(!found);
+        assert!(path.is_empty(), "hit clears the path buffer like a live miss");
+        assert_eq!((memo.hits(), memo.misses()), (1, 1));
+        assert_eq!(st_hit, st_live, "replayed deltas are byte-identical");
+    }
+
+    /// Polarity split: a new *successor* insert leaves *predecessor*-chain
+    /// verdicts valid (a pred search never scans succ lists), while a new
+    /// pred insert invalidates them.
+    #[test]
+    fn memo_invalidation_is_polarity_split() {
+        let (mut g, f, o, mut s) = setup(4);
+        g.insert_pred_var(v(2), v(1));
+        let mut memo = SearchMemo::new();
+        let mut path = Vec::new();
+        let mut st = SearchStats::default();
+        assert!(!memo.search(
+            &mut s, &g, &f, &o, v(2), v(3), ChainDir::Pred, StepOrder::Decreasing,
+            &mut st, &mut path,
+        ));
+
+        // Cross-polarity insert: still a hit.
+        assert_eq!(g.insert_succ_var(v(0), v(3)), crate::graph::Insert::New);
+        assert!(!memo.search(
+            &mut s, &g, &f, &o, v(2), v(3), ChainDir::Pred, StepOrder::Decreasing,
+            &mut st, &mut path,
+        ));
+        assert_eq!((memo.hits(), memo.misses()), (1, 1));
+
+        // Same-polarity insert: the old verdict is stale — and in fact the
+        // answer changed, which is exactly why the revision must catch it.
+        assert_eq!(g.insert_pred_var(v(1), v(3)), crate::graph::Insert::New);
+        let found = memo.search(
+            &mut s, &g, &f, &o, v(2), v(3), ChainDir::Pred, StepOrder::Unrestricted,
+            &mut st, &mut path,
+        );
+        assert!(found, "unrestricted pred walk 2⋯→1⋯→3 now exists");
+        let found = memo.search(
+            &mut s, &g, &f, &o, v(2), v(3), ChainDir::Pred, StepOrder::Decreasing,
+            &mut st, &mut path,
+        );
+        assert!(!found, "decreasing order still blocks the step up to 3");
+        assert_eq!(memo.hits(), 1, "no further hits after the pred insert");
+        assert_eq!(memo.misses(), 3);
+    }
+
+    /// Collapses invalidate every cached verdict, even when no new edge was
+    /// inserted around them.
+    #[test]
+    fn memo_invalidated_by_collapse() {
+        let (mut g, mut f, o, mut s) = setup(4);
+        g.insert_succ_var(v(2), v(1));
+        let mut memo = SearchMemo::new();
+        let mut path = Vec::new();
+        let mut st = SearchStats::default();
+        assert!(!memo.search(
+            &mut s, &g, &f, &o, v(2), v(3), ChainDir::Succ, StepOrder::Decreasing,
+            &mut st, &mut path,
+        ));
+        f.union_into(v(1), v(0)); // collapse: entries now canonicalize differently
+        assert!(!memo.search(
+            &mut s, &g, &f, &o, v(2), v(3), ChainDir::Succ, StepOrder::Decreasing,
+            &mut st, &mut path,
+        ));
+        assert_eq!((memo.hits(), memo.misses()), (0, 2), "collapse forced a live re-search");
+    }
+
+    /// Found cycles are never cached, and a disabled memo is fully
+    /// transparent (no counting, no storage).
+    #[test]
+    fn memo_skips_found_cycles_and_respects_kill_switch() {
+        let (mut g, f, o, mut s) = setup(3);
+        g.insert_pred_var(v(2), v(1));
+        g.insert_pred_var(v(1), v(0));
+        let mut memo = SearchMemo::new();
+        let mut path = Vec::new();
+        let mut st = SearchStats::default();
+        for _ in 0..2 {
+            assert!(memo.search(
+                &mut s, &g, &f, &o, v(2), v(0), ChainDir::Pred, StepOrder::Decreasing,
+                &mut st, &mut path,
+            ));
+            assert_eq!(path, vec![v(2), v(1), v(0)]);
+        }
+        assert_eq!((memo.hits(), memo.misses()), (0, 2), "positive results always search live");
+
+        memo.set_enabled(false);
+        assert!(!memo.search(
+            &mut s, &g, &f, &o, v(2), v(3), ChainDir::Pred, StepOrder::Decreasing,
+            &mut st, &mut path,
+        ));
+        assert_eq!((memo.hits(), memo.misses()), (0, 2), "disabled memo counts nothing");
     }
 }

@@ -54,6 +54,11 @@
 //!    them would change which future insertions count as redundant — they
 //!    are left as-is (they are at most [`SMALL_DEGREE_MAX`] entries long, so
 //!    the canonicalize-on-traversal cost is bounded anyway).
+//!
+//! [`Graph::take_edges`] resets the compaction stamp along with the lists:
+//! the stamp certifies only entries that existed when `compact_node` last
+//! ran, and a node emptied and re-populated within one collapse epoch must
+//! not inherit a certificate for entries compaction never saw.
 
 use crate::expr::{TermId, Var};
 use crate::forward::Forwarding;
@@ -199,6 +204,12 @@ impl VarNode {
     }
 
     fn take(&mut self) -> TakenEdges {
+        // The compaction stamp certifies entries that are being taken away;
+        // it must not outlive them. If the node is re-populated within the
+        // same collapse epoch, a surviving stamp would make `compact_node`
+        // skip entries it never canonicalized. Resetting forces the next
+        // compaction to look (at epoch 0 nothing can be stale, so 0 is safe).
+        self.compacted_at = 0;
         TakenEdges {
             pred_vars: self.pred_vars.take(),
             succ_vars: self.succ_vars.take(),
@@ -293,6 +304,15 @@ impl GraphCensus {
 #[derive(Clone, Debug, Default)]
 pub struct Graph {
     nodes: IdxVec<Var, VarNode>,
+    /// Monotone count of structural changes to predecessor variable lists:
+    /// `Insert::New` outcomes of [`insert_pred_var`](Graph::insert_pred_var)
+    /// plus [`take_edges`](Graph::take_edges) calls. Redundant inserts bump
+    /// nothing. Feeds the negative-search memo's revision validation (see
+    /// [`cycle::GraphRevision`](crate::cycle::GraphRevision)).
+    pred_var_revision: u64,
+    /// Monotone count of structural changes to successor variable lists
+    /// (`Insert::New` successor inserts plus `take_edges` calls).
+    succ_var_revision: u64,
     /// Promotion log (obs builds only). Promotions are rare — a handful per
     /// run even on the paper's largest benchmark — so an unbounded log is
     /// safe, and pushes only happen on the promoting insert itself, never in
@@ -352,6 +372,9 @@ impl Graph {
     /// represented on the predecessor side; inductive form only).
     pub fn insert_pred_var(&mut self, y: Var, x: Var) -> Insert {
         let outcome = self.nodes[y].pred_vars.insert(x);
+        if outcome == Insert::New {
+            self.pred_var_revision += 1;
+        }
         #[cfg(feature = "obs")]
         if outcome == Insert::New && self.nodes[y].pred_vars.just_promoted() {
             self.promotions.push(PromotionRecord { node: y, kind: AdjKind::PredVars });
@@ -362,6 +385,9 @@ impl Graph {
     /// Inserts the successor edge `x → y`.
     pub fn insert_succ_var(&mut self, x: Var, y: Var) -> Insert {
         let outcome = self.nodes[x].succ_vars.insert(y);
+        if outcome == Insert::New {
+            self.succ_var_revision += 1;
+        }
         #[cfg(feature = "obs")]
         if outcome == Insert::New && self.nodes[x].succ_vars.just_promoted() {
             self.promotions.push(PromotionRecord { node: x, kind: AdjKind::SuccVars });
@@ -397,8 +423,36 @@ impl Graph {
     }
 
     /// Strips all edges off `v` (used when `v` collapses into a witness).
+    ///
+    /// Promoted lists revert to small mode, membership starts fresh (raw
+    /// re-inserts classify as `New` again), and the compaction stamp is
+    /// reset so a re-populated node is re-canonicalized by the next
+    /// [`compact_node`](Graph::compact_node) call even within the same
+    /// collapse epoch.
     pub fn take_edges(&mut self, v: Var) -> TakenEdges {
+        // Emptying the lists is a structural change on both sides. In the
+        // engines this only ever happens during a collapse (which bumps
+        // `Forwarding::collapsed_count` and therefore invalidates memoized
+        // verdicts anyway), but the revision counters stay honest for any
+        // caller.
+        self.pred_var_revision += 1;
+        self.succ_var_revision += 1;
         self.nodes[v].take()
+    }
+
+    /// Monotone revision of the predecessor variable lists: bumped by every
+    /// `Insert::New` predecessor insert and every
+    /// [`take_edges`](Graph::take_edges); *not* bumped by redundant inserts,
+    /// source/sink inserts, or [`compact_node`](Graph::compact_node)
+    /// (compaction preserves the traversal multiset, see the module docs).
+    pub fn pred_var_revision(&self) -> u64 {
+        self.pred_var_revision
+    }
+
+    /// Monotone revision of the successor variable lists (see
+    /// [`pred_var_revision`](Graph::pred_var_revision)).
+    pub fn succ_var_revision(&self) -> u64 {
+        self.succ_var_revision
     }
 
     /// Eagerly rewrites stale variable entries of `v`'s promoted lists to
@@ -633,6 +687,81 @@ mod tests {
         assert_eq!(g.node(a).succ_vars(), &[b]);
         assert_eq!(g.insert_succ_var(a, b), Insert::Redundant);
         assert_eq!(g.insert_succ_var(a, c), Insert::New);
+    }
+
+    #[test]
+    fn take_resets_compaction_stamp_for_refilled_nodes() {
+        let n = SMALL_DEGREE_MAX + 2;
+        let (mut g, mut f) = graph_with(n + 2);
+        let hub = Var::new(n);
+        let witness = Var::new(n + 1);
+        for i in 0..n {
+            g.insert_succ_var(hub, Var::new(i));
+        }
+        // Stamp the hub at epoch 1, then empty it within the same epoch.
+        f.union_into(Var::new(0), witness);
+        g.compact_node(hub, &f);
+        assert_eq!(g.node(hub).succ_vars()[0], witness);
+        let taken = g.take_edges(hub);
+        assert_eq!(taken.succ_vars.len(), n);
+        // Re-populate past the promotion threshold, including a raw id that
+        // is already stale at the current epoch. The stamp from before the
+        // take must not suppress this compaction.
+        for i in 0..n {
+            assert_eq!(g.insert_succ_var(hub, Var::new(i)), Insert::New);
+        }
+        g.compact_node(hub, &f);
+        for &u in g.node(hub).succ_vars() {
+            assert_eq!(f.find_const(u), u, "compaction skipped a stale entry");
+        }
+        assert_eq!(g.node(hub).succ_vars()[0], witness);
+    }
+
+    #[test]
+    fn chained_collapses_across_promotion_threshold_stay_canonical() {
+        let n = SMALL_DEGREE_MAX + 8;
+        // Layout: hub, then n targets, then a chain of three witnesses.
+        let (mut g, mut f) = graph_with(1 + n + 3);
+        let hub = Var::new(0);
+        let targets: Vec<Var> = (1..=n).map(Var::new).collect();
+        let (w1, w2) = (Var::new(n + 1), Var::new(n + 2));
+        for &t in &targets {
+            g.insert_succ_var(hub, t); // promotes past SMALL_DEGREE_MAX
+        }
+        // Epoch 1: first target collapses; epoch 2–3: its witness collapses
+        // on, and a second target lands on the same final representative.
+        f.union_into(targets[0], w1);
+        g.compact_node(hub, &f);
+        assert_eq!(g.node(hub).succ_vars()[0], w1);
+        f.union_into(w1, w2);
+        f.union_into(targets[1], w2);
+        g.compact_node(hub, &f);
+        assert_eq!(g.node(hub).succ_vars()[0], w2, "chained forward resolved");
+        assert_eq!(g.node(hub).succ_vars()[1], w2, "second member resolved");
+        // Empty the hub mid-epoch and refill it across the promotion
+        // threshold with the raw (stale) target ids; the fresh membership
+        // dedups nothing, so the list re-promotes with all n entries.
+        let taken = g.take_edges(hub);
+        assert_eq!(taken.succ_vars.len(), n);
+        for &t in &targets {
+            assert_eq!(g.insert_succ_var(hub, t), Insert::New);
+        }
+        g.compact_node(hub, &f);
+        for &u in g.node(hub).succ_vars() {
+            assert_eq!(f.find_const(u), u, "refilled list left a stale entry");
+        }
+        // The canonical view matches a freshly built graph holding the same
+        // edges: hub → w2 (absorbing both collapsed targets) plus the
+        // surviving targets.
+        let census = g.census(&f);
+        assert_eq!(census.live_vars, 1 + n + 3 - 3, "three vars collapsed away");
+        assert_eq!(census.var_var_edges, n - 1, "two targets merged into w2");
+        let mut edges = g.var_var_edges(&f);
+        edges.sort();
+        let mut expect: Vec<(Var, Var)> = targets[2..].iter().map(|&t| (hub, t)).collect();
+        expect.push((hub, w2));
+        expect.sort();
+        assert_eq!(edges, expect);
     }
 
     #[test]

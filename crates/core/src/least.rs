@@ -70,7 +70,8 @@ impl LeastParts<'_> {
     }
 
     /// Computes the **condensation level** of every canonical variable over
-    /// the canonical predecessor DAG and returns the maximum level.
+    /// the canonical predecessor DAG (read from a frozen [`CsrSnapshot`])
+    /// and returns the maximum level.
     ///
     /// Level 0 variables have no canonical variable predecessors; otherwise
     /// `level(v) = 1 + max(level(preds))`. Because inductive-form
@@ -79,34 +80,157 @@ impl LeastParts<'_> {
     /// forward sweep sufficient — and making each level an independent batch
     /// a parallel evaluator can process with no intra-level dependencies.
     /// For standard form every variable is level 0 (sets are read directly
-    /// from explicit predecessor lists).
+    /// from explicit source lists).
     ///
     /// `out` is indexed by raw variable index; entries for non-canonical
     /// variables are 0 and meaningless. Reuses `out`'s capacity.
-    pub fn levels_into(&self, rep: &[Var], layout: &[Var], out: &mut Vec<u32>) -> u32 {
+    pub fn levels_into(&self, csr: &CsrSnapshot, layout: &[Var], out: &mut Vec<u32>) -> u32 {
         out.clear();
-        out.resize(rep.len(), 0);
+        out.resize(self.graph.len(), 0);
         if let Form::Standard = self.form {
             return 0;
         }
         let mut max_level = 0u32;
         for &v in layout {
             let mut level = 0u32;
-            for &raw in self.graph.node(v).pred_vars() {
-                let u = self.fwd.find_const(raw);
-                if u == v {
-                    continue; // stale self edge from a collapse
-                }
-                debug_assert!(
-                    self.order.lt(u, v),
-                    "inductive invariant: pred edges decrease the order"
-                );
+            for &u in csr.preds(v) {
                 level = level.max(out[u.index()] + 1);
             }
             out[v.index()] = level;
             max_level = max_level.max(level);
         }
         max_level
+    }
+}
+
+/// A frozen, canonicalized compressed-sparse-row view of the post-closure
+/// graph — the read path of the least-solution kernel.
+///
+/// The adjacency lists the solver closes over are built for *mutation*:
+/// entries are raw (possibly stale under collapsed representatives), may
+/// alias after canonicalization, and sources are unsorted. The least pass
+/// is pure *traversal*, and both the sequential pass and `bane-par`'s
+/// level-parallel evaluator used to pay the canonicalization tax per read:
+/// one `find` per predecessor entry plus a sort of every source list, per
+/// variable, per pass. `CsrSnapshot` pays it exactly once: a single `build`
+/// freezes, for every canonical variable,
+///
+/// - its canonical variable predecessors (forwarded through `find`,
+///   self-edges from collapses dropped, sorted, deduplicated), and
+/// - its source terms (sorted, deduplicated),
+///
+/// into two flat column arrays indexed by per-variable rows. Rows are laid
+/// out in **evaluation order** — the exact order the pass visits variables
+/// — so the kernel sweep reads `cols`/`srcs` strictly front to back
+/// (prefetch-friendly), and within a row columns are sorted ascending.
+///
+/// Byte-identity is unaffected: each variable's result set is canonical
+/// (sorted + deduplicated), so its content does not depend on whether
+/// duplicate predecessor runs were merged once or twice, and the arena
+/// layout is fixed by the commit order, which the snapshot does not touch.
+///
+/// All buffers are reused across builds; a warmed snapshot re-freezes a
+/// same-shaped graph without allocating (pinned by the workspace
+/// allocation test through `bane-par`'s single-threaded pass).
+#[derive(Clone, Debug, Default)]
+pub struct CsrSnapshot {
+    /// `(start, end)` into `cols` per raw variable index (`(0, 0)` for
+    /// collapsed variables and for standard form, which never reads
+    /// predecessor variables).
+    var_rows: Vec<(u32, u32)>,
+    /// Canonical, self-free, sorted, deduplicated predecessor variables.
+    cols: Vec<Var>,
+    /// `(start, end)` into `srcs` per raw variable index.
+    src_rows: Vec<(u32, u32)>,
+    /// Sorted, deduplicated source terms.
+    srcs: Vec<TermId>,
+}
+
+/// Sorts `v[start..]` and removes adjacent duplicates in place, truncating
+/// `v` to the deduplicated length. The scratch-free primitive `CsrSnapshot`
+/// canonicalizes each freshly appended row with.
+fn sort_dedup_tail<T: Ord + Copy>(v: &mut Vec<T>, start: usize) {
+    v[start..].sort_unstable();
+    let mut w = start;
+    for r in start..v.len() {
+        if w == start || v[w - 1] != v[r] {
+            v[w] = v[r];
+            w += 1;
+        }
+    }
+    v.truncate(w);
+}
+
+impl CsrSnapshot {
+    /// An empty snapshot with no buffers warmed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Freezes `parts` into CSR form. `layout` must be the evaluation order
+    /// from [`LeastParts::layout_order_into`]; rows are written in that
+    /// order so the evaluating sweep streams the column arrays.
+    ///
+    /// Reuses all internal buffers (no allocation once warm).
+    pub fn build(&mut self, parts: &LeastParts<'_>, layout: &[Var]) {
+        let n = parts.graph.len();
+        self.var_rows.clear();
+        self.var_rows.resize(n, (0, 0));
+        self.src_rows.clear();
+        self.src_rows.resize(n, (0, 0));
+        self.cols.clear();
+        self.srcs.clear();
+        for &v in layout {
+            let node = parts.graph.node(v);
+            let start = self.srcs.len();
+            self.srcs.extend_from_slice(node.pred_srcs());
+            sort_dedup_tail(&mut self.srcs, start);
+            let end = u32::try_from(self.srcs.len()).expect("csr source column overflow");
+            self.src_rows[v.index()] = (start as u32, end);
+            if let Form::Standard = parts.form {
+                // Standard form reads sets straight off the source rows;
+                // predecessor variables never feed equation (1) there.
+                continue;
+            }
+            let start = self.cols.len();
+            for &raw in node.pred_vars() {
+                let u = parts.fwd.find_const(raw);
+                if u == v {
+                    continue; // stale self edge from a collapse
+                }
+                debug_assert!(
+                    parts.order.lt(u, v),
+                    "inductive invariant: pred edges decrease the order"
+                );
+                self.cols.push(u);
+            }
+            sort_dedup_tail(&mut self.cols, start);
+            let end = u32::try_from(self.cols.len()).expect("csr column overflow");
+            self.var_rows[v.index()] = (start as u32, end);
+        }
+    }
+
+    /// The canonical predecessor variables of `v`: sorted, distinct, never
+    /// containing `v` itself. Empty for standard form.
+    pub fn preds(&self, v: Var) -> &[Var] {
+        let (s, e) = self.var_rows[v.index()];
+        &self.cols[s as usize..e as usize]
+    }
+
+    /// The source terms reaching `v` directly: sorted and distinct.
+    pub fn srcs(&self, v: Var) -> &[TermId] {
+        let (s, e) = self.src_rows[v.index()];
+        &self.srcs[s as usize..e as usize]
+    }
+
+    /// Total canonical predecessor entries across all rows.
+    pub fn pred_entries(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Total source entries across all rows.
+    pub fn src_entries(&self) -> usize {
+        self.srcs.len()
     }
 }
 
@@ -224,16 +348,22 @@ impl LeastSolution {
 impl Solver {
     /// Computes the least solution of the solved system.
     ///
-    /// For standard form this reads the explicit predecessor lists; for
+    /// For standard form this reads the explicit source lists; for
     /// inductive form it runs the increasing-order pass of equation (1).
-    /// Call after [`solve`](Solver::solve).
+    /// Either way the pass traverses a [`CsrSnapshot`] frozen from the
+    /// solved graph (canonicalized once, not per read). Call after
+    /// [`solve`](Solver::solve).
     pub fn least_solution(&mut self) -> LeastSolution {
         #[cfg(feature = "obs")]
         if let Some(rec) = self.obs() {
             rec.start(bane_obs::Phase::LeastSolution);
         }
-        let LeastParts { graph, fwd, order, form } = self.least_parts();
-        let n = graph.len();
+        // The snapshot lives on the solver so repeated passes reuse its
+        // buffers; taken out for the duration of the borrow of the parts.
+        let mut csr = std::mem::take(self.csr_snapshot_mut());
+        let parts = self.least_parts();
+        let LeastParts { graph: _, fwd, order, form } = parts;
+        let n = parts.graph.len();
         let mut rep: Vec<Var> = Vec::with_capacity(n);
         for i in 0..n {
             rep.push(fwd.find_const(Var::new(i)));
@@ -246,17 +376,21 @@ impl Solver {
         let mut acc: Vec<TermId> = Vec::new();
         let mut reps: Vec<Var> =
             (0..n).map(Var::new).filter(|&v| rep[v.index()] == v).collect();
+        if let Form::Inductive = form {
+            // Predecessor edges always point from smaller to larger order,
+            // so ascending order is a valid evaluation order.
+            reps.sort_by_key(|&v| order.key(v));
+        }
 
-        /// Sorts, dedups, and appends `acc` to the arena as `v`'s span.
-        fn commit(
-            acc: &mut Vec<TermId>,
-            arena: &mut Vec<TermId>,
-            spans: &mut [(u32, u32)],
-            v: Var,
-        ) {
-            acc.sort_unstable();
-            acc.dedup();
-            append(acc, arena, spans, v);
+        #[cfg(feature = "obs")]
+        if let Some(rec) = self.obs() {
+            rec.start(bane_obs::Phase::CsrBuild);
+        }
+        csr.build(&parts, &reps);
+        #[cfg(feature = "obs")]
+        if let Some(rec) = self.obs() {
+            rec.stop(bane_obs::Phase::CsrBuild);
+            rec.add(bane_obs::Counter::CsrBuilds, 1);
         }
 
         /// Appends already-sorted, already-distinct `set` as `v`'s span.
@@ -274,50 +408,36 @@ impl Solver {
 
         match form {
             Form::Standard => {
+                // Standard form's sets are exactly the frozen source rows
+                // (already sorted and distinct).
                 for &v in &reps {
-                    acc.clear();
-                    acc.extend_from_slice(graph.node(v).pred_srcs());
-                    commit(&mut acc, &mut arena, &mut spans, v);
+                    append(csr.srcs(v), &mut arena, &mut spans, v);
                 }
             }
             Form::Inductive => {
-                // Predecessor edges always point from smaller to larger
-                // order, so ascending order is a valid evaluation order.
-                reps.sort_by_key(|&v| order.key(v));
-                // Reusable per-variable buffers: the sorted own-source run,
-                // the canonical predecessor spans feeding this variable, and
-                // the ping-pong state of the pairwise merge.
-                let mut srcs: Vec<TermId> = Vec::new();
+                // Reusable per-variable buffers: the canonical predecessor
+                // spans feeding this variable and the ping-pong state of
+                // the pairwise merge.
                 let mut runs: Vec<(u32, u32)> = Vec::new();
                 let mut buf_b: Vec<TermId> = Vec::new();
                 let mut bounds_a: Vec<(u32, u32)> = Vec::new();
                 let mut bounds_b: Vec<(u32, u32)> = Vec::new();
                 for &v in &reps {
-                    srcs.clear();
-                    srcs.extend_from_slice(graph.node(v).pred_srcs());
-                    srcs.sort_unstable();
+                    let srcs = csr.srcs(v);
                     runs.clear();
-                    for &raw in graph.node(v).pred_vars() {
-                        let u = fwd.find_const(raw);
-                        if u == v {
-                            continue; // stale self edge from a collapse
-                        }
-                        debug_assert!(
-                            order.lt(u, v),
-                            "inductive invariant: pred edges decrease the order"
-                        );
+                    for &u in csr.preds(v) {
                         let span = spans[u.index()];
                         if span.1 > span.0 {
                             runs.push(span);
                         }
                     }
                     // The inputs are sorted runs (each span is sorted and
-                    // distinct; `srcs` is sorted and raw-distinct), so small
+                    // distinct, as is the frozen `srcs` row), so small
                     // arities merge linearly instead of re-sorting. The
                     // common cases by far are zero or one predecessor run.
                     match (srcs.is_empty(), runs.as_slice()) {
                         (true, []) => spans[v.index()] = (0, 0),
-                        (false, []) => append(&srcs, &mut arena, &mut spans, v),
+                        (false, []) => append(srcs, &mut arena, &mut spans, v),
                         (true, &[(s, e)]) => {
                             let start = u32::try_from(arena.len())
                                 .expect("least-solution arena overflow");
@@ -334,7 +454,7 @@ impl Solver {
                             let total = runs.len() + extra;
                             let input = |i: usize| -> &[TermId] {
                                 if i < extra {
-                                    &srcs
+                                    srcs
                                 } else {
                                     let (s, e) = runs[i - extra];
                                     &arena[s as usize..e as usize]
@@ -386,6 +506,8 @@ impl Solver {
             }
         }
         let result = LeastSolution { rep, arena, spans };
+        // Hand the warmed snapshot back to the solver for the next pass.
+        *self.csr_snapshot_mut() = csr;
         #[cfg(feature = "obs")]
         if let Some(rec) = self.obs() {
             let set_vars = result.spans.iter().filter(|(s, e)| e > s).count();
@@ -472,6 +594,85 @@ mod tests {
         let ls = s.least_solution();
         assert!(ls.is_empty());
         assert_eq!(ls.total_entries(), 0);
+    }
+
+    /// The frozen CSR rows must agree entry-for-entry with a canonicalizing
+    /// walk of the raw adjacency lists — including after collapses have
+    /// left stale self edges and aliased entries behind, which is exactly
+    /// what the snapshot exists to clean up once instead of per read.
+    #[test]
+    fn csr_snapshot_matches_adjacency_on_random_cyclic_systems() {
+        use bane_util::SplitMix64;
+        let mut csr = CsrSnapshot::new();
+        let (mut rep, mut layout) = (Vec::new(), Vec::new());
+        for config in [SolverConfig::sf_online(), SolverConfig::if_online()] {
+            let mut collapses = 0;
+            for seed in 0..4u64 {
+                let mut rng = SplitMix64::new(0xC5A0 + seed);
+                let mut s = Solver::new(config);
+                let n = 40;
+                let vs: Vec<Var> = (0..n).map(|_| s.fresh_var()).collect();
+                let mut ts = Vec::new();
+                for k in 0..6 {
+                    let c = s.register_nullary(format!("c{k}"));
+                    ts.push(s.term(c, vec![]));
+                }
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        if rng.next_bool(0.08) {
+                            s.add(vs[i], vs[j]);
+                        }
+                    }
+                }
+                // Back edges so collapses leave stale entries behind.
+                for _ in 0..10 {
+                    let a = rng.next_below(n as u64) as usize;
+                    let b = rng.next_below(n as u64) as usize;
+                    s.add(vs[a], vs[b]);
+                }
+                for (k, &t) in ts.iter().enumerate() {
+                    s.add(t, vs[(k * 5) % n]);
+                }
+                s.solve();
+                collapses += s.stats().cycles_collapsed;
+
+                let parts = s.least_parts();
+                parts.rep_map_into(&mut rep);
+                parts.layout_order_into(&rep, &mut layout);
+                csr.build(&parts, &layout);
+                let mut pred_total = 0;
+                for &v in &layout {
+                    let node = parts.graph.node(v);
+                    let mut srcs: Vec<TermId> = node.pred_srcs().to_vec();
+                    srcs.sort_unstable();
+                    srcs.dedup();
+                    assert_eq!(csr.srcs(v), srcs.as_slice(), "{config:?} src row");
+                    match parts.form {
+                        Form::Standard => {
+                            assert!(csr.preds(v).is_empty(), "SF builds no pred rows");
+                        }
+                        Form::Inductive => {
+                            let mut preds: Vec<Var> = node
+                                .pred_vars()
+                                .iter()
+                                .map(|&raw| parts.fwd.find_const(raw))
+                                .filter(|&u| u != v)
+                                .collect();
+                            preds.sort_unstable();
+                            preds.dedup();
+                            assert_eq!(
+                                csr.preds(v),
+                                preds.as_slice(),
+                                "{config:?} pred row"
+                            );
+                            pred_total += preds.len();
+                        }
+                    }
+                }
+                assert_eq!(csr.pred_entries(), pred_total, "{config:?} totals");
+            }
+            assert!(collapses > 0, "{config:?}: workload should collapse cycles");
+        }
     }
 
     /// Random chains: IF least solution equals SF's explicit one.

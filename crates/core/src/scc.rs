@@ -5,6 +5,8 @@
 //! constraint graph, which the oracle experiments use to pre-alias every
 //! variable to its component's witness.
 
+use bane_util::{EpochSetImpl, EpochStamp};
+
 /// The SCC decomposition of a directed graph over nodes `0..n`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SccResult {
@@ -45,21 +47,38 @@ impl SccResult {
     }
 }
 
-/// Reusable working storage for [`tarjan_with`].
+/// Reusable working storage for [`tarjan_with`], generic over the epoch
+/// stamp width (use the [`TarjanScratch`] alias unless testing wraparound).
 ///
 /// A periodic-elimination solver runs many SCC passes over the life of one
-/// resolution; keeping the DFS bookkeeping (index/lowlink marks, the Tarjan
-/// stack, and the explicit frame stack) in one long-lived scratch avoids
-/// re-allocating five `O(n)` vectors per pass. The scratch grows to the
-/// largest graph it has seen and stays there.
+/// resolution; keeping the DFS bookkeeping in one long-lived scratch avoids
+/// re-allocating five `O(n)` vectors per pass. Starting a pass is also O(1),
+/// not O(n): the "already discovered" test is an epoch-stamped visited set
+/// cleared by bumping its generation, the `index`/`lowlink` arrays are only
+/// ever read for nodes marked in the current generation (stale values from
+/// earlier passes are unreachable), and `on_stack` self-clears — every node
+/// pushed during a pass is popped with its flag reset before the pass ends.
+/// The scratch grows to the largest graph it has seen and stays there.
 #[derive(Clone, Debug, Default)]
-pub struct TarjanScratch {
+pub struct TarjanScratchImpl<E: EpochStamp = u32> {
+    visited: EpochSetImpl<E>,
     index: Vec<u32>,
     lowlink: Vec<u32>,
     on_stack: Vec<bool>,
     stack: Vec<u32>,
     /// Explicit DFS frames: (node, next child position).
     frames: Vec<(u32, usize)>,
+}
+
+/// The production Tarjan scratch: `u32` epoch stamps.
+pub type TarjanScratch = TarjanScratchImpl<u32>;
+
+impl<E: EpochStamp> TarjanScratchImpl<E> {
+    /// Number of physical wraparound resets of the visited set (feeds the
+    /// `epoch.resets` observability counter).
+    pub fn epoch_resets(&self) -> u64 {
+        self.visited.resets()
+    }
 }
 
 /// Computes SCCs of the graph with nodes `0..n` and adjacency `adj`
@@ -87,24 +106,30 @@ pub fn tarjan(n: usize, adj: &[Vec<u32>]) -> SccResult {
 }
 
 /// Like [`tarjan`], but reuses `scratch` for the DFS bookkeeping instead of
-/// allocating it per call.
-pub fn tarjan_with(scratch: &mut TarjanScratch, n: usize, adj: &[Vec<u32>]) -> SccResult {
+/// allocating it per call. Pass start is O(1) in the graph size — see
+/// [`TarjanScratchImpl`] for why no per-pass clearing is needed.
+pub fn tarjan_with<E: EpochStamp>(
+    scratch: &mut TarjanScratchImpl<E>,
+    n: usize,
+    adj: &[Vec<u32>],
+) -> SccResult {
     const UNSET: u32 = u32::MAX;
-    scratch.index.clear();
-    scratch.index.resize(n, UNSET);
-    scratch.lowlink.clear();
-    scratch.lowlink.resize(n, 0);
-    scratch.on_stack.clear();
-    scratch.on_stack.resize(n, false);
-    scratch.stack.clear();
-    scratch.frames.clear();
-    let TarjanScratch { index, lowlink, on_stack, stack: tarjan_stack, frames } = scratch;
+    scratch.visited.begin();
+    scratch.visited.grow(n);
+    if scratch.index.len() < n {
+        scratch.index.resize(n, 0);
+        scratch.lowlink.resize(n, 0);
+        scratch.on_stack.resize(n, false);
+    }
+    debug_assert!(scratch.stack.is_empty() && scratch.frames.is_empty());
+    let TarjanScratchImpl { visited, index, lowlink, on_stack, stack: tarjan_stack, frames } =
+        scratch;
     let mut comp_of = vec![UNSET; n];
     let mut components: Vec<Vec<u32>> = Vec::new();
     let mut next_index = 0u32;
 
     for root in 0..n as u32 {
-        if index[root as usize] != UNSET {
+        if !visited.mark(root as usize) {
             continue;
         }
         frames.push((root, 0));
@@ -123,7 +148,7 @@ pub fn tarjan_with(scratch: &mut TarjanScratch, n: usize, adj: &[Vec<u32>]) -> S
                 if v as usize >= n {
                     continue;
                 }
-                if index[v as usize] == UNSET {
+                if visited.mark(v as usize) {
                     // Tree edge: descend.
                     index[v as usize] = next_index;
                     lowlink[v as usize] = next_index;
@@ -273,5 +298,26 @@ mod tests {
             let reused = tarjan_with(&mut scratch, adj.len(), adj);
             assert_eq!(fresh, reused);
         }
+        assert_eq!(scratch.epoch_resets(), 0, "u32 stamps never wrap here");
+    }
+
+    /// 300 passes over `u8` epoch stamps force the wraparound reset (at pass
+    /// 256); every pass must still match a fresh run, and the reset must be
+    /// counted.
+    #[test]
+    fn tiny_epoch_scratch_survives_wraparound() {
+        let mut scratch: TarjanScratchImpl<u8> = TarjanScratchImpl::default();
+        let graphs: Vec<Vec<Vec<u32>>> = vec![
+            vec![vec![1], vec![2], vec![0], vec![0]],
+            vec![vec![1, 2], vec![2], vec![]],
+            vec![vec![1], vec![0], vec![3], vec![2], vec![]],
+        ];
+        for pass in 0..300 {
+            let adj = &graphs[pass % graphs.len()];
+            let fresh = tarjan(adj.len(), adj);
+            let reused = tarjan_with(&mut scratch, adj.len(), adj);
+            assert_eq!(fresh, reused, "pass {pass} diverged after epoch wrap");
+        }
+        assert_eq!(scratch.epoch_resets(), 1, "u8 epochs wrap once in 300 passes");
     }
 }

@@ -37,7 +37,7 @@
 
 use bane_util::idx::Idx;
 use crate::cons::{Con, ConRegistry, Variance};
-use crate::cycle::{ChainDir, ChainSearch, CycleSweep, SfSearchPolicy, StepOrder};
+use crate::cycle::{ChainDir, ChainSearch, CycleSweep, SearchMemo, SfSearchPolicy, StepOrder};
 use crate::error::Inconsistency;
 use crate::expr::{SetExpr, TermArena, TermData, TermId, Var};
 use crate::forward::Forwarding;
@@ -239,6 +239,7 @@ pub struct Solver {
     fwd: Forwarding,
     order: VarOrder,
     search: ChainSearch,
+    memo: SearchMemo,
     pending: VecDeque<(SetExpr, SetExpr)>,
     // Reusable buffers: steady-state resolution must not allocate per
     // processed constraint, so the cycle path, the collapse member list, and
@@ -247,6 +248,9 @@ pub struct Solver {
     path_buf: Vec<Var>,
     members_buf: Vec<Var>,
     cycle_sweep: CycleSweep,
+    /// Frozen CSR view of the solved graph, rebuilt by each least-solution
+    /// pass; kept on the solver so repeated passes reuse its buffers.
+    csr: crate::least::CsrSnapshot,
     stats: Stats,
     errors: Vec<Inconsistency>,
     one_term: TermId,
@@ -337,10 +341,12 @@ impl Solver {
             fwd: Forwarding::new(),
             order: VarOrder::new(config.order),
             search: ChainSearch::new(1024),
+            memo: SearchMemo::new(),
             pending: VecDeque::new(),
             path_buf: Vec::new(),
             members_buf: Vec::new(),
             cycle_sweep: CycleSweep::default(),
+            csr: crate::least::CsrSnapshot::new(),
             stats: Stats::default(),
             errors: Vec::new(),
             one_term,
@@ -422,6 +428,12 @@ impl Solver {
         rec.set(bane_obs::Counter::CensusLiveVars, counts.live_vars as u64);
         let promotions = self.graph.promotions();
         rec.set(bane_obs::Counter::AdjPromotions, promotions.len() as u64);
+        rec.set(bane_obs::Counter::SearchMemoHit, self.memo.hits());
+        rec.set(bane_obs::Counter::SearchMemoMiss, self.memo.misses());
+        rec.set(
+            bane_obs::Counter::EpochResets,
+            self.search.epoch_resets() + self.cycle_sweep.epoch_resets(),
+        );
         for p in &promotions[self.promotions_reported..] {
             rec.emit(Event::ListPromoted { node: p.node.raw(), kind: p.kind.name() });
         }
@@ -432,6 +444,21 @@ impl Solver {
     /// The configuration this solver runs under.
     pub fn config(&self) -> &SolverConfig {
         &self.config
+    }
+
+    /// Enables or disables negative cycle-search memoization (on by
+    /// default). Memo hits replay the exact stats of the search they skip,
+    /// so every paper-observable counter is identical either way — pinned by
+    /// the census-equivalence test — making this purely an operational kill
+    /// switch (and the lever that test uses).
+    pub fn set_search_memo_enabled(&mut self, enabled: bool) {
+        self.memo.set_enabled(enabled);
+    }
+
+    /// Cumulative `(hits, misses)` of the negative-search memo (also
+    /// published as the `search.memo.hit` / `search.memo.miss` counters).
+    pub fn search_memo_counts(&self) -> (u64, u64) {
+        (self.memo.hits(), self.memo.misses())
     }
 
     /// Registers a constructor with explicit argument variances.
@@ -780,7 +807,8 @@ impl Solver {
         let mut path = std::mem::take(&mut self.path_buf);
         #[cfg(feature = "obs")]
         self.obs_start(Phase::CycleDetect);
-        let found = self.search.search(
+        let found = self.memo.search(
+            &mut self.search,
             &self.graph,
             &self.fwd,
             &self.order,
@@ -1023,6 +1051,12 @@ impl Solver {
             order: &self.order,
             form: self.config.form,
         }
+    }
+
+    /// The solver-owned CSR snapshot buffer the least-solution pass loans
+    /// out with `mem::take` (borrow splitting against `least_parts`).
+    pub(crate) fn csr_snapshot_mut(&mut self) -> &mut crate::least::CsrSnapshot {
+        &mut self.csr
     }
 
     /// Decomposes the solver into its owned engine parts.
@@ -1638,5 +1672,91 @@ mod incremental_tests {
         let work = s.stats().work;
         s.solve();
         assert_eq!(s.stats().work, work);
+    }
+}
+
+#[cfg(test)]
+mod memo_tests {
+    use super::*;
+    use bane_util::SplitMix64;
+
+    const N: usize = 40;
+
+    /// Feeds an identical random constraint stream (dense enough to collapse
+    /// cycles mid-solve, plus a source to make the least solution
+    /// non-trivial) to one solver, in several incremental waves.
+    fn run_one(config: SolverConfig, seed: u64, memo: bool) -> (Solver, Vec<Var>) {
+        let mut s = Solver::new(config);
+        s.set_search_memo_enabled(memo);
+        let c = s.register_nullary("c");
+        let src = s.term(c, vec![]);
+        let vs: Vec<Var> = (0..N).map(|_| s.fresh_var()).collect();
+        let mut rng = SplitMix64::new(seed);
+        for wave in 0..4 {
+            if wave == 0 {
+                s.add(src, vs[0]);
+            }
+            for _ in 0..60 {
+                let a = vs[rng.next_below(N as u64) as usize];
+                let b = vs[rng.next_below(N as u64) as usize];
+                s.add(a, b);
+            }
+            s.solve();
+        }
+        (s, vs)
+    }
+
+    /// The work-counter-identical census pin: memoization must not change a
+    /// single paper observable — [`Stats`] (including every search
+    /// counter), the graph census, and the least solution — even across
+    /// collapses mid-solve (which is precisely what the revision
+    /// invalidation has to get exactly right).
+    #[test]
+    fn memo_on_and_off_produce_identical_observables() {
+        for config in configs_under_test() {
+            for seed in [0xBEEF, 0xA11CE, 7] {
+                let (mut on, vs) = run_one(config, seed, true);
+                let (mut off, _) = run_one(config, seed, false);
+                assert_eq!(on.stats(), off.stats(), "{config:?} seed {seed:#x}");
+                assert_eq!(on.census(), off.census(), "{config:?} seed {seed:#x}");
+                let (hits, misses) = on.search_memo_counts();
+                assert_eq!(off.search_memo_counts(), (0, 0), "disabled memo counts nothing");
+                assert_eq!(
+                    hits + misses,
+                    on.stats().search.searches,
+                    "every search was routed through the memo, {config:?}"
+                );
+                let ls_on = on.least_solution();
+                let ls_off = off.least_solution();
+                for &v in &vs {
+                    let (a, b) = (on.find(v), off.find(v));
+                    assert_eq!(a, b, "{config:?} seed {seed:#x}");
+                    assert_eq!(ls_on.get(a), ls_off.get(b), "{config:?} seed {seed:#x}");
+                }
+            }
+        }
+    }
+
+    fn configs_under_test() -> Vec<SolverConfig> {
+        vec![SolverConfig::sf_online(), SolverConfig::if_online()]
+    }
+
+    /// In the sequential solver a same-key search can essentially never
+    /// repeat (the redundancy check fires first, and every non-redundant
+    /// search is immediately followed by an insert or a collapse — both
+    /// revision bumps). This test pins that structural property: across a
+    /// collapse-heavy run every memo probe is a miss, so the memo is pure
+    /// bookkeeping here and the hits the BENCH_5 table reports come from
+    /// `bane-par`'s frozen scan phase. If this ever starts failing with
+    /// hits > 0, the revision invalidation — not this test — is the thing
+    /// to re-audit (a sequential hit would mean a search repeated with *no*
+    /// intervening insert or collapse).
+    #[test]
+    fn sequential_memo_probes_all_miss_across_collapses() {
+        let (s, _) = run_one(SolverConfig::if_online(), 0xD1CE, true);
+        let (hits, misses) = s.search_memo_counts();
+        assert_eq!(hits, 0, "sequential same-key repeats are structurally impossible");
+        assert_eq!(misses, s.stats().search.searches);
+        assert!(s.stats().vars_eliminated > 0, "the run did collapse cycles mid-solve");
     }
 }

@@ -138,5 +138,11 @@ fn least_solution_publishes_its_counters() {
     let rec = solver.obs().expect("recording is enabled");
     assert!(rec.get(Counter::LsSetVars) >= 1);
     assert!(rec.get(Counter::LsEntries) >= rec.get(Counter::LsSetVars));
+    assert_eq!(rec.get(Counter::CsrBuilds), 1, "one CSR freeze per least pass");
     assert!(report.phase("least-solution").is_some());
+    assert!(report.phase("csr-build").is_some());
+    // A second pass freezes a second snapshot (into the same warm buffers).
+    solver.least_solution();
+    let rec = solver.obs().expect("recording is enabled");
+    assert_eq!(rec.get(Counter::CsrBuilds), 2);
 }

@@ -111,11 +111,24 @@ pub enum Counter {
     /// Periodic cycle sweeps run at batch round boundaries
     /// (`CycleElim::Periodic` under the frontier engine).
     ParBatchSweeps = 30,
+
+    // -- search-kernel overhaul (DESIGN.md §4d) ---------------------------
+    /// Bounded cycle searches answered from the negative-verdict memo
+    /// without traversal.
+    SearchMemoHit = 31,
+    /// Bounded cycle searches that ran a live traversal (memo miss or memo
+    /// disabled/invalidated).
+    SearchMemoMiss = 32,
+    /// Physical wraparound resets of epoch-stamped visited sets (once per
+    /// 2^32 generations per set; expected 0 on real runs).
+    EpochResets = 33,
+    /// CSR snapshots built for the least-solution kernel.
+    CsrBuilds = 34,
 }
 
 impl Counter {
     /// Number of registered counters.
-    pub const COUNT: usize = 31;
+    pub const COUNT: usize = 35;
 
     /// Every counter, in canonical report order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -150,6 +163,10 @@ impl Counter {
         Counter::ParCommitBroadcasts,
         Counter::ParBatchFull,
         Counter::ParBatchSweeps,
+        Counter::SearchMemoHit,
+        Counter::SearchMemoMiss,
+        Counter::EpochResets,
+        Counter::CsrBuilds,
     ];
 
     /// The stable dotted name used in reports and JSON.
@@ -186,6 +203,10 @@ impl Counter {
             Counter::ParCommitBroadcasts => "par.commit.broadcasts",
             Counter::ParBatchFull => "par.batch.full",
             Counter::ParBatchSweeps => "par.batch.sweeps",
+            Counter::SearchMemoHit => "search.memo.hit",
+            Counter::SearchMemoMiss => "search.memo.miss",
+            Counter::EpochResets => "epoch.resets",
+            Counter::CsrBuilds => "csr.build",
         }
     }
 

@@ -66,11 +66,14 @@ pub enum Phase {
     /// executed inside a single pool dispatch (`bane-par` batching).
     /// Encloses the per-round `ParScan`/`ParCommit` attributions.
     ParBatch = 11,
+    /// Freezing the post-closure graph into the CSR least-solution snapshot
+    /// (DESIGN.md §4d). Nested inside `LeastSolution`/`ParLeast`.
+    CsrBuild = 12,
 }
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 13;
 
     /// Every phase, in canonical report order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -86,6 +89,7 @@ impl Phase {
         Phase::ParCommit,
         Phase::ParLeast,
         Phase::ParBatch,
+        Phase::CsrBuild,
     ];
 
     /// The stable name used in reports and JSON.
@@ -103,6 +107,7 @@ impl Phase {
             Phase::ParCommit => "par-commit",
             Phase::ParLeast => "par-least",
             Phase::ParBatch => "par-batch",
+            Phase::CsrBuild => "csr-build",
         }
     }
 

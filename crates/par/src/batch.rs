@@ -91,6 +91,10 @@ pub(crate) struct BatchOutcome {
     pub ran_full: bool,
     /// Whether the work bound was exceeded (the engine must stop).
     pub work_exceeded: bool,
+    /// The largest frontier any committed round in this batch consumed
+    /// (0 when no round ran). Feeds the adaptive-`K` policy: small rounds
+    /// are dominated by dispatch overhead and reward deeper batching.
+    pub max_round_len: usize,
     /// Captured phase timings (empty unless `timing`).
     pub telemetry: BatchTelemetry,
 }
@@ -104,6 +108,7 @@ struct BatchCore<'a> {
     next_sweep_at: &'a mut u64,
     rounds_run: u64,
     work_exceeded: bool,
+    max_round_len: usize,
     telemetry: BatchTelemetry,
 }
 
@@ -127,6 +132,7 @@ impl BatchCore<'_> {
             c.add(Counter::ParProposals, self.frontier.len() as u64);
         }
         self.rounds_run += 1;
+        self.max_round_len = self.max_round_len.max(self.frontier.len());
         self.committer.begin_round();
         let mut committed = 0u64;
         for shard in shards.iter().take(threads) {
@@ -211,6 +217,7 @@ pub(crate) fn run_batch(args: BatchArgs<'_>) -> BatchOutcome {
         next_sweep_at,
         rounds_run: 0,
         work_exceeded: false,
+        max_round_len: 0,
         telemetry: BatchTelemetry::default(),
     });
     let barrier = Barrier::new(threads);
@@ -256,6 +263,7 @@ pub(crate) fn run_batch(args: BatchArgs<'_>) -> BatchOutcome {
         rounds_run: core.rounds_run,
         ran_full: core.rounds_run == batch_rounds as u64,
         work_exceeded: core.work_exceeded,
+        max_round_len: core.max_round_len,
         telemetry: core.telemetry,
     }
 }

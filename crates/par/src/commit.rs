@@ -31,7 +31,7 @@
 //! metric), collapses, inconsistency list, and final graph reproduce exactly
 //! at any thread count. See `docs/PARALLELISM.md` for the full argument.
 
-use bane_core::cycle::{ChainDir, ChainSearch, CycleSweep, StepOrder};
+use bane_core::cycle::{ChainDir, ChainSearch, CycleSweep, SearchMemo, StepOrder};
 use bane_core::expr::SetExpr;
 use bane_core::graph::Insert;
 use bane_core::solver::{CycleElim, EngineParts, Form};
@@ -45,6 +45,12 @@ use crate::shard::Proposal;
 #[derive(Debug, Default)]
 pub(crate) struct Committer {
     search: ChainSearch,
+    /// Negative-verdict memo for live re-validation searches. Commit-order
+    /// searches rarely repeat a key (each is followed by an insert or a
+    /// collapse, exactly like the sequential solver), so this is mostly
+    /// bookkeeping — the hits live in the scan-phase memos — but routing
+    /// through it keeps the commit path on the same audited code path.
+    memo: SearchMemo,
     path_buf: Vec<Var>,
     members_buf: Vec<Var>,
     /// Tarjan scratch for batch-boundary periodic sweeps.
@@ -59,6 +65,22 @@ impl Committer {
     /// Resets the per-round staleness tracking.
     pub fn begin_round(&mut self) {
         self.varvar_inserts = 0;
+    }
+
+    /// Cumulative `(hits, misses)` of the commit-phase memo.
+    pub fn memo_counts(&self) -> (u64, u64) {
+        (self.memo.hits(), self.memo.misses())
+    }
+
+    /// Enables or disables the commit-phase memo.
+    pub fn set_memo_enabled(&mut self, enabled: bool) {
+        self.memo.set_enabled(enabled);
+    }
+
+    /// Physical epoch wraparound resets across this committer's live-search
+    /// and sweep scratches.
+    pub fn epoch_resets(&self) -> u64 {
+        self.search.epoch_resets() + self.sweep.epoch_resets()
     }
 
     /// One offline elimination pass at a round boundary — the frontier
@@ -256,7 +278,8 @@ impl Committer {
         let (graph, fwd, order) = (&parts.graph, &parts.fwd, &parts.order);
         let stats = &mut parts.stats.search;
         if as_pred {
-            return self.search.search(
+            return self.memo.search(
+                &mut self.search,
                 graph,
                 fwd,
                 order,
@@ -269,7 +292,8 @@ impl Committer {
             );
         }
         match parts.config.form {
-            Form::Inductive => self.search.search(
+            Form::Inductive => self.memo.search(
+                &mut self.search,
                 graph,
                 fwd,
                 order,
@@ -282,7 +306,8 @@ impl Committer {
             ),
             Form::Standard => {
                 for &step in parts.config.sf_chain.steps() {
-                    if self.search.search(
+                    if self.memo.search(
+                        &mut self.search,
                         graph,
                         fwd,
                         order,

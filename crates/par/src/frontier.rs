@@ -52,6 +52,39 @@ use crate::commit::Committer;
 use crate::least::ParLeast;
 use crate::shard::ShardScratch;
 
+/// Frontier sizes at or below this reward deeper batching: a round this
+/// small is dominated by dispatch overhead, so [`BatchRounds::Auto`] grows
+/// `K` while every committed round in a batch stays within it.
+pub const AUTO_SMALL_ROUND: usize = 32;
+
+/// Upper bound on the `K` [`BatchRounds::Auto`] will grow to.
+pub const AUTO_MAX_BATCH_ROUNDS: usize = 64;
+
+/// How many rounds one pool dispatch (batch) may run.
+///
+/// Every observable output — stats, census, inconsistencies, the least
+/// solution, even the round sequence — is independent of `K` (pinned by the
+/// determinism tests), so the policy is purely an overhead dial.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchRounds {
+    /// Batch exactly `K` rounds per dispatch (clamped to at least 1;
+    /// 1 restores unbatched behavior).
+    Fixed(usize),
+    /// Adapt per batch: start unbatched, then double `K` (capped at
+    /// [`AUTO_MAX_BATCH_ROUNDS`]) after every batch whose committed rounds
+    /// all stayed at or below [`AUTO_SMALL_ROUND`] frontier items — the
+    /// regime where dispatch overhead dominates. A batch that commits a
+    /// wider round resets `K` to 1, keeping large frontiers responsive to
+    /// the parallel scan.
+    Auto,
+}
+
+impl From<usize> for BatchRounds {
+    fn from(k: usize) -> Self {
+        BatchRounds::Fixed(k.max(1))
+    }
+}
+
 /// A parallel, deterministic constraint-resolution engine.
 ///
 /// Construct one from a [`Solver`] carrying generated constraints, from a
@@ -83,7 +116,10 @@ use crate::shard::ShardScratch;
 pub struct FrontierSolver {
     parts: EngineParts,
     threads: usize,
-    batch_rounds: usize,
+    batch_rounds: BatchRounds,
+    /// The effective `K` of the next batch under [`BatchRounds::Auto`]
+    /// (always 1 under `Fixed`, where it is unused).
+    auto_k: usize,
     frontier: Vec<(SetExpr, SetExpr)>,
     next: Vec<(SetExpr, SetExpr)>,
     shards: Vec<Mutex<ShardScratch>>,
@@ -124,7 +160,8 @@ impl FrontierSolver {
         FrontierSolver {
             parts,
             threads,
-            batch_rounds: 1,
+            batch_rounds: BatchRounds::Fixed(1),
+            auto_k: 1,
             frontier,
             next: Vec::new(),
             shards: (0..threads).map(|_| Mutex::new(ShardScratch::default())).collect(),
@@ -152,18 +189,30 @@ impl FrontierSolver {
             .resize_with(self.threads, || Mutex::new(ShardScratch::default()));
     }
 
-    /// Maximum rounds per batch (`K`).
+    /// Maximum rounds the *next* batch may run (`K`): the fixed value, or
+    /// the current adaptive `K` under [`BatchRounds::Auto`].
     pub fn batch_rounds(&self) -> usize {
+        match self.batch_rounds {
+            BatchRounds::Fixed(k) => k.max(1),
+            BatchRounds::Auto => self.auto_k,
+        }
+    }
+
+    /// The batching policy in effect.
+    pub fn batch_policy(&self) -> BatchRounds {
         self.batch_rounds
     }
 
-    /// Sets the maximum rounds one batch may run inside a single pool
-    /// dispatch (clamped to at least 1; 1 restores unbatched behavior).
+    /// Sets how many rounds one batch may run inside a single pool
+    /// dispatch: a plain `usize` for a fixed `K` (1 restores unbatched
+    /// behavior), or [`BatchRounds::Auto`] to let the engine grow `K`
+    /// while committed rounds stay small. Resets the adaptive state.
     ///
     /// Batching only amortizes dispatch overhead — every observable output
-    /// is independent of `K`.
-    pub fn set_batch_rounds(&mut self, batch_rounds: usize) {
-        self.batch_rounds = batch_rounds.max(1);
+    /// is independent of `K`, fixed or adaptive.
+    pub fn set_batch_rounds(&mut self, batch_rounds: impl Into<BatchRounds>) {
+        self.batch_rounds = batch_rounds.into();
+        self.auto_k = 1;
     }
 
     /// Rounds executed so far.
@@ -179,48 +228,8 @@ impl FrontierSolver {
     }
 
     // ------------------------------------------------------------------
-    // Constraint building — deprecated mirrors of `ConstraintBuilder`
+    // Resolution
     // ------------------------------------------------------------------
-
-    /// Registers a constructor with explicit argument variances.
-    #[deprecated(note = "use the `bane_core::ConstraintBuilder` trait")]
-    pub fn register_con(&mut self, name: impl Into<String>, variances: Vec<Variance>) -> Con {
-        ConstraintBuilder::register_con(self, name, variances)
-    }
-
-    /// Registers a nullary (constant) constructor.
-    #[deprecated(note = "use the `bane_core::ConstraintBuilder` trait")]
-    pub fn register_nullary(&mut self, name: impl Into<String>) -> Con {
-        ConstraintBuilder::register_nullary(self, name)
-    }
-
-    /// Interns the term `con(args…)`.
-    #[deprecated(note = "use the `bane_core::ConstraintBuilder` trait")]
-    pub fn term(&mut self, con: Con, args: Vec<SetExpr>) -> TermId {
-        ConstraintBuilder::term(self, con, args)
-    }
-
-    /// Creates a fresh set variable.
-    #[deprecated(note = "use the `bane_core::ConstraintBuilder` trait")]
-    pub fn fresh_var(&mut self) -> Var {
-        ConstraintBuilder::fresh_var(self)
-    }
-
-    /// Adds the constraint `lhs ⊆ rhs` to the next frontier.
-    #[deprecated(note = "use the `bane_core::ConstraintBuilder` trait")]
-    pub fn add(&mut self, lhs: impl Into<SetExpr>, rhs: impl Into<SetExpr>) {
-        ConstraintBuilder::add(self, lhs, rhs)
-    }
-
-    // ------------------------------------------------------------------
-    // Resolution — deprecated mirrors of `Engine`
-    // ------------------------------------------------------------------
-
-    /// Resolves all pending constraints to closure, round by round.
-    #[deprecated(note = "use the `bane_core::Engine` trait")]
-    pub fn solve(&mut self) {
-        Engine::solve(self)
-    }
 
     /// The shared solve loop: batches until the frontier drains or the work
     /// bound trips. Returns whether resolution finished.
@@ -243,6 +252,7 @@ impl FrontierSolver {
         let timing = self.obs.is_some();
         let counters = self.obs.as_deref().map(|r| r.counters());
         let t0 = timing.then(Instant::now);
+        let batch_rounds = self.batch_rounds();
         let outcome = run_batch(BatchArgs {
             parts: &mut self.parts,
             frontier: &mut self.frontier,
@@ -250,7 +260,7 @@ impl FrontierSolver {
             shards: &self.shards,
             committer: &mut self.committer,
             threads: self.threads,
-            batch_rounds: self.batch_rounds,
+            batch_rounds,
             max_work,
             next_sweep_at: &mut self.next_sweep_at,
             counters,
@@ -258,6 +268,17 @@ impl FrontierSolver {
         });
         self.rounds += outcome.rounds_run;
         self.batches += 1;
+        if let BatchRounds::Auto = self.batch_rounds {
+            // Deepen while every committed round stayed small (dispatch
+            // overhead dominates); reset on a wide round so large frontiers
+            // go back to one parallel scan per dispatch. `K` only affects
+            // how rounds are grouped, never what any round computes.
+            self.auto_k = if outcome.max_round_len <= AUTO_SMALL_ROUND {
+                (self.auto_k * 2).min(AUTO_MAX_BATCH_ROUNDS)
+            } else {
+                1
+            };
+        }
         if let Some(rec) = self.obs.as_deref() {
             rec.add(Counter::ParCommitBroadcasts, 1);
             if outcome.ran_full {
@@ -283,30 +304,6 @@ impl FrontierSolver {
     // Inspection
     // ------------------------------------------------------------------
 
-    /// The representative of `v` after collapses (with path compression).
-    #[deprecated(note = "use the `bane_core::Engine` trait")]
-    pub fn find(&mut self, v: Var) -> Var {
-        Engine::find(self, v)
-    }
-
-    /// Accumulated statistics (deterministic across thread counts).
-    #[deprecated(note = "use the `bane_core::Engine` trait")]
-    pub fn stats(&self) -> &Stats {
-        Engine::stats(self)
-    }
-
-    /// Inconsistencies recorded during resolution.
-    #[deprecated(note = "use the `bane_core::Engine` trait")]
-    pub fn inconsistencies(&self) -> &[Inconsistency] {
-        Engine::inconsistencies(self)
-    }
-
-    /// Distinct canonical edge counts of the solved graph.
-    #[deprecated(note = "use the `bane_core::Engine` trait")]
-    pub fn census(&self) -> GraphCensus {
-        Engine::census(self)
-    }
-
     /// Live (non-collapsed) variable count.
     pub fn live_vars(&self) -> usize {
         self.parts.fwd.reps().count()
@@ -315,14 +312,6 @@ impl FrontierSolver {
     /// Number of variable nodes ever created.
     pub fn graph_len(&self) -> usize {
         self.parts.graph.len()
-    }
-
-    /// The least solution of the solved system, computed by the
-    /// SCC-level-parallel evaluator on this engine's thread count.
-    /// Byte-identical to the sequential pass over the same graph.
-    #[deprecated(note = "use the `bane_core::Engine` trait")]
-    pub fn least_solution(&mut self) -> LeastSolution {
-        Engine::least_solution(self)
     }
 
     /// Decomposes the engine back into its parts (e.g. to continue on a
@@ -348,12 +337,50 @@ impl FrontierSolver {
         self.obs.as_deref()
     }
 
+    /// Cumulative `(hits, misses)` across the scan-phase (per-shard) and
+    /// commit-phase negative-search memos. Unlike every [`Stats`] field,
+    /// these counts are *telemetry*, not paper observables: which duplicate
+    /// frontier items share a shard depends on the chunking, so the split
+    /// between hits and misses may vary with the thread count even though
+    /// the replayed search stats are byte-identical.
+    pub fn search_memo_counts(&self) -> (u64, u64) {
+        let (mut hits, mut misses) = self.committer.memo_counts();
+        for shard in &self.shards {
+            let s = shard.lock().unwrap();
+            hits += s.memo.hits();
+            misses += s.memo.misses();
+        }
+        (hits, misses)
+    }
+
+    /// Enables or disables negative-search memoization in every shard and
+    /// the committer (on by default; purely an operational kill switch —
+    /// all paper observables are identical either way).
+    pub fn set_search_memo_enabled(&mut self, enabled: bool) {
+        self.committer.set_memo_enabled(enabled);
+        for shard in &self.shards {
+            shard.lock().unwrap().memo.set_enabled(enabled);
+        }
+    }
+
+    /// Physical epoch wraparound resets across every search scratch the
+    /// engine owns (shards, committer, sweep). Feeds `epoch.resets`.
+    pub fn epoch_resets(&self) -> u64 {
+        let mut resets = self.committer.epoch_resets();
+        for shard in &self.shards {
+            resets += shard.lock().unwrap().search.epoch_resets();
+        }
+        resets
+    }
+
     /// Publishes the engine's stats into the counter registry and snapshots
     /// a labeled [`RunReport`]. Returns `None` without
     /// [`enable_obs`](FrontierSolver::enable_obs).
     pub fn run_report(&mut self, label: &str) -> Option<RunReport> {
         let census = self.parts.graph.census(&self.parts.fwd);
         let live = self.live_vars();
+        let (memo_hits, memo_misses) = self.search_memo_counts();
+        let epoch_resets = self.epoch_resets();
         let rec = self.obs.as_deref()?;
         let s = &self.parts.stats;
         rec.set(Counter::ConstraintsAdded, s.constraints_added);
@@ -373,6 +400,9 @@ impl FrontierSolver {
         rec.set(Counter::ErrorsInconsistencies, s.inconsistencies);
         rec.set(Counter::CensusEdges, census.total_edges() as u64);
         rec.set(Counter::CensusLiveVars, live as u64);
+        rec.set(Counter::SearchMemoHit, memo_hits);
+        rec.set(Counter::SearchMemoMiss, memo_misses);
+        rec.set(Counter::EpochResets, epoch_resets);
         Some(rec.report(label))
     }
 }
@@ -662,6 +692,50 @@ mod tests {
         }
     }
 
+    /// `BatchRounds::Auto` on a long chain — every round past the first
+    /// carries a handful of items, exactly the regime Auto targets: `K`
+    /// must grow, dispatches must amortize below one per round, and every
+    /// observable must match the fixed `K = 1` run.
+    #[test]
+    fn auto_batching_grows_k_without_observable_drift() {
+        let build = |rounds: BatchRounds| {
+            let mut f = FrontierSolver::new(SolverConfig::if_online(), 2);
+            f.set_batch_rounds(rounds);
+            let vs: Vec<Var> =
+                (0..64).map(|_| ConstraintBuilder::fresh_var(&mut f)).collect();
+            let c = ConstraintBuilder::register_nullary(&mut f, "c");
+            let src = ConstraintBuilder::term(&mut f, c, vec![]);
+            ConstraintBuilder::add(&mut f, src, vs[0]);
+            for i in 0..63 {
+                ConstraintBuilder::add(&mut f, vs[i], vs[i + 1]);
+            }
+            Engine::solve(&mut f);
+            f
+        };
+        let mut fixed = build(BatchRounds::Fixed(1));
+        let mut auto = build(BatchRounds::Auto);
+        assert_eq!(auto.batch_policy(), BatchRounds::Auto);
+        assert_eq!(Engine::stats(&auto), Engine::stats(&fixed), "stats");
+        assert_eq!(Engine::census(&auto), Engine::census(&fixed), "census");
+        assert_eq!(auto.rounds(), fixed.rounds(), "round sequence is K-invariant");
+        assert_eq!(
+            Engine::least_solution(&mut auto),
+            Engine::least_solution(&mut fixed),
+            "least solution"
+        );
+        assert_eq!(fixed.batches(), fixed.rounds(), "K = 1: one dispatch per round");
+        assert!(
+            auto.batches() < auto.rounds(),
+            "Auto must deepen batches on small rounds ({} vs {})",
+            auto.batches(),
+            auto.rounds()
+        );
+        assert!(auto.batch_rounds() > 1, "adaptive K grew past 1");
+        // `From<usize>` keeps the plain-integer call sites working.
+        auto.set_batch_rounds(3);
+        assert_eq!(auto.batch_policy(), BatchRounds::Fixed(3));
+    }
+
     #[test]
     fn solve_limited_stops_at_the_work_bound() {
         let mut f = FrontierSolver::new(SolverConfig::if_online(), 2);
@@ -671,24 +745,6 @@ mod tests {
         let mut g = FrontierSolver::new(SolverConfig::if_online(), 2);
         let _ = build_chain(&mut g);
         assert!(Engine::solve_limited(&mut g, u64::MAX));
-    }
-
-    /// The deprecated inherent mirrors still delegate to the trait impls.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_inherent_mirrors_still_work() {
-        let mut f = FrontierSolver::new(SolverConfig::if_online(), 2);
-        let c = f.register_nullary("c");
-        let src = f.term(c, vec![]);
-        let (x, y) = (f.fresh_var(), f.fresh_var());
-        f.add(src, x);
-        f.add(x, y);
-        f.solve();
-        assert!(f.inconsistencies().is_empty());
-        assert_eq!(f.census().total_edges(), f.census().total_edges());
-        assert!(f.stats().work > 0);
-        let yr = f.find(y);
-        assert_eq!(f.least_solution().get(yr), &[src]);
     }
 
     #[test]
@@ -721,5 +777,87 @@ mod tests {
         assert_eq!(Engine::stats(&f).constraints_added, 3);
         let parts = f.into_parts();
         assert_eq!(parts.config.form, Form::Inductive);
+    }
+
+    /// Builds the workload where scan-phase memo hits genuinely occur:
+    /// duplicate var-var constraints landing in one round each repeat the
+    /// same frozen search, and a cycle collapsing mid-run exercises the
+    /// revision invalidation against live commits.
+    fn build_dup_heavy<B: ConstraintBuilder>(f: &mut B) -> Vec<Var> {
+        let c = f.register_nullary("c");
+        let src = f.term(c, vec![]);
+        let vs: Vec<Var> = (0..12).map(|_| f.fresh_var()).collect();
+        f.add(src, vs[0]);
+        for round in 0..3 {
+            for i in 0..11 {
+                // The same chain edge four times: within the first round the
+                // frozen graph never contains it, so every duplicate after
+                // the first repeats an identical (negative) frozen search.
+                for _ in 0..4 {
+                    f.add(vs[i], vs[i + 1]);
+                }
+            }
+            let _ = round;
+        }
+        // Close a cycle over the tail so a collapse invalidates verdicts.
+        f.add(vs[11], vs[6]);
+        vs
+    }
+
+    /// Scan-phase memo hits occur on duplicate frontier items, and every
+    /// paper observable (stats, census, least solution) is byte-identical
+    /// with the memo disabled — at multiple thread counts, across a
+    /// mid-solve collapse.
+    #[test]
+    fn scan_memo_hits_without_observable_drift() {
+        use bane_core::order::OrderPolicy;
+        // Creation order makes the tail cycle's detection deterministic in
+        // inductive form (the decreasing pred walk follows the chain).
+        let configs = [
+            SolverConfig { order: OrderPolicy::Creation, ..SolverConfig::sf_online() },
+            SolverConfig { order: OrderPolicy::Creation, ..SolverConfig::if_online() },
+        ];
+        for config in configs {
+            let mut reference = None;
+            let mut saw_hits = false;
+            for threads in [1usize, 2, 4] {
+                for enabled in [true, false] {
+                    let mut f = FrontierSolver::new(config, threads);
+                    f.set_search_memo_enabled(enabled);
+                    let vs = build_dup_heavy(&mut f);
+                    Engine::solve(&mut f);
+                    if config.form == Form::Inductive {
+                        assert!(Engine::stats(&f).cycles_collapsed >= 1, "{config:?}");
+                    }
+                    let (hits, misses) = f.search_memo_counts();
+                    if enabled {
+                        saw_hits |= hits > 0;
+                        assert_eq!(
+                            hits + misses,
+                            Engine::stats(&f).search.searches,
+                            "every search routed through a memo, {config:?} threads {threads}"
+                        );
+                    } else {
+                        assert_eq!((hits, misses), (0, 0), "disabled memo counts nothing");
+                    }
+                    let stats = *Engine::stats(&f);
+                    let census = Engine::census(&f);
+                    let ls = Engine::least_solution(&mut f);
+                    let root = Engine::find(&mut f, vs[0]);
+                    match &reference {
+                        None => reference = Some((stats, census, ls, root)),
+                        Some((s0, c0, l0, r0)) => {
+                            let label =
+                                format!("{config:?} threads {threads} memo {enabled}");
+                            assert_eq!(&stats, s0, "{label}: stats");
+                            assert_eq!(&census, c0, "{label}: census");
+                            assert_eq!(&ls, l0, "{label}: least solution");
+                            assert_eq!(root, *r0, "{label}: forwarding");
+                        }
+                    }
+                }
+            }
+            assert!(saw_hits, "{config:?}: duplicates must produce real scan-phase hits");
+        }
     }
 }

@@ -23,6 +23,16 @@
 //! form's empty `(k, k)` spans. Identical contents in identical order is
 //! identical bytes.
 //!
+//! # The CSR read path
+//!
+//! Before any evaluation, the run freezes the solved graph into a
+//! [`CsrSnapshot`] — canonical, self-free, sorted predecessor rows and
+//! sorted source rows, laid out in evaluation order. The snapshot is the
+//! *same type the sequential pass traverses*, built once on the calling
+//! thread: workers never read the live graph or chase a forwarding
+//! pointer, they stream flat arrays. This is also what makes the scan
+//! trivially safe to share read-only across threads.
+//!
 //! # Scheduling
 //!
 //! One [`Pool::broadcast`] spans the whole pass; workers meet at a
@@ -33,7 +43,7 @@
 //! `threads == 1` the pass runs inline with no locks, no barriers, and —
 //! once warm — no allocations (pinned by `bane-core`'s allocation test).
 
-use bane_core::least::{merge_sorted_dedup, LeastParts, LeastSolution};
+use bane_core::least::{merge_sorted_dedup, CsrSnapshot, LeastParts, LeastSolution};
 use bane_core::solver::{Form, Solver};
 use bane_core::{TermId, Var};
 use bane_obs::{Counter, Phase, Recorder};
@@ -62,7 +72,6 @@ struct WorkerState {
     out: Vec<TermId>,
     /// Per-chunk-item range into `out` (empty when the set is empty).
     bounds: Vec<(u32, u32)>,
-    srcs: Vec<TermId>,
     runs: Vec<(u32, u32)>,
     acc: Vec<TermId>,
     buf_b: Vec<TermId>,
@@ -110,6 +119,10 @@ pub struct ParLeast {
     /// their layout order, so concatenating worker chunks in worker order
     /// reproduces it exactly.
     level_order: Vec<Var>,
+    /// The frozen, canonicalized CSR view every scan reads. Built once per
+    /// run on the calling thread; workers never touch the graph or the
+    /// forwarding pointers after that.
+    csr: CsrSnapshot,
     work: WorkBufs,
     workers: Vec<Mutex<WorkerState>>,
     final_arena: Vec<TermId>,
@@ -134,7 +147,16 @@ impl ParLeast {
         let parts = *parts;
         parts.rep_map_into(&mut self.rep);
         parts.layout_order_into(&self.rep, &mut self.layout);
-        let max_level = parts.levels_into(&self.rep, &self.layout, &mut self.levels);
+        // Freeze the canonicalized read path once, on the calling thread:
+        // after this, neither the levels sweep nor any worker's scan reads
+        // the graph or chases a forwarding pointer.
+        let csr_t0 = rec.map(|_| std::time::Instant::now());
+        self.csr.build(&parts, &self.layout);
+        if let (Some(rec), Some(t0)) = (rec, csr_t0) {
+            rec.record_ns(Phase::CsrBuild, t0.elapsed().as_nanos() as u64);
+            rec.add(Counter::CsrBuilds, 1);
+        }
+        let max_level = parts.levels_into(&self.csr, &self.layout, &mut self.levels);
         let nlevels = if self.layout.is_empty() { 0 } else { max_level as usize + 1 };
 
         // Stable counting sort of `layout` into per-level buckets.
@@ -174,7 +196,7 @@ impl ParLeast {
             let st = self.workers[0].get_mut().expect("worker mutex poisoned");
             for &(ls, le) in &self.level_ranges {
                 let level = &self.level_order[ls as usize..le as usize];
-                scan_chunk(parts, &self.work, level, st);
+                scan_chunk(parts.form, &self.csr, &self.work, level, st);
                 commit_chunk(&mut self.work, level, st);
             }
         } else {
@@ -183,6 +205,8 @@ impl ParLeast {
             let level_ranges = &self.level_ranges;
             let level_order = &self.level_order;
             let workers = &self.workers;
+            let csr = &self.csr;
+            let form = parts.form;
             Pool::new(threads).broadcast(|w| {
                 for &(ls, le) in level_ranges {
                     let level = &level_order[ls as usize..le as usize];
@@ -192,7 +216,7 @@ impl ParLeast {
                         let frozen = work.read().expect("work lock poisoned");
                         let mut st = workers[w].lock().expect("worker mutex poisoned");
                         let (cs, ce) = chunk_range(level.len(), threads, w);
-                        scan_chunk(parts, &frozen, &level[cs..ce], &mut st);
+                        scan_chunk(form, csr, &frozen, &level[cs..ce], &mut st);
                     }
                     barrier.wait();
                     if w == 0 {
@@ -262,35 +286,36 @@ impl ParLeast {
 
 /// Evaluates `vars` (a slice of one level, in layout order) against the
 /// frozen lower-level `work` state, appending each result set to `st.out`.
-fn scan_chunk(parts: LeastParts<'_>, work: &WorkBufs, vars: &[Var], st: &mut WorkerState) {
-    let WorkerState { out, bounds, srcs, runs, acc, buf_b, bounds_a, bounds_b } = st;
+///
+/// Reads only the frozen [`CsrSnapshot`] (canonical, sorted, distinct rows)
+/// and the committed spans — never the live graph — so the whole scan is
+/// pointer-chase-free streaming over flat arrays.
+fn scan_chunk(
+    form: Form,
+    csr: &CsrSnapshot,
+    work: &WorkBufs,
+    vars: &[Var],
+    st: &mut WorkerState,
+) {
+    let WorkerState { out, bounds, runs, acc, buf_b, bounds_a, bounds_b } = st;
     out.clear();
     bounds.clear();
     for &v in vars {
-        let node = parts.graph.node(v);
-        srcs.clear();
-        srcs.extend_from_slice(node.pred_srcs());
-        srcs.sort_unstable();
+        let srcs = csr.srcs(v);
         let start = out.len() as u32;
-        match parts.form {
+        match form {
             Form::Standard => {
-                // Standard form's sets are the explicit source lists.
-                srcs.dedup();
+                // Standard form's sets are exactly the frozen source rows.
                 out.extend_from_slice(srcs);
             }
             Form::Inductive => {
                 runs.clear();
-                for &raw in node.pred_vars() {
-                    let u = parts.fwd.find_const(raw);
-                    if u == v {
-                        continue; // stale self edge from a collapse
-                    }
+                for &u in csr.preds(v) {
                     let span = work.spans[u.index()];
                     if span.1 > span.0 {
                         runs.push(span);
                     }
                 }
-                let srcs: &[TermId] = srcs;
                 let runs: &[(u32, u32)] = runs;
                 match (srcs.is_empty(), runs) {
                     (true, []) => {}

@@ -51,6 +51,6 @@ pub mod frontier;
 pub mod least;
 pub mod pool;
 
-pub use frontier::FrontierSolver;
+pub use frontier::{BatchRounds, FrontierSolver};
 pub use least::{least_solution, ParLeast};
 pub use pool::{available_threads, chunk_range, Pool};

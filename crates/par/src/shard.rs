@@ -10,7 +10,7 @@
 //! argument; the second half (the fixed-order commit that re-validates each
 //! proposal against live state) lives in [`crate::commit`].
 
-use bane_core::cycle::{ChainDir, ChainSearch, SearchStats, StepOrder};
+use bane_core::cycle::{ChainDir, ChainSearch, SearchMemo, SearchStats, StepOrder};
 use bane_core::error::Inconsistency;
 use bane_core::expr::SetExpr;
 use bane_core::solver::{CycleElim, EngineParts, Form};
@@ -79,6 +79,15 @@ pub(crate) struct ShardScratch {
     /// Scratch for a single search's path before it is flattened.
     pub path_tmp: Vec<Var>,
     pub search: ChainSearch,
+    /// Negative-verdict memo for the frozen searches. This is where memo
+    /// hits genuinely occur: duplicate frontier items within one round run
+    /// the *same* search against the *same* frozen round-start graph, so a
+    /// recorded verdict short-cuts the repeat while replaying byte-identical
+    /// stats. Entries also survive into later rounds when the intervening
+    /// commits bumped no relevant revision. Kept per shard (no sharing, no
+    /// synchronization); replay exactness keeps the merged totals identical
+    /// at every thread count.
+    pub memo: SearchMemo,
     /// Search counters accumulated this round; drained into the engine's
     /// stats at commit (in shard order, so totals are deterministic).
     pub stats: SearchStats,
@@ -166,9 +175,11 @@ fn frozen_search(
     st: &mut ShardScratch,
 ) -> bool {
     let (graph, fwd, order) = (&parts.graph, &parts.fwd, &parts.order);
+    let ShardScratch { search, memo, stats, path_tmp, .. } = st;
     if as_pred {
         // x ⋯→ y: look for a successor chain y → … → x.
-        return st.search.search(
+        return memo.search(
+            search,
             graph,
             fwd,
             order,
@@ -176,13 +187,14 @@ fn frozen_search(
             x,
             ChainDir::Succ,
             StepOrder::Decreasing,
-            &mut st.stats,
-            &mut st.path_tmp,
+            stats,
+            path_tmp,
         );
     }
     match parts.config.form {
         // x → y: look for a predecessor chain y ⋯→ … ⋯→ x.
-        Form::Inductive => st.search.search(
+        Form::Inductive => memo.search(
+            search,
             graph,
             fwd,
             order,
@@ -190,12 +202,13 @@ fn frozen_search(
             y,
             ChainDir::Pred,
             StepOrder::Decreasing,
-            &mut st.stats,
-            &mut st.path_tmp,
+            stats,
+            path_tmp,
         ),
         // Standard form: successor chains y → … → x under the policy steps.
         Form::Standard => parts.config.sf_chain.steps().iter().any(|&step| {
-            st.search.search(
+            memo.search(
+                search,
                 graph,
                 fwd,
                 order,
@@ -203,8 +216,8 @@ fn frozen_search(
                 x,
                 ChainDir::Succ,
                 step,
-                &mut st.stats,
-                &mut st.path_tmp,
+                stats,
+                path_tmp,
             )
         }),
     }

@@ -22,7 +22,7 @@
 //! identical constraint system by construction.
 
 use bane_core::prelude::*;
-use bane_par::{least_solution, FrontierSolver, ParLeast};
+use bane_par::{least_solution, BatchRounds, FrontierSolver, ParLeast};
 use bane_points_to::andersen;
 use bane_synth::suite::{suite_program, PAPER_SUITE};
 use bane_util::SplitMix64;
@@ -185,6 +185,17 @@ fn synthetic_systems_reproduce_at_every_thread_count_and_batch_size() {
                          from (1 thread, K=1)"
                     );
                 }
+                // Adaptive K sits on the same baseline: Auto only regroups
+                // rounds into batches, never changes what a round computes.
+                let mut f = FrontierSolver::from_problem(sys.problem(config));
+                f.set_threads(threads);
+                f.set_batch_rounds(BatchRounds::Auto);
+                let run = observe(f);
+                assert_eq!(
+                    run, baseline,
+                    "{config:?} seed {seed}: ({threads} threads, K=Auto) diverged \
+                     from (1 thread, K=1)"
+                );
             }
         }
     }
@@ -312,6 +323,44 @@ fn povray_solver() -> Solver {
     let (_locs, gen) = andersen::generate(&program, &mut solver);
     assert!(gen.constraints > 500, "stand-in should be non-trivial");
     solver
+}
+
+/// The CSR snapshot the least-solution kernel traverses must agree
+/// entry-for-entry with a direct canonicalizing walk of the adjacency
+/// lists on the paper-suite stand-in (a real front-end workload with
+/// collapses, stale entries, and promoted adjacency lists).
+#[test]
+fn csr_snapshot_matches_adjacency_on_povray_standin() {
+    use bane_core::least::CsrSnapshot;
+    let mut solver = povray_solver();
+    solver.solve();
+    let parts = solver.least_parts();
+    let (mut rep, mut layout) = (Vec::new(), Vec::new());
+    parts.rep_map_into(&mut rep);
+    parts.layout_order_into(&rep, &mut layout);
+    let mut csr = CsrSnapshot::new();
+    csr.build(&parts, &layout);
+    assert!(csr.src_entries() > 0, "stand-in has sources");
+    let mut pred_total = 0;
+    for &v in &layout {
+        let node = parts.graph.node(v);
+        let mut srcs: Vec<TermId> = node.pred_srcs().to_vec();
+        srcs.sort_unstable();
+        srcs.dedup();
+        assert_eq!(csr.srcs(v), srcs.as_slice(), "src row of {v:?}");
+        let mut preds: Vec<Var> = node
+            .pred_vars()
+            .iter()
+            .map(|&raw| parts.fwd.find_const(raw))
+            .filter(|&u| u != v)
+            .collect();
+        preds.sort_unstable();
+        preds.dedup();
+        assert_eq!(csr.preds(v), preds.as_slice(), "pred row of {v:?}");
+        pred_total += preds.len();
+    }
+    assert_eq!(csr.pred_entries(), pred_total);
+    assert!(pred_total > 0, "stand-in has canonical pred edges");
 }
 
 #[test]

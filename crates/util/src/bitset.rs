@@ -119,7 +119,39 @@ impl FromIterator<usize> for BitSet {
     }
 }
 
-/// A visited-marks set with O(1) clearing via epoch stamps.
+/// An epoch counter usable as the stamp type of an [`EpochSetImpl`].
+///
+/// Production code uses `u32` (one physical reset per 2^32 generations);
+/// tests parameterize over `u8` so the wraparound path runs after only 255
+/// generations and its reset semantics can be pinned cheaply.
+pub trait EpochStamp: Copy + Eq + Default {
+    /// The first generation after a physical reset. Must differ from
+    /// `Self::default()`, which is the "never marked" stamp.
+    const ONE: Self;
+
+    /// The next generation, or `None` on overflow (the caller must then
+    /// physically reset all stamps and restart from [`EpochStamp::ONE`]).
+    fn next(self) -> Option<Self>;
+}
+
+impl EpochStamp for u32 {
+    const ONE: Self = 1;
+
+    fn next(self) -> Option<Self> {
+        self.checked_add(1)
+    }
+}
+
+impl EpochStamp for u8 {
+    const ONE: Self = 1;
+
+    fn next(self) -> Option<Self> {
+        self.checked_add(1)
+    }
+}
+
+/// A visited-marks set with O(1) clearing via epoch stamps, generic over the
+/// stamp width. Use the [`EpochSet`] alias unless testing wraparound.
 ///
 /// # Examples
 ///
@@ -134,30 +166,42 @@ impl FromIterator<usize> for BitSet {
 /// assert!(v.mark(2));
 /// ```
 #[derive(Clone, Debug, Default)]
-pub struct EpochSet {
-    stamps: Vec<u32>,
-    epoch: u32,
+pub struct EpochSetImpl<E: EpochStamp = u32> {
+    stamps: Vec<E>,
+    epoch: E,
+    resets: u64,
 }
 
-impl EpochSet {
+/// The production epoch set: `u32` stamps, one physical reset per 2^32
+/// generations.
+pub type EpochSet = EpochSetImpl<u32>;
+
+impl<E: EpochStamp> EpochSetImpl<E> {
     /// Creates a set sized for elements `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        Self { stamps: vec![0; capacity], epoch: 0 }
+        Self { stamps: vec![E::default(); capacity], epoch: E::default(), resets: 0 }
     }
 
     /// Starts a new generation, logically clearing all marks.
     pub fn begin(&mut self) {
-        self.epoch = self.epoch.checked_add(1).unwrap_or_else(|| {
-            // Wrapped: physically reset (happens once per 2^32 searches).
-            self.stamps.fill(0);
-            1
+        self.epoch = self.epoch.next().unwrap_or_else(|| {
+            // Wrapped: physically reset (for u32, once per 2^32 searches).
+            self.stamps.fill(E::default());
+            self.resets += 1;
+            E::ONE
         });
+    }
+
+    /// Number of physical wraparound resets so far (the `epoch.resets`
+    /// observability counter).
+    pub fn resets(&self) -> u64 {
+        self.resets
     }
 
     /// Grows the domain to hold elements `0..capacity`.
     pub fn grow(&mut self, capacity: usize) {
         if capacity > self.stamps.len() {
-            self.stamps.resize(capacity, 0);
+            self.stamps.resize(capacity, E::default());
         }
     }
 
@@ -166,7 +210,7 @@ impl EpochSet {
     /// Grows the set if `elem` is out of range.
     pub fn mark(&mut self, elem: usize) -> bool {
         if elem >= self.stamps.len() {
-            self.stamps.resize(elem + 1, 0);
+            self.stamps.resize(elem + 1, E::default());
         }
         if self.stamps[elem] == self.epoch {
             false
@@ -249,5 +293,26 @@ mod tests {
         v.grow(100);
         assert!(v.is_marked(1));
         assert!(!v.is_marked(50));
+    }
+
+    /// With `u8` stamps the epoch wraps after 255 generations; the physical
+    /// reset must restart cleanly and leave no stale marks behind.
+    #[test]
+    fn tiny_epoch_wraparound_resets_physically() {
+        let mut v: EpochSetImpl<u8> = EpochSetImpl::new(4);
+        for gen in 0..600usize {
+            v.begin();
+            assert!(!v.is_marked(gen % 4), "stale mark survived into gen {gen}");
+            assert!(v.mark(gen % 4));
+            assert!(!v.mark(gen % 4));
+            assert!(v.is_marked(gen % 4));
+        }
+        // 600 begins over u8: wraps at generation 256 and 511.
+        assert_eq!(v.resets(), 2);
+        let mut big: EpochSet = EpochSet::new(4);
+        for _ in 0..600 {
+            big.begin();
+        }
+        assert_eq!(big.resets(), 0, "u32 stamps never wrap in practice");
     }
 }

@@ -32,6 +32,6 @@ pub mod hash;
 pub mod idx;
 pub mod rng;
 
-pub use bitset::{BitSet, EpochSet};
+pub use bitset::{BitSet, EpochSet, EpochSetImpl, EpochStamp};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use rng::SplitMix64;
