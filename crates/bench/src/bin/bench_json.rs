@@ -74,15 +74,36 @@
 //! (`search.memo.*`, `epoch.resets`, `csr.build`). Every field that existed
 //! in `bane-bench/4` is emitted byte-identically.
 //!
+//! `bane-bench/6` adds the **solution-set backend** axis:
+//!
+//! - `--solset <sorted-span|bitmap|hybrid>` selects the backend used by the
+//!   six timed configurations' least-solution passes (header field
+//!   `solset`). Backends are byte-identical by contract, so every stable
+//!   field must match across `--solset` values — only `ls_ns`/`wall_ns`
+//!   may move.
+//! - each experiment row gains `redundant_ratio` — `redundant / work`, the
+//!   fraction of edge-addition attempts that were redundant (the quantity
+//!   online cycle elimination attacks; derived, so the stable-field
+//!   contract is unchanged).
+//! - a `solset` section measures the largest selected benchmark under every
+//!   backend × difference-propagation mode: a cold least pass over a ~99.5%
+//!   constraint prefix, then the pass after feeding the held-back tail —
+//!   with the `ls.delta.in`/`ls.delta.fresh` traffic, payload
+//!   bytes-per-variable, and a per-row byte-identity check
+//!   (`matches_reference`, must always read `true`).
+//!
+//! Every field that existed in `bane-bench/5` is emitted byte-identically.
+//!
 //! The JSON is hand-rolled (the build environment has no serde); the format
 //! is plain nested objects with no NaNs and no trailing commas, so any JSON
 //! parser can read it.
 
 use bane_bench::cli::Options;
 use bane_bench::experiment::{
-    analyze_bench, run_batch_scaling, run_observed, run_one, run_par_scaling, BatchScaling,
-    ExperimentKind, Measurement, ParScaling,
+    analyze_bench, run_batch_scaling, run_observed, run_one_with, run_par_scaling,
+    run_solset_scaling, BatchScaling, ExperimentKind, Measurement, ParScaling, SolSetScaling,
 };
+use bane_core::solset::SolSetKind;
 use bane_obs::RunReport;
 use std::fmt::Write as _;
 use std::time::SystemTime;
@@ -111,7 +132,8 @@ fn main() {
             },
             "--help" | "-h" => die(
                 "options: --scale <f> --max-ast <n> --reps <n> --limit <n> \
-                 --only <substr> --threads <n> --batch-rounds <n> --fast \
+                 --only <substr> --threads <n> --batch-rounds <n> \
+                 --solset <sorted-span|bitmap|hybrid> --fast \
                  --out <path> --label <s> --report <path>",
             ),
             _ => rest.push(arg),
@@ -135,8 +157,15 @@ fn main() {
     let mut benchmarks = String::new();
     for (i, (entry, program)) in selected.iter().enumerate() {
         let (info, partition, mut if_online) = analyze_bench(entry.name, program);
-        if opts.reps > 1 {
-            if_online = run_one(program, ExperimentKind::IfOnline, None, u64::MAX, opts.reps);
+        if opts.reps > 1 || opts.solset != SolSetKind::SortedSpan {
+            if_online = run_one_with(
+                program,
+                ExperimentKind::IfOnline,
+                None,
+                u64::MAX,
+                opts.reps,
+                opts.solset,
+            );
         }
         let mut experiments = String::new();
         for (j, kind) in ExperimentKind::ALL.into_iter().enumerate() {
@@ -144,7 +173,7 @@ fn main() {
                 if_online
             } else {
                 let limit = if kind.is_plain() { opts.limit } else { u64::MAX };
-                run_one(program, kind, Some(&partition), limit, opts.reps)
+                run_one_with(program, kind, Some(&partition), limit, opts.reps, opts.solset)
             };
             if j > 0 {
                 experiments.push(',');
@@ -256,18 +285,45 @@ fn main() {
         None => "null".to_string(),
     };
 
+    // The solution-set backend table: the same largest benchmark, every
+    // backend × diff mode, with per-row byte-identity checks.
+    let solset_json = match largest {
+        Some((entry, program)) => {
+            eprintln!("bench_json: solset backends on {}", entry.name);
+            let scaling = run_solset_scaling(program, opts.reps);
+            for row in &scaling.rows {
+                eprintln!(
+                    "  solset {:<21} {:<11} diff={:<5} cold={:>12}ns incr={:>12}ns \
+                     in={:<10} fresh={:<8} bytes/var={:<10.1} identical={}",
+                    entry.name,
+                    row.backend.name(),
+                    row.diff,
+                    row.ls_cold_ns,
+                    row.ls_incr_ns,
+                    row.delta_in,
+                    row.delta_fresh,
+                    row.bytes_per_var,
+                    row.matches_reference,
+                );
+            }
+            solset_scaling_json(entry.name, &scaling)
+        }
+        None => "null".to_string(),
+    };
+
     let created_unix = SystemTime::now()
         .duration_since(SystemTime::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let logical_cpus = bane_par::available_threads();
     let json = format!(
-        "{{\n  \"schema\": \"bane-bench/5\",\n  \"label\": {},\n  \
+        "{{\n  \"schema\": \"bane-bench/6\",\n  \"label\": {},\n  \
          \"created_unix\": {},\n  \"scale\": {},\n  \"max_ast\": {},\n  \
          \"reps\": {},\n  \"limit\": {},\n  \"threads\": {},\n  \
-         \"batch_rounds\": {},\n  \"git_revision\": {},\n  \
+         \"batch_rounds\": {},\n  \"solset\": {},\n  \"git_revision\": {},\n  \
          \"logical_cpus\": {},\n  \"single_cpu\": {},\n  \
-         \"par_ls\": {},\n  \"par_batch\": {},\n  \"benchmarks\": [{}\n  ]\n}}\n",
+         \"par_ls\": {},\n  \"par_batch\": {},\n  \"solset_scaling\": {},\n  \
+         \"benchmarks\": [{}\n  ]\n}}\n",
         json_string(&label),
         created_unix,
         json_f64(opts.scale),
@@ -276,11 +332,13 @@ fn main() {
         opts.limit,
         opts.threads,
         opts.batch_rounds,
+        json_string(opts.solset.name()),
         json_string(&git_revision()),
         logical_cpus,
         logical_cpus == 1,
         par_ls_json,
         par_batch_json,
+        solset_json,
         benchmarks,
     );
 
@@ -382,6 +440,40 @@ fn batch_scaling_json(benchmark: &str, scaling: &BatchScaling) -> String {
     )
 }
 
+/// The `solset_scaling` section: one row per backend × diff mode with the
+/// delta traffic under its unified-counter names.
+fn solset_scaling_json(benchmark: &str, scaling: &SolSetScaling) -> String {
+    let mut rows = String::new();
+    for (i, row) in scaling.rows.iter().enumerate() {
+        if i > 0 {
+            rows.push(',');
+        }
+        let _ = write!(
+            rows,
+            "\n      {{\"backend\": {}, \"diff\": {}, \"ls_cold_ns\": {}, \
+             \"ls_incr_ns\": {}, \"ls.delta.in\": {}, \"ls.delta.fresh\": {}, \
+             \"bytes_per_var\": {}, \"matches_reference\": {}}}",
+            json_string(row.backend.name()),
+            row.diff,
+            row.ls_cold_ns,
+            row.ls_incr_ns,
+            row.delta_in,
+            row.delta_fresh,
+            json_f64(row.bytes_per_var),
+            row.matches_reference,
+        );
+    }
+    format!(
+        "{{\"benchmark\": {}, \"constraints_total\": {}, \"constraints_tail\": {}, \
+         \"seq_ls_ns\": {}, \"rows\": [{}\n    ]}}",
+        json_string(benchmark),
+        scaling.constraints_total,
+        scaling.constraints_tail,
+        scaling.seq_ls_ns,
+        rows,
+    )
+}
+
 /// `BENCH_<n>.json` with `<n>` one past the highest index already present in
 /// the current directory (so repeated runs never clobber a snapshot).
 fn next_snapshot_path() -> String {
@@ -403,9 +495,13 @@ fn next_snapshot_path() -> String {
 }
 
 fn measurement_json(m: &Measurement) -> String {
+    let redundant = m.work - m.peak_edges;
+    let redundant_ratio =
+        if m.work == 0 { 0.0 } else { redundant as f64 / m.work as f64 };
     format!(
         "\n      {{\"experiment\": {}, \"finished\": {}, \"wall_ns\": {}, \
-         \"ls_ns\": {}, \"work\": {}, \"redundant\": {}, \"edges\": {}, \
+         \"ls_ns\": {}, \"work\": {}, \"redundant\": {}, \
+         \"redundant_ratio\": {}, \"edges\": {}, \
          \"peak_edges\": {}, \"live_vars\": {}, \"vars_eliminated\": {}, \
          \"mean_search_visits\": {}}}",
         json_string(m.kind.name()),
@@ -413,7 +509,8 @@ fn measurement_json(m: &Measurement) -> String {
         m.time.as_nanos(),
         m.ls_time.as_nanos(),
         m.work,
-        m.work - m.peak_edges, // redundant attempts
+        redundant,
+        json_f64(redundant_ratio),
         m.edges,
         m.peak_edges,
         m.live_vars,

@@ -1,5 +1,7 @@
 //! Minimal command-line options shared by the table/figure binaries.
 
+use bane_core::solset::SolSetKind;
+
 /// Options accepted by every experiment binary.
 #[derive(Clone, Debug)]
 pub struct Options {
@@ -18,6 +20,9 @@ pub struct Options {
     /// Frontier rounds committed per pool dispatch (`K`; 1 = one broadcast
     /// per round, the pre-batching behavior).
     pub batch_rounds: usize,
+    /// Solution-set backend for the least-solution passes (every backend is
+    /// byte-identical; the axis exists to compare their cost profiles).
+    pub solset: SolSetKind,
 }
 
 impl Options {
@@ -33,6 +38,7 @@ impl Options {
             only: None,
             threads: 1,
             batch_rounds: 1,
+            solset: SolSetKind::SortedSpan,
         }
     }
 
@@ -40,7 +46,8 @@ impl Options {
     ///
     /// Recognized flags: `--scale <f>`, `--max-ast <n>`, `--reps <n>`,
     /// `--limit <n>`, `--only <substring>`, `--threads <n>`,
-    /// `--batch-rounds <n>`, `--fast`.
+    /// `--batch-rounds <n>`, `--solset <sorted-span|bitmap|hybrid>`,
+    /// `--fast`.
     ///
     /// # Errors
     ///
@@ -85,6 +92,15 @@ impl Options {
                         .parse()
                         .map_err(|e| format!("--batch-rounds: {e}"))?;
                 }
+                "--solset" => {
+                    let name = value("--solset")?;
+                    self.solset = SolSetKind::by_name(&name).ok_or_else(|| {
+                        format!(
+                            "--solset: unknown backend `{name}` \
+                             (expected sorted-span, bitmap, or hybrid)"
+                        )
+                    })?;
+                }
                 "--fast" => {
                     self.scale = (self.scale * 0.5).min(0.1);
                     self.max_ast = self.max_ast.min(60_000);
@@ -92,7 +108,8 @@ impl Options {
                 "--help" | "-h" => {
                     return Err(
                         "options: --scale <f> --max-ast <n> --reps <n> --limit <n> \
-                         --only <substr> --threads <n> --batch-rounds <n> --fast"
+                         --only <substr> --threads <n> --batch-rounds <n> \
+                         --solset <sorted-span|bitmap|hybrid> --fast"
                             .to_string(),
                     )
                 }
@@ -148,7 +165,7 @@ mod tests {
         let o = Options::defaults(false)
             .parse(args(
                 "--scale 0.5 --max-ast 9000 --reps 3 --limit 1000 --only flex \
-                 --threads 4 --batch-rounds 8",
+                 --threads 4 --batch-rounds 8 --solset bitmap",
             ))
             .unwrap();
         assert_eq!(o.scale, 0.5);
@@ -158,6 +175,20 @@ mod tests {
         assert_eq!(o.only.as_deref(), Some("flex"));
         assert_eq!(o.threads, 4);
         assert_eq!(o.batch_rounds, 8);
+        assert_eq!(o.solset, SolSetKind::Bitmap);
+    }
+
+    #[test]
+    fn solset_accepts_every_backend_name_and_defaults_to_sorted_span() {
+        assert_eq!(Options::defaults(false).solset, SolSetKind::SortedSpan);
+        for kind in SolSetKind::ALL {
+            let o = Options::defaults(false)
+                .parse(args(&format!("--solset {}", kind.name())))
+                .unwrap();
+            assert_eq!(o.solset, kind);
+        }
+        assert!(Options::defaults(false).parse(args("--solset wat")).is_err());
+        assert!(Options::defaults(false).parse(args("--solset")).is_err());
     }
 
     #[test]

@@ -80,5 +80,12 @@ pub trait Engine: ConstraintBuilder {
     fn find(&mut self, v: Var) -> Var;
 
     /// The least solution of the resolved system.
+    ///
+    /// The solution-set backend is selected on the problem's
+    /// [`SolverConfig::solset`](crate::solver::SolverConfig::solset) and
+    /// rides through [`from_problem`](Engine::from_problem): engines
+    /// evaluate non-default backends through the difference-propagating
+    /// kernel in [`solset`](crate::solset), and every backend returns bytes
+    /// identical to the default sorted-span pass.
     fn least_solution(&mut self) -> LeastSolution;
 }

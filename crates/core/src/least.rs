@@ -223,6 +223,18 @@ impl CsrSnapshot {
         &self.srcs[s as usize..e as usize]
     }
 
+    /// Replaces `self`'s contents with a copy of `other`, reusing every
+    /// buffer (a `clone_from` that actually reuses capacity — the derived
+    /// `Clone` does not override `clone_from`, so it would reallocate).
+    /// Used by the difference-propagating kernels to retain the previous
+    /// pass's rows without per-pass allocation once warm.
+    pub fn copy_from(&mut self, other: &CsrSnapshot) {
+        self.var_rows.clone_from(&other.var_rows);
+        self.cols.clone_from(&other.cols);
+        self.src_rows.clone_from(&other.src_rows);
+        self.srcs.clone_from(&other.srcs);
+    }
+
     /// Total canonical predecessor entries across all rows.
     pub fn pred_entries(&self) -> usize {
         self.cols.len()
@@ -234,34 +246,140 @@ impl CsrSnapshot {
     }
 }
 
+/// Size ratio past which [`merge_sorted_dedup`] gallops through the larger
+/// input instead of walking it element by element.
+const GALLOP_RATIO: usize = 16;
+
 /// Merges two sorted, internally distinct slices onto the end of `out`,
 /// dropping duplicates across the two.
 ///
 /// This is the primitive both the sequential pass and the parallel
 /// evaluator in `bane-par` build set unions from; sharing it guarantees the
 /// two produce identical bytes for identical inputs.
+///
+/// The common least-solution merge is heavily skewed — a handful of fresh
+/// sources against a large accumulated set — so disjoint ranges are
+/// detected up front (one bulk copy each) and a size ratio past
+/// `GALLOP_RATIO` switches to exponential search over the larger side:
+/// `O(small · log large)` comparisons plus bulk copies, instead of walking
+/// every element of the large side. Every path produces the same bytes as
+/// the naive two-pointer walk (debug-asserted on the galloping path).
 pub fn merge_sorted_dedup(a: &[TermId], b: &[TermId], out: &mut Vec<TermId>) {
     out.reserve(a.len() + b.len());
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => {
-                out.push(a[i]);
-                i += 1;
-            }
-            std::cmp::Ordering::Greater => {
-                out.push(b[j]);
-                j += 1;
-            }
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
+    if a.is_empty() {
+        out.extend_from_slice(b);
+        return;
+    }
+    if b.is_empty() {
+        out.extend_from_slice(a);
+        return;
+    }
+    // Disjoint ranges: pure concatenation (strict `<` keeps an equal
+    // boundary element on the dedup path below).
+    if a[a.len() - 1] < b[0] {
+        out.extend_from_slice(a);
+        out.extend_from_slice(b);
+        return;
+    }
+    if b[b.len() - 1] < a[0] {
+        out.extend_from_slice(b);
+        out.extend_from_slice(a);
+        return;
+    }
+    if a.len() >= b.len().saturating_mul(GALLOP_RATIO) {
+        gallop_merge(b, a, out);
+    } else if b.len() >= a.len().saturating_mul(GALLOP_RATIO) {
+        gallop_merge(a, b, out);
+    } else {
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
             }
         }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
     }
-    out.extend_from_slice(&a[i..]);
-    out.extend_from_slice(&b[j..]);
+}
+
+/// Skewed-size merge: for each element of `small`, exponential search
+/// locates its insertion point in the unconsumed tail of `big`, and the run
+/// of smaller `big` elements is bulk-copied.
+fn gallop_merge(small: &[TermId], big: &[TermId], out: &mut Vec<TermId>) {
+    #[cfg(debug_assertions)]
+    let checked_from = out.len();
+    let mut cur = 0usize;
+    for &s in small {
+        let pos = cur + gallop_lower_bound(&big[cur..], s);
+        out.extend_from_slice(&big[cur..pos]);
+        out.push(s);
+        cur = pos;
+        if cur < big.len() && big[cur] == s {
+            cur += 1; // shared element: emitted once
+        }
+    }
+    out.extend_from_slice(&big[cur..]);
+    #[cfg(debug_assertions)]
+    {
+        // The fast path must be indistinguishable from the naive walk.
+        // Replayed in lockstep (no scratch buffer) so the check itself
+        // stays allocation-free — this primitive runs inside the
+        // zero-steady-state-allocation envelope even in debug builds.
+        let produced = &out[checked_from..];
+        let mut k = 0;
+        let mut check = |t: TermId| {
+            debug_assert!(produced.get(k) == Some(&t), "gallop merge diverged at {k}");
+            k += 1;
+        };
+        let (mut i, mut j) = (0, 0);
+        while i < small.len() && j < big.len() {
+            match small[i].cmp(&big[j]) {
+                std::cmp::Ordering::Less => {
+                    check(small[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    check(big[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    check(small[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        small[i..].iter().chain(&big[j..]).for_each(|&t| check(t));
+        debug_assert_eq!(k, produced.len(), "gallop merge length diverged");
+    }
+}
+
+/// First index of `slice` whose element is `>= target`, found by an
+/// exponential probe followed by a binary search of the bracketed window.
+fn gallop_lower_bound(slice: &[TermId], target: TermId) -> usize {
+    if slice.first().is_none_or(|&head| head >= target) {
+        return 0;
+    }
+    // Invariant: slice[lo] < target; the answer lies in (lo, hi].
+    let mut hi = 1usize;
+    while hi < slice.len() && slice[hi] < target {
+        hi *= 2;
+    }
+    let lo = hi / 2;
+    let hi = hi.min(slice.len());
+    lo + slice[lo..hi].partition_point(|&x| x < target)
 }
 
 /// The least solution of a solved constraint system: for every variable, the
@@ -327,12 +445,28 @@ impl LeastSolution {
     /// equality assertion pins layout, not just set contents.
     ///
     /// Invariants (debug-asserted): `rep` and `spans` have one entry per
-    /// variable, and every span lies inside `arena`.
+    /// variable, every span lies inside `arena`, and no two non-empty spans
+    /// overlap — each canonical variable owns its arena range exclusively
+    /// (aliasing happens through `rep`, never through shared spans).
     pub fn from_parts(rep: Vec<Var>, arena: Vec<TermId>, spans: Vec<(u32, u32)>) -> Self {
         debug_assert_eq!(rep.len(), spans.len());
         debug_assert!(spans
             .iter()
             .all(|&(s, e)| s <= e && (e as usize) <= arena.len()));
+        #[cfg(debug_assertions)]
+        {
+            let mut occupied: Vec<(u32, u32)> =
+                spans.iter().copied().filter(|&(s, e)| e > s).collect();
+            occupied.sort_unstable();
+            for w in occupied.windows(2) {
+                debug_assert!(
+                    w[0].1 <= w[1].0,
+                    "overlapping least-solution spans: {:?} and {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
         LeastSolution { rep, arena, spans }
     }
 
@@ -353,7 +487,17 @@ impl Solver {
     /// Either way the pass traverses a [`CsrSnapshot`] frozen from the
     /// solved graph (canonicalized once, not per read). Call after
     /// [`solve`](Solver::solve).
+    ///
+    /// With a non-default [`SolverConfig::solset`] backend the pass runs
+    /// through the retained difference-propagating
+    /// [`LsKernel`](crate::solset::LsKernel) instead — producing the same
+    /// bytes, but re-merging only what changed since the previous call.
+    ///
+    /// [`SolverConfig::solset`]: crate::solver::SolverConfig::solset
     pub fn least_solution(&mut self) -> LeastSolution {
+        if self.config().solset != crate::solset::SolSetKind::SortedSpan {
+            return self.least_solution_backend();
+        }
         #[cfg(feature = "obs")]
         if let Some(rec) = self.obs() {
             rec.start(bane_obs::Phase::LeastSolution);
@@ -517,6 +661,49 @@ impl Solver {
         }
         result
     }
+
+    /// The non-default-backend least-solution path: evaluate through the
+    /// retained [`KernelHolder`](crate::solset::KernelHolder), difference
+    /// propagation on. A stale kernel (backend switched mid-run) is simply
+    /// replaced — the kernel cold-starts with a full pass.
+    fn least_solution_backend(&mut self) -> LeastSolution {
+        use crate::solset::KernelHolder;
+        let kind = self.config().solset;
+        #[cfg(feature = "obs")]
+        if let Some(rec) = self.obs() {
+            rec.start(bane_obs::Phase::LeastSolution);
+        }
+        let mut csr = std::mem::take(self.csr_snapshot_mut());
+        let mut holder = match self.ls_kernel_slot().take() {
+            Some(holder) if holder.kind() == kind => holder,
+            _ => Box::new(KernelHolder::for_kind(kind)),
+        };
+        let (result, _pass, _sets) = {
+            let parts = self.least_parts();
+            holder.evaluate(&parts, &mut csr, true)
+        };
+        *self.csr_snapshot_mut() = csr;
+        *self.ls_kernel_slot() = Some(holder);
+        #[cfg(feature = "obs")]
+        if let Some(rec) = self.obs() {
+            rec.add(bane_obs::Counter::CsrBuilds, 1);
+            let set_vars = result.spans.iter().filter(|(s, e)| e > s).count();
+            rec.set(bane_obs::Counter::LsSetVars, set_vars as u64);
+            rec.set(bane_obs::Counter::LsEntries, result.total_entries() as u64);
+            // Difference-propagation accounting accumulates across passes;
+            // storage statistics reflect the latest backend state.
+            rec.add(bane_obs::Counter::LsDeltaFull, _pass.full);
+            rec.add(bane_obs::Counter::LsDeltaIncr, _pass.incr);
+            rec.add(bane_obs::Counter::LsDeltaIn, _pass.elems_in);
+            rec.add(bane_obs::Counter::LsDeltaFresh, _pass.elems_fresh);
+            rec.set(bane_obs::Counter::SolsetBlocks, _sets.blocks as u64);
+            rec.set(bane_obs::Counter::SolsetBlocksShared, _sets.share_hits);
+            rec.set(bane_obs::Counter::SolsetPromotions, _sets.promotions);
+            rec.set(bane_obs::Counter::SolsetBytes, _sets.bytes as u64);
+            rec.stop(bane_obs::Phase::LeastSolution);
+        }
+        result
+    }
 }
 
 #[cfg(test)]
@@ -673,6 +860,108 @@ mod tests {
             }
             assert!(collapses > 0, "{config:?}: workload should collapse cycles");
         }
+    }
+
+    /// Reference two-pointer merge the fast-path tests compare against.
+    fn naive_merge(a: &[TermId], b: &[TermId]) -> Vec<TermId> {
+        let mut all: Vec<TermId> = a.iter().chain(b).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    fn terms(ids: &[usize]) -> Vec<TermId> {
+        ids.iter().map(|&i| TermId::new(i)).collect()
+    }
+
+    #[test]
+    fn merge_handles_empty_subset_interleaved_and_duplicate_heavy_inputs() {
+        let cases: [(&[usize], &[usize]); 10] = [
+            (&[], &[]),
+            (&[], &[1, 2, 3]),
+            (&[5], &[]),
+            // Subset relations (both directions, shared elements dropped).
+            (&[2, 4], &[1, 2, 3, 4, 5]),
+            (&[0, 1, 2, 3, 4, 5, 6, 7], &[3, 5]),
+            // Fully interleaved.
+            (&[0, 2, 4, 6], &[1, 3, 5, 7]),
+            // Duplicate-heavy: every element shared.
+            (&[1, 2, 3], &[1, 2, 3]),
+            // Disjoint ranges (the concatenation fast paths).
+            (&[1, 2, 3], &[10, 11]),
+            (&[10, 11], &[1, 2, 3]),
+            // Equal boundary element must still dedup.
+            (&[1, 2, 5], &[5, 6, 7]),
+        ];
+        for (a, b) in cases {
+            let (a, b) = (terms(a), terms(b));
+            let mut out = Vec::new();
+            merge_sorted_dedup(&a, &b, &mut out);
+            assert_eq!(out, naive_merge(&a, &b), "a={a:?} b={b:?}");
+        }
+    }
+
+    /// Skewed sizes drive the galloping path; output must match the naive
+    /// walk exactly (also re-checked by the internal debug assertion).
+    #[test]
+    fn merge_gallops_on_skewed_sizes() {
+        use bane_util::SplitMix64;
+        let big: Vec<TermId> = (0..2000).map(|i| TermId::new(i * 3)).collect();
+        // Small side: mixes of shared, interleaved, and out-of-range values.
+        let smalls: [&[usize]; 5] = [
+            &[0],                       // first element, shared
+            &[5997],                    // last element, shared
+            &[1, 2, 3000, 9000],        // interleaved + past the end
+            &[0, 3, 6, 9],              // prefix, all shared
+            &[7000, 7001, 7002],        // entirely past the end
+        ];
+        for ids in smalls {
+            let small = terms(ids);
+            let mut out = Vec::new();
+            merge_sorted_dedup(&small, &big, &mut out);
+            assert_eq!(out, naive_merge(&small, &big), "small={ids:?}");
+            out.clear();
+            merge_sorted_dedup(&big, &small, &mut out);
+            assert_eq!(out, naive_merge(&small, &big), "swapped small={ids:?}");
+        }
+        // Randomized sweep across skews, seeds, and duplicates.
+        let mut rng = SplitMix64::new(0x6A110);
+        for round in 0..200 {
+            let nb = 1 + rng.next_below(400) as usize;
+            let na = 1 + rng.next_below(8) as usize;
+            let mut a: Vec<TermId> =
+                (0..na).map(|_| TermId::new(rng.next_below(1200) as usize)).collect();
+            let mut b: Vec<TermId> =
+                (0..nb).map(|_| TermId::new(rng.next_below(1200) as usize)).collect();
+            a.sort_unstable();
+            a.dedup();
+            b.sort_unstable();
+            b.dedup();
+            let mut out = Vec::new();
+            merge_sorted_dedup(&a, &b, &mut out);
+            assert_eq!(out, naive_merge(&a, &b), "round {round}");
+        }
+    }
+
+    #[test]
+    fn from_parts_accepts_disjoint_spans() {
+        let rep = vec![Var::new(0), Var::new(0), Var::new(2)];
+        let arena = terms(&[1, 2, 3, 4]);
+        // Disjoint non-empty spans plus an empty one: fine.
+        let ls = LeastSolution::from_parts(rep, arena, vec![(0, 2), (0, 0), (2, 4)]);
+        assert_eq!(ls.get(Var::new(1)), ls.get(Var::new(0)));
+        assert_eq!(ls.get(Var::new(2)), terms(&[3, 4]).as_slice());
+    }
+
+    /// Regression for the invariant sweep: two canonical variables must
+    /// never claim overlapping arena ranges.
+    #[test]
+    #[should_panic(expected = "overlapping least-solution spans")]
+    #[cfg(debug_assertions)]
+    fn from_parts_rejects_overlapping_spans() {
+        let rep = vec![Var::new(0), Var::new(1)];
+        let arena = terms(&[1, 2, 3]);
+        let _ = LeastSolution::from_parts(rep, arena, vec![(0, 2), (1, 3)]);
     }
 
     /// Random chains: IF least solution equals SF's explicit one.

@@ -143,6 +143,32 @@ impl Problem {
         self.zero_term
     }
 
+    /// Replaces the solution-set backend in the recorded configuration.
+    ///
+    /// Engines constructed from this problem evaluate their least solution
+    /// through the selected backend (see
+    /// [`SolverConfig::solset`](crate::solver::SolverConfig::solset)); the
+    /// recorded constraints are untouched, so the same recording can be
+    /// re-dressed per backend for comparative runs.
+    pub fn set_solset(&mut self, solset: crate::solset::SolSetKind) {
+        self.config.solset = solset;
+    }
+
+    /// Splits off and returns the constraints from `at` onward, keeping the
+    /// prefix recorded.
+    ///
+    /// This is the staged-feeding primitive for incremental experiments:
+    /// replay the prefix into an engine, solve, then feed the returned tail
+    /// through `add` and re-solve — exercising repeated least-solution
+    /// passes over a grown system (the difference-propagation workload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > self.constraints().len()`.
+    pub fn split_off_constraints(&mut self, at: usize) -> Vec<(SetExpr, SetExpr)> {
+        self.constraints.split_off(at)
+    }
+
     /// Decomposes the recording for an engine to adopt: configuration,
     /// constructor registry, term arena, variable count, and constraints.
     ///

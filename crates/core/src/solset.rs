@@ -1,0 +1,1040 @@
+//! Pluggable solution-set backends and the difference-propagating
+//! least-solution kernel (DESIGN.md §4f).
+//!
+//! The sequential pass in [`least`](crate::least) materializes one private
+//! sorted span per variable and re-merges whole predecessor sets on every
+//! pass — correct, cache-friendly, and the byte-identical reference the
+//! whole workspace pins against. But it leaves two kinds of redundancy on
+//! the table:
+//!
+//! - **representation**: hundreds of variables carry (near-)identical sets,
+//!   each stored privately;
+//! - **recomputation**: a repeated pass over a grown system re-merges every
+//!   element, even though almost all of them were already present.
+//!
+//! This module makes the pass generic over a [`SolSetBackend`] — how
+//! per-variable sets are stored and unioned — with three implementations:
+//!
+//! - [`SortedSpanSets`]: plain sorted vectors, the reference representation;
+//! - [`BitmapSets`]: word-block sparse bitmaps over a hash-consed
+//!   [`BlockArena`], so same-level variables alias identical payloads;
+//! - [`HybridSets`]: sorted vectors that promote to bitmap rows past
+//!   [`HYBRID_PROMOTE`] elements, mirroring the small-degree adjacency
+//!   design of `graph.rs`.
+//!
+//! On top of the backend sits **difference propagation** ([`LsKernel`]):
+//! each variable keeps its `stable` set in the backend plus a per-pass
+//! `delta` (elements added since the previous pass). A repeated pass feeds
+//! each variable only its predecessors' deltas, the new predecessor edges'
+//! full sets, and the new sources — falling back to a full merge on first
+//! visit. Because solution sets are monotone (constraints are only added),
+//! the incrementally maintained sets equal a from-scratch evaluation
+//! exactly, and [`LsKernel::evaluate`] returns a [`LeastSolution`] that is
+//! **byte-identical** to [`Solver::least_solution`]'s default path — the
+//! equivalence tests below assert full `PartialEq`, not just per-variable
+//! content.
+//!
+//! The default backend ([`SolSetKind::SortedSpan`] on a default
+//! [`SolverConfig`](crate::solver::SolverConfig)) never routes through this
+//! module: the legacy arena pass runs unchanged, so paper observables stay
+//! byte-identical by construction.
+//!
+//! [`Solver::least_solution`]: crate::solver::Solver::least_solution
+
+use bane_util::idx::Idx;
+use bane_util::solset::{BlockArena, BlockId, SparseBitmap};
+
+use crate::expr::{TermId, Var};
+use crate::least::{CsrSnapshot, LeastParts, LeastSolution};
+use crate::solver::Form;
+
+/// Which solution-set representation the least-solution pass uses.
+///
+/// Selected on [`SolverConfig::with_solset`](crate::solver::SolverConfig::with_solset),
+/// carried by `Problem` recordings, and exposed as the `--solset` axis of
+/// the bench binaries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SolSetKind {
+    /// The reference arena of private sorted spans (the default; runs the
+    /// legacy byte-identical pass).
+    #[default]
+    SortedSpan,
+    /// Shared sparse bitmaps with hash-consed 256-bit blocks.
+    Bitmap,
+    /// Sorted spans that promote dense rows to bitmap blocks.
+    Hybrid,
+}
+
+impl SolSetKind {
+    /// Every backend, in canonical report order.
+    pub const ALL: [SolSetKind; 3] =
+        [SolSetKind::SortedSpan, SolSetKind::Bitmap, SolSetKind::Hybrid];
+
+    /// The stable name used by CLI flags and bench tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolSetKind::SortedSpan => "sorted-span",
+            SolSetKind::Bitmap => "bitmap",
+            SolSetKind::Hybrid => "hybrid",
+        }
+    }
+
+    /// Parses a stable name (`sorted-span`/`bitmap`/`hybrid`; `sorted` is
+    /// accepted as shorthand).
+    pub fn by_name(name: &str) -> Option<SolSetKind> {
+        match name {
+            "sorted" => Some(SolSetKind::SortedSpan),
+            _ => SolSetKind::ALL.into_iter().find(|k| k.name() == name),
+        }
+    }
+}
+
+/// Storage statistics a backend reports after a pass (the `solset.*`
+/// observability counters, and the bytes-per-variable bench column).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolSetStats {
+    /// Approximate heap bytes of the set storage (shared blocks counted
+    /// once).
+    pub bytes: usize,
+    /// Distinct interned blocks (bitmap/hybrid only).
+    pub blocks: usize,
+    /// Interns answered by an existing block — payload sharing wins.
+    pub share_hits: u64,
+    /// Rows promoted from sorted-span to bitmap (hybrid only).
+    pub promotions: u64,
+}
+
+/// How the least-solution kernel stores and unions per-variable sets.
+///
+/// Every method speaks sorted, deduplicated `TermId` slices at the
+/// boundary, so the kernel itself is representation-agnostic. `fresh`
+/// output slices are always sorted within one call and contain exactly the
+/// elements the call added.
+pub trait SolSetBackend: Default {
+    /// The selector this backend answers to.
+    const KIND: SolSetKind;
+
+    /// Drops every set and resizes for variables `0..n` (keeps capacity).
+    fn reset(&mut self, n: usize);
+
+    /// Grows to hold variables `0..n` without touching existing sets.
+    fn ensure(&mut self, n: usize);
+
+    /// Unions sorted, distinct `elems` into `v`'s set. Returns the number
+    /// of elements added; appends them (sorted) to `fresh` when given.
+    fn absorb(&mut self, v: Var, elems: &[TermId], fresh: Option<&mut Vec<TermId>>) -> usize;
+
+    /// Unions `u`'s whole set into `v`'s (`u != v`). Same return/`fresh`
+    /// contract as [`absorb`](SolSetBackend::absorb).
+    fn absorb_set(&mut self, v: Var, u: Var, fresh: Option<&mut Vec<TermId>>) -> usize;
+
+    /// Appends `v`'s set to `out`, sorted.
+    fn read_into(&self, v: Var, out: &mut Vec<TermId>);
+
+    /// `|set(v)|`.
+    fn set_len(&self, v: Var) -> usize;
+
+    /// Storage statistics for the current state.
+    fn stats(&self) -> SolSetStats;
+}
+
+/// Merges sorted, distinct `elems` into the sorted, distinct `set`,
+/// reporting fresh elements. The shared small-set primitive of the
+/// sorted-span and hybrid backends.
+fn merge_into_vec(
+    set: &mut Vec<TermId>,
+    elems: &[TermId],
+    scratch: &mut Vec<TermId>,
+    mut fresh: Option<&mut Vec<TermId>>,
+) -> usize {
+    if elems.is_empty() {
+        return 0;
+    }
+    if set.is_empty() {
+        set.extend_from_slice(elems);
+        if let Some(fresh) = fresh {
+            fresh.extend_from_slice(elems);
+        }
+        return elems.len();
+    }
+    scratch.clear();
+    let mut added = 0usize;
+    let (mut i, mut j) = (0, 0);
+    while i < set.len() && j < elems.len() {
+        match set[i].cmp(&elems[j]) {
+            std::cmp::Ordering::Less => {
+                scratch.push(set[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                scratch.push(elems[j]);
+                if let Some(fresh) = fresh.as_deref_mut() {
+                    fresh.push(elems[j]);
+                }
+                added += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                scratch.push(set[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    scratch.extend_from_slice(&set[i..]);
+    if j < elems.len() {
+        added += elems.len() - j;
+        if let Some(fresh) = fresh {
+            fresh.extend_from_slice(&elems[j..]);
+        }
+        scratch.extend_from_slice(&elems[j..]);
+    }
+    if added > 0 {
+        std::mem::swap(set, scratch);
+    }
+    added
+}
+
+/// Disjoint mutable/shared access to two distinct slots of one slice.
+fn split2<T>(slots: &mut [T], a: usize, b: usize) -> (&mut T, &T) {
+    debug_assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = slots.split_at_mut(b);
+        (&mut lo[a], &hi[0])
+    } else {
+        let (lo, hi) = slots.split_at_mut(a);
+        (&mut hi[0], &lo[b])
+    }
+}
+
+/// The reference backend: one private sorted `Vec` per variable.
+#[derive(Clone, Debug, Default)]
+pub struct SortedSpanSets {
+    sets: Vec<Vec<TermId>>,
+    scratch: Vec<TermId>,
+}
+
+impl SolSetBackend for SortedSpanSets {
+    const KIND: SolSetKind = SolSetKind::SortedSpan;
+
+    fn reset(&mut self, n: usize) {
+        if self.sets.len() < n {
+            self.sets.resize_with(n, Vec::new);
+        }
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.sets.len() < n {
+            self.sets.resize_with(n, Vec::new);
+        }
+    }
+
+    fn absorb(&mut self, v: Var, elems: &[TermId], fresh: Option<&mut Vec<TermId>>) -> usize {
+        merge_into_vec(&mut self.sets[v.index()], elems, &mut self.scratch, fresh)
+    }
+
+    fn absorb_set(&mut self, v: Var, u: Var, fresh: Option<&mut Vec<TermId>>) -> usize {
+        debug_assert_ne!(v, u);
+        // Swap `u`'s set out so the borrow of `v`'s slot is exclusive; the
+        // swap is pointer-only and restored immediately.
+        let u_set = std::mem::take(&mut self.sets[u.index()]);
+        let added = merge_into_vec(&mut self.sets[v.index()], &u_set, &mut self.scratch, fresh);
+        self.sets[u.index()] = u_set;
+        added
+    }
+
+    fn read_into(&self, v: Var, out: &mut Vec<TermId>) {
+        out.extend_from_slice(&self.sets[v.index()]);
+    }
+
+    fn set_len(&self, v: Var) -> usize {
+        self.sets[v.index()].len()
+    }
+
+    fn stats(&self) -> SolSetStats {
+        let elem = std::mem::size_of::<TermId>();
+        let bytes = self.sets.capacity() * std::mem::size_of::<Vec<TermId>>()
+            + self.sets.iter().map(|s| s.capacity() * elem).sum::<usize>();
+        SolSetStats { bytes, ..SolSetStats::default() }
+    }
+}
+
+/// Converts a `TermId` to its bitmap bit.
+fn bit(t: TermId) -> u32 {
+    t.index() as u32
+}
+
+/// Converts a bitmap bit back to a `TermId`.
+fn term(bit: u32) -> TermId {
+    TermId::new(bit as usize)
+}
+
+/// Shared sparse bitmaps: every set is a chunk list into one hash-consed
+/// block arena, so variables with identical (sub)sets alias payloads.
+#[derive(Clone, Debug, Default)]
+pub struct BitmapSets {
+    arena: BlockArena,
+    maps: Vec<SparseBitmap>,
+    chunk_scratch: Vec<(u32, BlockId)>,
+    fresh_bits: Vec<u32>,
+}
+
+impl BitmapSets {
+    /// Flushes `fresh_bits` into a typed `fresh` vector.
+    fn decode_fresh(&mut self, fresh: Option<&mut Vec<TermId>>) {
+        if let Some(fresh) = fresh {
+            fresh.extend(self.fresh_bits.iter().map(|&b| term(b)));
+        }
+        self.fresh_bits.clear();
+    }
+}
+
+impl SolSetBackend for BitmapSets {
+    const KIND: SolSetKind = SolSetKind::Bitmap;
+
+    fn reset(&mut self, n: usize) {
+        if self.maps.len() < n {
+            self.maps.resize_with(n, SparseBitmap::new);
+        }
+        for map in &mut self.maps {
+            map.clear();
+        }
+        self.arena.clear();
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.maps.len() < n {
+            self.maps.resize_with(n, SparseBitmap::new);
+        }
+    }
+
+    fn absorb(&mut self, v: Var, elems: &[TermId], fresh: Option<&mut Vec<TermId>>) -> usize {
+        let track = fresh.is_some().then_some(&mut self.fresh_bits);
+        let added = self.maps[v.index()].insert_sorted(
+            &mut self.arena,
+            elems.iter().map(|&t| bit(t)),
+            track,
+        );
+        self.decode_fresh(fresh);
+        added
+    }
+
+    fn absorb_set(&mut self, v: Var, u: Var, fresh: Option<&mut Vec<TermId>>) -> usize {
+        let (dst, src) = split2(&mut self.maps, v.index(), u.index());
+        let track = fresh.is_some().then_some(&mut self.fresh_bits);
+        let added = dst.union_with(&mut self.arena, src, &mut self.chunk_scratch, track);
+        self.decode_fresh(fresh);
+        added
+    }
+
+    fn read_into(&self, v: Var, out: &mut Vec<TermId>) {
+        self.maps[v.index()].for_each(&self.arena, |b| out.push(term(b)));
+    }
+
+    fn set_len(&self, v: Var) -> usize {
+        self.maps[v.index()].len()
+    }
+
+    fn stats(&self) -> SolSetStats {
+        SolSetStats {
+            bytes: self.arena.heap_bytes()
+                + self.maps.capacity() * std::mem::size_of::<SparseBitmap>()
+                + self.maps.iter().map(SparseBitmap::heap_bytes).sum::<usize>(),
+            blocks: self.arena.len(),
+            share_hits: self.arena.share_hits(),
+            promotions: 0,
+        }
+    }
+}
+
+/// Elements past which a hybrid row graduates from sorted-span to bitmap —
+/// the same shape as the degree-16 small-mode adjacency threshold in
+/// `graph.rs`, scaled for set rows (a 128-element sorted merge is where the
+/// block OR starts winning).
+pub const HYBRID_PROMOTE: usize = 128;
+
+/// One hybrid row: sparse rows stay sorted spans, dense rows promote.
+#[derive(Clone, Debug)]
+enum HybridRow {
+    Small(Vec<TermId>),
+    Big(SparseBitmap),
+}
+
+impl Default for HybridRow {
+    fn default() -> Self {
+        HybridRow::Small(Vec::new())
+    }
+}
+
+/// Sorted spans below [`HYBRID_PROMOTE`] elements, shared bitmaps above.
+#[derive(Clone, Debug, Default)]
+pub struct HybridSets {
+    arena: BlockArena,
+    rows: Vec<HybridRow>,
+    scratch: Vec<TermId>,
+    chunk_scratch: Vec<(u32, BlockId)>,
+    fresh_bits: Vec<u32>,
+    promotions: u64,
+}
+
+impl HybridSets {
+    /// Promotes `v`'s row to a bitmap if it crossed the density threshold.
+    fn maybe_promote(&mut self, v: Var) {
+        let row = &mut self.rows[v.index()];
+        if let HybridRow::Small(set) = row {
+            if set.len() > HYBRID_PROMOTE {
+                let mut map = SparseBitmap::new();
+                map.insert_sorted(&mut self.arena, set.iter().map(|&t| bit(t)), None);
+                *row = HybridRow::Big(map);
+                self.promotions += 1;
+            }
+        }
+    }
+
+    fn decode_fresh(&mut self, fresh: Option<&mut Vec<TermId>>) {
+        if let Some(fresh) = fresh {
+            fresh.extend(self.fresh_bits.iter().map(|&b| term(b)));
+        }
+        self.fresh_bits.clear();
+    }
+}
+
+impl SolSetBackend for HybridSets {
+    const KIND: SolSetKind = SolSetKind::Hybrid;
+
+    fn reset(&mut self, n: usize) {
+        if self.rows.len() < n {
+            self.rows.resize_with(n, HybridRow::default);
+        }
+        for row in &mut self.rows {
+            // Demote on reset so capacity-reuse favors the common small
+            // rows; promoted rows re-promote as they refill.
+            match row {
+                HybridRow::Small(set) => set.clear(),
+                HybridRow::Big(_) => *row = HybridRow::default(),
+            }
+        }
+        self.arena.clear();
+        self.promotions = 0;
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.rows.len() < n {
+            self.rows.resize_with(n, HybridRow::default);
+        }
+    }
+
+    fn absorb(&mut self, v: Var, elems: &[TermId], fresh: Option<&mut Vec<TermId>>) -> usize {
+        if matches!(self.rows[v.index()], HybridRow::Small(_)) {
+            let HybridRow::Small(mut set) = std::mem::take(&mut self.rows[v.index()]) else {
+                unreachable!()
+            };
+            let added = merge_into_vec(&mut set, elems, &mut self.scratch, fresh);
+            self.rows[v.index()] = HybridRow::Small(set);
+            self.maybe_promote(v);
+            added
+        } else {
+            let HybridRow::Big(map) = &mut self.rows[v.index()] else { unreachable!() };
+            let track = fresh.is_some().then_some(&mut self.fresh_bits);
+            let added = map.insert_sorted(&mut self.arena, elems.iter().map(|&t| bit(t)), track);
+            self.decode_fresh(fresh);
+            added
+        }
+    }
+
+    fn absorb_set(&mut self, v: Var, u: Var, fresh: Option<&mut Vec<TermId>>) -> usize {
+        debug_assert_ne!(v, u);
+        // A bitmap source promotes the destination first (the union is at
+        // least as dense as the source), keeping the block-level aliasing
+        // win; a small source merges by value into either shape.
+        if matches!(&self.rows[u.index()], HybridRow::Big(_)) {
+            if let HybridRow::Small(set) = &mut self.rows[v.index()] {
+                let set = std::mem::take(set);
+                let mut map = SparseBitmap::new();
+                map.insert_sorted(&mut self.arena, set.iter().map(|&t| bit(t)), None);
+                self.rows[v.index()] = HybridRow::Big(map);
+                self.promotions += 1;
+            }
+            let (dst, src) = split2(&mut self.rows, v.index(), u.index());
+            let (HybridRow::Big(dst), HybridRow::Big(src)) = (dst, src) else {
+                unreachable!("both rows promoted above")
+            };
+            let track = fresh.is_some().then_some(&mut self.fresh_bits);
+            let added = dst.union_with(&mut self.arena, src, &mut self.chunk_scratch, track);
+            self.decode_fresh(fresh);
+            added
+        } else {
+            let u_row = std::mem::take(&mut self.rows[u.index()]);
+            let HybridRow::Small(u_set) = &u_row else { unreachable!() };
+            let added = self.absorb(v, u_set, fresh);
+            self.rows[u.index()] = u_row;
+            added
+        }
+    }
+
+    fn read_into(&self, v: Var, out: &mut Vec<TermId>) {
+        match &self.rows[v.index()] {
+            HybridRow::Small(set) => out.extend_from_slice(set),
+            HybridRow::Big(map) => map.for_each(&self.arena, |b| out.push(term(b))),
+        }
+    }
+
+    fn set_len(&self, v: Var) -> usize {
+        match &self.rows[v.index()] {
+            HybridRow::Small(set) => set.len(),
+            HybridRow::Big(map) => map.len(),
+        }
+    }
+
+    fn stats(&self) -> SolSetStats {
+        let elem = std::mem::size_of::<TermId>();
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| match row {
+                HybridRow::Small(set) => set.capacity() * elem,
+                HybridRow::Big(map) => map.heap_bytes(),
+            })
+            .sum::<usize>();
+        SolSetStats {
+            bytes: self.arena.heap_bytes()
+                + self.rows.capacity() * std::mem::size_of::<HybridRow>()
+                + rows,
+            blocks: self.arena.len(),
+            share_hits: self.arena.share_hits(),
+            promotions: self.promotions,
+        }
+    }
+}
+
+/// Merge accounting of one [`LsKernel::evaluate`] pass (feeds the
+/// `ls.delta.*` observability counters).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LsPassStats {
+    /// Variables evaluated by a full merge (first visit, or difference
+    /// propagation off/cold).
+    pub full: u64,
+    /// Variables evaluated incrementally from predecessor deltas.
+    pub incr: u64,
+    /// Incremental variables whose inputs were all empty — no merge ran at
+    /// all.
+    pub unchanged: u64,
+    /// Elements fed into merges.
+    pub elems_in: u64,
+    /// Elements those merges actually added. `elems_in - elems_fresh` is
+    /// the redundant traffic a full re-evaluation would have paid again.
+    pub elems_fresh: u64,
+}
+
+/// The backend-generic, difference-propagating least-solution evaluator.
+///
+/// Retained across passes: `evaluate(parts, csr, diff=true)` reuses the
+/// previous pass's stable sets and row snapshot, feeding each variable only
+/// what changed — new sources, new predecessor edges (full-set merge), and
+/// old predecessors' deltas. With `diff=false` (or on the first pass) every
+/// variable takes the full-merge path.
+///
+/// # Examples
+///
+/// ```
+/// use bane_core::prelude::*;
+/// use bane_core::least::CsrSnapshot;
+/// use bane_core::solset::{BitmapSets, LsKernel};
+///
+/// let mut s = Solver::new(SolverConfig::if_online());
+/// let c = s.register_nullary("c");
+/// let src = s.term(c, vec![]);
+/// let (x, y) = (s.fresh_var(), s.fresh_var());
+/// s.add(src, x);
+/// s.add(x, y);
+/// s.solve();
+///
+/// let mut kernel: LsKernel<BitmapSets> = LsKernel::new();
+/// let mut csr = CsrSnapshot::new();
+/// let ls = kernel.evaluate(&s.least_parts(), &mut csr, true);
+/// assert_eq!(ls, s.least_solution()); // byte-identical to the reference
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LsKernel<B: SolSetBackend> {
+    backend: B,
+    rep: Vec<Var>,
+    layout: Vec<Var>,
+    /// This pass's per-variable delta spans into `delta_arena`.
+    delta_arena: Vec<TermId>,
+    delta_spans: Vec<(u32, u32)>,
+    /// First-visit variables whose "delta" is their whole set (read
+    /// straight from the backend instead of being copied out).
+    delta_full: Vec<bool>,
+    /// Rows of the previous pass; diffed against the fresh snapshot to
+    /// find new sources and new predecessor edges.
+    prev: CsrSnapshot,
+    /// Whether a variable was canonical (hence evaluated) last pass.
+    evaluated: Vec<bool>,
+    warm: bool,
+    fresh: Vec<TermId>,
+    src_delta: Vec<TermId>,
+    stats: LsPassStats,
+}
+
+/// `out = a \ b` for sorted distinct slices.
+fn diff_sorted(a: &[TermId], b: &[TermId], out: &mut Vec<TermId>) {
+    out.clear();
+    let mut j = 0usize;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            out.push(x);
+        }
+    }
+}
+
+impl<B: SolSetBackend> LsKernel<B> {
+    /// A fresh, cold kernel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The backend this kernel evaluates with.
+    pub fn kind(&self) -> SolSetKind {
+        B::KIND
+    }
+
+    /// Merge accounting of the most recent pass.
+    pub fn pass_stats(&self) -> LsPassStats {
+        self.stats
+    }
+
+    /// Storage statistics of the backend's current state.
+    pub fn backend_stats(&self) -> SolSetStats {
+        self.backend.stats()
+    }
+
+    /// Evaluates the least solution of `parts`, freezing the graph into
+    /// `csr` (caller-owned so warmed snapshot buffers are reusable).
+    ///
+    /// With `diff` and a warm kernel this is the incremental pass; the
+    /// result is byte-identical to a cold evaluation either way.
+    pub fn evaluate(
+        &mut self,
+        parts: &LeastParts<'_>,
+        csr: &mut CsrSnapshot,
+        diff: bool,
+    ) -> LeastSolution {
+        parts.rep_map_into(&mut self.rep);
+        parts.layout_order_into(&self.rep, &mut self.layout);
+        csr.build(parts, &self.layout);
+        let n = self.rep.len();
+
+        let diff = diff && self.warm;
+        if diff {
+            self.backend.ensure(n);
+        } else {
+            self.backend.reset(n);
+        }
+        self.delta_arena.clear();
+        self.delta_spans.clear();
+        self.delta_spans.resize(n, (0, 0));
+        self.delta_full.clear();
+        self.delta_full.resize(n, false);
+        self.stats = LsPassStats::default();
+
+        for &v in &self.layout {
+            let srcs = csr.srcs(v);
+            let preds = csr.preds(v); // empty rows under standard form
+            let incremental =
+                diff && self.evaluated.get(v.index()).copied().unwrap_or(false);
+            if !incremental {
+                // First visit: full merge of sources and predecessor sets.
+                // The whole result is this variable's delta, flagged
+                // instead of copied — successors absorb the set directly.
+                self.stats.full += 1;
+                let mut fed = srcs.len();
+                self.backend.absorb(v, srcs, None);
+                for &u in preds {
+                    fed += self.backend.set_len(u);
+                    self.backend.absorb_set(v, u, None);
+                }
+                self.stats.elems_in += fed as u64;
+                self.stats.elems_fresh += self.backend.set_len(v) as u64;
+                self.delta_full[v.index()] = true;
+                continue;
+            }
+            self.stats.incr += 1;
+            self.fresh.clear();
+            let mut fed = 0usize;
+            // New sources: anything the previous snapshot's row lacked.
+            diff_sorted(srcs, self.prev.srcs(v), &mut self.src_delta);
+            if !self.src_delta.is_empty() {
+                fed += self.src_delta.len();
+                self.backend.absorb(v, &self.src_delta, Some(&mut self.fresh));
+            }
+            // Old predecessors contribute only their delta; predecessors
+            // that joined the row since last pass contribute everything.
+            let old_preds = self.prev.preds(v);
+            let mut op = 0usize;
+            for &u in preds {
+                while op < old_preds.len() && old_preds[op] < u {
+                    op += 1;
+                }
+                let is_old = op < old_preds.len() && old_preds[op] == u;
+                if !is_old || self.delta_full[u.index()] {
+                    fed += self.backend.set_len(u);
+                    self.backend.absorb_set(v, u, Some(&mut self.fresh));
+                } else {
+                    let (s, e) = self.delta_spans[u.index()];
+                    if e > s {
+                        let delta = &self.delta_arena[s as usize..e as usize];
+                        fed += delta.len();
+                        self.backend.absorb(v, delta, Some(&mut self.fresh));
+                    }
+                }
+            }
+            if fed == 0 {
+                self.stats.unchanged += 1;
+            }
+            self.stats.elems_in += fed as u64;
+            // Fresh elements arrived sorted per absorb call but not across
+            // calls; they are globally distinct (an element is fresh at
+            // most once), so one sort canonicalizes the delta.
+            self.fresh.sort_unstable();
+            self.stats.elems_fresh += self.fresh.len() as u64;
+            let start = u32::try_from(self.delta_arena.len()).expect("delta arena overflow");
+            self.delta_arena.extend_from_slice(&self.fresh);
+            self.delta_spans[v.index()] =
+                (start, u32::try_from(self.delta_arena.len()).expect("delta arena overflow"));
+        }
+
+        // Snapshot this pass's rows and coverage for the next diff.
+        self.prev.copy_from(csr);
+        self.evaluated.clear();
+        self.evaluated.resize(n, false);
+        for &v in &self.layout {
+            self.evaluated[v.index()] = true;
+        }
+        self.warm = true;
+        self.solution(parts.form)
+    }
+
+    /// Reads the stable sets out as a [`LeastSolution`], committing spans
+    /// in the sequential pass's exact layout order (inductive form leaves
+    /// empty sets at `(0, 0)`, standard form commits degenerate `(k, k)`
+    /// spans) — which is what makes the result byte-identical to the
+    /// reference.
+    fn solution(&self, form: Form) -> LeastSolution {
+        let n = self.rep.len();
+        let mut arena: Vec<TermId> = Vec::new();
+        let mut spans: Vec<(u32, u32)> = vec![(0, 0); n];
+        for &v in &self.layout {
+            let start = u32::try_from(arena.len()).expect("least-solution arena overflow");
+            self.backend.read_into(v, &mut arena);
+            let end = u32::try_from(arena.len()).expect("least-solution arena overflow");
+            if end > start || matches!(form, Form::Standard) {
+                spans[v.index()] = (start, end);
+            }
+        }
+        LeastSolution::from_parts(self.rep.clone(), arena, spans)
+    }
+}
+
+/// The kernel variants a [`Solver`](crate::solver::Solver) can retain, one
+/// per non-default backend plus the sorted-span kernel for completeness
+/// (the default configuration never constructs one — it runs the legacy
+/// pass).
+#[derive(Clone, Debug)]
+pub(crate) enum KernelHolder {
+    Sorted(LsKernel<SortedSpanSets>),
+    Bitmap(LsKernel<BitmapSets>),
+    Hybrid(LsKernel<HybridSets>),
+}
+
+impl KernelHolder {
+    pub(crate) fn for_kind(kind: SolSetKind) -> KernelHolder {
+        match kind {
+            SolSetKind::SortedSpan => KernelHolder::Sorted(LsKernel::new()),
+            SolSetKind::Bitmap => KernelHolder::Bitmap(LsKernel::new()),
+            SolSetKind::Hybrid => KernelHolder::Hybrid(LsKernel::new()),
+        }
+    }
+
+    pub(crate) fn kind(&self) -> SolSetKind {
+        match self {
+            KernelHolder::Sorted(k) => k.kind(),
+            KernelHolder::Bitmap(k) => k.kind(),
+            KernelHolder::Hybrid(k) => k.kind(),
+        }
+    }
+
+    pub(crate) fn evaluate(
+        &mut self,
+        parts: &LeastParts<'_>,
+        csr: &mut CsrSnapshot,
+        diff: bool,
+    ) -> (LeastSolution, LsPassStats, SolSetStats) {
+        match self {
+            KernelHolder::Sorted(k) => {
+                (k.evaluate(parts, csr, diff), k.pass_stats(), k.backend_stats())
+            }
+            KernelHolder::Bitmap(k) => {
+                (k.evaluate(parts, csr, diff), k.pass_stats(), k.backend_stats())
+            }
+            KernelHolder::Hybrid(k) => {
+                (k.evaluate(parts, csr, diff), k.pass_stats(), k.backend_stats())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{Solver, SolverConfig};
+    use bane_util::SplitMix64;
+
+    /// Random layered constraint systems with back edges and sources,
+    /// optionally only partially fed (for incremental-growth tests).
+    fn random_solver(config: SolverConfig, seed: u64, hold_back: usize) -> (Solver, Vec<(Var, Var)>) {
+        let mut rng = SplitMix64::new(seed);
+        let mut s = Solver::new(config);
+        let n = 70;
+        let vs: Vec<Var> = (0..n).map(|_| s.fresh_var()).collect();
+        let mut ts = Vec::new();
+        for k in 0..9 {
+            let c = s.register_nullary(format!("c{k}"));
+            ts.push(s.term(c, vec![]));
+        }
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.next_bool(0.05) {
+                    edges.push((vs[i], vs[j]));
+                }
+            }
+        }
+        for _ in 0..8 {
+            let a = rng.next_below(n as u64) as usize;
+            let b = rng.next_below(n as u64) as usize;
+            edges.push((vs[a], vs[b]));
+        }
+        let held = edges.split_off(edges.len().saturating_sub(hold_back));
+        for &(a, b) in &edges {
+            s.add(a, b);
+        }
+        for (k, &t) in ts.iter().enumerate() {
+            s.add(t, vs[(k * 7) % n]);
+        }
+        s.solve();
+        (s, held)
+    }
+
+    fn configs() -> [SolverConfig; 4] {
+        [
+            SolverConfig::sf_plain(),
+            SolverConfig::if_plain(),
+            SolverConfig::sf_online(),
+            SolverConfig::if_online(),
+        ]
+    }
+
+    /// Every backend, cold and diff-warm, must be byte-identical to the
+    /// legacy sequential pass (not just per-variable content).
+    #[test]
+    fn backends_are_byte_identical_to_the_reference() {
+        for config in configs() {
+            for seed in 0..5u64 {
+                let (mut s, _) = random_solver(config, 0xBACC + seed, 0);
+                let reference = s.least_solution();
+                let parts = s.least_parts();
+                let mut csr = CsrSnapshot::new();
+
+                let mut sorted: LsKernel<SortedSpanSets> = LsKernel::new();
+                let mut bitmap: LsKernel<BitmapSets> = LsKernel::new();
+                let mut hybrid: LsKernel<HybridSets> = LsKernel::new();
+                for diff in [false, true] {
+                    assert_eq!(
+                        sorted.evaluate(&parts, &mut csr, diff),
+                        reference,
+                        "{config:?} seed {seed} sorted diff={diff}"
+                    );
+                    assert_eq!(
+                        bitmap.evaluate(&parts, &mut csr, diff),
+                        reference,
+                        "{config:?} seed {seed} bitmap diff={diff}"
+                    );
+                    assert_eq!(
+                        hybrid.evaluate(&parts, &mut csr, diff),
+                        reference,
+                        "{config:?} seed {seed} hybrid diff={diff}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A warm diff pass over an unchanged system merges nothing: every
+    /// variable is incremental, and no elements flow at all.
+    #[test]
+    fn unchanged_repeat_pass_propagates_zero_elements() {
+        let (mut s, _) = random_solver(SolverConfig::if_online(), 7, 0);
+        let reference = s.least_solution();
+        let parts = s.least_parts();
+        let mut csr = CsrSnapshot::new();
+        let mut kernel: LsKernel<BitmapSets> = LsKernel::new();
+        let cold = kernel.evaluate(&parts, &mut csr, true);
+        assert_eq!(cold, reference);
+        let cold_stats = kernel.pass_stats();
+        assert!(cold_stats.full > 0);
+        assert_eq!(cold_stats.incr, 0);
+
+        let warm = kernel.evaluate(&parts, &mut csr, true);
+        assert_eq!(warm, reference);
+        let stats = kernel.pass_stats();
+        assert_eq!(stats.full, 0, "every variable should be incremental");
+        assert_eq!(stats.elems_in, 0, "unchanged system feeds no elements");
+        assert_eq!(stats.elems_fresh, 0);
+        assert_eq!(stats.unchanged, stats.incr);
+    }
+
+    /// Growing the system between passes: the incremental pass must equal a
+    /// from-scratch reference byte for byte, while feeding far fewer
+    /// elements than a full re-evaluation.
+    #[test]
+    fn incremental_growth_matches_fresh_reference() {
+        for config in [SolverConfig::if_online(), SolverConfig::sf_online()] {
+            for seed in 0..6u64 {
+                let (mut s, held) = random_solver(config, 0x9502 + seed, 6);
+                let parts = s.least_parts();
+                let mut csr = CsrSnapshot::new();
+                let mut sorted: LsKernel<SortedSpanSets> = LsKernel::new();
+                let mut bitmap: LsKernel<BitmapSets> = LsKernel::new();
+                let mut hybrid: LsKernel<HybridSets> = LsKernel::new();
+                sorted.evaluate(&parts, &mut csr, true);
+                bitmap.evaluate(&parts, &mut csr, true);
+                hybrid.evaluate(&parts, &mut csr, true);
+
+                // Feed the held-back tail (may collapse cycles, move
+                // sources, add predecessor edges) and re-solve.
+                for &(a, b) in &held {
+                    s.add(a, b);
+                }
+                s.solve();
+                let reference = s.least_solution();
+                let parts = s.least_parts();
+                for diff in [true, false] {
+                    assert_eq!(
+                        sorted.evaluate(&parts, &mut csr, diff),
+                        reference,
+                        "{config:?} seed {seed} sorted diff={diff}"
+                    );
+                    assert_eq!(
+                        bitmap.evaluate(&parts, &mut csr, diff),
+                        reference,
+                        "{config:?} seed {seed} bitmap diff={diff}"
+                    );
+                    assert_eq!(
+                        hybrid.evaluate(&parts, &mut csr, diff),
+                        reference,
+                        "{config:?} seed {seed} hybrid diff={diff}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The bitmap backend's hash-consing must actually share payloads on a
+    /// workload where many variables hold the same set.
+    #[test]
+    fn bitmap_backend_shares_blocks_across_variables() {
+        let mut s = Solver::new(SolverConfig::if_online());
+        let mut srcs = Vec::new();
+        for k in 0..40 {
+            let c = s.register_nullary(format!("c{k}"));
+            srcs.push(s.term(c, vec![]));
+        }
+        let hub = s.fresh_var();
+        for &t in &srcs {
+            s.add(t, hub);
+        }
+        // Many variables all containing exactly the hub's set.
+        let outs: Vec<Var> = (0..30).map(|_| s.fresh_var()).collect();
+        for &o in &outs {
+            s.add(hub, o);
+        }
+        s.solve();
+        let reference = s.least_solution();
+        let parts = s.least_parts();
+        let mut csr = CsrSnapshot::new();
+        let mut kernel: LsKernel<BitmapSets> = LsKernel::new();
+        assert_eq!(kernel.evaluate(&parts, &mut csr, true), reference);
+        let stats = kernel.backend_stats();
+        assert!(
+            stats.share_hits > 0 || stats.blocks <= 1,
+            "identical sets should share payload blocks: {stats:?}"
+        );
+        // 31 identical 40-element sets, but only one distinct payload.
+        assert!(stats.blocks < 5, "expected few distinct blocks, got {}", stats.blocks);
+    }
+
+    /// Hybrid rows promote past the threshold and report it.
+    #[test]
+    fn hybrid_backend_promotes_dense_rows() {
+        let mut s = Solver::new(SolverConfig::if_online());
+        let sink = s.fresh_var();
+        for k in 0..(HYBRID_PROMOTE + 40) {
+            let c = s.register_nullary(format!("c{k}"));
+            let t = s.term(c, vec![]);
+            s.add(t, sink);
+        }
+        let small = s.fresh_var();
+        let c = s.register_nullary("lone");
+        let t = s.term(c, vec![]);
+        s.add(t, small);
+        s.solve();
+        let reference = s.least_solution();
+        let parts = s.least_parts();
+        let mut csr = CsrSnapshot::new();
+        let mut kernel: LsKernel<HybridSets> = LsKernel::new();
+        assert_eq!(kernel.evaluate(&parts, &mut csr, true), reference);
+        let stats = kernel.backend_stats();
+        assert!(stats.promotions >= 1, "dense row should promote: {stats:?}");
+        assert!(stats.blocks > 0);
+    }
+
+    /// End to end through [`Solver::least_solution`]: a solver configured
+    /// with a non-default backend must stay byte-identical to a default
+    /// solver across incremental growth and repeated calls.
+    #[test]
+    fn solver_dispatch_matches_default_across_growth() {
+        for kind in [SolSetKind::Bitmap, SolSetKind::Hybrid] {
+            for seed in 0..3u64 {
+                let base = SolverConfig::if_online();
+                let (mut a, held_a) = random_solver(base, 0xD15 + seed, 5);
+                let (mut b, held_b) = random_solver(base.with_solset(kind), 0xD15 + seed, 5);
+                assert_eq!(held_a, held_b, "generation must be config-independent");
+                assert_eq!(a.least_solution(), b.least_solution(), "{kind:?} seed {seed} cold");
+                for (&(x, y), &(x2, y2)) in held_a.iter().zip(&held_b) {
+                    a.add(x, y);
+                    b.add(x2, y2);
+                }
+                a.solve();
+                b.solve();
+                assert_eq!(a.least_solution(), b.least_solution(), "{kind:?} seed {seed} grown");
+                assert_eq!(a.least_solution(), b.least_solution(), "{kind:?} seed {seed} repeat");
+            }
+        }
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in SolSetKind::ALL {
+            assert_eq!(SolSetKind::by_name(kind.name()), Some(kind));
+        }
+        assert_eq!(SolSetKind::by_name("sorted"), Some(SolSetKind::SortedSpan));
+        assert_eq!(SolSetKind::by_name("nope"), None);
+        assert_eq!(SolSetKind::default(), SolSetKind::SortedSpan);
+    }
+}

@@ -124,11 +124,38 @@ pub enum Counter {
     EpochResets = 33,
     /// CSR snapshots built for the least-solution kernel.
     CsrBuilds = 34,
+
+    // -- difference propagation (DESIGN.md §4f) ---------------------------
+    /// Least-solution variables evaluated by a full merge (first visit, or
+    /// difference propagation off).
+    LsDeltaFull = 35,
+    /// Least-solution variables evaluated incrementally from predecessor
+    /// deltas.
+    LsDeltaIncr = 36,
+    /// Elements fed into incremental merges (the traffic difference
+    /// propagation still pays for).
+    LsDeltaIn = 37,
+    /// Elements those merges actually added; `in - fresh` is the redundant
+    /// traffic that difference propagation exposes.
+    LsDeltaFresh = 38,
+
+    // -- solution-set backends (DESIGN.md §4f) ----------------------------
+    /// Distinct 256-bit payload blocks interned by the bitmap/hybrid
+    /// backends' shared arena.
+    SolsetBlocks = 39,
+    /// Interns answered by an existing block (payloads physically shared
+    /// across variables).
+    SolsetBlocksShared = 40,
+    /// Hybrid rows promoted from sorted-span to bitmap past the density
+    /// threshold.
+    SolsetPromotions = 41,
+    /// Approximate heap bytes held by the active backend's set storage.
+    SolsetBytes = 42,
 }
 
 impl Counter {
     /// Number of registered counters.
-    pub const COUNT: usize = 35;
+    pub const COUNT: usize = 43;
 
     /// Every counter, in canonical report order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -167,6 +194,14 @@ impl Counter {
         Counter::SearchMemoMiss,
         Counter::EpochResets,
         Counter::CsrBuilds,
+        Counter::LsDeltaFull,
+        Counter::LsDeltaIncr,
+        Counter::LsDeltaIn,
+        Counter::LsDeltaFresh,
+        Counter::SolsetBlocks,
+        Counter::SolsetBlocksShared,
+        Counter::SolsetPromotions,
+        Counter::SolsetBytes,
     ];
 
     /// The stable dotted name used in reports and JSON.
@@ -207,6 +242,14 @@ impl Counter {
             Counter::SearchMemoMiss => "search.memo.miss",
             Counter::EpochResets => "epoch.resets",
             Counter::CsrBuilds => "csr.build",
+            Counter::LsDeltaFull => "ls.delta.full",
+            Counter::LsDeltaIncr => "ls.delta.incr",
+            Counter::LsDeltaIn => "ls.delta.in",
+            Counter::LsDeltaFresh => "ls.delta.fresh",
+            Counter::SolsetBlocks => "solset.blocks",
+            Counter::SolsetBlocksShared => "solset.blocks-shared",
+            Counter::SolsetPromotions => "solset.promotions",
+            Counter::SolsetBytes => "solset.bytes",
         }
     }
 

@@ -51,6 +51,17 @@ impl RunReport {
         self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
+    /// Derived `work.redundant / work.total`, when both counters are
+    /// present and work was done. Rendered by
+    /// [`render_table`](RunReport::render_table) and surfaced in bench
+    /// summary rows; never serialized as a counter (the JSON schema stores
+    /// only raw monotonic figures).
+    pub fn redundant_ratio(&self) -> Option<f64> {
+        let total = self.counter("work.total")?;
+        let redundant = self.counter("work.redundant")?;
+        (total > 0).then(|| redundant as f64 / total as f64)
+    }
+
     /// The timing row for phase `name`, if it ran.
     pub fn phase(&self, name: &str) -> Option<&PhaseReport> {
         self.phases.iter().find(|p| p.phase == name)
@@ -208,16 +219,27 @@ impl RunReport {
         }
 
         if !self.counters.is_empty() {
+            // Derived figure, not a stored counter (and not in the JSON
+            // schema): fraction of the paper's Work that was redundant
+            // edge traffic — the number difference propagation shrinks.
+            let ratio = self.redundant_ratio();
             let name_w = self
                 .counters
                 .iter()
                 .map(|(n, _)| n.len())
                 .chain(["counter".len()])
+                .chain(ratio.map(|_| "work.redundant-ratio".len()))
                 .max()
                 .unwrap_or(7);
             out.push_str(&format!("  {:<name_w$}  {:>14}\n", "counter", "value"));
             for (name, value) in &self.counters {
                 out.push_str(&format!("  {:<name_w$}  {:>14}\n", name, value));
+            }
+            if let Some(ratio) = ratio {
+                out.push_str(&format!(
+                    "  {:<name_w$}  {:>14.4}\n",
+                    "work.redundant-ratio", ratio
+                ));
             }
         }
 
@@ -400,5 +422,30 @@ mod tests {
         assert!(table.contains("123456"));
         assert!(table.contains("5 dropped"));
         assert!(table.contains("25.000ms"));
+        // `work.redundant` is absent from the sample, so no derived row.
+        assert!(!table.contains("work.redundant-ratio"));
+    }
+
+    #[test]
+    fn redundant_ratio_is_derived_not_stored() {
+        let mut report = sample();
+        assert_eq!(report.redundant_ratio(), None);
+        report.counters.push(("work.redundant".to_string(), 30_864));
+        let ratio = report.redundant_ratio().expect("both counters present");
+        assert!((ratio - 30_864.0 / 123_456.0).abs() < 1e-12);
+        let table = report.render_table();
+        assert!(table.contains("work.redundant-ratio"));
+        assert!(table.contains("0.2500"));
+        // Round-trips never carry the derived row: it is display-only.
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert!(back.counter("work.redundant-ratio").is_none());
+        assert_eq!(back.redundant_ratio(), report.redundant_ratio());
+        // Zero work yields no ratio rather than a NaN.
+        let mut zero = sample();
+        zero.counters = vec![
+            ("work.total".to_string(), 0),
+            ("work.redundant".to_string(), 0),
+        ];
+        assert_eq!(zero.redundant_ratio(), None);
     }
 }

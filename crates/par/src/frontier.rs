@@ -475,7 +475,16 @@ impl Engine for FrontierSolver {
             order: &self.parts.order,
             form: self.parts.config.form,
         };
-        self.par_least.run(&parts, self.threads, self.obs.as_deref());
+        let kind = self.parts.config.solset;
+        if kind == bane_core::solset::SolSetKind::SortedSpan {
+            self.par_least.run(&parts, self.threads, self.obs.as_deref());
+        } else {
+            // Non-default backends ride the difference-propagating path:
+            // repeated least-solution calls over a grown frontier system
+            // re-merge only deltas (bytes stay identical either way).
+            self.par_least
+                .run_with(&parts, self.threads, kind, true, self.obs.as_deref());
+        }
         self.par_least.solution()
     }
 }
@@ -688,6 +697,46 @@ mod tests {
                         assert_eq!(rounds, *r0, "{label}: rounds");
                     }
                 }
+            }
+        }
+    }
+
+    /// Non-default solution-set backends ride `SolverConfig::solset` into
+    /// the engine's least solution — byte-identical to the default, across
+    /// growth (the second `least_solution` call exercises the
+    /// difference-propagating path on a warm evaluator).
+    #[test]
+    fn solset_backends_match_default_across_growth() {
+        use bane_core::solset::SolSetKind;
+        let run = |kind: SolSetKind, threads: usize| {
+            let mut f = FrontierSolver::new(
+                SolverConfig::if_online().with_solset(kind),
+                threads,
+            );
+            let vs: Vec<Var> =
+                (0..40).map(|_| ConstraintBuilder::fresh_var(&mut f)).collect();
+            let c = ConstraintBuilder::register_nullary(&mut f, "c");
+            let src = ConstraintBuilder::term(&mut f, c, vec![]);
+            ConstraintBuilder::add(&mut f, src, vs[0]);
+            for i in 0..39 {
+                ConstraintBuilder::add(&mut f, vs[i], vs[i + 1]);
+            }
+            Engine::solve(&mut f);
+            let first = Engine::least_solution(&mut f);
+            // Grow: a back edge collapses a suffix cycle, new sources land.
+            ConstraintBuilder::add(&mut f, vs[30], vs[10]);
+            let c2 = ConstraintBuilder::register_nullary(&mut f, "c2");
+            let src2 = ConstraintBuilder::term(&mut f, c2, vec![]);
+            ConstraintBuilder::add(&mut f, src2, vs[20]);
+            Engine::solve(&mut f);
+            let second = Engine::least_solution(&mut f);
+            (first, second)
+        };
+        for threads in [1, 4] {
+            let reference = run(SolSetKind::SortedSpan, threads);
+            for kind in [SolSetKind::Bitmap, SolSetKind::Hybrid] {
+                let got = run(kind, threads);
+                assert_eq!(got, reference, "{kind:?} threads {threads}");
             }
         }
     }

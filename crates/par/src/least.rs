@@ -21,7 +21,9 @@
 //! in the sequential pass's exact commit order (creation order for standard
 //! form, increasing variable order for inductive form), including standard
 //! form's empty `(k, k)` spans. Identical contents in identical order is
-//! identical bytes.
+//! identical bytes. The same argument covers the solution-set backends and
+//! difference propagation below: they change how a set is *computed*, never
+//! what it contains, and the relayout order is untouched.
 //!
 //! # The CSR read path
 //!
@@ -32,6 +34,27 @@
 //! thread: workers never read the live graph or chase a forwarding
 //! pointer, they stream flat arrays. This is also what makes the scan
 //! trivially safe to share read-only across threads.
+//!
+//! # Solution-set backends and difference propagation
+//!
+//! [`ParLeast::run_with`] extends the pass along the two axes of
+//! `bane-core`'s [`solset`](bane_core::solset) module (DESIGN.md §4f):
+//!
+//! - **backend** ([`SolSetKind`]): wide unions (many or large input runs)
+//!   can be built in a worker-local sparse bitmap over a hash-consed block
+//!   arena instead of iterated pairwise merging — blocks interned while
+//!   scanning one level are shared across that level's variables, which is
+//!   exactly where near-identical sets cluster. Each worker owns its arena
+//!   (inside its `Mutex`ed scratch), so the path needs no cross-thread
+//!   synchronization beyond the existing level barriers.
+//! - **difference propagation** (`diff`): the evaluator retains the stable
+//!   arena, the previous run's rows, and the previous representative map.
+//!   A repeated run feeds each still-canonical variable only its new
+//!   sources, its new predecessor edges' full sets, and its old
+//!   predecessors' *deltas* (fresh elements committed this run), falling
+//!   back to a full merge for variables the previous run did not cover.
+//!   Monotone growth makes the retained stable sets valid lower bounds, so
+//!   the result is byte-identical to a cold run either way.
 //!
 //! # Scheduling
 //!
@@ -44,22 +67,90 @@
 //! once warm — no allocations (pinned by `bane-core`'s allocation test).
 
 use bane_core::least::{merge_sorted_dedup, CsrSnapshot, LeastParts, LeastSolution};
+use bane_core::solset::{SolSetKind, HYBRID_PROMOTE};
 use bane_core::solver::{Form, Solver};
 use bane_core::{TermId, Var};
 use bane_obs::{Counter, Phase, Recorder};
 use bane_util::idx::Idx;
+use bane_util::solset::{BlockArena, SparseBitmap};
 use std::sync::{Barrier, Mutex, RwLock};
 
 use crate::pool::{chunk_range, Pool};
 
+/// Converts a `TermId` to its bitmap bit.
+fn bit(t: TermId) -> u32 {
+    t.index() as u32
+}
+
+/// Converts a bitmap bit back to a `TermId`.
+fn term(b: u32) -> TermId {
+    TermId::new(b as usize)
+}
+
+/// `out = a \ b` for sorted distinct slices (cleared first).
+fn diff_sorted(a: &[TermId], b: &[TermId], out: &mut Vec<TermId>) {
+    out.clear();
+    let mut j = 0usize;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            out.push(x);
+        }
+    }
+}
+
+/// How one scanned variable's `out` segment is to be committed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ScanKind {
+    /// The segment is the variable's complete set.
+    Full,
+    /// The segment is only the fresh elements (delta) against the retained
+    /// stable set.
+    Incr,
+}
+
 /// The shared evaluation state: the arena sets are committed into, plus the
 /// span of every canonical variable already evaluated.
+///
+/// Under difference propagation the arena persists across runs — unchanged
+/// variables keep their old spans — and each run additionally accumulates
+/// per-variable *delta* spans that same-run successors merge instead of the
+/// full sets.
 #[derive(Clone, Debug, Default)]
 struct WorkBufs {
     arena: Vec<TermId>,
     /// Indexed by raw variable index; `(0, 0)` until the variable's level
     /// commits (and forever, for collapsed variables and empty sets).
     spans: Vec<(u32, u32)>,
+    /// This run's fresh elements per variable (sorted, distinct).
+    delta_arena: Vec<TermId>,
+    /// Indexed by raw variable index, into `delta_arena`.
+    delta_spans: Vec<(u32, u32)>,
+    /// Variables whose whole set is this run's delta (full merges): their
+    /// successors read `spans` instead of `delta_spans`.
+    delta_full: Vec<bool>,
+    /// Commit-side merge buffer (old stable ∪ delta → new stable).
+    merge_scratch: Vec<TermId>,
+    /// Pass accounting, aggregated at commit time (`ls.delta.*` counters).
+    stat_full: u64,
+    stat_incr: u64,
+    stat_in: u64,
+    stat_fresh: u64,
+}
+
+/// Union-building scratch: the pairwise ping-pong buffers plus the
+/// worker-local bitmap path (its block arena is cleared per level, so
+/// blocks interned for one variable are shared by the level's others).
+#[derive(Clone, Debug, Default)]
+struct MergeScratch {
+    acc: Vec<TermId>,
+    buf_b: Vec<TermId>,
+    bounds_a: Vec<(u32, u32)>,
+    bounds_b: Vec<(u32, u32)>,
+    map: SparseBitmap,
+    map_arena: BlockArena,
 }
 
 /// One worker's private scratch: scan output plus merge buffers.
@@ -68,23 +159,116 @@ struct WorkBufs {
 /// single-threaded pass allocates nothing.
 #[derive(Clone, Debug, Default)]
 struct WorkerState {
-    /// Concatenated result sets of this worker's chunk, in chunk order.
+    /// Concatenated result segments of this worker's chunk, in chunk order.
     out: Vec<TermId>,
-    /// Per-chunk-item range into `out` (empty when the set is empty).
+    /// Per-chunk-item range into `out` (empty when the segment is empty).
     bounds: Vec<(u32, u32)>,
+    /// Per-chunk-item commit mode.
+    kinds: Vec<ScanKind>,
+    /// Full-set input runs (spans into the stable arena).
     runs: Vec<(u32, u32)>,
-    acc: Vec<TermId>,
-    buf_b: Vec<TermId>,
-    bounds_a: Vec<(u32, u32)>,
-    bounds_b: Vec<(u32, u32)>,
+    /// Incremental input runs: `(start, end, is_delta)` — spans into the
+    /// delta arena when `is_delta`, the stable arena otherwise.
+    in_runs: Vec<(u32, u32, bool)>,
+    /// New sources this run (`srcs \ prev_srcs`).
+    src_delta: Vec<TermId>,
+    /// The merged incremental contribution before subtracting the stable
+    /// set.
+    dset: Vec<TermId>,
+    /// Elements fed into this chunk's merges (drained at commit).
+    elems_scanned: u64,
+    merge: MergeScratch,
+}
+
+/// Unions `total` sorted, distinct input runs into `out` (appended).
+///
+/// `use_bitmap` routes wide unions through the worker-local sparse bitmap —
+/// same bytes, different engine: blocks are OR'd word-wise and interned, so
+/// repeated payloads across a level's variables are built once.
+fn union_runs<'a>(
+    total: usize,
+    input: impl Fn(usize) -> &'a [TermId],
+    use_bitmap: bool,
+    m: &mut MergeScratch,
+    out: &mut Vec<TermId>,
+) {
+    match total {
+        0 => {}
+        1 => out.extend_from_slice(input(0)),
+        2 if !use_bitmap => merge_sorted_dedup(input(0), input(1), out),
+        _ if use_bitmap => {
+            m.map.clear();
+            for i in 0..total {
+                m.map.insert_sorted(&mut m.map_arena, input(i).iter().map(|&t| bit(t)), None);
+            }
+            m.map.for_each(&m.map_arena, |b| out.push(term(b)));
+        }
+        _ => {
+            // Iterated pairwise merging, same shape (and same shared
+            // primitive) as the sequential pass.
+            m.acc.clear();
+            m.bounds_a.clear();
+            let mut i = 0;
+            while i < total {
+                let run_start = m.acc.len() as u32;
+                if i + 1 < total {
+                    merge_sorted_dedup(input(i), input(i + 1), &mut m.acc);
+                    i += 2;
+                } else {
+                    m.acc.extend_from_slice(input(i));
+                    i += 1;
+                }
+                m.bounds_a.push((run_start, m.acc.len() as u32));
+            }
+            while m.bounds_a.len() > 1 {
+                m.buf_b.clear();
+                m.bounds_b.clear();
+                let mut i = 0;
+                while i < m.bounds_a.len() {
+                    let run_start = m.buf_b.len() as u32;
+                    if i + 1 < m.bounds_a.len() {
+                        let (s1, e1) = m.bounds_a[i];
+                        let (s2, e2) = m.bounds_a[i + 1];
+                        merge_sorted_dedup(
+                            &m.acc[s1 as usize..e1 as usize],
+                            &m.acc[s2 as usize..e2 as usize],
+                            &mut m.buf_b,
+                        );
+                        i += 2;
+                    } else {
+                        let (s, e) = m.bounds_a[i];
+                        m.buf_b.extend_from_slice(&m.acc[s as usize..e as usize]);
+                        i += 1;
+                    }
+                    m.bounds_b.push((run_start, m.buf_b.len() as u32));
+                }
+                std::mem::swap(&mut m.acc, &mut m.buf_b);
+                std::mem::swap(&mut m.bounds_a, &mut m.bounds_b);
+            }
+            out.extend_from_slice(&m.acc);
+        }
+    }
+}
+
+/// Whether a union of `input_len` total elements should run on the bitmap
+/// path under `kind`.
+fn wants_bitmap(kind: SolSetKind, input_len: usize) -> bool {
+    match kind {
+        SolSetKind::SortedSpan => false,
+        SolSetKind::Bitmap => true,
+        SolSetKind::Hybrid => input_len > HYBRID_PROMOTE,
+    }
 }
 
 /// A reusable SCC-level-parallel least-solution evaluator.
 ///
 /// Feed it [`LeastParts`] (borrowed from a solved [`Solver`] or assembled by
-/// an engine that owns the parts) via [`run`](ParLeast::run), then read the
-/// result with [`solution`](ParLeast::solution). The output is
-/// byte-identical to [`Solver::least_solution`] at every thread count.
+/// an engine that owns the parts) via [`run`](ParLeast::run) — or
+/// [`run_with`](ParLeast::run_with) to select a solution-set backend and
+/// difference propagation — then read the result with
+/// [`solution`](ParLeast::solution). The output is byte-identical to
+/// [`Solver::least_solution`] at every thread count, backend, and diff
+/// setting.
 ///
 /// # Examples
 ///
@@ -127,6 +311,14 @@ pub struct ParLeast {
     workers: Vec<Mutex<WorkerState>>,
     final_arena: Vec<TermId>,
     final_spans: Vec<(u32, u32)>,
+    /// The previous run's rows, representative map, and validity — the
+    /// difference-propagation baseline (see the module docs).
+    prev_csr: CsrSnapshot,
+    prev_rep: Vec<Var>,
+    prev_valid: bool,
+    /// Whether a variable may be evaluated incrementally this run (it was
+    /// canonical — hence evaluated — in the previous run).
+    incr_ok: Vec<bool>,
 }
 
 impl ParLeast {
@@ -138,10 +330,34 @@ impl ParLeast {
     /// Evaluates the least solution of `parts` on `threads` workers
     /// (clamped to at least 1), reusing all internal buffers.
     ///
+    /// Equivalent to [`run_with`](ParLeast::run_with) under the default
+    /// sorted-span backend with difference propagation off — the legacy
+    /// reference path.
+    ///
     /// With a recorder, the whole pass is timed under
     /// [`Phase::ParLeast`] and the `ls.*` counters are set to match the
     /// sequential pass's accounting.
     pub fn run(&mut self, parts: &LeastParts<'_>, threads: usize, rec: Option<&Recorder>) {
+        self.run_with(parts, threads, SolSetKind::SortedSpan, false, rec);
+    }
+
+    /// [`run`](ParLeast::run) with an explicit solution-set backend and
+    /// difference propagation.
+    ///
+    /// `kind` selects the union engine for wide merges (see
+    /// [`SolSetKind`]); `diff` enables cross-run difference propagation —
+    /// the first run (or a run after `diff == false`) evaluates everything,
+    /// subsequent `diff` runs over a *grown* version of the same system
+    /// re-merge only deltas. Output bytes are identical in every
+    /// combination.
+    pub fn run_with(
+        &mut self,
+        parts: &LeastParts<'_>,
+        threads: usize,
+        kind: SolSetKind,
+        diff: bool,
+        rec: Option<&Recorder>,
+    ) {
         let t0 = rec.map(|_| std::time::Instant::now());
         let threads = threads.max(1);
         let parts = *parts;
@@ -186,18 +402,50 @@ impl ParLeast {
         }
 
         let n = self.rep.len();
-        self.work.arena.clear();
-        self.work.spans.clear();
-        self.work.spans.resize(n, (0, 0));
+        let diff_active = diff && self.prev_valid;
+        self.incr_ok.clear();
+        if diff_active {
+            // Keep the stable arena and spans: unchanged variables stay on
+            // their old spans, changed ones get fresh appends. A variable
+            // may go incremental iff it was canonical (hence evaluated) in
+            // the baseline run. Canonicality only decreases, so a stale
+            // `true` for a since-collapsed variable is harmless — it left
+            // the layout.
+            self.incr_ok.resize(n, false);
+            for i in 0..n.min(self.prev_rep.len()) {
+                if self.prev_rep[i] == Var::new(i) {
+                    self.incr_ok[i] = true;
+                }
+            }
+            self.work.spans.resize(n, (0, 0));
+        } else {
+            self.work.arena.clear();
+            self.work.spans.clear();
+            self.work.spans.resize(n, (0, 0));
+        }
+        self.work.delta_arena.clear();
+        self.work.delta_spans.clear();
+        self.work.delta_spans.resize(n, (0, 0));
+        self.work.delta_full.clear();
+        self.work.delta_full.resize(n, false);
+        self.work.stat_full = 0;
+        self.work.stat_incr = 0;
+        self.work.stat_in = 0;
+        self.work.stat_fresh = 0;
 
         if threads == 1 {
             // Inline fast path: no locks, no barriers, no allocation once
             // the buffers are warm.
+            let prev = if diff_active { Some(&self.prev_csr) } else { None };
             let st = self.workers[0].get_mut().expect("worker mutex poisoned");
             for &(ls, le) in &self.level_ranges {
                 let level = &self.level_order[ls as usize..le as usize];
-                scan_chunk(parts.form, &self.csr, &self.work, level, st);
-                commit_chunk(&mut self.work, level, st);
+                scan_chunk(parts.form, kind, &self.csr, prev, &self.incr_ok, &self.work, level, st);
+                if diff_active {
+                    commit_chunk_diff(&mut self.work, level, st);
+                } else {
+                    commit_chunk(&mut self.work, level, st);
+                }
             }
         } else {
             let work = RwLock::new(std::mem::take(&mut self.work));
@@ -206,6 +454,8 @@ impl ParLeast {
             let level_order = &self.level_order;
             let workers = &self.workers;
             let csr = &self.csr;
+            let prev = if diff_active { Some(&self.prev_csr) } else { None };
+            let incr_ok = &self.incr_ok;
             let form = parts.form;
             Pool::new(threads).broadcast(|w| {
                 for &(ls, le) in level_ranges {
@@ -216,7 +466,7 @@ impl ParLeast {
                         let frozen = work.read().expect("work lock poisoned");
                         let mut st = workers[w].lock().expect("worker mutex poisoned");
                         let (cs, ce) = chunk_range(level.len(), threads, w);
-                        scan_chunk(form, csr, &frozen, &level[cs..ce], &mut st);
+                        scan_chunk(form, kind, csr, prev, incr_ok, &frozen, &level[cs..ce], &mut st);
                     }
                     barrier.wait();
                     if w == 0 {
@@ -226,7 +476,11 @@ impl ParLeast {
                         for (ww, worker) in workers.iter().enumerate().take(threads) {
                             let st = worker.lock().expect("worker mutex poisoned");
                             let (cs, ce) = chunk_range(level.len(), threads, ww);
-                            commit_chunk(&mut open, &level[cs..ce], &st);
+                            if diff_active {
+                                commit_chunk_diff(&mut open, &level[cs..ce], &st);
+                            } else {
+                                commit_chunk(&mut open, &level[cs..ce], &st);
+                            }
                         }
                     }
                     barrier.wait();
@@ -253,10 +507,23 @@ impl ParLeast {
             }
         }
 
+        // Record this run as the next diff baseline: the stable arena plus
+        // these rows and representatives are exactly what an incremental
+        // follow-up needs.
+        self.prev_csr.copy_from(&self.csr);
+        self.prev_rep.clone_from(&self.rep);
+        self.prev_valid = true;
+
         if let Some(rec) = rec {
             let set_vars = self.final_spans.iter().filter(|(s, e)| e > s).count();
             rec.set(Counter::LsSetVars, set_vars as u64);
             rec.set(Counter::LsEntries, self.final_arena.len() as u64);
+            if diff_active {
+                rec.add(Counter::LsDeltaFull, self.work.stat_full);
+                rec.add(Counter::LsDeltaIncr, self.work.stat_incr);
+                rec.add(Counter::LsDeltaIn, self.work.stat_in);
+                rec.add(Counter::LsDeltaFresh, self.work.stat_fresh);
+            }
             if let Some(t0) = t0 {
                 rec.record_ns(Phase::ParLeast, t0.elapsed().as_nanos() as u64);
             }
@@ -285,116 +552,250 @@ impl ParLeast {
 }
 
 /// Evaluates `vars` (a slice of one level, in layout order) against the
-/// frozen lower-level `work` state, appending each result set to `st.out`.
+/// frozen lower-level `work` state, appending each result segment to
+/// `st.out`.
 ///
 /// Reads only the frozen [`CsrSnapshot`] (canonical, sorted, distinct rows)
 /// and the committed spans — never the live graph — so the whole scan is
-/// pointer-chase-free streaming over flat arrays.
+/// pointer-chase-free streaming over flat arrays. With `prev` (difference
+/// propagation), a variable covered by the baseline run emits only its
+/// delta; everything else emits its full set.
+#[allow(clippy::too_many_arguments)]
 fn scan_chunk(
     form: Form,
+    kind: SolSetKind,
     csr: &CsrSnapshot,
+    prev: Option<&CsrSnapshot>,
+    incr_ok: &[bool],
     work: &WorkBufs,
     vars: &[Var],
     st: &mut WorkerState,
 ) {
-    let WorkerState { out, bounds, runs, acc, buf_b, bounds_a, bounds_b } = st;
+    let WorkerState {
+        out,
+        bounds,
+        kinds,
+        runs,
+        in_runs,
+        src_delta,
+        dset,
+        elems_scanned,
+        merge,
+    } = st;
     out.clear();
     bounds.clear();
+    kinds.clear();
+    *elems_scanned = 0;
+    // Per-level arena reset: blocks interned for one variable are shared by
+    // the rest of the level (the block-sharing locality the backends bank
+    // on), without unbounded growth across levels.
+    merge.map_arena.clear();
     for &v in vars {
         let srcs = csr.srcs(v);
         let start = out.len() as u32;
-        match form {
-            Form::Standard => {
-                // Standard form's sets are exactly the frozen source rows.
-                out.extend_from_slice(srcs);
-            }
-            Form::Inductive => {
-                runs.clear();
-                for &u in csr.preds(v) {
-                    let span = work.spans[u.index()];
-                    if span.1 > span.0 {
-                        runs.push(span);
-                    }
+        let incremental = match prev {
+            Some(_) => incr_ok.get(v.index()).copied().unwrap_or(false),
+            None => false,
+        };
+        if !incremental {
+            match form {
+                Form::Standard => {
+                    // Standard form's sets are exactly the frozen source
+                    // rows.
+                    out.extend_from_slice(srcs);
+                    *elems_scanned += srcs.len() as u64;
                 }
-                let runs: &[(u32, u32)] = runs;
-                match (srcs.is_empty(), runs) {
-                    (true, []) => {}
-                    (false, []) => out.extend_from_slice(srcs),
-                    (true, &[(s, e)]) => {
-                        out.extend_from_slice(&work.arena[s as usize..e as usize])
-                    }
-                    _ => {
-                        // Iterated pairwise merging, same shape (and same
-                        // shared primitive) as the sequential pass.
-                        let extra = usize::from(!srcs.is_empty());
-                        let total = runs.len() + extra;
-                        let input = |i: usize| -> &[TermId] {
-                            if i < extra {
-                                srcs
-                            } else {
-                                let (s, e) = runs[i - extra];
-                                &work.arena[s as usize..e as usize]
-                            }
-                        };
-                        acc.clear();
-                        bounds_a.clear();
-                        let mut i = 0;
-                        while i < total {
-                            let run_start = acc.len() as u32;
-                            if i + 1 < total {
-                                merge_sorted_dedup(input(i), input(i + 1), acc);
-                                i += 2;
-                            } else {
-                                acc.extend_from_slice(input(i));
-                                i += 1;
-                            }
-                            bounds_a.push((run_start, acc.len() as u32));
+                Form::Inductive => {
+                    runs.clear();
+                    for &u in csr.preds(v) {
+                        let span = work.spans[u.index()];
+                        if span.1 > span.0 {
+                            runs.push(span);
                         }
-                        while bounds_a.len() > 1 {
-                            buf_b.clear();
-                            bounds_b.clear();
-                            let mut i = 0;
-                            while i < bounds_a.len() {
-                                let run_start = buf_b.len() as u32;
-                                if i + 1 < bounds_a.len() {
-                                    let (s1, e1) = bounds_a[i];
-                                    let (s2, e2) = bounds_a[i + 1];
-                                    merge_sorted_dedup(
-                                        &acc[s1 as usize..e1 as usize],
-                                        &acc[s2 as usize..e2 as usize],
-                                        buf_b,
-                                    );
-                                    i += 2;
+                    }
+                    let runs: &[(u32, u32)] = runs;
+                    match (srcs.is_empty(), runs) {
+                        (true, []) => {}
+                        (false, []) => {
+                            out.extend_from_slice(srcs);
+                            *elems_scanned += srcs.len() as u64;
+                        }
+                        (true, &[(s, e)]) => {
+                            out.extend_from_slice(&work.arena[s as usize..e as usize]);
+                            *elems_scanned += (e - s) as u64;
+                        }
+                        _ => {
+                            let extra = usize::from(!srcs.is_empty());
+                            let total = runs.len() + extra;
+                            let input_len = srcs.len()
+                                + runs.iter().map(|&(s, e)| (e - s) as usize).sum::<usize>();
+                            *elems_scanned += input_len as u64;
+                            let input = |i: usize| -> &[TermId] {
+                                if i < extra {
+                                    srcs
                                 } else {
-                                    let (s, e) = bounds_a[i];
-                                    buf_b.extend_from_slice(&acc[s as usize..e as usize]);
-                                    i += 1;
+                                    let (s, e) = runs[i - extra];
+                                    &work.arena[s as usize..e as usize]
                                 }
-                                bounds_b.push((run_start, buf_b.len() as u32));
-                            }
-                            std::mem::swap(acc, buf_b);
-                            std::mem::swap(bounds_a, bounds_b);
+                            };
+                            union_runs(total, input, wants_bitmap(kind, input_len), merge, out);
                         }
-                        out.extend_from_slice(acc);
                     }
                 }
             }
+            kinds.push(ScanKind::Full);
+        } else {
+            let prev = prev.expect("incremental scan without a baseline");
+            // New sources: anything the baseline's row lacked. Unchanged
+            // rows — the overwhelmingly common case — are detected by a
+            // vectorized slice compare instead of the element-wise diff
+            // walk.
+            let prev_srcs = prev.srcs(v);
+            if srcs == prev_srcs {
+                src_delta.clear();
+            } else {
+                diff_sorted(srcs, prev_srcs, src_delta);
+            }
+            // Predecessor contributions: old predecessors feed their delta
+            // (or their full set, if they themselves were fully
+            // re-evaluated); predecessors that joined the row feed
+            // everything.
+            in_runs.clear();
+            let old_preds = prev.preds(v);
+            let mut op = 0usize;
+            for &u in csr.preds(v) {
+                while op < old_preds.len() && old_preds[op] < u {
+                    op += 1;
+                }
+                let is_old = op < old_preds.len() && old_preds[op] == u;
+                if !is_old || work.delta_full[u.index()] {
+                    let (s, e) = work.spans[u.index()];
+                    if e > s {
+                        in_runs.push((s, e, false));
+                    }
+                } else {
+                    let (s, e) = work.delta_spans[u.index()];
+                    if e > s {
+                        in_runs.push((s, e, true));
+                    }
+                }
+            }
+            let extra = usize::from(!src_delta.is_empty());
+            let total = in_runs.len() + extra;
+            let input_len = src_delta.len()
+                + in_runs.iter().map(|&(s, e, _)| (e - s) as usize).sum::<usize>();
+            *elems_scanned += input_len as u64;
+            let src_delta: &[TermId] = src_delta;
+            let in_runs: &[(u32, u32, bool)] = in_runs;
+            let input = |i: usize| -> &[TermId] {
+                if i < extra {
+                    src_delta
+                } else {
+                    let (s, e, is_delta) = in_runs[i - extra];
+                    if is_delta {
+                        &work.delta_arena[s as usize..e as usize]
+                    } else {
+                        &work.arena[s as usize..e as usize]
+                    }
+                }
+            };
+            dset.clear();
+            union_runs(total, input, wants_bitmap(kind, input_len), merge, dset);
+            // fresh = contribution \ stable: the delta this variable hands
+            // its own successors, and all the commit has to merge.
+            let (ss, se) = work.spans[v.index()];
+            let stable = &work.arena[ss as usize..se as usize];
+            for &x in dset.iter() {
+                if stable.binary_search(&x).is_err() {
+                    out.push(x);
+                }
+            }
+            kinds.push(ScanKind::Incr);
         }
         bounds.push((start, out.len() as u32));
     }
 }
 
-/// Appends a worker's scanned sets for `vars` to the shared arena, in chunk
-/// order. Deterministic: pure concatenation, no reordering.
+/// Appends a worker's scanned full sets for `vars` to the shared arena, in
+/// chunk order. Deterministic: pure concatenation, no reordering. The
+/// non-diff commit path — every segment is a complete set.
 fn commit_chunk(work: &mut WorkBufs, vars: &[Var], st: &WorkerState) {
     debug_assert_eq!(st.bounds.len(), vars.len());
     for (i, &v) in vars.iter().enumerate() {
+        debug_assert_eq!(st.kinds[i], ScanKind::Full);
         let (s, e) = st.bounds[i];
         if e > s {
             let start =
                 u32::try_from(work.arena.len()).expect("least-solution arena overflow");
             work.arena.extend_from_slice(&st.out[s as usize..e as usize]);
             work.spans[v.index()] = (start, start + (e - s));
+        }
+    }
+}
+
+/// The difference-propagation commit: full segments replace the variable's
+/// span; incremental segments append their delta and merge it into the
+/// retained stable set (skipping untouched variables entirely).
+fn commit_chunk_diff(work: &mut WorkBufs, vars: &[Var], st: &WorkerState) {
+    debug_assert_eq!(st.bounds.len(), vars.len());
+    let WorkBufs {
+        arena,
+        spans,
+        delta_arena,
+        delta_spans,
+        delta_full,
+        merge_scratch,
+        stat_full,
+        stat_incr,
+        stat_in,
+        stat_fresh,
+    } = work;
+    *stat_in += st.elems_scanned;
+    for (i, &v) in vars.iter().enumerate() {
+        let (s, e) = st.bounds[i];
+        match st.kinds[i] {
+            ScanKind::Full => {
+                *stat_full += 1;
+                if e > s {
+                    let start =
+                        u32::try_from(arena.len()).expect("least-solution arena overflow");
+                    arena.extend_from_slice(&st.out[s as usize..e as usize]);
+                    spans[v.index()] = (start, start + (e - s));
+                } else {
+                    spans[v.index()] = (0, 0);
+                }
+                // The whole set is this run's delta: successors read the
+                // span directly instead of a copied delta.
+                delta_full[v.index()] = true;
+            }
+            ScanKind::Incr => {
+                *stat_incr += 1;
+                if e > s {
+                    let fresh = &st.out[s as usize..e as usize];
+                    *stat_fresh += fresh.len() as u64;
+                    let ds = u32::try_from(delta_arena.len())
+                        .expect("least-solution delta overflow");
+                    delta_arena.extend_from_slice(fresh);
+                    delta_spans[v.index()] = (ds, ds + (e - s));
+                    // New stable = old stable ∪ fresh, appended (the old
+                    // span is abandoned; a non-diff run compacts the
+                    // arena).
+                    let (os, oe) = spans[v.index()];
+                    merge_scratch.clear();
+                    merge_sorted_dedup(
+                        &arena[os as usize..oe as usize],
+                        fresh,
+                        merge_scratch,
+                    );
+                    let start =
+                        u32::try_from(arena.len()).expect("least-solution arena overflow");
+                    arena.extend_from_slice(merge_scratch);
+                    spans[v.index()] =
+                        (start, start + u32::try_from(merge_scratch.len()).unwrap());
+                }
+                // Empty delta: the stable span (and everything downstream)
+                // is untouched.
+            }
         }
     }
 }
@@ -422,8 +823,10 @@ mod tests {
         ]
     }
 
-    /// Random layered constraint systems with cycles and sources.
-    fn random_solver(config: SolverConfig, seed: u64) -> Solver {
+    /// Random layered constraint systems with cycles and sources; the last
+    /// `hold_back` variable-variable edges are returned unfed for
+    /// incremental-growth tests.
+    fn random_system(config: SolverConfig, seed: u64, hold_back: usize) -> (Solver, Vec<(Var, Var)>) {
         let mut rng = SplitMix64::new(seed);
         let mut s = Solver::new(config);
         let n = 60;
@@ -433,10 +836,11 @@ mod tests {
             let c = s.register_nullary(format!("c{k}"));
             ts.push(s.term(c, vec![]));
         }
+        let mut edges = Vec::new();
         for i in 0..n {
             for j in (i + 1)..n {
                 if rng.next_bool(0.05) {
-                    s.add(vs[i], vs[j]);
+                    edges.push((vs[i], vs[j]));
                 }
             }
         }
@@ -444,13 +848,21 @@ mod tests {
         for _ in 0..6 {
             let a = rng.next_below(n as u64) as usize;
             let b = rng.next_below(n as u64) as usize;
-            s.add(vs[a], vs[b]);
+            edges.push((vs[a], vs[b]));
+        }
+        let held = edges.split_off(edges.len().saturating_sub(hold_back));
+        for &(a, b) in &edges {
+            s.add(a, b);
         }
         for (k, &t) in ts.iter().enumerate() {
             s.add(t, vs[(k * 7) % n]);
         }
         s.solve();
-        s
+        (s, held)
+    }
+
+    fn random_solver(config: SolverConfig, seed: u64) -> Solver {
+        random_system(config, seed, 0).0
     }
 
     #[test]
@@ -479,6 +891,75 @@ mod tests {
             }
             assert!(par.level_count() >= 1);
         }
+    }
+
+    /// Every backend × thread count × diff setting is byte-identical to the
+    /// sequential reference, including warm re-runs.
+    #[test]
+    fn run_with_is_byte_identical_across_backends() {
+        for config in configs() {
+            for seed in 0..4u64 {
+                let mut s = random_solver(config, 0xB0B + seed);
+                let seq = s.least_solution();
+                for kind in SolSetKind::ALL {
+                    for threads in [1, 4] {
+                        let mut par = ParLeast::new();
+                        for diff in [false, true, true] {
+                            par.run_with(&s.least_parts(), threads, kind, diff, None);
+                            assert_eq!(
+                                par.solution(),
+                                seq,
+                                "{config:?} seed {seed} {kind:?} threads {threads} diff {diff}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Difference propagation across system growth: feed held-back edges,
+    /// re-solve, and the diff run must match a cold sequential reference.
+    #[test]
+    fn diff_runs_track_system_growth() {
+        for config in [SolverConfig::if_online(), SolverConfig::sf_online()] {
+            for seed in 0..4u64 {
+                for kind in SolSetKind::ALL {
+                    for threads in [1, 4] {
+                        let (mut s, held) = random_system(config, 0xD1FF + seed, 5);
+                        let mut par = ParLeast::new();
+                        par.run_with(&s.least_parts(), threads, kind, true, None);
+                        assert_eq!(par.solution(), s.least_solution(), "baseline");
+                        for &(a, b) in &held {
+                            s.add(a, b);
+                        }
+                        s.solve();
+                        par.run_with(&s.least_parts(), threads, kind, true, None);
+                        assert_eq!(
+                            par.solution(),
+                            s.least_solution(),
+                            "{config:?} seed {seed} {kind:?} threads {threads} grown"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A warm diff run over an unchanged system re-merges nothing.
+    #[test]
+    fn unchanged_diff_run_is_all_incremental() {
+        let mut s = random_solver(SolverConfig::if_online(), 11);
+        let seq = s.least_solution();
+        let rec = Recorder::new();
+        let mut par = ParLeast::new();
+        par.run_with(&s.least_parts(), 1, SolSetKind::Bitmap, true, Some(&rec));
+        assert_eq!(par.solution(), seq);
+        assert_eq!(rec.get(Counter::LsDeltaIncr), 0, "cold run is all full merges");
+        par.run_with(&s.least_parts(), 1, SolSetKind::Bitmap, true, Some(&rec));
+        assert_eq!(par.solution(), seq);
+        assert_eq!(rec.get(Counter::LsDeltaFull), 0, "warm run has no full merges");
+        assert_eq!(rec.get(Counter::LsDeltaFresh), 0, "unchanged system yields no fresh elements");
     }
 
     #[test]

@@ -165,11 +165,17 @@ impl EpochStamp for u8 {
 /// v.begin(); // O(1) clear
 /// assert!(v.mark(2));
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct EpochSetImpl<E: EpochStamp = u32> {
     stamps: Vec<E>,
     epoch: E,
     resets: u64,
+}
+
+impl<E: EpochStamp> Default for EpochSetImpl<E> {
+    fn default() -> Self {
+        Self::new(0)
+    }
 }
 
 /// The production epoch set: `u32` stamps, one physical reset per 2^32
@@ -178,8 +184,13 @@ pub type EpochSet = EpochSetImpl<u32>;
 
 impl<E: EpochStamp> EpochSetImpl<E> {
     /// Creates a set sized for elements `0..capacity`.
+    ///
+    /// The epoch starts at [`EpochStamp::ONE`], never at `E::default()`:
+    /// `default` is the "never marked" stamp every fresh (or grown) slot
+    /// carries, so an epoch equal to it would make unmarked elements read as
+    /// marked — and a `grow` during that state would resurrect stale marks.
     pub fn new(capacity: usize) -> Self {
-        Self { stamps: vec![E::default(); capacity], epoch: E::default(), resets: 0 }
+        Self { stamps: vec![E::default(); capacity], epoch: E::ONE, resets: 0 }
     }
 
     /// Starts a new generation, logically clearing all marks.
@@ -199,7 +210,13 @@ impl<E: EpochStamp> EpochSetImpl<E> {
     }
 
     /// Grows the domain to hold elements `0..capacity`.
+    ///
+    /// Safe mid-generation: new slots get the `E::default()` "never marked"
+    /// stamp, which (by construction — the epoch starts at
+    /// [`EpochStamp::ONE`] and only counts up) can never equal the active
+    /// epoch, so growing cannot resurrect marks.
     pub fn grow(&mut self, capacity: usize) {
+        debug_assert!(self.epoch != E::default(), "active epoch aliases the fresh stamp");
         if capacity > self.stamps.len() {
             self.stamps.resize(capacity, E::default());
         }
@@ -283,6 +300,41 @@ mod tests {
         assert!(v.mark(1000));
         assert!(v.is_marked(1000));
         assert!(!v.is_marked(999));
+    }
+
+    /// Regression: the construction-time epoch must differ from the fresh
+    /// stamp. Before the fix, a set that had never seen `begin()` sat at
+    /// `epoch == E::default()`, so never-marked elements read as marked and
+    /// `mark` reported them as duplicates.
+    #[test]
+    fn fresh_set_has_no_marks_before_any_begin() {
+        let mut v = EpochSet::new(4);
+        assert!(!v.is_marked(0));
+        assert!(!v.is_marked(3));
+        assert!(v.mark(0), "first mark of a fresh element must be fresh");
+        assert!(!v.mark(0));
+        assert!(v.is_marked(0));
+    }
+
+    /// Regression: growing during an active generation must not resurrect
+    /// stale marks. Before the fix, growth in the pre-`begin` state handed
+    /// every new slot the current epoch, making untouched elements marked.
+    #[test]
+    fn grow_during_active_epoch_does_not_resurrect_stale_marks() {
+        let mut v = EpochSet::new(2);
+        v.mark(1);
+        v.grow(64);
+        assert!(v.is_marked(1), "existing marks survive growth");
+        for elem in [2, 10, 63] {
+            assert!(!v.is_marked(elem), "grown slot {elem} must start unmarked");
+        }
+        assert!(v.mark(10));
+        // Same invariant after an explicit generation bump.
+        v.begin();
+        v.mark(0);
+        v.grow(256);
+        assert!(v.is_marked(0));
+        assert!(!v.is_marked(100));
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod bitset;
 pub mod hash;
 pub mod idx;
 pub mod rng;
+pub mod solset;
 
 pub use bitset::{BitSet, EpochSet, EpochSetImpl, EpochStamp};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};

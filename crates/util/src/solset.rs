@@ -1,0 +1,476 @@
+//! Shared sparse-bitmap storage for solution sets.
+//!
+//! The least-solution pass materializes one sorted term set per variable,
+//! and real constraint graphs put (near-)identical sets on hundreds of
+//! variables — every member of a collapsed cycle, and most variables on the
+//! same condensation level, end up with the same points-to set. A
+//! [`SparseBitmap`] stores a set as a sorted list of `(block index,
+//! block id)` chunks whose 256-bit payloads live in a shared, hash-consed
+//! [`BlockArena`]: two sets with an identical block carry the *same*
+//! [`BlockId`], so aliasing is free and the dense tail of the distribution
+//! is stored once.
+//!
+//! The representation is deliberately element-type-agnostic (`u32` bits);
+//! `bane-core` layers its typed `TermId` solution-set backends on top.
+
+use crate::hash::FxHashMap;
+
+/// Bits covered by one interned block.
+pub const BLOCK_BITS: usize = 256;
+/// `u64` words per block.
+pub const BLOCK_WORDS: usize = BLOCK_BITS / 64;
+/// One immutable 256-bit payload.
+pub type Block = [u64; BLOCK_WORDS];
+
+/// Index of an interned [`Block`] in a [`BlockArena`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// The arena position this id names.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A hash-consing arena of immutable 256-bit blocks.
+///
+/// `intern` returns the id of an existing identical block when one exists
+/// (counted in [`share_hits`](BlockArena::share_hits)), so bitmaps built
+/// over the same arena physically share their common payloads. Blocks are
+/// never mutated in place — updating a bitmap chunk means interning the
+/// OR'd payload and swapping the id.
+///
+/// # Examples
+///
+/// ```
+/// use bane_util::solset::{BlockArena, SparseBitmap};
+///
+/// let mut arena = BlockArena::new();
+/// let mut a = SparseBitmap::new();
+/// let mut b = SparseBitmap::new();
+/// a.insert_sorted(&mut arena, [3, 7, 300].iter().copied(), None);
+/// b.insert_sorted(&mut arena, [3, 7, 300].iter().copied(), None);
+/// assert_eq!(a.chunks(), b.chunks(), "identical sets alias identical blocks");
+/// assert!(arena.share_hits() > 0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BlockArena {
+    blocks: Vec<Block>,
+    dedup: FxHashMap<Block, BlockId>,
+    share_hits: u64,
+}
+
+impl BlockArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `block`, returning the id of the canonical copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an all-zero block (an empty chunk must be dropped, not
+    /// stored) or on arena overflow.
+    pub fn intern(&mut self, block: Block) -> BlockId {
+        debug_assert!(block.iter().any(|&w| w != 0), "empty blocks are never interned");
+        if let Some(&id) = self.dedup.get(&block) {
+            self.share_hits += 1;
+            return id;
+        }
+        let id = BlockId(u32::try_from(self.blocks.len()).expect("block arena overflow"));
+        self.blocks.push(block);
+        self.dedup.insert(block, id);
+        id
+    }
+
+    /// The payload of `id`.
+    pub fn get(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Number of distinct blocks interned.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether no blocks have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Interns that were answered by an existing block (the sharing wins).
+    pub fn share_hits(&self) -> u64 {
+        self.share_hits
+    }
+
+    /// Approximate heap bytes held by the distinct payloads (the dedup map
+    /// roughly doubles it; callers reporting memory use
+    /// [`heap_bytes`](BlockArena::heap_bytes)).
+    pub fn heap_bytes(&self) -> usize {
+        // Payload vector plus the dedup map's key copies and id values.
+        let block = std::mem::size_of::<Block>();
+        self.blocks.capacity() * block + self.dedup.len() * (block + 8)
+    }
+
+    /// Drops every block and resets the sharing statistics.
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+        self.dedup.clear();
+        self.share_hits = 0;
+    }
+}
+
+/// A sparse bitmap over `u32` elements: sorted `(block index, block id)`
+/// chunks into a shared [`BlockArena`]. See the [module docs](self).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SparseBitmap {
+    /// Sorted by block index; ids point into the owning arena. Chunks are
+    /// never all-zero.
+    chunks: Vec<(u32, BlockId)>,
+    /// Cached cardinality.
+    len: u32,
+}
+
+impl SparseBitmap {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Removes all elements (keeps chunk capacity; arena blocks are shared
+    /// and never reclaimed per set).
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+        self.len = 0;
+    }
+
+    /// The raw chunk list (exposed so tests and memory accounting can see
+    /// block-level sharing).
+    pub fn chunks(&self) -> &[(u32, BlockId)] {
+        &self.chunks
+    }
+
+    /// Heap bytes of the per-set chunk list (shared block payloads are
+    /// accounted once, on the arena).
+    pub fn heap_bytes(&self) -> usize {
+        self.chunks.capacity() * std::mem::size_of::<(u32, BlockId)>()
+    }
+
+    /// Whether `elem` is present.
+    pub fn contains(&self, arena: &BlockArena, elem: u32) -> bool {
+        let base = elem / BLOCK_BITS as u32;
+        match self.chunks.binary_search_by_key(&base, |&(b, _)| b) {
+            Err(_) => false,
+            Ok(pos) => {
+                let bit = (elem % BLOCK_BITS as u32) as usize;
+                arena.get(self.chunks[pos].1)[bit / 64] & (1u64 << (bit % 64)) != 0
+            }
+        }
+    }
+
+    /// Unions a **strictly increasing** element sequence into the set.
+    ///
+    /// Returns the number of elements actually added; when `fresh` is given,
+    /// the added elements are appended to it in increasing order.
+    pub fn insert_sorted(
+        &mut self,
+        arena: &mut BlockArena,
+        elems: impl IntoIterator<Item = u32>,
+        mut fresh: Option<&mut Vec<u32>>,
+    ) -> usize {
+        let mut added = 0usize;
+        let mut it = elems.into_iter().peekable();
+        // Cursor into `chunks`; both the chunk list and the input are
+        // sorted, so each block is located with one forward scan step plus
+        // a bounded gallop, never a full binary search from scratch.
+        let mut pos = 0usize;
+        while let Some(&first) = it.peek() {
+            let base = first / BLOCK_BITS as u32;
+            // Batch every input element of this block into one payload.
+            let mut add: Block = [0; BLOCK_WORDS];
+            let mut prev = None;
+            while let Some(&e) = it.peek() {
+                if e / BLOCK_BITS as u32 != base {
+                    break;
+                }
+                debug_assert!(prev.is_none_or(|p| p < e), "input must be strictly increasing");
+                prev = Some(e);
+                let bit = (e % BLOCK_BITS as u32) as usize;
+                add[bit / 64] |= 1u64 << (bit % 64);
+                it.next();
+            }
+            while pos < self.chunks.len() && self.chunks[pos].0 < base {
+                pos += 1;
+            }
+            if pos < self.chunks.len() && self.chunks[pos].0 == base {
+                let old = *arena.get(self.chunks[pos].1);
+                let mut new = old;
+                for (n, a) in new.iter_mut().zip(&add) {
+                    *n |= a;
+                }
+                if new != old {
+                    let mut diff = [0u64; BLOCK_WORDS];
+                    for ((d, n), o) in diff.iter_mut().zip(&new).zip(&old) {
+                        *d = n & !o;
+                    }
+                    added += count_and_collect(base, &diff, fresh.as_deref_mut());
+                    self.chunks[pos].1 = arena.intern(new);
+                }
+            } else {
+                added += count_and_collect(base, &add, fresh.as_deref_mut());
+                self.chunks.insert(pos, (base, arena.intern(add)));
+            }
+            pos += 1;
+        }
+        self.len += added as u32;
+        added
+    }
+
+    /// Unions `other` into `self`.
+    ///
+    /// Chunks absent from `self` are *aliased* — the [`BlockId`] is copied,
+    /// no payload is touched — which is where same-level variables with
+    /// identical sets collapse to shared storage. Returns the number of
+    /// elements added; `fresh` (if given) receives them in increasing order.
+    /// `scratch` is caller-provided chunk scratch so a warmed caller
+    /// allocates nothing.
+    pub fn union_with(
+        &mut self,
+        arena: &mut BlockArena,
+        other: &SparseBitmap,
+        scratch: &mut Vec<(u32, BlockId)>,
+        mut fresh: Option<&mut Vec<u32>>,
+    ) -> usize {
+        if other.chunks.is_empty() {
+            return 0;
+        }
+        if self.chunks.is_empty() {
+            // Pure aliasing: adopt the other set's chunk list wholesale.
+            self.chunks.clone_from(&other.chunks);
+            self.len = other.len;
+            if let Some(fresh) = fresh {
+                for &(base, id) in &self.chunks {
+                    count_and_collect(base, arena.get(id), Some(fresh));
+                }
+            }
+            return other.len();
+        }
+        let mut added = 0usize;
+        scratch.clear();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.chunks.len() || j < other.chunks.len() {
+            let take_self = j >= other.chunks.len()
+                || (i < self.chunks.len() && self.chunks[i].0 < other.chunks[j].0);
+            if take_self {
+                scratch.push(self.chunks[i]);
+                i += 1;
+            } else if i >= self.chunks.len() || other.chunks[j].0 < self.chunks[i].0 {
+                let (base, id) = other.chunks[j];
+                added += count_and_collect(base, arena.get(id), fresh.as_deref_mut());
+                scratch.push((base, id)); // aliased, not copied
+                j += 1;
+            } else {
+                let (base, mine) = self.chunks[i];
+                let theirs = other.chunks[j].1;
+                if mine == theirs {
+                    scratch.push((base, mine)); // already shared
+                } else {
+                    let old = *arena.get(mine);
+                    let their = *arena.get(theirs);
+                    let mut new = old;
+                    for (n, t) in new.iter_mut().zip(&their) {
+                        *n |= t;
+                    }
+                    if new == old {
+                        scratch.push((base, mine));
+                    } else {
+                        let mut diff = [0u64; BLOCK_WORDS];
+                        for ((d, n), o) in diff.iter_mut().zip(&new).zip(&old) {
+                            *d = n & !o;
+                        }
+                        added += count_and_collect(base, &diff, fresh.as_deref_mut());
+                        scratch.push((base, arena.intern(new)));
+                    }
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+        std::mem::swap(&mut self.chunks, scratch);
+        self.len += added as u32;
+        added
+    }
+
+    /// Calls `f` on every element in increasing order.
+    pub fn for_each(&self, arena: &BlockArena, mut f: impl FnMut(u32)) {
+        for &(base, id) in &self.chunks {
+            emit_block(base, arena.get(id), &mut |e| f(e));
+        }
+    }
+}
+
+/// Counts the bits of `block`, appending the decoded elements to `fresh`
+/// when given. Returns the popcount either way.
+fn count_and_collect(base: u32, block: &Block, fresh: Option<&mut Vec<u32>>) -> usize {
+    match fresh {
+        None => block.iter().map(|w| w.count_ones() as usize).sum(),
+        Some(out) => {
+            let before = out.len();
+            emit_block(base, block, &mut |e| out.push(e));
+            out.len() - before
+        }
+    }
+}
+
+/// Decodes `block` (at block index `base`) into elements, in order.
+fn emit_block(base: u32, block: &Block, f: &mut impl FnMut(u32)) {
+    let origin = base * BLOCK_BITS as u32;
+    for (wi, &word) in block.iter().enumerate() {
+        let mut w = word;
+        while w != 0 {
+            let b = w.trailing_zeros();
+            w &= w - 1;
+            f(origin + wi as u32 * 64 + b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(s: &SparseBitmap, arena: &BlockArena) -> Vec<u32> {
+        let mut out = Vec::new();
+        s.for_each(arena, |e| out.push(e));
+        out
+    }
+
+    #[test]
+    fn insert_contains_iterate() {
+        let mut arena = BlockArena::new();
+        let mut s = SparseBitmap::new();
+        let elems = [0u32, 1, 63, 64, 255, 256, 1000, 70_000];
+        assert_eq!(s.insert_sorted(&mut arena, elems.iter().copied(), None), elems.len());
+        assert_eq!(s.len(), elems.len());
+        assert_eq!(collect(&s, &arena), elems);
+        for &e in &elems {
+            assert!(s.contains(&arena, e));
+        }
+        assert!(!s.contains(&arena, 2));
+        assert!(!s.contains(&arena, 100_000));
+        // Re-inserting is a no-op.
+        assert_eq!(s.insert_sorted(&mut arena, elems.iter().copied(), None), 0);
+        assert_eq!(s.len(), elems.len());
+    }
+
+    #[test]
+    fn insert_reports_fresh_elements_only() {
+        let mut arena = BlockArena::new();
+        let mut s = SparseBitmap::new();
+        s.insert_sorted(&mut arena, [5u32, 300].iter().copied(), None);
+        let mut fresh = Vec::new();
+        let added =
+            s.insert_sorted(&mut arena, [4u32, 5, 6, 300, 301].iter().copied(), Some(&mut fresh));
+        assert_eq!(added, 3);
+        assert_eq!(fresh, vec![4, 6, 301]);
+    }
+
+    #[test]
+    fn union_aliases_whole_chunk_lists() {
+        let mut arena = BlockArena::new();
+        let mut a = SparseBitmap::new();
+        a.insert_sorted(&mut arena, [1u32, 2, 600].iter().copied(), None);
+        let mut b = SparseBitmap::new();
+        let mut scratch = Vec::new();
+        let mut fresh = Vec::new();
+        assert_eq!(b.union_with(&mut arena, &a, &mut scratch, Some(&mut fresh)), 3);
+        assert_eq!(fresh, vec![1, 2, 600]);
+        assert_eq!(b.chunks(), a.chunks(), "empty ∪ a aliases a's blocks");
+        // Union with overlap: merged blocks are interned, disjoint blocks
+        // aliased.
+        let mut c = SparseBitmap::new();
+        c.insert_sorted(&mut arena, [2u32, 3, 9000].iter().copied(), None);
+        fresh.clear();
+        assert_eq!(a.union_with(&mut arena, &c, &mut scratch, Some(&mut fresh)), 2);
+        assert_eq!(fresh, vec![3, 9000]);
+        assert_eq!(collect(&a, &arena), vec![1, 2, 3, 600, 9000]);
+        assert_eq!(a.chunks()[2], c.chunks()[1], "disjoint chunk is aliased");
+        // Idempotent.
+        assert_eq!(a.union_with(&mut arena, &c, &mut scratch, None), 0);
+    }
+
+    #[test]
+    fn identical_sets_share_interned_blocks() {
+        let mut arena = BlockArena::new();
+        let mut a = SparseBitmap::new();
+        let mut b = SparseBitmap::new();
+        let elems = [7u32, 8, 9, 512, 513];
+        a.insert_sorted(&mut arena, elems.iter().copied(), None);
+        let before = arena.len();
+        b.insert_sorted(&mut arena, elems.iter().copied(), None);
+        assert_eq!(arena.len(), before, "no new payloads for an identical set");
+        assert_eq!(a.chunks(), b.chunks());
+        assert!(arena.share_hits() >= 2);
+        assert!(arena.heap_bytes() > 0);
+        assert!(a.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn clear_and_empty_behaviour() {
+        let mut arena = BlockArena::new();
+        let mut s = SparseBitmap::new();
+        assert!(s.is_empty());
+        s.insert_sorted(&mut arena, [42u32].iter().copied(), None);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(&arena, 42));
+        let empty = SparseBitmap::new();
+        let mut scratch = Vec::new();
+        assert_eq!(s.union_with(&mut arena, &empty, &mut scratch, None), 0);
+    }
+
+    #[test]
+    fn matches_a_reference_model_on_random_streams() {
+        use crate::rng::SplitMix64;
+        let mut rng = SplitMix64::new(0x50153E7);
+        for round in 0..30 {
+            let mut arena = BlockArena::new();
+            let mut s = SparseBitmap::new();
+            let mut model = std::collections::BTreeSet::new();
+            for _ in 0..20 {
+                let mut batch: Vec<u32> =
+                    (0..rng.next_below(40)).map(|_| rng.next_below(5_000) as u32).collect();
+                batch.sort_unstable();
+                batch.dedup();
+                let expect_added =
+                    batch.iter().filter(|e| !model.contains(*e)).count();
+                let mut fresh = Vec::new();
+                let added =
+                    s.insert_sorted(&mut arena, batch.iter().copied(), Some(&mut fresh));
+                assert_eq!(added, expect_added, "round {round}");
+                assert_eq!(fresh.len(), added);
+                model.extend(batch);
+                assert_eq!(s.len(), model.len());
+            }
+            assert_eq!(
+                collect(&s, &arena),
+                model.iter().copied().collect::<Vec<_>>(),
+                "round {round}"
+            );
+        }
+    }
+}
