@@ -94,6 +94,21 @@
 //!
 //! Every field that existed in `bane-bench/5` is emitted byte-identically.
 //!
+//! `bane-bench/7` adds the **snapshot serving** table (`snap_queries`): the
+//! largest selected benchmark is solved once, written to a `bane-snap`
+//! snapshot file (docs/SNAPSHOT_FORMAT.md), and — with the solver dropped —
+//! cold-reloaded per thread count in {1, 2, 4, 8} ∪ {`--threads`}. Each
+//! (mix × threads) row drives a deterministic SplitMix64-seeded workload of
+//! `points-to` / `alias` / `reachable` / `mixed` queries through the shared
+//! read-only `QueryIndex` on `bane-par`'s pool and reports queries per
+//! second plus `answers_match` — an order-independent fingerprint of every
+//! answer compared against one precomputed from the live `LeastSolution`
+//! (must always read `true`). The section header carries the file size,
+//! write and cold-load times, and the `snap.loads` / `snap.queries`
+//! unified-counter totals. Every field that existed in `bane-bench/6` is
+//! emitted byte-identically; serving runs never touch the timed solver
+//! configurations.
+//!
 //! The JSON is hand-rolled (the build environment has no serde); the format
 //! is plain nested objects with no NaNs and no trailing commas, so any JSON
 //! parser can read it.
@@ -101,7 +116,8 @@
 use bane_bench::cli::Options;
 use bane_bench::experiment::{
     analyze_bench, run_batch_scaling, run_observed, run_one_with, run_par_scaling,
-    run_solset_scaling, BatchScaling, ExperimentKind, Measurement, ParScaling, SolSetScaling,
+    run_snap_queries, run_solset_scaling, BatchScaling, ExperimentKind, Measurement, ParScaling,
+    SnapScaling, SolSetScaling,
 };
 use bane_core::solset::SolSetKind;
 use bane_obs::RunReport;
@@ -311,18 +327,50 @@ fn main() {
         None => "null".to_string(),
     };
 
+    // The snapshot serving table: the same largest benchmark written to a
+    // bane-snap file, cold-reloaded, and queried concurrently per mix.
+    let snap_json = match largest {
+        Some((entry, program)) => {
+            eprintln!(
+                "bench_json: snap queries on {} (threads {:?})",
+                entry.name, thread_counts
+            );
+            let scaling = run_snap_queries(program, &thread_counts, opts.reps);
+            eprintln!(
+                "  snap {:<23} {} bytes, write={}ns cold-load={}ns",
+                entry.name, scaling.file_bytes, scaling.write_ns, scaling.cold_load_ns
+            );
+            for row in &scaling.rows {
+                eprintln!(
+                    "  snap {:<23} {:<10} threads={} queries={:<8} wall={:>12}ns \
+                     q/s={:<12.0} match={}",
+                    entry.name,
+                    row.mix.name(),
+                    row.threads,
+                    row.queries,
+                    row.wall_ns,
+                    row.queries_per_sec,
+                    row.answers_match,
+                );
+            }
+            snap_queries_json(entry.name, &scaling)
+        }
+        None => "null".to_string(),
+    };
+
     let created_unix = SystemTime::now()
         .duration_since(SystemTime::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let logical_cpus = bane_par::available_threads();
     let json = format!(
-        "{{\n  \"schema\": \"bane-bench/6\",\n  \"label\": {},\n  \
+        "{{\n  \"schema\": \"bane-bench/7\",\n  \"label\": {},\n  \
          \"created_unix\": {},\n  \"scale\": {},\n  \"max_ast\": {},\n  \
          \"reps\": {},\n  \"limit\": {},\n  \"threads\": {},\n  \
          \"batch_rounds\": {},\n  \"solset\": {},\n  \"git_revision\": {},\n  \
          \"logical_cpus\": {},\n  \"single_cpu\": {},\n  \
          \"par_ls\": {},\n  \"par_batch\": {},\n  \"solset_scaling\": {},\n  \
+         \"snap_queries\": {},\n  \
          \"benchmarks\": [{}\n  ]\n}}\n",
         json_string(&label),
         created_unix,
@@ -339,6 +387,7 @@ fn main() {
         par_ls_json,
         par_batch_json,
         solset_json,
+        snap_json,
         benchmarks,
     );
 
@@ -470,6 +519,42 @@ fn solset_scaling_json(benchmark: &str, scaling: &SolSetScaling) -> String {
         scaling.constraints_total,
         scaling.constraints_tail,
         scaling.seq_ls_ns,
+        rows,
+    )
+}
+
+/// The `snap_queries` section: one row per (thread count × query mix) on the
+/// shared cold-loaded `QueryIndex`, with the load counters under their
+/// unified names.
+fn snap_queries_json(benchmark: &str, scaling: &SnapScaling) -> String {
+    let mut rows = String::new();
+    for (i, row) in scaling.rows.iter().enumerate() {
+        if i > 0 {
+            rows.push(',');
+        }
+        let _ = write!(
+            rows,
+            "\n      {{\"mix\": {}, \"threads\": {}, \"queries\": {}, \
+             \"wall_ns\": {}, \"queries_per_sec\": {}, \"answers_match\": {}}}",
+            json_string(row.mix.name()),
+            row.threads,
+            row.queries,
+            row.wall_ns,
+            json_f64(row.queries_per_sec),
+            row.answers_match,
+        );
+    }
+    format!(
+        "{{\"benchmark\": {}, \"var_count\": {}, \"file_bytes\": {}, \
+         \"write_ns\": {}, \"cold_load_ns\": {}, \"snap.loads\": {}, \
+         \"snap.queries\": {}, \"rows\": [{}\n    ]}}",
+        json_string(benchmark),
+        scaling.var_count,
+        scaling.file_bytes,
+        scaling.write_ns,
+        scaling.cold_load_ns,
+        scaling.snap_loads,
+        scaling.snap_queries,
         rows,
     )
 }

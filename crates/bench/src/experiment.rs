@@ -745,6 +745,266 @@ pub fn run_solset_scaling(program: &Program, reps: usize) -> SolSetScaling {
     SolSetScaling { constraints_total, constraints_tail: tail_len, seq_ls_ns, rows }
 }
 
+/// A query workload mix for the snapshot-serving throughput table
+/// (`bane-snap`'s `QueryIndex`; see docs/SERVING.md).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapQueryMix {
+    /// `points_to(v)` only — one rep lookup plus a zero-copy span slice.
+    PointsTo,
+    /// `alias(a, b)` only — two lookups plus a sorted-span intersection.
+    Alias,
+    /// `reachable_sources(v)` only — the DFS route over the CSR sections.
+    Reachable,
+    /// Round-robin over the three kinds, as a serving front end sees them.
+    Mixed,
+}
+
+impl SnapQueryMix {
+    /// All four mixes, in table order.
+    pub const ALL: [SnapQueryMix; 4] =
+        [SnapQueryMix::PointsTo, SnapQueryMix::Alias, SnapQueryMix::Reachable, SnapQueryMix::Mixed];
+
+    /// The mix's snapshot-table name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SnapQueryMix::PointsTo => "points-to",
+            SnapQueryMix::Alias => "alias",
+            SnapQueryMix::Reachable => "reachable",
+            SnapQueryMix::Mixed => "mixed",
+        }
+    }
+}
+
+/// One (mix × thread count) row of the snapshot query-throughput table.
+#[derive(Clone, Copy, Debug)]
+pub struct SnapQueryRow {
+    /// The query workload mix.
+    pub mix: SnapQueryMix,
+    /// Reader threads sharing the one loaded index.
+    pub threads: usize,
+    /// Queries executed per timed pass.
+    pub queries: u64,
+    /// Wall time for one pass of `queries` queries (best of reps).
+    pub wall_ns: u128,
+    /// `queries / wall`, in queries per second.
+    pub queries_per_sec: f64,
+    /// Whether every pass's answer fingerprint equaled the one computed
+    /// from the live `LeastSolution` over the same deterministic workload
+    /// (must always be `true`).
+    pub answers_match: bool,
+}
+
+/// Snapshot serving measurements for one benchmark: write → cold load →
+/// concurrent query throughput, validated against the live least solution.
+#[derive(Clone, Debug)]
+pub struct SnapScaling {
+    /// Variables covered by the snapshot (`QueryIndex::var_count`).
+    pub var_count: usize,
+    /// Snapshot file size in bytes.
+    pub file_bytes: u64,
+    /// Time to serialize the solved run to disk.
+    pub write_ns: u128,
+    /// Cold `QueryIndex` load from the file (best across the per-thread-count
+    /// reloads; includes validation per docs/SNAPSHOT_FORMAT.md §5).
+    pub cold_load_ns: u128,
+    /// `snap.loads` over the whole experiment (one cold load per thread
+    /// count).
+    pub snap_loads: u64,
+    /// `snap.queries` over the whole experiment (all rows, all reps).
+    pub snap_queries: u64,
+    /// One row per thread count × mix.
+    pub rows: Vec<SnapQueryRow>,
+}
+
+/// The SplitMix64 finalizer: the query workloads and their answer
+/// fingerprints are derived from it, so a workload is a pure function of
+/// the query index — reproducible across threads, reps, and processes.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+const SNAP_QUERY_SEED: u64 = 0xba9e_5eed_0000_0007;
+
+/// The pseudo-random word driving query `q`'s operands.
+fn snap_query_word(q: u64) -> u64 {
+    mix64(SNAP_QUERY_SEED ^ q.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Which query kind index `q` runs under `mix`.
+fn snap_query_kind(mix: SnapQueryMix, q: u64) -> SnapQueryMix {
+    match mix {
+        SnapQueryMix::Mixed => SnapQueryMix::ALL[(q % 3) as usize],
+        fixed => fixed,
+    }
+}
+
+/// Order-independent fingerprint of a set-valued answer: length and the two
+/// endpoints, mixed with the query index. O(1) so it cannot distort the
+/// throughput of the O(1) `points_to` path it is checking.
+fn snap_fp_set(q: u64, len: usize, first: Option<TermId>, last: Option<TermId>) -> u64 {
+    let f = first.map_or(0, |t| t.raw() as u64 + 1);
+    let l = last.map_or(0, |t| t.raw() as u64 + 1);
+    mix64(q ^ mix64(len as u64 ^ mix64(f ^ mix64(l))))
+}
+
+/// Runs query `q` of `mix` against the loaded snapshot index.
+fn snap_index_fp(
+    index: &bane_snap::QueryIndex,
+    mix: SnapQueryMix,
+    q: u64,
+    n: u64,
+    scratch: &mut bane_snap::QueryScratch,
+    reach: &mut Vec<TermId>,
+) -> u64 {
+    let r = snap_query_word(q);
+    match snap_query_kind(mix, q) {
+        SnapQueryMix::PointsTo => {
+            let s = index.points_to(Var::new((r % n) as usize));
+            snap_fp_set(q, s.len(), s.first().copied(), s.last().copied())
+        }
+        SnapQueryMix::Alias => {
+            let a = Var::new((r % n) as usize);
+            let b = Var::new((mix64(r) % n) as usize);
+            mix64(q ^ (index.alias(a, b) as u64 + 1))
+        }
+        _ => {
+            index.reachable_sources_with(Var::new((r % n) as usize), scratch, reach);
+            snap_fp_set(q, reach.len(), reach.first().copied(), reach.last().copied())
+        }
+    }
+}
+
+/// Runs the same query `q` against the live least solution. `reachable`
+/// answers are `LS(v)` by equation (1), which is exactly what makes this a
+/// reference for the snapshot's independent DFS route.
+fn snap_live_fp(ls: &LeastSolution, mix: SnapQueryMix, q: u64, n: u64) -> u64 {
+    let r = snap_query_word(q);
+    match snap_query_kind(mix, q) {
+        SnapQueryMix::Alias => {
+            let a = ls.get(Var::new((r % n) as usize));
+            let b = ls.get(Var::new((mix64(r) % n) as usize));
+            let alias = a.iter().any(|t| b.binary_search(t).is_ok());
+            mix64(q ^ (alias as u64 + 1))
+        }
+        _ => {
+            let s = ls.get(Var::new((r % n) as usize));
+            snap_fp_set(q, s.len(), s.first().copied(), s.last().copied())
+        }
+    }
+}
+
+/// Runs the snapshot serving experiment on `program`: solve once, write a
+/// `bane-snap` snapshot to a temporary file, drop the solver, then for each
+/// thread count cold-load a fresh `QueryIndex` and drive each query mix
+/// through `bane-par`'s pool — timing queries per second and checking every
+/// pass's answer fingerprint against one precomputed from the live
+/// `LeastSolution` over the identical deterministic workload.
+pub fn run_snap_queries(
+    program: &Program,
+    thread_counts: &[usize],
+    reps: usize,
+) -> SnapScaling {
+    use bane_par::{chunk_range, Pool};
+    use bane_snap::{write_solver, LoadMode, QueryIndex, QueryScratch};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    let reps = reps.max(1);
+    let mut analysis = andersen::analyze(program, SolverConfig::if_online());
+    let ls = analysis.solver.least_solution();
+
+    static UNIQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join("bane-bench-snap");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!(
+        "queries-{}-{}.snap",
+        std::process::id(),
+        UNIQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let start = Instant::now();
+    let file_bytes = write_solver(&mut analysis.solver, &path, None)
+        .expect("snapshot write to the temp dir");
+    let write_ns = start.elapsed().as_nanos();
+    drop(analysis); // serving is from the file alone — no live solver
+
+    let var_count = ls.len();
+    let n = var_count.max(1) as u64;
+    // Enough queries per pass for a stable clock even on tiny inputs
+    // (operands wrap modulo `n`, so small programs just see repeats).
+    let queries = n.max(1 << 12);
+
+    // Reference fingerprints, once per mix, from the live least solution.
+    let expected: Vec<u64> = SnapQueryMix::ALL
+        .iter()
+        .map(|&mix| {
+            (0..queries).fold(0u64, |acc, q| acc.wrapping_add(snap_live_fp(&ls, mix, q, n)))
+        })
+        .collect();
+    drop(ls);
+
+    let rec = Recorder::new();
+    let mut cold_load_ns = u128::MAX;
+    let mut rows = Vec::new();
+    for &threads in thread_counts {
+        // A cold load per thread count: the table's claim is about a
+        // freshly loaded index, not a warm shared one.
+        let start = Instant::now();
+        let index = QueryIndex::load_with(&path, LoadMode::Auto, Some(&rec))
+            .expect("reloading the snapshot this experiment just wrote");
+        cold_load_ns = cold_load_ns.min(start.elapsed().as_nanos());
+        let pool = Pool::new(threads);
+        for (m, &mix) in SnapQueryMix::ALL.iter().enumerate() {
+            let mut wall_ns = u128::MAX;
+            let mut answers_match = true;
+            for _ in 0..reps {
+                let sum = AtomicU64::new(0);
+                let (index, sum) = (&index, &sum);
+                let start = Instant::now();
+                pool.broadcast(|w| {
+                    let (lo, hi) = chunk_range(queries as usize, threads, w);
+                    let mut scratch = QueryScratch::new();
+                    let mut reach = Vec::new();
+                    let mut local = 0u64;
+                    for q in lo..hi {
+                        local = local.wrapping_add(snap_index_fp(
+                            index,
+                            mix,
+                            q as u64,
+                            n,
+                            &mut scratch,
+                            &mut reach,
+                        ));
+                    }
+                    sum.fetch_add(local, Ordering::Relaxed);
+                });
+                wall_ns = wall_ns.min(start.elapsed().as_nanos());
+                answers_match &= sum.load(Ordering::Relaxed) == expected[m];
+            }
+            rec.add(Counter::SnapQueries, queries * reps as u64);
+            let queries_per_sec = queries as f64 / (wall_ns.max(1) as f64 / 1e9);
+            rows.push(SnapQueryRow {
+                mix,
+                threads,
+                queries,
+                wall_ns,
+                queries_per_sec,
+                answers_match,
+            });
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+    SnapScaling {
+        var_count,
+        file_bytes,
+        write_ns,
+        cold_load_ns,
+        snap_loads: rec.get(Counter::SnapLoads),
+        snap_queries: rec.get(Counter::SnapQueries),
+        rows,
+    }
+}
+
 /// Measures the fraction of collapsible cycle variables that online
 /// elimination actually removed (Figure 11's y-axis).
 pub fn detection_fraction(m: &Measurement, info: &BenchInfo) -> f64 {
@@ -967,6 +1227,29 @@ mod tests {
             assert_eq!(m.peak_edges, reference.peak_edges, "{}", backend.name());
             assert_eq!(m.live_vars, reference.live_vars, "{}", backend.name());
             assert_eq!(m.vars_eliminated, reference.vars_eliminated, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn snap_query_rows_match_live_answers() {
+        let program = sample_program();
+        let scaling = run_snap_queries(&program, &[1, 2], 1);
+        assert_eq!(scaling.rows.len(), SnapQueryMix::ALL.len() * 2);
+        assert!(scaling.var_count > 0);
+        assert!(scaling.file_bytes > 0);
+        assert!(scaling.write_ns > 0 && scaling.cold_load_ns > 0);
+        assert_eq!(scaling.snap_loads, 2, "one cold load per thread count");
+        let total: u64 = scaling.rows.iter().map(|r| r.queries).sum();
+        assert_eq!(scaling.snap_queries, total);
+        for row in &scaling.rows {
+            assert!(
+                row.answers_match,
+                "{} at {} threads diverged from the live least solution",
+                row.mix.name(),
+                row.threads
+            );
+            assert!(row.queries > 0 && row.wall_ns > 0);
+            assert!(row.queries_per_sec > 0.0);
         }
     }
 

@@ -235,6 +235,16 @@ impl CsrSnapshot {
         self.srcs.clone_from(&other.srcs);
     }
 
+    /// Exposes the raw CSR buffers as
+    /// `(var_rows, cols, src_rows, srcs)` — the serialization surface used
+    /// by `bane-snap`'s on-disk writer. Row `(start, end)` pairs index into
+    /// the matching column array exactly as [`preds`](CsrSnapshot::preds)
+    /// and [`srcs`](CsrSnapshot::srcs) read them.
+    #[allow(clippy::type_complexity)]
+    pub fn raw_parts(&self) -> (&[(u32, u32)], &[Var], &[(u32, u32)], &[TermId]) {
+        (&self.var_rows, &self.cols, &self.src_rows, &self.srcs)
+    }
+
     /// Total canonical predecessor entries across all rows.
     pub fn pred_entries(&self) -> usize {
         self.cols.len()

@@ -938,6 +938,12 @@ impl Solver {
         self.terms.data(id)
     }
 
+    /// The full interned term table. Serialization consumers (`bane-snap`)
+    /// walk this to persist every term a solution can mention.
+    pub fn terms(&self) -> &crate::expr::TermArena {
+        &self.terms
+    }
+
     /// Renders a set expression for humans.
     pub fn display(&self, expr: SetExpr) -> String {
         self.terms.display(&self.cons, expr)

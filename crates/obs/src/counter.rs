@@ -151,11 +151,24 @@ pub enum Counter {
     SolsetPromotions = 41,
     /// Approximate heap bytes held by the active backend's set storage.
     SolsetBytes = 42,
+
+    // -- snapshot serving (bane-snap, docs/SERVING.md) --------------------
+    /// Bytes written by the on-disk snapshot writer (file size including
+    /// header and padding).
+    SnapBytesWritten = 43,
+    /// Snapshot files loaded into a `QueryIndex`.
+    SnapLoads = 44,
+    /// Bytes mapped (or copied into the owned-buffer fallback) by loads.
+    SnapBytesMapped = 45,
+    /// Queries answered by `QueryIndex` (only counted when a recorder is
+    /// attached to the instrumented entry points; the lock-free hot path
+    /// itself is uninstrumented).
+    SnapQueries = 46,
 }
 
 impl Counter {
     /// Number of registered counters.
-    pub const COUNT: usize = 43;
+    pub const COUNT: usize = 47;
 
     /// Every counter, in canonical report order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -202,6 +215,10 @@ impl Counter {
         Counter::SolsetBlocksShared,
         Counter::SolsetPromotions,
         Counter::SolsetBytes,
+        Counter::SnapBytesWritten,
+        Counter::SnapLoads,
+        Counter::SnapBytesMapped,
+        Counter::SnapQueries,
     ];
 
     /// The stable dotted name used in reports and JSON.
@@ -250,6 +267,10 @@ impl Counter {
             Counter::SolsetBlocksShared => "solset.blocks-shared",
             Counter::SolsetPromotions => "solset.promotions",
             Counter::SolsetBytes => "solset.bytes",
+            Counter::SnapBytesWritten => "snap.bytes-written",
+            Counter::SnapLoads => "snap.loads",
+            Counter::SnapBytesMapped => "snap.bytes-mapped",
+            Counter::SnapQueries => "snap.queries",
         }
     }
 

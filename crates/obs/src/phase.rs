@@ -69,11 +69,14 @@ pub enum Phase {
     /// Freezing the post-closure graph into the CSR least-solution snapshot
     /// (DESIGN.md §4d). Nested inside `LeastSolution`/`ParLeast`.
     CsrBuild = 12,
+    /// Loading an on-disk snapshot into a read-only `QueryIndex`
+    /// (`bane-snap`, docs/SERVING.md): open, map/read, validate, checksum.
+    SnapLoad = 13,
 }
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 14;
 
     /// Every phase, in canonical report order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -90,6 +93,7 @@ impl Phase {
         Phase::ParLeast,
         Phase::ParBatch,
         Phase::CsrBuild,
+        Phase::SnapLoad,
     ];
 
     /// The stable name used in reports and JSON.
@@ -108,6 +112,7 @@ impl Phase {
             Phase::ParLeast => "par-least",
             Phase::ParBatch => "par-batch",
             Phase::CsrBuild => "csr-build",
+            Phase::SnapLoad => "snap-load",
         }
     }
 

@@ -1,0 +1,79 @@
+//! Minimal read-only `mmap` wrapper (unix only).
+//!
+//! The build environment has no `libc` crate, so the two syscalls the
+//! loader needs are declared directly. The mapping is `PROT_READ` +
+//! `MAP_PRIVATE`: the kernel pages the file in on demand and the mapping
+//! can never write back, which is what makes sharing one [`Mmap`] across
+//! reader threads sound (see `docs/SERVING.md`).
+
+use std::fs::File;
+use std::os::unix::io::AsRawFd;
+use std::ptr::NonNull;
+
+const PROT_READ: i32 = 1;
+const MAP_PRIVATE: i32 = 2;
+
+extern "C" {
+    fn mmap(addr: *mut u8, len: usize, prot: i32, flags: i32, fd: i32, offset: i64) -> *mut u8;
+    fn munmap(addr: *mut u8, len: usize) -> i32;
+}
+
+/// A read-only, private, whole-file memory mapping.
+///
+/// Page alignment of the mapped base address guarantees the 8-byte section
+/// alignment the zero-copy readers require.
+#[derive(Debug)]
+pub struct Mmap {
+    ptr: NonNull<u8>,
+    len: usize,
+}
+
+// SAFETY: the mapping is immutable (PROT_READ) and private, so shared
+// references to its bytes from any thread are sound; the raw pointer is
+// only ever read through `bytes`.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps the first `len` bytes of `file` read-only.
+    ///
+    /// `len` must be non-zero (a zero-length snapshot is invalid anyway and
+    /// `mmap(2)` rejects zero-length mappings).
+    pub fn map(file: &File, len: usize) -> std::io::Result<Mmap> {
+        if len == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "cannot map an empty file",
+            ));
+        }
+        // SAFETY: a fresh anonymous-address read-only mapping of an fd we
+        // hold open; failure is reported as MAP_FAILED and checked below.
+        let ptr = unsafe {
+            mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0)
+        };
+        if ptr as usize == usize::MAX {
+            return Err(std::io::Error::last_os_error());
+        }
+        match NonNull::new(ptr) {
+            Some(ptr) => Ok(Mmap { ptr, len }),
+            None => Err(std::io::Error::other("mmap returned null")),
+        }
+    }
+
+    /// The mapped bytes.
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: `ptr` maps exactly `len` readable bytes for as long as
+        // `self` lives (munmap only runs in Drop).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        // SAFETY: unmapping exactly what `map` mapped; errors at unmap time
+        // are unreportable from Drop and benign (the mapping leaks).
+        unsafe {
+            let _ = munmap(self.ptr.as_ptr(), self.len);
+        }
+    }
+}

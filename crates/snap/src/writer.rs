@@ -1,0 +1,231 @@
+//! The snapshot writer: a solved run → format-v1 bytes.
+//!
+//! Writing is a pure function of the solved state — no timestamps, no
+//! host identifiers, no randomness — so the same run always produces the
+//! same bytes. That determinism is what makes the committed golden fixture
+//! (`tests/fixtures/tiny.snap`) and the cross-backend byte-equality
+//! property tests possible.
+//!
+//! The writer encodes into an in-memory `Vec<u8>` first
+//! ([`encode_solver`]/[`encode_parts`]) and only then touches the
+//! filesystem ([`write_solver`]), so every structural path is testable
+//! without temp files.
+
+use bane_core::cons::ConRegistry;
+use bane_core::expr::{SetExpr, TermArena};
+use bane_core::least::{CsrSnapshot, LeastSolution};
+use bane_core::solver::{Form, Solver};
+use bane_obs::{Counter, Recorder};
+
+use crate::error::SnapError;
+use crate::format::{
+    self, expr_tag, SectionId, CHECKSUM_OFFSET, ENDIAN_MARKER, FORMAT_VERSION, HEADER_BYTES,
+    MAGIC, MAX_ARITY, PAYLOAD_START, SECTIONS, SECTION_COUNT,
+};
+
+/// Computes the least solution and frozen CSR of `solver` and encodes them
+/// as a complete snapshot file image.
+///
+/// Takes `&mut` because [`Solver::least_solution`] does; call after
+/// [`Solver::solve`] has converged. The emitted bytes are identical for
+/// every [`SolSetKind`](bane_core::solset::SolSetKind) backend, because the
+/// canonical [`LeastSolution`] is (that is the backends' byte-identity
+/// contract, and the round-trip property tests re-assert it through this
+/// writer).
+pub fn encode_solver(solver: &mut Solver) -> Result<Vec<u8>, SnapError> {
+    let ls = solver.least_solution();
+    let parts = solver.least_parts();
+    let mut rep = Vec::new();
+    parts.rep_map_into(&mut rep);
+    let mut layout = Vec::new();
+    parts.layout_order_into(&rep, &mut layout);
+    let mut csr = CsrSnapshot::new();
+    csr.build(&parts, &layout);
+    encode_parts(parts.form, &csr, &ls, solver.terms(), solver.cons())
+}
+
+/// Encodes already-extracted solved-run parts as a snapshot file image.
+///
+/// `csr` must be built from the same run `ls` was computed from; the
+/// writer cross-checks their variable counts but cannot detect a deeper
+/// mismatch. Most callers want [`encode_solver`].
+pub fn encode_parts(
+    form: Form,
+    csr: &CsrSnapshot,
+    ls: &LeastSolution,
+    terms: &TermArena,
+    cons: &ConRegistry,
+) -> Result<Vec<u8>, SnapError> {
+    let (var_rows, cols, src_rows, srcs) = csr.raw_parts();
+    let (rep, arena, spans) = ls.raw_parts();
+    let var_count = rep.len();
+    if var_rows.len() != var_count || src_rows.len() != var_count || spans.len() != var_count {
+        return Err(SnapError::Corrupt("csr and least solution disagree on variable count"));
+    }
+
+    // Build each section's word (or byte, for STRS) payload.
+    let rep_w: Vec<u32> = rep.iter().map(|v| v.raw()).collect();
+    let var_rows_w = flatten_pairs(var_rows);
+    let cols_w: Vec<u32> = cols.iter().map(|v| v.raw()).collect();
+    let src_rows_w = flatten_pairs(src_rows);
+    let srcs_w: Vec<u32> = srcs.iter().map(|t| t.raw()).collect();
+    let spans_w = flatten_pairs(spans);
+    let arena_w: Vec<u32> = arena.iter().map(|t| t.raw()).collect();
+
+    let mut term_rows_w: Vec<u32> = Vec::with_capacity(terms.len() * 2);
+    let mut term_data_w: Vec<u32> = Vec::new();
+    for id in terms.ids() {
+        let data = terms.data(id);
+        let start = term_data_w.len() as u32;
+        term_data_w.push(data.con().raw());
+        for &arg in data.args() {
+            let (tag, payload) = match arg {
+                SetExpr::Zero => (expr_tag::ZERO, 0),
+                SetExpr::One => (expr_tag::ONE, 0),
+                SetExpr::Var(v) => (expr_tag::VAR, v.raw()),
+                SetExpr::Term(t) => (expr_tag::TERM, t.raw()),
+            };
+            term_data_w.push(tag);
+            term_data_w.push(payload);
+        }
+        term_rows_w.push(start);
+        term_rows_w.push(term_data_w.len() as u32);
+    }
+
+    let mut con_rows_w: Vec<u32> = Vec::with_capacity(cons.len() * 4);
+    let mut strs: Vec<u8> = Vec::new();
+    for (_, sig) in cons.iter() {
+        if sig.arity() > MAX_ARITY {
+            return Err(SnapError::Unsupported("constructor arity exceeds 32"));
+        }
+        let name_start = strs.len() as u32;
+        strs.extend_from_slice(sig.name().as_bytes());
+        let mut variance_bits = 0u32;
+        for (i, v) in sig.variances().iter().enumerate() {
+            if let bane_core::cons::Variance::Contravariant = v {
+                variance_bits |= 1 << i;
+            }
+        }
+        con_rows_w.push(name_start);
+        con_rows_w.push(strs.len() as u32);
+        con_rows_w.push(sig.arity() as u32);
+        con_rows_w.push(variance_bits);
+    }
+
+    // Section payloads as little-endian byte vectors, in SECTIONS order.
+    let payloads: [Vec<u8>; SECTION_COUNT] = [
+        words_to_bytes(&rep_w),
+        words_to_bytes(&var_rows_w),
+        words_to_bytes(&cols_w),
+        words_to_bytes(&src_rows_w),
+        words_to_bytes(&srcs_w),
+        words_to_bytes(&spans_w),
+        words_to_bytes(&arena_w),
+        words_to_bytes(&term_rows_w),
+        words_to_bytes(&term_data_w),
+        words_to_bytes(&con_rows_w),
+        strs,
+    ];
+
+    // Lay out the file: header, section table, aligned payloads.
+    let mut offsets = [0u64; SECTION_COUNT];
+    let mut cursor = PAYLOAD_START;
+    for (i, p) in payloads.iter().enumerate() {
+        offsets[i] = cursor as u64;
+        cursor = format::align_up(cursor + p.len());
+    }
+    let file_len = cursor;
+
+    let mut out = Vec::with_capacity(file_len);
+    out.extend_from_slice(&MAGIC);
+    push_u32(&mut out, FORMAT_VERSION);
+    push_u32(&mut out, ENDIAN_MARKER);
+    push_u32(&mut out, HEADER_BYTES as u32);
+    push_u32(&mut out, SECTION_COUNT as u32);
+    push_u32(&mut out, match form {
+        Form::Standard => 0,
+        Form::Inductive => 1,
+    });
+    push_u32(&mut out, var_count as u32);
+    push_u32(&mut out, terms.len() as u32);
+    push_u32(&mut out, cons.len() as u32);
+    push_u32(&mut out, 0); // reserved
+    push_u32(&mut out, 0); // reserved
+    debug_assert_eq!(out.len(), CHECKSUM_OFFSET);
+    push_u64(&mut out, 0); // checksum, patched below
+    push_u64(&mut out, 0); // reserved
+    debug_assert_eq!(out.len(), HEADER_BYTES);
+
+    for (i, &id) in SECTIONS.iter().enumerate() {
+        push_u32(&mut out, id as u32);
+        push_u32(&mut out, 0); // reserved
+        push_u64(&mut out, offsets[i]);
+        push_u64(&mut out, payloads[i].len() as u64);
+    }
+    debug_assert_eq!(out.len(), PAYLOAD_START);
+
+    for (i, p) in payloads.iter().enumerate() {
+        debug_assert_eq!(out.len(), offsets[i] as usize);
+        out.extend_from_slice(p);
+        out.resize(format::align_up(out.len()), 0);
+    }
+    debug_assert_eq!(out.len(), file_len);
+
+    let checksum = format::fnv1a64(&out[HEADER_BYTES..]);
+    out[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].copy_from_slice(&checksum.to_le_bytes());
+    Ok(out)
+}
+
+/// Encodes `solver` and writes the snapshot to `path`, returning the file
+/// size in bytes.
+///
+/// When a recorder is supplied, the written size is added to the
+/// `snap.bytes-written` counter. The write goes through a temporary
+/// sibling file renamed into place, so a crash mid-write never leaves a
+/// half-written file at `path`.
+pub fn write_solver(
+    solver: &mut Solver,
+    path: &std::path::Path,
+    rec: Option<&Recorder>,
+) -> Result<u64, SnapError> {
+    let bytes = encode_solver(solver)?;
+    let tmp = path.with_extension("snap.tmp");
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, path)?;
+    if let Some(r) = rec {
+        r.add(Counter::SnapBytesWritten, bytes.len() as u64);
+    }
+    Ok(bytes.len() as u64)
+}
+
+fn flatten_pairs(pairs: &[(u32, u32)]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(pairs.len() * 2);
+    for &(s, e) in pairs {
+        out.push(s);
+        out.push(e);
+    }
+    out
+}
+
+fn words_to_bytes(words: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(words.len() * 4);
+    for w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Identifies the section table entry for `id` in an encoded image —
+/// shared with the loader and the corruption tests, which patch specific
+/// sections.
+pub fn section_table_offset(id: SectionId) -> usize {
+    HEADER_BYTES + (id as u32 as usize) * format::SECTION_ENTRY_BYTES
+}

@@ -44,6 +44,7 @@ macro_rules! newtype_index {
     ($(#[$meta:meta])* $vis:vis struct $name:ident($prefix:literal);) => {
         $(#[$meta])*
         #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[repr(transparent)]
         $vis struct $name(u32);
 
         impl $name {
@@ -62,6 +63,35 @@ macro_rules! newtype_index {
             #[inline]
             $vis fn raw(self) -> u32 {
                 self.0
+            }
+
+            /// Reinterprets a slice of raw `u32`s as typed ids, zero-copy.
+            ///
+            /// Every `u32` is a valid id, so this is total; it is the read
+            /// path for serialized id columns (`bane-snap`) where the bytes
+            /// on disk are exactly the raw values [`raw`](Self::raw) returns.
+            // dead_code is allowed because private test-local instantiations
+            // of this macro never call the slice views (real callers —
+            // `bane-snap` — go through `pub` ids).
+            #[inline]
+            #[allow(dead_code)]
+            $vis fn wrap_slice(raw: &[u32]) -> &[$name] {
+                // SAFETY: repr(transparent) over u32 — identical layout,
+                // and every bit pattern is a valid id.
+                unsafe {
+                    ::std::slice::from_raw_parts(raw.as_ptr().cast::<$name>(), raw.len())
+                }
+            }
+
+            /// The inverse of [`wrap_slice`](Self::wrap_slice): views typed
+            /// ids as their raw `u32` values, zero-copy.
+            #[inline]
+            #[allow(dead_code)]
+            $vis fn unwrap_slice(ids: &[$name]) -> &[u32] {
+                // SAFETY: repr(transparent) over u32.
+                unsafe {
+                    ::std::slice::from_raw_parts(ids.as_ptr().cast::<u32>(), ids.len())
+                }
             }
         }
 

@@ -11,7 +11,9 @@
 //! - [`bitset`]: a growable bit set ([`BitSet`]) and an epoch-stamped
 //!   visited set ([`EpochSet`]) used by the online cycle-detection searches,
 //! - [`rng`]: a tiny deterministic PRNG ([`SplitMix64`]) and a Fisher–Yates
-//!   [`shuffle`](rng::shuffle) used to pick random variable orders.
+//!   [`shuffle`](rng::shuffle) used to pick random variable orders,
+//! - [`cast`]: checked zero-copy byte↔word slice reinterpretation used by
+//!   the `bane-snap` on-disk snapshot reader.
 //!
 //! # Examples
 //!
@@ -28,6 +30,7 @@
 //! ```
 
 pub mod bitset;
+pub mod cast;
 pub mod hash;
 pub mod idx;
 pub mod rng;

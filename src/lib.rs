@@ -14,6 +14,11 @@
 //! - [`synth`] (`bane-synth`): the synthetic benchmark-suite generator.
 //! - [`model`] (`bane-model`): the analytical model of Section 5.
 //! - [`cfa`] (`bane-cfa`): closure analysis, the paper's stated future work.
+//! - [`par`] (`bane-par`): the deterministic parallel execution engine.
+//! - [`snap`] (`bane-snap`): the on-disk snapshot format and the read-only
+//!   alias-query serving layer (docs/SNAPSHOT_FORMAT.md, docs/SERVING.md).
+//! - [`obs`] (`bane-obs`): the observability layer (phase timers, unified
+//!   counters; docs/OBSERVABILITY.md).
 //!
 //! # Examples
 //!
@@ -32,6 +37,9 @@ pub use bane_cfa as cfa;
 pub use bane_cfront as cfront;
 pub use bane_core as core;
 pub use bane_model as model;
+pub use bane_obs as obs;
+pub use bane_par as par;
 pub use bane_points_to as points_to;
+pub use bane_snap as snap;
 pub use bane_synth as synth;
 pub use bane_util as util;
