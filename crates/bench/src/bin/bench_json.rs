@@ -109,20 +109,46 @@
 //! emitted byte-identically; serving runs never touch the timed solver
 //! configurations.
 //!
+//! `bane-bench/8` adds the **incremental re-solve** table (`incremental`;
+//! see docs/INCREMENTAL.md): the largest selected benchmark's constraint
+//! system is split into 64 groups behind a `bane-serve` session, one
+//! mid-program group is edited (the "re-parse one function" workload), and
+//! a seeded `bane-synth` `DeltaScript` of mixed adds/edits/removals/growth
+//! drives a second session — each row comparing `Session::apply` wall time
+//! against a from-scratch solve of the identical live system, with the
+//! dirty/total condensation-level counts and reused-variable tallies from
+//! the revalidation pass, and a `matches_reference` verdict (set equality
+//! per variable; full byte parity after non-monotone deltas — must always
+//! read `true`, like the suite edit's `byte_identical`). The section
+//! header carries the `serve.delta.*` unified-counter totals and the
+//! aggregate `reuse_ratio`. Apply times are one-shot (applying mutates the
+//! session); the from-scratch times are best-of-`--reps`. Every field that
+//! existed in `bane-bench/7` is emitted byte-identically; incremental runs
+//! never touch the timed solver configurations.
+//!
 //! The JSON is hand-rolled (the build environment has no serde); the format
 //! is plain nested objects with no NaNs and no trailing commas, so any JSON
 //! parser can read it.
 
 use bane_bench::cli::Options;
 use bane_bench::experiment::{
-    analyze_bench, run_batch_scaling, run_observed, run_one_with, run_par_scaling,
-    run_snap_queries, run_solset_scaling, BatchScaling, ExperimentKind, Measurement, ParScaling,
-    SnapScaling, SolSetScaling,
+    analyze_bench, run_batch_scaling, run_incremental, run_observed, run_one_with,
+    run_par_scaling, run_snap_queries, run_solset_scaling, BatchScaling, ExperimentKind,
+    IncrementalScaling, Measurement, ParScaling, SnapScaling, SolSetScaling,
 };
 use bane_core::solset::SolSetKind;
 use bane_obs::RunReport;
 use std::fmt::Write as _;
 use std::time::SystemTime;
+
+/// Groups the incremental table splits the largest benchmark into (the
+/// "functions" of the one-function-edit workload).
+const INCR_GROUPS: usize = 64;
+/// Steps in the incremental table's generated `DeltaScript`.
+const INCR_STEPS: usize = 24;
+/// Seed of the incremental table's `DeltaScript` — fixed so successive
+/// snapshots measure the identical edit history.
+const INCR_SEED: u64 = 0xba9e_0008;
 
 fn main() {
     // Split the driver-specific flags off before handing the rest to the
@@ -358,19 +384,60 @@ fn main() {
         None => "null".to_string(),
     };
 
+    // The incremental re-solve table: the same largest benchmark grouped
+    // behind a bane-serve session (one-function edit), plus a seeded
+    // DeltaScript edit history — each delta timed against a from-scratch
+    // solve of the identical live system.
+    let incremental_json = match largest {
+        Some((entry, program)) => {
+            eprintln!("bench_json: incremental re-solve on {}", entry.name);
+            let scaling =
+                run_incremental(program, INCR_GROUPS, INCR_STEPS, INCR_SEED, opts.reps);
+            let e = &scaling.suite_edit;
+            eprintln!(
+                "  incr {:<23} edit apply={:>12}ns scratch={:>12}ns dirty-levels={}/{} \
+                 reused={} identical={}",
+                entry.name,
+                e.apply_ns,
+                e.scratch_ns,
+                e.dirty_levels,
+                e.total_levels,
+                e.reused_vars,
+                e.byte_identical,
+            );
+            for row in &scaling.rows {
+                eprintln!(
+                    "  incr {:<23} step={:<3} {:<12} apply={:>12}ns scratch={:>12}ns \
+                     dirty-levels={}/{} reused={:<6} match={}",
+                    entry.name,
+                    row.step,
+                    row.kind,
+                    row.apply_ns,
+                    row.scratch_ns,
+                    row.dirty_levels,
+                    row.total_levels,
+                    row.reused_vars,
+                    row.matches_reference,
+                );
+            }
+            incremental_json_section(entry.name, &scaling)
+        }
+        None => "null".to_string(),
+    };
+
     let created_unix = SystemTime::now()
         .duration_since(SystemTime::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let logical_cpus = bane_par::available_threads();
     let json = format!(
-        "{{\n  \"schema\": \"bane-bench/7\",\n  \"label\": {},\n  \
+        "{{\n  \"schema\": \"bane-bench/8\",\n  \"label\": {},\n  \
          \"created_unix\": {},\n  \"scale\": {},\n  \"max_ast\": {},\n  \
          \"reps\": {},\n  \"limit\": {},\n  \"threads\": {},\n  \
          \"batch_rounds\": {},\n  \"solset\": {},\n  \"git_revision\": {},\n  \
          \"logical_cpus\": {},\n  \"single_cpu\": {},\n  \
          \"par_ls\": {},\n  \"par_batch\": {},\n  \"solset_scaling\": {},\n  \
-         \"snap_queries\": {},\n  \
+         \"snap_queries\": {},\n  \"incremental\": {},\n  \
          \"benchmarks\": [{}\n  ]\n}}\n",
         json_string(&label),
         created_unix,
@@ -388,6 +455,7 @@ fn main() {
         par_batch_json,
         solset_json,
         snap_json,
+        incremental_json,
         benchmarks,
     );
 
@@ -555,6 +623,59 @@ fn snap_queries_json(benchmark: &str, scaling: &SnapScaling) -> String {
         scaling.cold_load_ns,
         scaling.snap_loads,
         scaling.snap_queries,
+        rows,
+    )
+}
+
+/// The `incremental` section: the suite one-function edit plus one row per
+/// `DeltaScript` step, with the delta traffic under its unified-counter
+/// names.
+fn incremental_json_section(benchmark: &str, scaling: &IncrementalScaling) -> String {
+    let e = &scaling.suite_edit;
+    let suite_edit = format!(
+        "{{\"apply_ns\": {}, \"scratch_ns\": {}, \"dirty_levels\": {}, \
+         \"total_levels\": {}, \"dirty_vars\": {}, \"reused_vars\": {}, \
+         \"byte_identical\": {}}}",
+        e.apply_ns, e.scratch_ns, e.dirty_levels, e.total_levels, e.dirty_vars, e.reused_vars,
+        e.byte_identical,
+    );
+    let mut rows = String::new();
+    for (i, row) in scaling.rows.iter().enumerate() {
+        if i > 0 {
+            rows.push(',');
+        }
+        let _ = write!(
+            rows,
+            "\n      {{\"step\": {}, \"kind\": {}, \"monotone\": {}, \"apply_ns\": {}, \
+             \"scratch_ns\": {}, \"dirty_levels\": {}, \"total_levels\": {}, \
+             \"dirty_vars\": {}, \"reused_vars\": {}, \"matches_reference\": {}}}",
+            row.step,
+            json_string(row.kind),
+            row.monotone,
+            row.apply_ns,
+            row.scratch_ns,
+            row.dirty_levels,
+            row.total_levels,
+            row.dirty_vars,
+            row.reused_vars,
+            row.matches_reference,
+        );
+    }
+    format!(
+        "{{\"benchmark\": {}, \"groups\": {}, \"initial_solve_ns\": {}, \
+         \"suite_edit\": {},\n    \"script_seed\": {}, \"script_steps\": {}, \
+         \"serve.delta.applied\": {}, \"serve.delta.monotone\": {}, \
+         \"serve.delta.replayed\": {}, \"reuse_ratio\": {}, \"rows\": [{}\n    ]}}",
+        json_string(benchmark),
+        scaling.groups,
+        scaling.initial_solve_ns,
+        suite_edit,
+        scaling.script_seed,
+        scaling.script_steps,
+        scaling.deltas_applied,
+        scaling.deltas_monotone,
+        scaling.deltas_replayed,
+        json_f64(scaling.reuse_ratio),
         rows,
     )
 }

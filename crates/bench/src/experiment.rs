@@ -1005,6 +1005,271 @@ pub fn run_snap_queries(
     }
 }
 
+/// One delta step's row of the incremental re-solve table (`bane-serve`'s
+/// `Session` vs a from-scratch solve of the same live system; see
+/// docs/INCREMENTAL.md).
+#[derive(Clone, Copy, Debug)]
+pub struct IncrementalRow {
+    /// Step index within the [`DeltaScript`](bane_synth::delta::DeltaScript).
+    pub step: usize,
+    /// Step kind (`grow-vars`, `add-group`, `edit-group`, `remove-group`).
+    pub kind: &'static str,
+    /// Whether the session took the monotone live path (vs canonical replay).
+    pub monotone: bool,
+    /// Wall time of `Session::apply` for this delta (one shot — applying
+    /// mutates the session, so this is not a best-of-reps figure).
+    pub apply_ns: u128,
+    /// From-scratch solve + least-solution of the same live system (best of
+    /// reps).
+    pub scratch_ns: u128,
+    /// Condensation levels the revalidation pass recomputed.
+    pub dirty_levels: usize,
+    /// Total condensation levels after this step.
+    pub total_levels: usize,
+    /// Variables recomputed by the revalidation pass.
+    pub dirty_vars: usize,
+    /// Variables whose retained solution spans were reused verbatim.
+    pub reused_vars: usize,
+    /// Whether the session's answers matched the from-scratch reference —
+    /// per-variable set equality always, full byte parity (stats, census,
+    /// least-solution buffers) after non-monotone steps. Must always be
+    /// `true`.
+    pub matches_reference: bool,
+}
+
+/// The headline one-function-edit measurement on a real suite benchmark:
+/// the grouped session's localized re-solve vs a from-scratch solve of the
+/// edited system.
+#[derive(Clone, Copy, Debug)]
+pub struct IncrementalEdit {
+    /// Wall time of the `Session::apply` carrying the group edit.
+    pub apply_ns: u128,
+    /// From-scratch solve + least-solution of the edited system (best of
+    /// reps).
+    pub scratch_ns: u128,
+    /// Condensation levels the revalidation recomputed.
+    pub dirty_levels: usize,
+    /// Total condensation levels.
+    pub total_levels: usize,
+    /// Variables recomputed.
+    pub dirty_vars: usize,
+    /// Variables reused.
+    pub reused_vars: usize,
+    /// Whether stats, census, and least-solution bytes all matched the
+    /// from-scratch reference (must always be `true`).
+    pub byte_identical: bool,
+}
+
+/// Incremental serving measurements: the suite one-function edit plus a
+/// scripted edit history.
+#[derive(Clone, Debug)]
+pub struct IncrementalScaling {
+    /// Constraint groups the suite benchmark was split into.
+    pub groups: usize,
+    /// Wall time to build and solve the grouped session from the benchmark's
+    /// full constraint system (the cold baseline every delta is amortizing).
+    pub initial_solve_ns: u128,
+    /// The one-function-edit measurement.
+    pub suite_edit: IncrementalEdit,
+    /// Seed of the generated [`DeltaScript`](bane_synth::delta::DeltaScript).
+    pub script_seed: u64,
+    /// Steps in the script.
+    pub script_steps: usize,
+    /// `serve.delta.applied` over the script session.
+    pub deltas_applied: u64,
+    /// `serve.delta.monotone` over the script session.
+    pub deltas_monotone: u64,
+    /// `serve.delta.replayed` over the script session.
+    pub deltas_replayed: u64,
+    /// Σ reused / Σ (reused + dirty) variables across the script's
+    /// revalidation passes — the fraction of per-variable least-solution
+    /// work the retained spans saved.
+    pub reuse_ratio: f64,
+    /// One row per script step.
+    pub rows: Vec<IncrementalRow>,
+}
+
+/// Times one from-scratch solve + least-solution pass of `problem`,
+/// returning the best wall time over `reps` and the last run's solver.
+fn scratch_solve(problem: &Problem, reps: usize) -> (u128, Solver) {
+    let mut best = u128::MAX;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let p = problem.clone();
+        let start = Instant::now();
+        let mut s = Solver::from_problem(p);
+        s.solve();
+        let _ls = s.least_solution();
+        best = best.min(start.elapsed().as_nanos());
+        out = Some(s);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+/// Runs the incremental serving experiment on `program`: split its Andersen
+/// constraint system into `groups` groups behind a `bane-serve`
+/// [`Session`](bane_serve::Session), edit one mid-program group (the
+/// "re-parse one function" workload), then drive a seeded
+/// [`DeltaScript`](bane_synth::delta::DeltaScript) of `script_steps` steps
+/// through a second session — comparing, after every delta, the session's
+/// apply time against a from-scratch solve of the identical live system and
+/// recording how many condensation levels the revalidation actually
+/// recomputed.
+///
+/// Correctness is *checked*, not assumed: each row carries a
+/// `matches_reference` verdict (set equality per variable; full byte parity
+/// after non-monotone deltas, where the session replays the canonical
+/// sequence).
+pub fn run_incremental(
+    program: &Program,
+    groups: usize,
+    script_steps: usize,
+    script_seed: u64,
+    reps: usize,
+) -> IncrementalScaling {
+    use bane_serve::{Delta, GroupId, Session};
+    use bane_synth::delta::{generate_delta_script, DeltaScriptConfig, DeltaStep, ScriptBindings};
+
+    // --- Suite part: the one-function edit on a real benchmark. ---
+    let mut problem = Problem::new(SolverConfig::if_online());
+    andersen::generate(program, &mut problem);
+    let total_constraints = problem.constraints().len();
+    let reference_problem = problem.clone();
+
+    let start = Instant::now();
+    let mut session = Session::from_problem_grouped(problem, groups);
+    let initial_solve_ns = start.elapsed().as_nanos();
+    let groups = session.group_slots();
+
+    let g = GroupId::new(groups as u32 / 2);
+    let original = session.group(g).expect("mid-program group is live").to_vec();
+    let edited = original[..original.len().saturating_sub(1)].to_vec();
+    let mut delta = Delta::new();
+    delta.edit_group(g, edited.clone());
+    let start = Instant::now();
+    let report = session.apply(delta);
+    let apply_ns = start.elapsed().as_nanos();
+
+    // The edited system, from scratch: splice the replacement into the
+    // group's slice of the canonical constraint order.
+    let mut ref_problem = reference_problem;
+    let mut constraints = ref_problem.split_off_constraints(0);
+    let per = total_constraints.div_ceil(groups);
+    let lo = g.index() * per;
+    let hi = (lo + per).min(constraints.len());
+    constraints.splice(lo..hi, edited);
+    for (l, r) in constraints {
+        ref_problem.add(l, r);
+    }
+    let (scratch_ns, mut reference) = scratch_solve(&ref_problem, reps);
+    let byte_identical = session.stats() == reference.stats()
+        && session.census() == reference.census()
+        && *session.least_solution() == reference.least_solution();
+    let suite_edit = IncrementalEdit {
+        apply_ns,
+        scratch_ns,
+        dirty_levels: report.outcome.dirty_levels,
+        total_levels: report.outcome.total_levels,
+        dirty_vars: report.outcome.dirty_vars,
+        reused_vars: report.outcome.reused_vars,
+        byte_identical,
+    };
+
+    // --- Script part: a seeded edit history on a fresh session. ---
+    let script = generate_delta_script(&DeltaScriptConfig::sized(script_steps, script_seed));
+    script.validate().expect("generated script validates");
+    let mut session = Session::new(SolverConfig::if_online());
+    session.enable_obs();
+    let mut bind = ScriptBindings::bind(&mut session, &script);
+    let mut ref_problem = Problem::new(SolverConfig::if_online());
+    let mut ref_bind = ScriptBindings::bind(&mut ref_problem, &script);
+    let mut ref_groups: Vec<Option<Vec<(SetExpr, SetExpr)>>> = Vec::new();
+    let mut slot_map: Vec<GroupId> = Vec::new();
+
+    let mut rows = Vec::with_capacity(script.steps.len());
+    let (mut reused_total, mut dirty_total) = (0u64, 0u64);
+    for (i, step) in script.steps.iter().enumerate() {
+        let mut delta = Delta::new();
+        let (kind, nonmonotone) = match step {
+            DeltaStep::GrowVars(n) => {
+                delta.add_vars(*n);
+                let base = bind.vars.len();
+                bind.vars.extend((0..*n as usize).map(|k| Var::new(base + k)));
+                ref_bind.grow(&mut ref_problem, *n);
+                ("grow-vars", false)
+            }
+            DeltaStep::AddGroup(cs) => {
+                delta.add_group(bind.constraints(cs));
+                ref_groups.push(Some(ref_bind.constraints(cs)));
+                ("add-group", false)
+            }
+            DeltaStep::EditGroup { slot, constraints } => {
+                delta.edit_group(slot_map[*slot], bind.constraints(constraints));
+                ref_groups[*slot] = Some(ref_bind.constraints(constraints));
+                ("edit-group", true)
+            }
+            DeltaStep::RemoveGroup { slot } => {
+                delta.remove_group(slot_map[*slot]);
+                ref_groups[*slot] = None;
+                ("remove-group", true)
+            }
+        };
+        let start = Instant::now();
+        let report = session.apply(delta);
+        let apply_ns = start.elapsed().as_nanos();
+        if let DeltaStep::AddGroup(_) = step {
+            slot_map.push(report.new_groups[0]);
+        }
+
+        let mut p = ref_problem.clone();
+        for group in ref_groups.iter().flatten() {
+            for &(l, r) in group {
+                p.add(l, r);
+            }
+        }
+        let (scratch_ns, mut reference) = scratch_solve(&p, reps);
+        let ref_ls = reference.least_solution();
+        let mut matches = bind
+            .vars
+            .iter()
+            .all(|&v| session.points_to(v) == ref_ls.get(reference.find(v)));
+        if nonmonotone {
+            matches &= session.stats() == reference.stats()
+                && session.census() == reference.census()
+                && *session.least_solution() == ref_ls;
+        }
+        reused_total += report.outcome.reused_vars as u64;
+        dirty_total += report.outcome.dirty_vars as u64;
+        rows.push(IncrementalRow {
+            step: i,
+            kind,
+            monotone: report.monotone,
+            apply_ns,
+            scratch_ns,
+            dirty_levels: report.outcome.dirty_levels,
+            total_levels: report.outcome.total_levels,
+            dirty_vars: report.outcome.dirty_vars,
+            reused_vars: report.outcome.reused_vars,
+            matches_reference: matches,
+        });
+    }
+
+    let rec = session.recorder().expect("obs enabled above");
+    let touched = reused_total + dirty_total;
+    IncrementalScaling {
+        groups,
+        initial_solve_ns,
+        suite_edit,
+        script_seed,
+        script_steps: script.steps.len(),
+        deltas_applied: rec.get(Counter::ServeDeltaApplied),
+        deltas_monotone: rec.get(Counter::ServeDeltaMonotone),
+        deltas_replayed: rec.get(Counter::ServeDeltaReplayed),
+        reuse_ratio: if touched == 0 { 0.0 } else { reused_total as f64 / touched as f64 },
+        rows,
+    }
+}
+
 /// Measures the fraction of collapsible cycle variables that online
 /// elimination actually removed (Figure 11's y-axis).
 pub fn detection_fraction(m: &Measurement, info: &BenchInfo) -> f64 {
@@ -1250,6 +1515,38 @@ mod tests {
             );
             assert!(row.queries > 0 && row.wall_ns > 0);
             assert!(row.queries_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn incremental_rows_match_reference_and_stay_level_local() {
+        let program = sample_program();
+        let scaling = run_incremental(&program, 4, 14, 0xba9e, 1);
+        assert!(scaling.groups >= 2);
+        assert!(scaling.initial_solve_ns > 0);
+        assert_eq!(scaling.rows.len(), scaling.script_steps);
+        assert_eq!(scaling.deltas_applied, scaling.script_steps as u64);
+        assert_eq!(
+            scaling.deltas_monotone + scaling.deltas_replayed,
+            scaling.deltas_applied
+        );
+        assert!((0.0..=1.0).contains(&scaling.reuse_ratio), "{}", scaling.reuse_ratio);
+
+        let edit = scaling.suite_edit;
+        assert!(edit.byte_identical, "suite edit diverged from the from-scratch solve");
+        assert!(edit.apply_ns > 0 && edit.scratch_ns > 0);
+        assert!(edit.dirty_levels <= edit.total_levels);
+
+        for row in &scaling.rows {
+            assert!(row.matches_reference, "step {} ({}) diverged", row.step, row.kind);
+            assert!(row.dirty_levels <= row.total_levels, "step {}", row.step);
+            assert!(row.apply_ns > 0 && row.scratch_ns > 0);
+            assert_eq!(
+                row.monotone,
+                matches!(row.kind, "grow-vars" | "add-group"),
+                "step {} path classification",
+                row.step
+            );
         }
     }
 

@@ -268,6 +268,44 @@ impl GraphRevision {
                 ChainDir::Succ => self.succ == now.succ,
             }
     }
+
+    /// The predecessor-polarity edge revision counter.
+    pub fn pred_revision(&self) -> u64 {
+        self.pred
+    }
+
+    /// The successor-polarity edge revision counter.
+    pub fn succ_revision(&self) -> u64 {
+        self.succ
+    }
+
+    /// Number of collapsed (forwarded) variables at snapshot time.
+    pub fn collapses(&self) -> usize {
+        self.collapses
+    }
+
+    /// Whether solved state recorded at `self` is still **exactly** valid at
+    /// `now`: no new edge of either polarity, no collapse. This is the
+    /// cross-`Delta` generalization of the per-verdict check above — a
+    /// `Session` whose revision validates can answer queries from its
+    /// retained least solution without any recomputation at all.
+    pub fn validates(self, now: GraphRevision) -> bool {
+        self == now
+    }
+
+    /// Whether `now` is a **monotone extension** of `self`: every revision
+    /// counter is non-decreasing. All three counters only ever count up
+    /// inside one solver (edge-insert bumps and collapse totals never
+    /// rewind), so this holds exactly when `now` was produced by feeding
+    /// *additional* constraints into the same live solver that produced
+    /// `self` — the condition under which previously solved sets remain
+    /// valid lower bounds and the difference-propagating least-solution
+    /// kernels may reuse them. A fresh solver (replay after a non-monotone
+    /// `Delta`) generally fails this check, which is what forces the
+    /// revalidating per-level recompute path instead.
+    pub fn extends(self, now: GraphRevision) -> bool {
+        self.pred <= now.pred && self.succ <= now.succ && self.collapses <= now.collapses
+    }
 }
 
 #[derive(Clone, Copy, Debug)]

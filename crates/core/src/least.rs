@@ -245,6 +245,15 @@ impl CsrSnapshot {
         (&self.var_rows, &self.cols, &self.src_rows, &self.srcs)
     }
 
+    /// Number of row slots (one per raw variable index covered by the last
+    /// [`build`](CsrSnapshot::build)). Callers comparing rows across two
+    /// snapshots — the difference-propagating and revalidating kernels in
+    /// `bane-par` — must bounds-check against this before indexing a
+    /// variable that may not exist in the older snapshot.
+    pub fn rows(&self) -> usize {
+        self.var_rows.len()
+    }
+
     /// Total canonical predecessor entries across all rows.
     pub fn pred_entries(&self) -> usize {
         self.cols.len()

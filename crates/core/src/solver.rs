@@ -1082,6 +1082,18 @@ impl Solver {
         }
     }
 
+    /// The current [`GraphRevision`](crate::cycle::GraphRevision) of the
+    /// solved graph — the validation token `bane-serve` records after each
+    /// solve and checks across `Delta` applications (see
+    /// `docs/INCREMENTAL.md`): [`validates`] means the solved state is
+    /// exactly current; [`extends`] means it remains a monotone lower bound.
+    ///
+    /// [`validates`]: crate::cycle::GraphRevision::validates
+    /// [`extends`]: crate::cycle::GraphRevision::extends
+    pub fn graph_revision(&self) -> crate::cycle::GraphRevision {
+        crate::cycle::GraphRevision::of(&self.graph, &self.fwd)
+    }
+
     /// The solver-owned CSR snapshot buffer the least-solution pass loans
     /// out with `mem::take` (borrow splitting against `least_parts`).
     pub(crate) fn csr_snapshot_mut(&mut self) -> &mut crate::least::CsrSnapshot {

@@ -164,11 +164,30 @@ pub enum Counter {
     /// attached to the instrumented entry points; the lock-free hot path
     /// itself is uninstrumented).
     SnapQueries = 46,
+
+    // -- incremental serving (bane-serve, docs/INCREMENTAL.md) ------------
+    /// `Delta` batches applied to a live `Session`.
+    ServeDeltaApplied = 47,
+    /// Deltas taken through the monotone fast path (constraints fed into
+    /// the live solver; prior sets reused as lower bounds).
+    ServeDeltaMonotone = 48,
+    /// Deltas that removed constraints and fell back to replaying the
+    /// canonical constraint sequence into a fresh solver.
+    ServeDeltaReplayed = 49,
+    /// SCC condensation levels containing at least one dirty variable in
+    /// the most recent re-solve (gauge; compare against the level total).
+    ServeDirtyLevels = 50,
+    /// Variables whose least-solution span was recomputed in the most
+    /// recent re-solve (gauge).
+    ServeDirtyVars = 51,
+    /// Variables whose retained least-solution span was reused verbatim
+    /// across a `Delta` application.
+    ServeReuseHit = 52,
 }
 
 impl Counter {
     /// Number of registered counters.
-    pub const COUNT: usize = 47;
+    pub const COUNT: usize = 53;
 
     /// Every counter, in canonical report order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -219,6 +238,12 @@ impl Counter {
         Counter::SnapLoads,
         Counter::SnapBytesMapped,
         Counter::SnapQueries,
+        Counter::ServeDeltaApplied,
+        Counter::ServeDeltaMonotone,
+        Counter::ServeDeltaReplayed,
+        Counter::ServeDirtyLevels,
+        Counter::ServeDirtyVars,
+        Counter::ServeReuseHit,
     ];
 
     /// The stable dotted name used in reports and JSON.
@@ -271,6 +296,12 @@ impl Counter {
             Counter::SnapLoads => "snap.loads",
             Counter::SnapBytesMapped => "snap.bytes-mapped",
             Counter::SnapQueries => "snap.queries",
+            Counter::ServeDeltaApplied => "serve.delta.applied",
+            Counter::ServeDeltaMonotone => "serve.delta.monotone",
+            Counter::ServeDeltaReplayed => "serve.delta.replayed",
+            Counter::ServeDirtyLevels => "serve.dirty.levels",
+            Counter::ServeDirtyVars => "serve.dirty.vars",
+            Counter::ServeReuseHit => "serve.reuse.hit",
         }
     }
 

@@ -72,11 +72,15 @@ pub enum Phase {
     /// Loading an on-disk snapshot into a read-only `QueryIndex`
     /// (`bane-snap`, docs/SERVING.md): open, map/read, validate, checksum.
     SnapLoad = 13,
+    /// Applying a `Delta` batch to a live `Session` (`bane-serve`,
+    /// docs/INCREMENTAL.md): dirty-set computation, re-solve, and the
+    /// level-restricted least-solution revalidation.
+    ServeApply = 14,
 }
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 15;
 
     /// Every phase, in canonical report order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -94,6 +98,7 @@ impl Phase {
         Phase::ParBatch,
         Phase::CsrBuild,
         Phase::SnapLoad,
+        Phase::ServeApply,
     ];
 
     /// The stable name used in reports and JSON.
@@ -113,6 +118,7 @@ impl Phase {
             Phase::ParBatch => "par-batch",
             Phase::CsrBuild => "csr-build",
             Phase::SnapLoad => "snap-load",
+            Phase::ServeApply => "serve-apply",
         }
     }
 

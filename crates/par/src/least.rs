@@ -319,6 +319,28 @@ pub struct ParLeast {
     /// Whether a variable may be evaluated incrementally this run (it was
     /// canonical — hence evaluated — in the previous run).
     incr_ok: Vec<bool>,
+    /// Revalidation dirty flags, indexed by raw variable index.
+    dirty: Vec<bool>,
+    /// The dirty subset of `level_order`, same bucketing.
+    dirty_order: Vec<Var>,
+    /// Per-level `(start, end)` into `dirty_order`.
+    dirty_ranges: Vec<(u32, u32)>,
+}
+
+/// What a [`ParLeast::run_revalidate`] pass actually did: how much of the
+/// retained least solution survived the change and how localized the
+/// recomputation was. `bane-serve` feeds these figures into the
+/// `serve.dirty.*` / `serve.reuse.hit` counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RevalidateOutcome {
+    /// Condensation levels in the current schedule.
+    pub total_levels: usize,
+    /// Levels containing at least one dirty (re-evaluated) variable.
+    pub dirty_levels: usize,
+    /// Canonical variables whose set was recomputed.
+    pub dirty_vars: usize,
+    /// Canonical variables whose retained span was reused verbatim.
+    pub reused_vars: usize,
 }
 
 impl ParLeast {
@@ -361,41 +383,7 @@ impl ParLeast {
         let t0 = rec.map(|_| std::time::Instant::now());
         let threads = threads.max(1);
         let parts = *parts;
-        parts.rep_map_into(&mut self.rep);
-        parts.layout_order_into(&self.rep, &mut self.layout);
-        // Freeze the canonicalized read path once, on the calling thread:
-        // after this, neither the levels sweep nor any worker's scan reads
-        // the graph or chases a forwarding pointer.
-        let csr_t0 = rec.map(|_| std::time::Instant::now());
-        self.csr.build(&parts, &self.layout);
-        if let (Some(rec), Some(t0)) = (rec, csr_t0) {
-            rec.record_ns(Phase::CsrBuild, t0.elapsed().as_nanos() as u64);
-            rec.add(Counter::CsrBuilds, 1);
-        }
-        let max_level = parts.levels_into(&self.csr, &self.layout, &mut self.levels);
-        let nlevels = if self.layout.is_empty() { 0 } else { max_level as usize + 1 };
-
-        // Stable counting sort of `layout` into per-level buckets.
-        self.level_ranges.clear();
-        self.level_counts.clear();
-        self.level_counts.resize(nlevels, 0);
-        for &v in &self.layout {
-            self.level_counts[self.levels[v.index()] as usize] += 1;
-        }
-        let mut start = 0u32;
-        for l in 0..nlevels {
-            let count = self.level_counts[l];
-            self.level_ranges.push((start, start + count));
-            self.level_counts[l] = start;
-            start += count;
-        }
-        self.level_order.clear();
-        self.level_order.resize(self.layout.len(), Var::new(0));
-        for &v in &self.layout {
-            let cursor = &mut self.level_counts[self.levels[v.index()] as usize];
-            self.level_order[*cursor as usize] = v;
-            *cursor += 1;
-        }
+        self.build_schedule(&parts, rec);
 
         while self.workers.len() < threads {
             self.workers.push(Mutex::new(WorkerState::default()));
@@ -527,6 +515,238 @@ impl ParLeast {
             if let Some(t0) = t0 {
                 rec.record_ns(Phase::ParLeast, t0.elapsed().as_nanos() as u64);
             }
+        }
+    }
+
+    /// Builds the evaluation schedule for `parts`: representative map,
+    /// layout order, frozen CSR rows, condensation levels, and the stable
+    /// per-level buckets. Shared by [`run_with`](ParLeast::run_with) and
+    /// [`run_revalidate`](ParLeast::run_revalidate).
+    fn build_schedule(&mut self, parts: &LeastParts<'_>, rec: Option<&Recorder>) {
+        parts.rep_map_into(&mut self.rep);
+        parts.layout_order_into(&self.rep, &mut self.layout);
+        // Freeze the canonicalized read path once, on the calling thread:
+        // after this, neither the levels sweep nor any worker's scan reads
+        // the graph or chases a forwarding pointer.
+        let csr_t0 = rec.map(|_| std::time::Instant::now());
+        self.csr.build(parts, &self.layout);
+        if let (Some(rec), Some(t0)) = (rec, csr_t0) {
+            rec.record_ns(Phase::CsrBuild, t0.elapsed().as_nanos() as u64);
+            rec.add(Counter::CsrBuilds, 1);
+        }
+        let max_level = parts.levels_into(&self.csr, &self.layout, &mut self.levels);
+        let nlevels = if self.layout.is_empty() { 0 } else { max_level as usize + 1 };
+
+        // Stable counting sort of `layout` into per-level buckets.
+        self.level_ranges.clear();
+        self.level_counts.clear();
+        self.level_counts.resize(nlevels, 0);
+        for &v in &self.layout {
+            self.level_counts[self.levels[v.index()] as usize] += 1;
+        }
+        let mut start = 0u32;
+        for l in 0..nlevels {
+            let count = self.level_counts[l];
+            self.level_ranges.push((start, start + count));
+            self.level_counts[l] = start;
+            start += count;
+        }
+        self.level_order.clear();
+        self.level_order.resize(self.layout.len(), Var::new(0));
+        for &v in &self.layout {
+            let cursor = &mut self.level_counts[self.levels[v.index()] as usize];
+            self.level_order[*cursor as usize] = v;
+            *cursor += 1;
+        }
+    }
+
+    /// Re-evaluates the least solution of `parts` against the **retained
+    /// baseline** of the previous run, recomputing only variables whose
+    /// result can actually have changed — the `bane-serve` re-solve kernel
+    /// (docs/INCREMENTAL.md).
+    ///
+    /// A variable is **dirty** when the baseline cannot vouch for it: no
+    /// baseline at all, not canonical in the baseline run, a source or
+    /// canonical-predecessor row that differs from the baseline's, or any
+    /// dirty predecessor (propagated along the condensation order). Every
+    /// other variable's retained arena span is provably byte-identical to
+    /// what a full pass would produce — same row, and (inductively)
+    /// identical predecessor sets — so it is reused untouched. Dirty
+    /// variables get a full per-level recompute (never incremental), which
+    /// is what keeps this path sound under **non-monotone** change: unlike
+    /// difference propagation, nothing assumes the old set is a lower bound,
+    /// so constraint *removal* (a replayed fresh solver) is handled by the
+    /// same code path as growth.
+    ///
+    /// The output (via [`solution`](ParLeast::solution)) is byte-identical
+    /// to a cold [`Solver::least_solution`] of the same solved system at
+    /// every thread count and backend. The returned [`RevalidateOutcome`]
+    /// reports how localized the pass was; an unchanged system reports zero
+    /// dirty variables and zero dirty levels.
+    ///
+    /// Retained arena note: reused spans keep their old arena positions, so
+    /// the working arena compacts only on the next full
+    /// [`run_with`](ParLeast::run_with); a long-lived session trades that
+    /// growth for not re-merging the clean majority of the system.
+    pub fn run_revalidate(
+        &mut self,
+        parts: &LeastParts<'_>,
+        threads: usize,
+        kind: SolSetKind,
+        rec: Option<&Recorder>,
+    ) -> RevalidateOutcome {
+        let t0 = rec.map(|_| std::time::Instant::now());
+        let threads = threads.max(1);
+        let parts = *parts;
+        self.build_schedule(&parts, rec);
+
+        while self.workers.len() < threads {
+            self.workers.push(Mutex::new(WorkerState::default()));
+        }
+
+        let n = self.rep.len();
+        let cold = !self.prev_valid;
+        if cold {
+            // No baseline to preserve: start from a compact arena.
+            self.work.arena.clear();
+            self.work.spans.clear();
+        }
+        self.work.spans.resize(n, (0, 0));
+        // The incremental (diff) machinery is inert on this path: every
+        // dirty variable is a full recompute.
+        self.incr_ok.clear();
+        self.work.delta_spans.clear();
+        self.work.delta_spans.resize(n, (0, 0));
+        self.work.delta_full.clear();
+        self.work.delta_full.resize(n, false);
+
+        // Dirty sweep, in layout order so predecessor flags are final
+        // before their successors test them (predecessors always precede
+        // their successors in the layout).
+        self.dirty.clear();
+        self.dirty.resize(n, false);
+        let prev_rows = self.prev_csr.rows();
+        let mut dirty_vars = 0usize;
+        for &v in &self.layout {
+            let i = v.index();
+            // Standard form degenerates gracefully: its pred rows are empty
+            // in both snapshots, so only the source-row compare can fire.
+            let d = cold
+                || i >= prev_rows
+                || self.prev_rep.get(i).copied() != Some(v)
+                || self.csr.srcs(v) != self.prev_csr.srcs(v)
+                || self.csr.preds(v) != self.prev_csr.preds(v)
+                || self.csr.preds(v).iter().any(|&u| self.dirty[u.index()]);
+            if d {
+                self.dirty[i] = true;
+                // The old span (if any) is stale; an empty recompute must
+                // not leave it behind.
+                self.work.spans[i] = (0, 0);
+                dirty_vars += 1;
+            }
+        }
+
+        // Bucket the dirty variables by level, preserving layout order
+        // within each level exactly as `level_order` does.
+        self.dirty_order.clear();
+        self.dirty_ranges.clear();
+        let mut dirty_levels = 0usize;
+        for &(ls, le) in &self.level_ranges {
+            let start = self.dirty_order.len() as u32;
+            for &v in &self.level_order[ls as usize..le as usize] {
+                if self.dirty[v.index()] {
+                    self.dirty_order.push(v);
+                }
+            }
+            let end = self.dirty_order.len() as u32;
+            self.dirty_ranges.push((start, end));
+            if end > start {
+                dirty_levels += 1;
+            }
+        }
+
+        if dirty_vars > 0 {
+            if threads == 1 {
+                let st = self.workers[0].get_mut().expect("worker mutex poisoned");
+                for &(ds, de) in &self.dirty_ranges {
+                    let level = &self.dirty_order[ds as usize..de as usize];
+                    if level.is_empty() {
+                        continue;
+                    }
+                    scan_chunk(parts.form, kind, &self.csr, None, &self.incr_ok, &self.work, level, st);
+                    commit_chunk(&mut self.work, level, st);
+                }
+            } else {
+                let work = RwLock::new(std::mem::take(&mut self.work));
+                let barrier = Barrier::new(threads);
+                let dirty_ranges = &self.dirty_ranges;
+                let dirty_order = &self.dirty_order;
+                let workers = &self.workers;
+                let csr = &self.csr;
+                let incr_ok = &self.incr_ok;
+                let form = parts.form;
+                Pool::new(threads).broadcast(|w| {
+                    for &(ds, de) in dirty_ranges {
+                        let level = &dirty_order[ds as usize..de as usize];
+                        if level.is_empty() {
+                            continue;
+                        }
+                        {
+                            let frozen = work.read().expect("work lock poisoned");
+                            let mut st = workers[w].lock().expect("worker mutex poisoned");
+                            let (cs, ce) = chunk_range(level.len(), threads, w);
+                            scan_chunk(form, kind, csr, None, incr_ok, &frozen, &level[cs..ce], &mut st);
+                        }
+                        barrier.wait();
+                        if w == 0 {
+                            let mut open = work.write().expect("work lock poisoned");
+                            for (ww, worker) in workers.iter().enumerate().take(threads) {
+                                let st = worker.lock().expect("worker mutex poisoned");
+                                let (cs, ce) = chunk_range(level.len(), threads, ww);
+                                commit_chunk(&mut open, &level[cs..ce], &st);
+                            }
+                        }
+                        barrier.wait();
+                    }
+                });
+                self.work = work.into_inner().expect("work lock poisoned");
+            }
+        }
+
+        // Relayout into the sequential pass's exact arena order — reused
+        // and recomputed spans alike.
+        self.final_arena.clear();
+        self.final_spans.clear();
+        self.final_spans.resize(n, (0, 0));
+        for &v in &self.layout {
+            let (s, e) = self.work.spans[v.index()];
+            if e > s || matches!(parts.form, Form::Standard) {
+                let start = u32::try_from(self.final_arena.len())
+                    .expect("least-solution arena overflow");
+                self.final_arena
+                    .extend_from_slice(&self.work.arena[s as usize..e as usize]);
+                self.final_spans[v.index()] = (start, start + (e - s));
+            }
+        }
+
+        self.prev_csr.copy_from(&self.csr);
+        self.prev_rep.clone_from(&self.rep);
+        self.prev_valid = true;
+
+        if let Some(rec) = rec {
+            let set_vars = self.final_spans.iter().filter(|(s, e)| e > s).count();
+            rec.set(Counter::LsSetVars, set_vars as u64);
+            rec.set(Counter::LsEntries, self.final_arena.len() as u64);
+            if let Some(t0) = t0 {
+                rec.record_ns(Phase::ParLeast, t0.elapsed().as_nanos() as u64);
+            }
+        }
+
+        RevalidateOutcome {
+            total_levels: self.level_ranges.len(),
+            dirty_levels,
+            dirty_vars,
+            reused_vars: self.layout.len() - dirty_vars,
         }
     }
 
@@ -960,6 +1180,138 @@ mod tests {
         assert_eq!(par.solution(), seq);
         assert_eq!(rec.get(Counter::LsDeltaFull), 0, "warm run has no full merges");
         assert_eq!(rec.get(Counter::LsDeltaFresh), 0, "unchanged system yields no fresh elements");
+    }
+
+    /// Revalidation from cold, after monotone growth, and over an unchanged
+    /// system — byte-identical to the sequential pass in every case, with
+    /// the unchanged pass reporting zero dirty work.
+    #[test]
+    fn revalidate_matches_sequential_across_growth() {
+        for config in configs() {
+            for seed in 0..3u64 {
+                for kind in SolSetKind::ALL {
+                    for threads in [1, 2, 4, 8] {
+                        let (mut s, held) = random_system(config, 0x5E5E + seed, 4);
+                        let mut par = ParLeast::new();
+                        let out = par.run_revalidate(&s.least_parts(), threads, kind, None);
+                        assert_eq!(par.solution(), s.least_solution(), "cold");
+                        assert_eq!(out.reused_vars, 0, "cold pass reuses nothing");
+
+                        // Unchanged system: everything reuses.
+                        let out = par.run_revalidate(&s.least_parts(), threads, kind, None);
+                        assert_eq!(par.solution(), s.least_solution(), "unchanged");
+                        assert_eq!(out.dirty_vars, 0, "{config:?} unchanged is all-clean");
+                        assert_eq!(out.dirty_levels, 0);
+                        assert_eq!(out.reused_vars, par.layout.len());
+
+                        // Monotone growth through the same live solver.
+                        for &(a, b) in &held {
+                            s.add(a, b);
+                        }
+                        s.solve();
+                        let out = par.run_revalidate(&s.least_parts(), threads, kind, None);
+                        assert_eq!(
+                            par.solution(),
+                            s.least_solution(),
+                            "{config:?} seed {seed} {kind:?} threads {threads} grown"
+                        );
+                        assert_eq!(out.dirty_vars + out.reused_vars, par.layout.len());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-monotone change: the baseline comes from a *larger* system and
+    /// the next pass evaluates a fresh solver missing some of its edges —
+    /// exactly the shape of `bane-serve`'s replay path after a removal.
+    /// Reused spans must still be byte-correct.
+    #[test]
+    fn revalidate_survives_constraint_removal_via_fresh_solver() {
+        for config in [SolverConfig::if_online(), SolverConfig::sf_online()] {
+            for seed in 0..3u64 {
+                for kind in SolSetKind::ALL {
+                    for threads in [1, 4] {
+                        let mut par = ParLeast::new();
+                        // Baseline: the full system.
+                        let (mut full, _) = random_system(config, 0xDEAD + seed, 0);
+                        par.run_revalidate(&full.least_parts(), threads, kind, None);
+                        assert_eq!(par.solution(), full.least_solution(), "baseline");
+
+                        // "Removal": rebuild from scratch, holding edges back.
+                        let (mut shrunk, _held) = random_system(config, 0xDEAD + seed, 5);
+                        let out =
+                            par.run_revalidate(&shrunk.least_parts(), threads, kind, None);
+                        assert_eq!(
+                            par.solution(),
+                            shrunk.least_solution(),
+                            "{config:?} seed {seed} {kind:?} threads {threads} shrunk"
+                        );
+                        assert!(out.total_levels >= out.dirty_levels);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A localized edit must not dirty the whole schedule: grow one held-back
+    /// edge deep in a long chain and check that clean levels survive.
+    #[test]
+    fn revalidate_localizes_dirty_levels_on_chain_edit() {
+        let mut s = Solver::new(SolverConfig::if_online());
+        let c = s.register_nullary("c");
+        let t = s.term(c, vec![]);
+        let d = s.register_nullary("d");
+        let td = s.term(d, vec![]);
+        // Two independent chains; the edit touches only the second.
+        let chain_a: Vec<Var> = (0..20).map(|_| s.fresh_var()).collect();
+        let chain_b: Vec<Var> = (0..20).map(|_| s.fresh_var()).collect();
+        for w in chain_a.windows(2) {
+            s.add(w[0], w[1]);
+        }
+        for w in chain_b.windows(2) {
+            s.add(w[0], w[1]);
+        }
+        s.add(t, chain_a[0]);
+        s.add(t, chain_b[0]);
+        s.solve();
+        let mut par = ParLeast::new();
+        par.run_revalidate(&s.least_parts(), 2, SolSetKind::SortedSpan, None);
+        assert_eq!(par.solution(), s.least_solution());
+
+        // Edit: a new source lands mid-way down chain B.
+        s.add(td, chain_b[10]);
+        s.solve();
+        let out = par.run_revalidate(&s.least_parts(), 2, SolSetKind::SortedSpan, None);
+        assert_eq!(par.solution(), s.least_solution(), "post-edit bytes");
+        assert!(
+            out.dirty_levels < out.total_levels,
+            "edit at level 10 must leave lower levels clean: {out:?}"
+        );
+        assert!(out.reused_vars > out.dirty_vars, "most of the system is clean: {out:?}");
+    }
+
+    /// Interleaving diff runs and revalidation runs on one evaluator keeps
+    /// the shared baseline coherent.
+    #[test]
+    fn revalidate_interoperates_with_diff_runs() {
+        let (mut s, held) = random_system(SolverConfig::if_online(), 0x1A7E, 6);
+        let mut par = ParLeast::new();
+        par.run_with(&s.least_parts(), 2, SolSetKind::Hybrid, true, None);
+        assert_eq!(par.solution(), s.least_solution());
+        for &(a, b) in &held[..3] {
+            s.add(a, b);
+        }
+        s.solve();
+        let out = par.run_revalidate(&s.least_parts(), 2, SolSetKind::Hybrid, None);
+        assert_eq!(par.solution(), s.least_solution(), "revalidate after diff baseline");
+        assert_eq!(out.dirty_vars + out.reused_vars, par.layout.len());
+        for &(a, b) in &held[3..] {
+            s.add(a, b);
+        }
+        s.solve();
+        par.run_with(&s.least_parts(), 2, SolSetKind::Hybrid, true, None);
+        assert_eq!(par.solution(), s.least_solution(), "diff after revalidate baseline");
     }
 
     #[test]

@@ -52,5 +52,5 @@ pub mod least;
 pub mod pool;
 
 pub use frontier::{BatchRounds, FrontierSolver};
-pub use least::{least_solution, ParLeast};
+pub use least::{least_solution, ParLeast, RevalidateOutcome};
 pub use pool::{available_threads, chunk_range, Pool};

@@ -1,0 +1,169 @@
+//! Constraint-system edits: the [`Delta`] batch a [`Session`] applies.
+//!
+//! A live session organizes its constraints into **groups** — the unit of
+//! re-parse in an editor-shaped client (one function, one translation unit,
+//! one rule). A [`Delta`] is an ordered batch of group-level operations:
+//! create variables, add a group, remove a group, or replace a group's
+//! contents wholesale. The session assigns each added group a stable
+//! [`GroupId`] (its slot index, never reused for a *different* group — an
+//! edit rewrites the slot in place, a removal tombstones it).
+//!
+//! The batch's single most important property is [`Delta::is_monotone`]:
+//! a delta that only *adds* (variables, groups) lets the session feed the
+//! new constraints straight into the live solver, because inclusion
+//! constraints are monotone — everything already derived stays derived.
+//! A delta that removes or edits forces the canonical-replay path (see
+//! `docs/INCREMENTAL.md` and the [`Session`] docs for why).
+//!
+//! [`Session`]: crate::Session
+
+use bane_core::SetExpr;
+
+/// Stable identifier of one constraint group inside a [`Session`]
+/// (its slot index in creation order).
+///
+/// [`Session`]: crate::Session
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(u32);
+
+impl GroupId {
+    /// Builds a `GroupId` from a raw slot index (as reported by
+    /// [`ApplyReport::new_groups`](crate::ApplyReport::new_groups) or a
+    /// transport-level client).
+    pub fn new(slot: u32) -> Self {
+        GroupId(slot)
+    }
+
+    /// The raw slot index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for GroupId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// One operation inside a [`Delta`] batch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Create `n` fresh set variables (numbered consecutively after the
+    /// session's current count). Later operations in the same batch may
+    /// reference them.
+    AddVars(u32),
+    /// Append a new constraint group; the session assigns the next free
+    /// [`GroupId`].
+    AddGroup {
+        /// The group's constraints, in insertion order (`lhs ⊆ rhs`).
+        constraints: Vec<(SetExpr, SetExpr)>,
+    },
+    /// Remove a group entirely (tombstones its slot).
+    RemoveGroup(GroupId),
+    /// Replace a group's constraints wholesale — the "one function was
+    /// re-parsed" operation.
+    EditGroup {
+        /// The slot to rewrite.
+        group: GroupId,
+        /// The replacement constraints.
+        constraints: Vec<(SetExpr, SetExpr)>,
+    },
+}
+
+/// An ordered batch of edits to apply atomically via
+/// [`Session::apply`](crate::Session::apply).
+///
+/// # Examples
+///
+/// ```
+/// use bane_serve::{Delta, GroupId};
+///
+/// let mut d = Delta::new();
+/// d.add_vars(2).remove_group(GroupId::new(0));
+/// assert!(!d.is_monotone());
+/// assert_eq!(d.ops().len(), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Delta {
+    ops: Vec<DeltaOp>,
+}
+
+impl Delta {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an [`DeltaOp::AddVars`] operation.
+    pub fn add_vars(&mut self, n: u32) -> &mut Self {
+        self.ops.push(DeltaOp::AddVars(n));
+        self
+    }
+
+    /// Appends an [`DeltaOp::AddGroup`] operation.
+    pub fn add_group(&mut self, constraints: Vec<(SetExpr, SetExpr)>) -> &mut Self {
+        self.ops.push(DeltaOp::AddGroup { constraints });
+        self
+    }
+
+    /// Appends a [`DeltaOp::RemoveGroup`] operation.
+    pub fn remove_group(&mut self, group: GroupId) -> &mut Self {
+        self.ops.push(DeltaOp::RemoveGroup(group));
+        self
+    }
+
+    /// Appends an [`DeltaOp::EditGroup`] operation.
+    pub fn edit_group(&mut self, group: GroupId, constraints: Vec<(SetExpr, SetExpr)>) -> &mut Self {
+        self.ops.push(DeltaOp::EditGroup { group, constraints });
+        self
+    }
+
+    /// The operations, in application order.
+    pub fn ops(&self) -> &[DeltaOp] {
+        &self.ops
+    }
+
+    /// Whether the batch contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Whether every operation only *adds* to the system.
+    ///
+    /// Monotone batches take the live-solver fast path; anything containing
+    /// a [`DeltaOp::RemoveGroup`] or [`DeltaOp::EditGroup`] forces canonical
+    /// replay (see [`Session::apply`](crate::Session::apply)).
+    pub fn is_monotone(&self) -> bool {
+        self.ops
+            .iter()
+            .all(|op| matches!(op, DeltaOp::AddVars(_) | DeltaOp::AddGroup { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonicity_classification() {
+        let mut d = Delta::new();
+        assert!(d.is_monotone());
+        assert!(d.is_empty());
+        d.add_vars(3).add_group(vec![]);
+        assert!(d.is_monotone());
+        d.edit_group(GroupId::new(0), vec![]);
+        assert!(!d.is_monotone());
+
+        let mut r = Delta::new();
+        r.remove_group(GroupId::new(1));
+        assert!(!r.is_monotone());
+    }
+
+    #[test]
+    fn group_id_display_and_index() {
+        let g = GroupId::new(7);
+        assert_eq!(g.index(), 7);
+        assert_eq!(g.to_string(), "g7");
+    }
+}

@@ -1,0 +1,500 @@
+//! The session wire protocol: framed text requests against a live
+//! [`Session`].
+//!
+//! The transport is deliberately simple — this build has no serde, and the
+//! clients that matter (editors, test harnesses, the
+//! `examples/serve_session.rs` demo) want something greppable:
+//!
+//! - **Framing**: each message is a 4-byte little-endian length prefix
+//!   followed by that many bytes of UTF-8 text ([`write_frame`] /
+//!   [`read_frame`]). Works identically over stdin/stdout, a pipe, or a
+//!   Unix socket.
+//! - **Requests**: one command per frame, parsed by [`parse_request`].
+//!   Mutating commands stage operations into a pending [`Delta`]; `commit`
+//!   applies the batch atomically and reports the [`ApplyReport`].
+//! - **Responses**: one frame per request, `ok …` or `err …`, rendered by
+//!   [`Response::render`].
+//!
+//! # Command language
+//!
+//! ```text
+//! con <name> [+|-]...          register a constructor (variances; none = nullary)
+//! term <con-name> <arg>...     intern a term; args are v<i>, t<i>, one, zero
+//! vars <n>                     stage: create n fresh variables
+//! group <c> [; <c>]...         stage: add a group; each <c> is <expr> <= <expr>
+//! edit g<i> <c> [; <c>]...     stage: replace group g<i>'s constraints
+//! drop g<i>                    stage: remove group g<i>
+//! commit                       apply the staged delta, re-solve
+//! points-to v<i>               query the solution set of v<i>
+//! alias v<i> v<j>              do the two sets intersect?
+//! stats                        work / redundant / constraints counters
+//! levels                       last re-solve's dirty/total level counts
+//! snapshot <path>              publish a bane-snap snapshot
+//! quit                         end the serving loop
+//! ```
+//!
+//! [`ApplyReport`]: crate::ApplyReport
+
+use std::io::{self, Read, Write};
+
+use bane_core::prelude::*;
+use bane_core::Variance;
+use bane_util::idx::Idx;
+
+use crate::delta::{Delta, GroupId};
+use crate::session::Session;
+
+/// Maximum accepted frame length (1 MiB) — guards the length-prefixed
+/// reader against garbage prefixes.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// One parsed request. See the [module docs](self) for the text syntax.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `con <name> [+|-]...`
+    RegisterCon {
+        /// Constructor name.
+        name: String,
+        /// Argument variances (empty = nullary).
+        variances: Vec<Variance>,
+    },
+    /// `term <con-name> <arg>...`
+    Term {
+        /// Constructor name (must be registered).
+        con: String,
+        /// Argument expressions.
+        args: Vec<SetExpr>,
+    },
+    /// `vars <n>` — staged.
+    AddVars(u32),
+    /// `group <c> [; <c>]...` — staged.
+    AddGroup(Vec<(SetExpr, SetExpr)>),
+    /// `edit g<i> <c> [; <c>]...` — staged.
+    EditGroup(GroupId, Vec<(SetExpr, SetExpr)>),
+    /// `drop g<i>` — staged.
+    RemoveGroup(GroupId),
+    /// `commit` — apply the staged delta.
+    Commit,
+    /// `points-to v<i>`
+    PointsTo(Var),
+    /// `alias v<i> v<j>`
+    Alias(Var, Var),
+    /// `stats`
+    Stats,
+    /// `levels`
+    Levels,
+    /// `snapshot <path>`
+    Snapshot(String),
+    /// `quit`
+    Quit,
+}
+
+/// One response frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// `ok` with a payload (possibly empty).
+    Ok(String),
+    /// `err` with a message.
+    Err(String),
+}
+
+impl Response {
+    /// Renders the response as its wire text.
+    pub fn render(&self) -> String {
+        match self {
+            Response::Ok(s) if s.is_empty() => "ok".to_string(),
+            Response::Ok(s) => format!("ok {s}"),
+            Response::Err(s) => format!("err {s}"),
+        }
+    }
+
+    /// Whether this is an `Ok`.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Response::Ok(_))
+    }
+}
+
+/// Parses one argument expression: `v<i>`, `t<i>`, `one`, or `zero`.
+fn parse_expr(tok: &str) -> Result<SetExpr, String> {
+    match tok {
+        "one" => return Ok(SetExpr::One),
+        "zero" => return Ok(SetExpr::Zero),
+        "" => return Err("empty expression".to_string()),
+        _ => {}
+    }
+    let idx = |s: &str| s.parse::<usize>().map_err(|_| format!("bad expression `{tok}`"));
+    if let Some(rest) = tok.strip_prefix('v') {
+        Ok(SetExpr::from(Var::new(idx(rest)?)))
+    } else if let Some(rest) = tok.strip_prefix('t') {
+        Ok(SetExpr::from(TermId::new(idx(rest)?)))
+    } else {
+        Err(format!("bad expression `{tok}` (want v<i>, t<i>, one, or zero)"))
+    }
+}
+
+/// Parses a `v<i>` token into a variable.
+fn parse_var(tok: &str) -> Result<Var, String> {
+    match parse_expr(tok)? {
+        SetExpr::Var(v) => Ok(v),
+        _ => Err(format!("expected a variable, got `{tok}`")),
+    }
+}
+
+/// Parses a `g<i>` token into a group id.
+fn parse_group(tok: &str) -> Result<GroupId, String> {
+    let idx = tok
+        .strip_prefix('g')
+        .and_then(|s| s.parse::<u32>().ok())
+        .ok_or_else(|| format!("bad group `{tok}` (want g<i>)"))?;
+    Ok(GroupId::new(idx))
+}
+
+/// Parses `<expr> <= <expr> [; ...]` into a constraint list.
+fn parse_constraints(rest: &str) -> Result<Vec<(SetExpr, SetExpr)>, String> {
+    let mut out = Vec::new();
+    for clause in rest.split(';') {
+        let clause = clause.trim();
+        if clause.is_empty() {
+            continue;
+        }
+        let (lhs, rhs) = clause
+            .split_once("<=")
+            .ok_or_else(|| format!("bad constraint `{clause}` (want <expr> <= <expr>)"))?;
+        out.push((parse_expr(lhs.trim())?, parse_expr(rhs.trim())?));
+    }
+    Ok(out)
+}
+
+/// Parses one command line into a [`Request`].
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands or malformed
+/// operands.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    let (cmd, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+    let rest = rest.trim();
+    let mut toks = rest.split_whitespace();
+    match cmd {
+        "con" => {
+            let name = toks.next().ok_or("con: missing name")?.to_string();
+            let mut variances = Vec::new();
+            for t in toks {
+                variances.push(match t {
+                    "+" => Variance::Covariant,
+                    "-" => Variance::Contravariant,
+                    _ => return Err(format!("con: bad variance `{t}` (want + or -)")),
+                });
+            }
+            Ok(Request::RegisterCon { name, variances })
+        }
+        "term" => {
+            let con = toks.next().ok_or("term: missing constructor")?.to_string();
+            let args = toks.map(parse_expr).collect::<Result<_, _>>()?;
+            Ok(Request::Term { con, args })
+        }
+        "vars" => {
+            let n = rest.parse().map_err(|_| format!("vars: bad count `{rest}`"))?;
+            Ok(Request::AddVars(n))
+        }
+        "group" => Ok(Request::AddGroup(parse_constraints(rest)?)),
+        "edit" => {
+            let g = parse_group(toks.next().ok_or("edit: missing group")?)?;
+            let body = rest.split_once(char::is_whitespace).map_or("", |(_, b)| b);
+            Ok(Request::EditGroup(g, parse_constraints(body)?))
+        }
+        "drop" => Ok(Request::RemoveGroup(parse_group(rest)?)),
+        "commit" => Ok(Request::Commit),
+        "points-to" => Ok(Request::PointsTo(parse_var(rest)?)),
+        "alias" => {
+            let a = parse_var(toks.next().ok_or("alias: missing first variable")?)?;
+            let b = parse_var(toks.next().ok_or("alias: missing second variable")?)?;
+            Ok(Request::Alias(a, b))
+        }
+        "stats" => Ok(Request::Stats),
+        "levels" => Ok(Request::Levels),
+        "snapshot" => {
+            if rest.is_empty() {
+                return Err("snapshot: missing path".to_string());
+            }
+            Ok(Request::Snapshot(rest.to_string()))
+        }
+        "quit" => Ok(Request::Quit),
+        _ => Err(format!("unknown command `{cmd}`")),
+    }
+}
+
+/// Whether two sorted, distinct slices intersect.
+fn intersects(a: &[TermId], b: &[TermId]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Executes one request against `session`, staging mutations into
+/// `pending`. Pure dispatch: the transport loop and tests share it.
+pub fn execute(session: &mut Session, pending: &mut Delta, req: Request) -> Response {
+    match req {
+        Request::RegisterCon { name, variances } => {
+            let con = if variances.is_empty() {
+                session.register_nullary(name)
+            } else {
+                session.register_con(name, variances)
+            };
+            Response::Ok(format!("c{}", con.index()))
+        }
+        Request::Term { con, args } => {
+            let found = session
+                .solver()
+                .cons()
+                .iter()
+                .find(|(_, sig)| sig.name() == con)
+                .map(|(c, _)| c);
+            let Some(con) = found else {
+                return Response::Err(format!("unknown constructor `{con}`"));
+            };
+            let t = session.term(con, args);
+            Response::Ok(format!("t{}", t.index()))
+        }
+        Request::AddVars(n) => {
+            pending.add_vars(n);
+            Response::Ok(format!("staged {n} vars"))
+        }
+        Request::AddGroup(constraints) => {
+            let n = constraints.len();
+            pending.add_group(constraints);
+            Response::Ok(format!("staged group ({n} constraints)"))
+        }
+        Request::EditGroup(g, constraints) => {
+            if session.group(g).is_none() {
+                return Response::Err(format!("no such group {g}"));
+            }
+            let n = constraints.len();
+            pending.edit_group(g, constraints);
+            Response::Ok(format!("staged edit {g} ({n} constraints)"))
+        }
+        Request::RemoveGroup(g) => {
+            if session.group(g).is_none() {
+                return Response::Err(format!("no such group {g}"));
+            }
+            pending.remove_group(g);
+            Response::Ok(format!("staged drop {g}"))
+        }
+        Request::Commit => {
+            let delta = std::mem::take(pending);
+            let report = session.apply(delta);
+            let groups: Vec<String> = report.new_groups.iter().map(|g| g.to_string()).collect();
+            Response::Ok(format!(
+                "committed path={} groups=[{}] dirty-levels={}/{} dirty-vars={} reused={}",
+                if report.monotone { "monotone" } else { "replay" },
+                groups.join(","),
+                report.outcome.dirty_levels,
+                report.outcome.total_levels,
+                report.outcome.dirty_vars,
+                report.outcome.reused_vars,
+            ))
+        }
+        Request::PointsTo(v) => {
+            let set: Vec<String> =
+                session.points_to(v).iter().map(|t| format!("t{}", t.index())).collect();
+            Response::Ok(format!("{{{}}}", set.join(",")))
+        }
+        Request::Alias(a, b) => {
+            let sa = session.points_to(a).to_vec();
+            let sb = session.points_to(b);
+            Response::Ok(if intersects(&sa, sb) { "yes" } else { "no" }.to_string())
+        }
+        Request::Stats => {
+            let s = session.stats();
+            Response::Ok(format!(
+                "constraints={} work={} redundant={}",
+                s.constraints_added, s.work, s.redundant
+            ))
+        }
+        Request::Levels => {
+            let o = session.last_outcome();
+            Response::Ok(format!(
+                "dirty-levels={}/{} dirty-vars={} reused={}",
+                o.dirty_levels, o.total_levels, o.dirty_vars, o.reused_vars
+            ))
+        }
+        Request::Snapshot(path) => {
+            match session.publish_snapshot(std::path::Path::new(&path)) {
+                Ok(bytes) => Response::Ok(format!("snapshot {bytes} bytes")),
+                Err(e) => Response::Err(format!("snapshot failed: {e}")),
+            }
+        }
+        Request::Quit => Response::Ok("bye".to_string()),
+    }
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates the underlying writer's I/O errors.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    let len = u32::try_from(bytes.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF (stream closed
+/// between frames).
+///
+/// # Errors
+///
+/// I/O errors, oversized frames (see [`MAX_FRAME`]), truncated frames, and
+/// invalid UTF-8 all surface as `io::Error`.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated frame header"))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame exceeds MAX_FRAME"));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+/// Serves framed requests from `input` against `session`, writing one
+/// response frame per request to `output`, until `quit` or EOF.
+///
+/// Parse and execution errors are answered with `err …` frames and do not
+/// end the loop; transport-level errors do.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the framing layer.
+pub fn serve(session: &mut Session, mut input: impl Read, mut output: impl Write) -> io::Result<()> {
+    let mut pending = Delta::new();
+    while let Some(line) = read_frame(&mut input)? {
+        let response = match parse_request(&line) {
+            Ok(req) => {
+                let quit = req == Request::Quit;
+                let resp = execute(session, &mut pending, req);
+                write_frame(&mut output, &resp.render())?;
+                if quit {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => Response::Err(e),
+        };
+        write_frame(&mut output, &response.render())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_command_language() {
+        assert_eq!(
+            parse_request("con ptr + -").unwrap(),
+            Request::RegisterCon {
+                name: "ptr".into(),
+                variances: vec![Variance::Covariant, Variance::Contravariant],
+            }
+        );
+        assert_eq!(
+            parse_request("group t2 <= v0 ; v0 <= v1").unwrap(),
+            Request::AddGroup(vec![
+                (TermId::new(2).into(), Var::new(0).into()),
+                (Var::new(0).into(), Var::new(1).into()),
+            ])
+        );
+        assert_eq!(parse_request("drop g3").unwrap(), Request::RemoveGroup(GroupId::new(3)));
+        assert_eq!(parse_request("points-to v7").unwrap(), Request::PointsTo(Var::new(7)));
+        assert_eq!(
+            parse_request("alias v1 v2").unwrap(),
+            Request::Alias(Var::new(1), Var::new(2))
+        );
+        assert!(parse_request("frobnicate").is_err());
+        assert!(parse_request("group v0 < v1").is_err());
+        assert!(parse_request("edit gX v0 <= v1").is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("hello"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(""));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+
+        let bogus = u32::MAX.to_le_bytes();
+        assert!(read_frame(&mut &bogus[..]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_session_over_frames() {
+        let mut session = Session::new(SolverConfig::if_online());
+        let script = [
+            "con c",
+            "term c",
+            "vars 3",
+            "group t2 <= v0 ; v0 <= v1 ; v1 <= v2",
+            "commit",
+            "points-to v2",
+            "alias v0 v2",
+            "drop g0",
+            "commit",
+            "points-to v2",
+            "stats",
+            "levels",
+            "quit",
+        ];
+        let mut input = Vec::new();
+        for line in script {
+            write_frame(&mut input, line).unwrap();
+        }
+        let mut output = Vec::new();
+        serve(&mut session, &input[..], &mut output).unwrap();
+
+        let mut r = &output[..];
+        let mut responses = Vec::new();
+        while let Some(f) = read_frame(&mut r).unwrap() {
+            responses.push(f);
+        }
+        assert_eq!(responses.len(), script.len());
+        assert_eq!(responses[0], "ok c2"); // after builtin 1/0
+        assert_eq!(responses[1], "ok t2");
+        assert!(responses[4].starts_with("ok committed path=monotone groups=[g0]"));
+        assert_eq!(responses[5], "ok {t2}");
+        assert_eq!(responses[6], "ok yes");
+        assert!(responses[8].starts_with("ok committed path=replay"));
+        assert_eq!(responses[9], "ok {}");
+        assert!(responses[10].starts_with("ok constraints=0"));
+        assert_eq!(responses[12], "ok bye");
+    }
+}

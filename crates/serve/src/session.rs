@@ -1,0 +1,665 @@
+//! The long-lived [`Session`]: solved state plus delta re-solve.
+//!
+//! # What stays byte-identical, and how
+//!
+//! The repository-wide contract is that every alternative execution path
+//! reproduces the sequential solver's observables *exactly*. A session keeps
+//! that contract through two mechanisms:
+//!
+//! - **Canonical replay** for non-monotone deltas. Online cycle elimination
+//!   is schedule-dependent: feeding the same constraints in a different
+//!   order (or against a pre-warmed graph) collapses different cycles at
+//!   different times, changing Work, the redundant-constraint count, and the
+//!   graph census — even though the least solution's *sets* are
+//!   order-independent. The only way to reproduce a from-scratch solve's
+//!   observables byte-for-byte is to *be* a from-scratch solve: the session
+//!   keeps the canonical constraint sequence (live groups in slot order) and
+//!   replays it into a fresh solver. Cost is bounded by the solver, not the
+//!   session.
+//! - **Least-solution revalidation** for both paths. Whatever produced the
+//!   solved graph, the expensive part of serving is evaluating equation (1)
+//!   over it. [`ParLeast::run_revalidate`] compares the new canonical CSR
+//!   rows against the retained baseline and recomputes only variables whose
+//!   sources, predecessors, representative status, or (transitively) any
+//!   predecessor changed — per condensation level, never whole-graph. Clean
+//!   variables reuse their retained arena spans verbatim, which is where the
+//!   `serve.reuse.hit` wins come from.
+//!
+//! The net equivalence contract of [`Session::apply`]:
+//!
+//! - after a **non-monotone** delta, `stats()`, `census()`,
+//!   `inconsistencies()` and the least solution are byte-identical to a
+//!   from-scratch solve of the canonical sequence (same `Solver`, same
+//!   schedule, by construction);
+//! - after a **monotone** delta, the least solution's per-variable *sets*
+//!   equal a from-scratch solve's (monotonicity), but work counters and
+//!   census may legitimately differ — the live solver took a different
+//!   (cheaper) schedule. Clients needing full observable parity after a
+//!   monotone batch can force replay with
+//!   [`Session::reanchor`].
+//!
+//! # Limitations
+//!
+//! Oracle-partitioned configurations (`Solver::with_oracle`) are not
+//! supported: the oracle aliases variable creations, which breaks the
+//! session's assumption that its `Problem` recording and its live solver
+//! issue numerically identical identifiers.
+
+use bane_core::cycle::GraphRevision;
+use bane_core::graph::GraphCensus;
+use bane_core::least::LeastSolution;
+use bane_core::prelude::*;
+use bane_core::solset::SolSetKind;
+use bane_obs::{Counter, Phase, Recorder};
+use bane_par::{ParLeast, RevalidateOutcome};
+use bane_util::FxHashSet;
+
+use crate::delta::{Delta, DeltaOp, GroupId};
+
+/// What one [`Session::apply`] call did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ApplyReport {
+    /// Group ids assigned to this batch's `AddGroup` operations, in batch
+    /// order.
+    pub new_groups: Vec<GroupId>,
+    /// Whether the batch took the monotone live-solver path (`false` means
+    /// canonical replay).
+    pub monotone: bool,
+    /// How localized the least-solution revalidation was.
+    pub outcome: RevalidateOutcome,
+    /// Distinct canonical variables reachable from the batch's constraint
+    /// endpoints — the session's *prediction* of the dirty frontier, useful
+    /// for logging (the real dirty set is `outcome.dirty_vars`).
+    pub touched_vars: usize,
+}
+
+/// A long-lived constraint-solving session: a solved system that accepts
+/// [`Delta`] batches and re-solves incrementally.
+///
+/// See the [module docs](self) for the equivalence contract, and
+/// `docs/INCREMENTAL.md` for the full design.
+///
+/// # Examples
+///
+/// ```
+/// use bane_core::prelude::*;
+/// use bane_serve::{Delta, Session};
+///
+/// let mut s = Session::new(SolverConfig::if_online());
+/// let c = s.register_nullary("c");
+/// let src = s.term(c, vec![]);
+/// let (x, y) = (s.fresh_var(), s.fresh_var());
+///
+/// let mut d = Delta::new();
+/// d.add_group(vec![(src.into(), x.into()), (x.into(), y.into())]);
+/// let report = s.apply(d);
+/// assert!(report.monotone);
+/// assert_eq!(s.points_to(y), &[src]);
+///
+/// // Editing the group non-monotonically replays the canonical sequence.
+/// let mut e = Delta::new();
+/// e.edit_group(report.new_groups[0], vec![(src.into(), y.into())]);
+/// let report = s.apply(e);
+/// assert!(!report.monotone);
+/// assert_eq!(s.points_to(x), &[] as &[TermId]);
+/// assert_eq!(s.points_to(y), &[src]);
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    /// Registration state only (constructors, interned terms, variable
+    /// count). Its constraint list is kept **empty**; the canonical
+    /// sequence lives in `groups`.
+    problem: Problem,
+    /// Slot-indexed constraint groups; `None` marks a removed group. The
+    /// canonical constraint sequence is the concatenation of the live
+    /// groups in slot order.
+    groups: Vec<Option<Vec<(SetExpr, SetExpr)>>>,
+    solver: Solver,
+    par: ParLeast,
+    threads: usize,
+    kind: SolSetKind,
+    ls: Option<LeastSolution>,
+    revision: Option<GraphRevision>,
+    last_outcome: RevalidateOutcome,
+    rec: Option<Recorder>,
+}
+
+impl Session {
+    /// An empty session under `config`.
+    ///
+    /// The least-solution backend is taken from `config.solset`; the worker
+    /// count defaults to 1 (see [`set_threads`](Session::set_threads)).
+    pub fn new(config: SolverConfig) -> Self {
+        let kind = config.solset;
+        Session {
+            problem: Problem::new(config),
+            groups: Vec::new(),
+            solver: Solver::new(config),
+            par: ParLeast::new(),
+            threads: 1,
+            kind,
+            ls: None,
+            revision: None,
+            last_outcome: RevalidateOutcome::default(),
+            rec: None,
+        }
+    }
+
+    /// A session adopting `problem`'s recording: its registration state
+    /// becomes the session's, and its recorded constraints become one
+    /// group, solved immediately.
+    pub fn from_problem(problem: Problem) -> Self {
+        Self::from_problem_grouped(problem, 1)
+    }
+
+    /// Like [`from_problem`](Session::from_problem), but splitting the
+    /// recorded constraints into `n_groups` contiguous groups — the
+    /// "one group per function" shape incremental experiments edit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_groups == 0` while the problem has constraints.
+    pub fn from_problem_grouped(mut problem: Problem, n_groups: usize) -> Self {
+        let constraints = problem.split_off_constraints(0);
+        let config = *problem.config();
+        let kind = config.solset;
+        let mut session = Session {
+            solver: Solver::from_problem(problem.clone()),
+            problem,
+            groups: Vec::new(),
+            par: ParLeast::new(),
+            threads: 1,
+            kind,
+            ls: None,
+            revision: None,
+            last_outcome: RevalidateOutcome::default(),
+            rec: None,
+        };
+        if constraints.is_empty() {
+            return session;
+        }
+        assert!(n_groups > 0, "n_groups must be positive for a non-empty problem");
+        let n_groups = n_groups.min(constraints.len());
+        let per = constraints.len().div_ceil(n_groups);
+        let mut delta = Delta::new();
+        for chunk in constraints.chunks(per) {
+            delta.add_group(chunk.to_vec());
+        }
+        session.apply(delta);
+        session
+    }
+
+    /// Enables observability: the session allocates a [`Recorder`] and
+    /// records `serve.*` counters and the `serve-apply` phase on every
+    /// [`apply`](Session::apply). Also enables the live solver's probes.
+    pub fn enable_obs(&mut self) {
+        if self.rec.is_none() {
+            self.rec = Some(Recorder::new());
+        }
+        self.solver.enable_obs();
+    }
+
+    /// The session's recorder, when [`enable_obs`](Session::enable_obs) has
+    /// been called.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.rec.as_ref()
+    }
+
+    /// Sets the worker count for least-solution revalidation (clamped to at
+    /// least 1). Thread count never changes any observable — only wall
+    /// time.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The worker count used for revalidation.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The solution-set backend in use.
+    pub fn solset(&self) -> SolSetKind {
+        self.kind
+    }
+
+    /// Number of group slots ever created (including removed ones).
+    pub fn group_slots(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The constraints of group `g`, or `None` if the slot was removed (or
+    /// never existed).
+    pub fn group(&self, g: GroupId) -> Option<&[(SetExpr, SetExpr)]> {
+        self.groups.get(g.index()).and_then(|s| s.as_deref())
+    }
+
+    /// Applies one [`Delta`] batch and re-solves.
+    ///
+    /// Monotone batches feed the live solver and re-run closure from the
+    /// current graph; non-monotone batches rebuild a fresh solver from the
+    /// canonical sequence (see the [module docs](self) for why). Both paths
+    /// then revalidate the least solution against the retained baseline,
+    /// recomputing only dirty condensation levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch names a [`GroupId`] that does not exist or was
+    /// already removed.
+    pub fn apply(&mut self, delta: Delta) -> ApplyReport {
+        let t0 = self.rec.as_ref().map(|_| std::time::Instant::now());
+        let monotone = delta.is_monotone();
+        let mut new_groups = Vec::new();
+
+        if monotone {
+            for op in delta.ops() {
+                match op {
+                    DeltaOp::AddVars(n) => {
+                        for _ in 0..*n {
+                            let a = ConstraintBuilder::fresh_var(&mut self.problem);
+                            let b = self.solver.fresh_var();
+                            debug_assert_eq!(a, b);
+                        }
+                    }
+                    DeltaOp::AddGroup { constraints } => {
+                        new_groups.push(GroupId::new(self.groups.len() as u32));
+                        for &(lhs, rhs) in constraints {
+                            self.solver.add(lhs, rhs);
+                        }
+                        self.groups.push(Some(constraints.clone()));
+                    }
+                    DeltaOp::RemoveGroup(_) | DeltaOp::EditGroup { .. } => unreachable!(),
+                }
+            }
+            self.solver.solve();
+        } else {
+            for op in delta.ops() {
+                match op {
+                    DeltaOp::AddVars(n) => {
+                        for _ in 0..*n {
+                            ConstraintBuilder::fresh_var(&mut self.problem);
+                        }
+                    }
+                    DeltaOp::AddGroup { constraints } => {
+                        new_groups.push(GroupId::new(self.groups.len() as u32));
+                        self.groups.push(Some(constraints.clone()));
+                    }
+                    DeltaOp::RemoveGroup(g) => {
+                        let slot = self
+                            .groups
+                            .get_mut(g.index())
+                            .unwrap_or_else(|| panic!("no such group: {g}"));
+                        assert!(slot.is_some(), "group already removed: {g}");
+                        *slot = None;
+                    }
+                    DeltaOp::EditGroup { group: g, constraints } => {
+                        let slot = self
+                            .groups
+                            .get_mut(g.index())
+                            .unwrap_or_else(|| panic!("no such group: {g}"));
+                        assert!(slot.is_some(), "cannot edit removed group: {g}");
+                        *slot = Some(constraints.clone());
+                    }
+                }
+            }
+            self.replay();
+        }
+
+        let outcome = self.revalidate(!delta.is_empty());
+        let touched_vars = self.touched_of(&delta);
+
+        if let Some(rec) = &self.rec {
+            rec.add(Counter::ServeDeltaApplied, 1);
+            rec.add(
+                if monotone { Counter::ServeDeltaMonotone } else { Counter::ServeDeltaReplayed },
+                1,
+            );
+            rec.set(Counter::ServeDirtyLevels, outcome.dirty_levels as u64);
+            rec.set(Counter::ServeDirtyVars, outcome.dirty_vars as u64);
+            rec.add(Counter::ServeReuseHit, outcome.reused_vars as u64);
+            if let Some(t0) = t0 {
+                rec.record_ns(Phase::ServeApply, t0.elapsed().as_nanos() as u64);
+            }
+        }
+
+        self.last_outcome = outcome;
+        ApplyReport { new_groups, monotone, outcome, touched_vars }
+    }
+
+    /// Rebuilds the live solver from scratch over the canonical sequence,
+    /// making *all* observables (work counters, census) byte-identical to a
+    /// from-scratch solve — the reset clients call after a run of monotone
+    /// batches when they need full parity, not just equal sets.
+    ///
+    /// The least solution is revalidated, not recomputed: unchanged
+    /// variables still reuse their retained spans.
+    pub fn reanchor(&mut self) -> RevalidateOutcome {
+        self.replay();
+        let outcome = self.revalidate(true);
+        self.last_outcome = outcome;
+        outcome
+    }
+
+    /// Replaces the live solver with a fresh solve of the canonical
+    /// sequence.
+    fn replay(&mut self) {
+        let mut p = self.problem.clone();
+        for group in self.groups.iter().flatten() {
+            for &(lhs, rhs) in group {
+                ConstraintBuilder::add(&mut p, lhs, rhs);
+            }
+        }
+        let obs = self.rec.is_some();
+        self.solver = Solver::from_problem(p);
+        if obs {
+            self.solver.enable_obs();
+        }
+        self.solver.solve();
+    }
+
+    /// Revalidates the cached least solution against the just-solved graph.
+    ///
+    /// When `changed` is false (the batch contained no operations) *and*
+    /// the graph revision still validates, even the schedule rebuild is
+    /// skipped. The revision check alone would not be sound here: it tracks
+    /// var–var edge insertions and collapses, so a pure *source* constraint
+    /// moves no counter, and across a replay equal counters do not imply
+    /// equal graphs — which is why a non-empty batch always revalidates.
+    fn revalidate(&mut self, changed: bool) -> RevalidateOutcome {
+        let now = self.solver.graph_revision();
+        if !changed && self.ls.is_some() && self.revision.is_some_and(|prev| prev.validates(now)) {
+            // Same graph object, untouched since the last pass: the cached
+            // solution is the solution.
+            return RevalidateOutcome {
+                total_levels: self.last_outcome.total_levels,
+                dirty_levels: 0,
+                dirty_vars: 0,
+                reused_vars: self.last_outcome.reused_vars + self.last_outcome.dirty_vars,
+            };
+        }
+        let parts = self.solver.least_parts();
+        let outcome = self.par.run_revalidate(&parts, self.threads, self.kind, self.rec.as_ref());
+        self.ls = Some(self.par.solution());
+        self.revision = Some(now);
+        outcome
+    }
+
+    /// Distinct canonical variables among `delta`'s constraint endpoints
+    /// (post-solve representatives).
+    fn touched_of(&mut self, delta: &Delta) -> usize {
+        let mut vars = FxHashSet::default();
+        for op in delta.ops() {
+            let constraints = match op {
+                DeltaOp::AddGroup { constraints } | DeltaOp::EditGroup { constraints, .. } => {
+                    constraints
+                }
+                _ => continue,
+            };
+            for &(lhs, rhs) in constraints {
+                self.solver.terms().vars_of(lhs, &mut vars);
+                self.solver.terms().vars_of(rhs, &mut vars);
+            }
+        }
+        let mut reps = FxHashSet::default();
+        for v in vars {
+            reps.insert(self.solver.find(v));
+        }
+        reps.len()
+    }
+
+    /// The least solution of the current system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no [`apply`](Session::apply) has run yet.
+    pub fn least_solution(&self) -> &LeastSolution {
+        self.ls.as_ref().expect("no delta applied yet")
+    }
+
+    /// The points-to/solution set of `v` (canonicalized first). Empty when
+    /// no delta has been applied.
+    pub fn points_to(&mut self, v: Var) -> &[TermId] {
+        let r = self.solver.find(v);
+        match &self.ls {
+            Some(ls) => ls.get(r),
+            None => &[],
+        }
+    }
+
+    /// The canonical representative of `v`.
+    pub fn find(&mut self, v: Var) -> Var {
+        self.solver.find(v)
+    }
+
+    /// The live solver's cumulative statistics. After a non-monotone batch
+    /// these are byte-identical to a from-scratch solve's.
+    pub fn stats(&self) -> &Stats {
+        self.solver.stats()
+    }
+
+    /// The live graph census. Same parity note as [`stats`](Session::stats).
+    pub fn census(&self) -> GraphCensus {
+        self.solver.census()
+    }
+
+    /// Inconsistencies discovered so far.
+    pub fn inconsistencies(&self) -> &[Inconsistency] {
+        self.solver.inconsistencies()
+    }
+
+    /// How localized the last re-solve was.
+    pub fn last_outcome(&self) -> RevalidateOutcome {
+        self.last_outcome
+    }
+
+    /// Read-only access to the live solver.
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// Writes the current solved state as a `bane-snap` snapshot at `path`
+    /// (atomically — see `bane_snap::write_solver`), republishing the
+    /// session for the read-only serving layer. Returns the snapshot size
+    /// in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `bane-snap` encode/write errors.
+    pub fn publish_snapshot(&mut self, path: &std::path::Path) -> Result<u64, bane_snap::SnapError> {
+        bane_snap::write_solver(&mut self.solver, path, self.rec.as_ref())
+    }
+}
+
+impl ConstraintBuilder for Session {
+    fn register_con(&mut self, name: impl Into<String>, variances: Vec<Variance>) -> Con {
+        let name = name.into();
+        let a = ConstraintBuilder::register_con(&mut self.problem, name.clone(), variances.clone());
+        let b = self.solver.register_con(name, variances);
+        debug_assert_eq!(a, b);
+        a
+    }
+
+    fn register_nullary(&mut self, name: impl Into<String>) -> Con {
+        let name = name.into();
+        let a = ConstraintBuilder::register_nullary(&mut self.problem, name.clone());
+        let b = self.solver.register_nullary(name);
+        debug_assert_eq!(a, b);
+        a
+    }
+
+    fn term(&mut self, con: Con, args: Vec<SetExpr>) -> TermId {
+        let a = ConstraintBuilder::term(&mut self.problem, con, args.clone());
+        let b = self.solver.term(con, args);
+        debug_assert_eq!(a, b);
+        a
+    }
+
+    fn fresh_var(&mut self) -> Var {
+        let a = ConstraintBuilder::fresh_var(&mut self.problem);
+        let b = self.solver.fresh_var();
+        debug_assert_eq!(a, b);
+        a
+    }
+
+    /// Adds a single immediate constraint as its own one-constraint group
+    /// (monotone), without re-solving. Prefer batching through
+    /// [`Delta`]/[`apply`](Session::apply); this exists so generators
+    /// written against [`ConstraintBuilder`] can target a session directly.
+    fn add(&mut self, lhs: impl Into<SetExpr>, rhs: impl Into<SetExpr>) {
+        let (lhs, rhs) = (lhs.into(), rhs.into());
+        self.solver.add(lhs, rhs);
+        self.groups.push(Some(vec![(lhs, rhs)]));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_session() -> (Session, Vec<Var>, TermId, GroupId) {
+        let mut s = Session::new(SolverConfig::if_online());
+        let c = s.register_nullary("c");
+        let src = s.term(c, vec![]);
+        let vars: Vec<Var> = (0..6).map(|_| s.fresh_var()).collect();
+        let mut group = vec![(SetExpr::from(src), SetExpr::from(vars[0]))];
+        for w in vars.windows(2) {
+            group.push((w[0].into(), w[1].into()));
+        }
+        let mut d = Delta::new();
+        d.add_group(group);
+        let report = s.apply(d);
+        assert!(report.monotone);
+        (s, vars, src, report.new_groups[0])
+    }
+
+    #[test]
+    fn monotone_growth_matches_sets() {
+        let (mut s, vars, src, _) = chain_session();
+        for &v in &vars {
+            assert_eq!(s.points_to(v), &[src]);
+        }
+        // Grow: a second source into the middle of the chain.
+        let c2 = s.register_nullary("d");
+        let src2 = s.term(c2, vec![]);
+        let mut d = Delta::new();
+        d.add_group(vec![(src2.into(), vars[3].into())]);
+        let report = s.apply(d);
+        assert!(report.monotone);
+        assert_eq!(s.points_to(vars[2]), &[src]);
+        assert_eq!(s.points_to(vars[5]), &[src, src2]);
+        // The prefix of the chain did not change: revalidation reused it.
+        assert!(report.outcome.reused_vars > 0);
+    }
+
+    #[test]
+    fn removal_replays_and_shrinks() {
+        let (mut s, vars, src, g) = chain_session();
+        let mut d = Delta::new();
+        d.remove_group(g);
+        let report = s.apply(d);
+        assert!(!report.monotone);
+        for &v in &vars {
+            assert_eq!(s.points_to(v), &[] as &[TermId]);
+        }
+        // And the replayed solver's stats equal a from-scratch empty system.
+        assert_eq!(s.stats().constraints_added, 0);
+        let _ = src;
+    }
+
+    #[test]
+    fn edit_matches_from_scratch_bytes() {
+        let (mut s, vars, src, g) = chain_session();
+        // Rebuild the edited group: drop the src→v0 feed, keep the chain.
+        let mut edited = Vec::new();
+        for w in vars.windows(2) {
+            edited.push((SetExpr::from(w[0]), SetExpr::from(w[1])));
+        }
+        edited.push((src.into(), vars[4].into()));
+        let mut d = Delta::new();
+        d.edit_group(g, edited.clone());
+        let report = s.apply(d);
+        assert!(!report.monotone);
+        assert!(report.touched_vars > 0);
+
+        // Reference: identical canonical sequence from scratch.
+        let mut p = Problem::new(SolverConfig::if_online());
+        let c = p.register_nullary("c");
+        let src2 = p.term(c, vec![]);
+        assert_eq!(src, src2);
+        for _ in 0..6 {
+            p.fresh_var();
+        }
+        for &(l, r) in &edited {
+            p.add(l, r);
+        }
+        let mut reference = Solver::from_problem(p);
+        reference.solve();
+
+        assert_eq!(s.stats(), reference.stats());
+        assert_eq!(s.census(), reference.census());
+        assert_eq!(s.least_solution(), &reference.least_solution());
+        assert_eq!(s.points_to(vars[3]), &[] as &[TermId]);
+        assert_eq!(s.points_to(vars[5]), &[src]);
+    }
+
+    #[test]
+    fn empty_delta_skips_revalidation() {
+        let (mut s, _, _, _) = chain_session();
+        let before = s.least_solution().clone();
+        let report = s.apply(Delta::new());
+        assert!(report.monotone);
+        assert_eq!(report.outcome.dirty_vars, 0);
+        assert_eq!(report.outcome.dirty_levels, 0);
+        assert_eq!(s.least_solution(), &before);
+    }
+
+    #[test]
+    fn obs_counters_track_applies() {
+        let mut s = Session::new(SolverConfig::if_online());
+        s.enable_obs();
+        let c = s.register_nullary("c");
+        let src = s.term(c, vec![]);
+        let x = s.fresh_var();
+        let mut d = Delta::new();
+        d.add_group(vec![(src.into(), x.into())]);
+        let report = s.apply(d);
+        let g = report.new_groups[0];
+        let mut e = Delta::new();
+        e.remove_group(g);
+        s.apply(e);
+
+        let rec = s.recorder().expect("obs enabled");
+        assert_eq!(rec.get(Counter::ServeDeltaApplied), 2);
+        assert_eq!(rec.get(Counter::ServeDeltaMonotone), 1);
+        assert_eq!(rec.get(Counter::ServeDeltaReplayed), 1);
+        let report = rec.report("session");
+        assert!(report.phases.iter().any(|p| p.phase == Phase::ServeApply.name()));
+    }
+
+    #[test]
+    fn grouped_problem_construction_solves() {
+        let mut p = Problem::new(SolverConfig::if_online());
+        let c = p.register_nullary("c");
+        let src = p.term(c, vec![]);
+        let vars: Vec<Var> = (0..8).map(|_| p.fresh_var()).collect();
+        p.add(src, vars[0]);
+        for w in vars.windows(2) {
+            p.add(w[0], w[1]);
+        }
+        let mut s = Session::from_problem_grouped(p, 3);
+        assert_eq!(s.group_slots(), 3);
+        assert_eq!(s.points_to(vars[7]), &[src]);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_snap() {
+        let (mut s, vars, src, _) = chain_session();
+        let dir = std::env::temp_dir().join(format!("bane-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.snap");
+        let bytes = s.publish_snapshot(&path).expect("snapshot written");
+        assert!(bytes > 0);
+        let index = bane_snap::QueryIndex::load(&path).expect("snapshot loads");
+        assert_eq!(index.points_to(vars[5]), &[src][..]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -4,7 +4,10 @@
 //! available here; this crate *simulates* them: [`gen`] produces seeded,
 //! deterministic C-subset programs with the pointer-intensity and cycle
 //! structure the paper's constraint graphs exhibit, and [`mod@suite`] mirrors the
-//! Table 1 suite names and AST-node sizes.
+//! Table 1 suite names and AST-node sizes. [`delta`] extends the simulation
+//! to *edit histories* — seeded [`DeltaScript`]s of group additions,
+//! removals, and rewrites that drive `bane-serve`'s incremental equivalence
+//! tests and the `incremental` bench section.
 //!
 //! # Examples
 //!
@@ -15,8 +18,13 @@
 //! assert!(program.ast_nodes() >= 1_000);
 //! ```
 
+pub mod delta;
 pub mod gen;
 pub mod suite;
 
+pub use delta::{
+    generate_delta_script, ConSpec, DeltaScript, DeltaScriptConfig, DeltaStep, EndpointSpec,
+    ScriptBindings,
+};
 pub use gen::{generate, GenConfig};
 pub use suite::{suite, suite_program, SuiteEntry, PAPER_SUITE};

@@ -13,6 +13,13 @@
 //! sample grid — against the live solver's least solution, and exits
 //! nonzero on any mismatch. `--scale <f>` adjusts the synthetic suite
 //! scale (default 0.2 for `--check`, 0.05 for the walkthrough).
+//!
+//! With `--reload` the example demonstrates **hot republish**: a live
+//! incremental `bane::serve::Session` grows the system and republishes the
+//! snapshot while reader threads keep answering queries through an
+//! `RwLock<Arc<QueryIndex>>` — a watcher thread detects the new snapshot
+//! by mtime and swaps in a freshly loaded index, so readers only ever hold
+//! an `Arc` clone and never block on the reload.
 
 use bane::core::prelude::*;
 use bane::obs::Recorder;
@@ -20,16 +27,18 @@ use bane::par::{chunk_range, Pool};
 use bane::points_to::andersen;
 use bane::snap::{write_solver, LoadMode, QueryIndex, QueryScratch};
 use bane::synth::suite::{suite_program, PAPER_SUITE};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
 fn main() {
     let mut check = false;
+    let mut reload = false;
     let mut scale: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => check = true,
+            "--reload" => reload = true,
             "--scale" => {
                 scale = Some(
                     args.next()
@@ -37,12 +46,14 @@ fn main() {
                         .unwrap_or_else(|| die("--scale expects a float")),
                 )
             }
-            "--help" | "-h" => die("usage: alias_server [--check] [--scale <f>]"),
+            "--help" | "-h" => die("usage: alias_server [--check] [--reload] [--scale <f>]"),
             other => die(&format!("unknown argument {other}")),
         }
     }
     if check {
         run_check(scale.unwrap_or(0.2));
+    } else if reload {
+        run_reload(scale.unwrap_or(0.05));
     } else {
         run_walkthrough(scale.unwrap_or(0.05));
     }
@@ -151,6 +162,113 @@ fn run_walkthrough(scale: f64) {
     let sample = Var::new(shown.first().map_or(0, |v| v.raw() as usize));
     assert_eq!(index.points_to(sample), live.get(sample));
     println!("\nspot check vs live least solution: ok");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Hot republish: a live incremental session republishes the snapshot; a
+/// watcher swaps a fresh `QueryIndex` behind an `RwLock<Arc<_>>` while
+/// reader threads keep serving.
+fn run_reload(scale: f64) {
+    use bane::serve::{Delta, Session};
+    use std::sync::{Arc, RwLock};
+    use std::time::{Duration, SystemTime};
+
+    println!("== 1. initial solve + publish ==");
+    let program = povray(scale);
+    let mut problem = Problem::new(SolverConfig::if_online());
+    andersen::generate(&program, &mut problem);
+    let mut session = Session::from_problem_grouped(problem, 16);
+    session.set_threads(4);
+    let path = snapshot_path("reload");
+    let bytes = session.publish_snapshot(&path).expect("publish snapshot");
+    println!("published {bytes} bytes to {}", path.display());
+
+    let index = QueryIndex::load_with(&path, LoadMode::Auto, None).expect("load snapshot");
+    let n1 = index.var_count();
+    let current: Arc<RwLock<Arc<QueryIndex>>> = Arc::new(RwLock::new(Arc::new(index)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let queries = Arc::new(AtomicUsize::new(0));
+
+    // Watcher: poll the snapshot's mtime; on change, load the fresh index
+    // off to the side and swap it in. Readers never wait on the load —
+    // only on the pointer swap.
+    let mtime = |p: &std::path::Path| -> SystemTime {
+        std::fs::metadata(p).and_then(|m| m.modified()).unwrap_or(SystemTime::UNIX_EPOCH)
+    };
+    let watcher = {
+        let (current, stop, path) = (current.clone(), stop.clone(), path.clone());
+        let mut last = mtime(&path);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(10));
+                let now = mtime(&path);
+                if now != last {
+                    last = now;
+                    let fresh = QueryIndex::load_with(&path, LoadMode::Auto, None)
+                        .expect("reload snapshot");
+                    *current.write().expect("index lock") = Arc::new(fresh);
+                }
+            }
+        })
+    };
+
+    // Readers: clone the Arc under a short read lock, then query lock-free.
+    let readers: Vec<_> = (0..2)
+        .map(|w| {
+            let (current, stop, queries) = (current.clone(), stop.clone(), queries.clone());
+            std::thread::spawn(move || {
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let index = current.read().expect("index lock").clone();
+                    let n = index.var_count();
+                    for _ in 0..256 {
+                        let v = Var::new(i % n);
+                        let partner = Var::new((i * 7919 + w) % n);
+                        std::hint::black_box(index.alias(v, partner));
+                        i += 1;
+                    }
+                    queries.fetch_add(256, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    println!("\n== 2. grow the system and republish ==");
+    // One new variable downstream of an existing group's first endpoint.
+    let seed = session.group(bane::serve::GroupId::new(0)).expect("live group")[0].0;
+    let base = session.solver().vars_created() as usize;
+    let mut delta = Delta::new();
+    delta.add_vars(1);
+    delta.add_group(vec![(seed, Var::new(base).into())]);
+    let report = session.apply(delta);
+    println!(
+        "applied delta: path={}, dirty levels {}/{}",
+        if report.monotone { "monotone" } else { "replay" },
+        report.outcome.dirty_levels,
+        report.outcome.total_levels
+    );
+    session.publish_snapshot(&path).expect("republish snapshot");
+
+    // Wait for the watcher to swap the grown index in.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let n2 = loop {
+        let n = current.read().expect("index lock").var_count();
+        if n > n1 {
+            break n;
+        }
+        assert!(Instant::now() < deadline, "reload not observed within 10s");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+
+    stop.store(true, Ordering::Relaxed);
+    watcher.join().expect("watcher thread");
+    for r in readers {
+        r.join().expect("reader thread");
+    }
+    println!(
+        "\nreload observed: {n1} -> {n2} vars; {} queries served across the swap",
+        queries.load(Ordering::Relaxed)
+    );
     let _ = std::fs::remove_file(&path);
 }
 

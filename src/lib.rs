@@ -17,6 +17,9 @@
 //! - [`par`] (`bane-par`): the deterministic parallel execution engine.
 //! - [`snap`] (`bane-snap`): the on-disk snapshot format and the read-only
 //!   alias-query serving layer (docs/SNAPSHOT_FORMAT.md, docs/SERVING.md).
+//! - [`serve`] (`bane-serve`): the long-lived incremental analysis session —
+//!   `Delta` batches, dirty-set re-solve, and the framed request/response
+//!   transport (docs/INCREMENTAL.md).
 //! - [`obs`] (`bane-obs`): the observability layer (phase timers, unified
 //!   counters; docs/OBSERVABILITY.md).
 //!
@@ -40,6 +43,7 @@ pub use bane_model as model;
 pub use bane_obs as obs;
 pub use bane_par as par;
 pub use bane_points_to as points_to;
+pub use bane_serve as serve;
 pub use bane_snap as snap;
 pub use bane_synth as synth;
 pub use bane_util as util;
