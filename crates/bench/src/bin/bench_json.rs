@@ -126,15 +126,30 @@
 //! existed in `bane-bench/7` is emitted byte-identically; incremental runs
 //! never touch the timed solver configurations.
 //!
+//! `bane-bench/9` adds the **fleet serving** table (`fleet`; see
+//! docs/SERVING.md): one partitioned `bane-synth` `DeltaScript`
+//! (`partitions = 4`, so ownership composes over every measured width) is
+//! driven through an unsharded baseline `Session` and then through a
+//! `bane-serve` `ShardManager` at shard widths 1, 2, and 4 — each row
+//! carrying the fleet's total apply wall time, the `fleet.delta.routed` /
+//! `fleet.vars.fanout` unified-counter totals, the per-shard constraint
+//! balance (`min`/`max_shard_constraints`), and a `matches_single` verdict
+//! comparing every variable's routed answer against the baseline after the
+//! full script (must always read `true`). Apply times are one-shot
+//! (applying mutates the fleet); the section header carries the baseline's
+//! total apply time. Every field that existed in `bane-bench/8` is emitted
+//! byte-identically; fleet runs never touch the timed solver
+//! configurations.
+//!
 //! The JSON is hand-rolled (the build environment has no serde); the format
 //! is plain nested objects with no NaNs and no trailing commas, so any JSON
 //! parser can read it.
 
 use bane_bench::cli::Options;
 use bane_bench::experiment::{
-    analyze_bench, run_batch_scaling, run_incremental, run_observed, run_one_with,
+    analyze_bench, run_batch_scaling, run_fleet, run_incremental, run_observed, run_one_with,
     run_par_scaling, run_snap_queries, run_solset_scaling, BatchScaling, ExperimentKind,
-    IncrementalScaling, Measurement, ParScaling, SnapScaling, SolSetScaling,
+    FleetScaling, IncrementalScaling, Measurement, ParScaling, SnapScaling, SolSetScaling,
 };
 use bane_core::solset::SolSetKind;
 use bane_obs::RunReport;
@@ -149,6 +164,11 @@ const INCR_STEPS: usize = 24;
 /// Seed of the incremental table's `DeltaScript` — fixed so successive
 /// snapshots measure the identical edit history.
 const INCR_SEED: u64 = 0xba9e_0008;
+/// Steps in the fleet table's partitioned `DeltaScript`.
+const FLEET_STEPS: usize = 24;
+/// Seed of the fleet table's `DeltaScript` — fixed so successive snapshots
+/// measure the identical edit history.
+const FLEET_SEED: u64 = 0xba9e_0009;
 
 fn main() {
     // Split the driver-specific flags off before handing the rest to the
@@ -425,19 +445,42 @@ fn main() {
         None => "null".to_string(),
     };
 
+    // The fleet serving table: one partitioned edit history through a
+    // ShardManager at widths 1/2/4, against the unsharded baseline. The
+    // script is synthetic, so this runs even with no benchmark selected.
+    let fleet_json = {
+        eprintln!("bench_json: fleet serving, widths 1/2/4");
+        let scaling = run_fleet(FLEET_STEPS, FLEET_SEED, opts.threads);
+        for row in &scaling.rows {
+            eprintln!(
+                "  fleet shards={} apply={:>12}ns single={:>12}ns routed={:<4} fanout={:<6} \
+                 balance={}..{} match={}",
+                row.shards,
+                row.apply_ns,
+                scaling.single_apply_ns,
+                row.deltas_routed,
+                row.vars_fanout,
+                row.min_shard_constraints,
+                row.max_shard_constraints,
+                row.matches_single,
+            );
+        }
+        fleet_json_section(&scaling)
+    };
+
     let created_unix = SystemTime::now()
         .duration_since(SystemTime::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let logical_cpus = bane_par::available_threads();
     let json = format!(
-        "{{\n  \"schema\": \"bane-bench/8\",\n  \"label\": {},\n  \
+        "{{\n  \"schema\": \"bane-bench/9\",\n  \"label\": {},\n  \
          \"created_unix\": {},\n  \"scale\": {},\n  \"max_ast\": {},\n  \
          \"reps\": {},\n  \"limit\": {},\n  \"threads\": {},\n  \
          \"batch_rounds\": {},\n  \"solset\": {},\n  \"git_revision\": {},\n  \
          \"logical_cpus\": {},\n  \"single_cpu\": {},\n  \
          \"par_ls\": {},\n  \"par_batch\": {},\n  \"solset_scaling\": {},\n  \
-         \"snap_queries\": {},\n  \"incremental\": {},\n  \
+         \"snap_queries\": {},\n  \"incremental\": {},\n  \"fleet\": {},\n  \
          \"benchmarks\": [{}\n  ]\n}}\n",
         json_string(&label),
         created_unix,
@@ -456,6 +499,7 @@ fn main() {
         solset_json,
         snap_json,
         incremental_json,
+        fleet_json,
         benchmarks,
     );
 
@@ -676,6 +720,41 @@ fn incremental_json_section(benchmark: &str, scaling: &IncrementalScaling) -> St
         scaling.deltas_monotone,
         scaling.deltas_replayed,
         json_f64(scaling.reuse_ratio),
+        rows,
+    )
+}
+
+/// The `fleet` section: one row per shard width, with the routing traffic
+/// under its unified-counter names and the unsharded baseline's apply time
+/// in the header.
+fn fleet_json_section(scaling: &FleetScaling) -> String {
+    let mut rows = String::new();
+    for (i, row) in scaling.rows.iter().enumerate() {
+        if i > 0 {
+            rows.push(',');
+        }
+        let _ = write!(
+            rows,
+            "\n      {{\"shards\": {}, \"apply_ns\": {}, \"fleet.delta.routed\": {}, \
+             \"fleet.vars.fanout\": {}, \"max_shard_constraints\": {}, \
+             \"min_shard_constraints\": {}, \"matches_single\": {}}}",
+            row.shards,
+            row.apply_ns,
+            row.deltas_routed,
+            row.vars_fanout,
+            row.max_shard_constraints,
+            row.min_shard_constraints,
+            row.matches_single,
+        );
+    }
+    format!(
+        "{{\"script_seed\": {}, \"script_steps\": {}, \"partitions\": {}, \
+         \"threads\": {}, \"single_apply_ns\": {}, \"rows\": [{}\n    ]}}",
+        scaling.script_seed,
+        scaling.script_steps,
+        scaling.partitions,
+        scaling.threads,
+        scaling.single_apply_ns,
         rows,
     )
 }

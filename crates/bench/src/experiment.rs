@@ -1127,7 +1127,7 @@ pub fn run_incremental(
     script_seed: u64,
     reps: usize,
 ) -> IncrementalScaling {
-    use bane_serve::{Delta, GroupId, Session};
+    use bane_serve::{Delta, GroupId, SessionBuilder};
     use bane_synth::delta::{generate_delta_script, DeltaScriptConfig, DeltaStep, ScriptBindings};
 
     // --- Suite part: the one-function edit on a real benchmark. ---
@@ -1137,7 +1137,7 @@ pub fn run_incremental(
     let reference_problem = problem.clone();
 
     let start = Instant::now();
-    let mut session = Session::from_problem_grouped(problem, groups);
+    let mut session = SessionBuilder::new().build_grouped(problem, groups);
     let initial_solve_ns = start.elapsed().as_nanos();
     let groups = session.group_slots();
 
@@ -1178,8 +1178,7 @@ pub fn run_incremental(
     // --- Script part: a seeded edit history on a fresh session. ---
     let script = generate_delta_script(&DeltaScriptConfig::sized(script_steps, script_seed));
     script.validate().expect("generated script validates");
-    let mut session = Session::new(SolverConfig::if_online());
-    session.enable_obs();
+    let mut session = SessionBuilder::new().obs(true).build();
     let mut bind = ScriptBindings::bind(&mut session, &script);
     let mut ref_problem = Problem::new(SolverConfig::if_online());
     let mut ref_bind = ScriptBindings::bind(&mut ref_problem, &script);
@@ -1266,6 +1265,167 @@ pub fn run_incremental(
         deltas_monotone: rec.get(Counter::ServeDeltaMonotone),
         deltas_replayed: rec.get(Counter::ServeDeltaReplayed),
         reuse_ratio: if touched == 0 { 0.0 } else { reused_total as f64 / touched as f64 },
+        rows,
+    }
+}
+
+/// One shard width's row of the fleet serving table: the same partitioned
+/// [`DeltaScript`](bane_synth::delta::DeltaScript) driven through a
+/// [`ShardManager`](bane_serve::ShardManager) of `shards` sessions.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetRow {
+    /// Sessions in the fleet.
+    pub shards: usize,
+    /// Total wall time of every `ShardManager::apply` across the script
+    /// (one shot — applying mutates the fleet).
+    pub apply_ns: u128,
+    /// `fleet.delta.routed` — per-shard deltas dispatched by the router.
+    pub deltas_routed: u64,
+    /// `fleet.vars.fanout` — variables fanned to every shard to keep ids
+    /// globally aligned.
+    pub vars_fanout: u64,
+    /// Largest per-shard `constraints_added` — the loaded end of the
+    /// ownership map's balance.
+    pub max_shard_constraints: u64,
+    /// Smallest per-shard `constraints_added`.
+    pub min_shard_constraints: u64,
+    /// Whether every variable's routed `points_to` answer matched the
+    /// unsharded baseline session after the full script (must always be
+    /// `true`).
+    pub matches_single: bool,
+}
+
+/// Fleet serving measurements: one partitioned edit history over shard
+/// widths 1/2/4, against an unsharded single-session baseline.
+#[derive(Clone, Debug)]
+pub struct FleetScaling {
+    /// Seed of the generated script.
+    pub script_seed: u64,
+    /// Steps in the script.
+    pub script_steps: usize,
+    /// Ownership classes the generator confined each group to (every
+    /// measured width divides this).
+    pub partitions: u32,
+    /// Worker threads per session.
+    pub threads: usize,
+    /// Total `Session::apply` wall time of the unsharded baseline over the
+    /// same script.
+    pub single_apply_ns: u128,
+    /// One row per shard width.
+    pub rows: Vec<FleetRow>,
+}
+
+/// Runs the fleet serving experiment: generate one partitioned
+/// [`DeltaScript`](bane_synth::delta::DeltaScript) (`partitions = 4`, so
+/// ownership composes over every width in {1, 2, 4}), drive it through an
+/// unsharded baseline [`Session`](bane_serve::Session) and then through a
+/// [`ShardManager`](bane_serve::ShardManager) at each width, timing the
+/// apply path and recording the router's `fleet.*` counters plus the
+/// per-shard constraint balance.
+///
+/// Correctness is *checked*, not assumed: each row carries a
+/// `matches_single` verdict comparing every variable's routed answer
+/// against the baseline after the full script.
+pub fn run_fleet(script_steps: usize, script_seed: u64, threads: usize) -> FleetScaling {
+    use bane_serve::{Delta, GroupId, SessionBuilder, ShardManager};
+    use bane_synth::delta::{generate_delta_script, DeltaScriptConfig, DeltaStep, ScriptBindings};
+
+    const PARTITIONS: u32 = 4;
+    const WIDTHS: [usize; 3] = [1, 2, 4];
+    let script =
+        generate_delta_script(&DeltaScriptConfig::sharded(script_steps, script_seed, PARTITIONS));
+    script.validate().expect("generated script validates");
+    let builder = SessionBuilder::new().threads(threads).obs(true);
+
+    /// Builds the next step's delta against `bind`/`slots`, keeping both
+    /// maps current (the same closure shape drives baseline and fleet).
+    fn step_delta(
+        step: &DeltaStep,
+        bind: &mut ScriptBindings,
+        slots: &[GroupId],
+    ) -> (Delta, bool) {
+        let mut d = Delta::new();
+        let mut adds_group = false;
+        match step {
+            DeltaStep::GrowVars(n) => {
+                d.add_vars(*n);
+                let base = bind.vars.len();
+                bind.vars.extend((0..*n as usize).map(|k| Var::new(base + k)));
+            }
+            DeltaStep::AddGroup(cs) => {
+                d.add_group(bind.constraints(cs));
+                adds_group = true;
+            }
+            DeltaStep::EditGroup { slot, constraints } => {
+                d.edit_group(slots[*slot], bind.constraints(constraints));
+            }
+            DeltaStep::RemoveGroup { slot } => {
+                d.remove_group(slots[*slot]);
+            }
+        }
+        (d, adds_group)
+    }
+
+    // Unsharded baseline: one session fed the whole script.
+    let mut single = builder.build();
+    let mut sbind = ScriptBindings::bind(&mut single, &script);
+    let mut single_slots: Vec<GroupId> = Vec::new();
+    let mut single_apply_ns = 0u128;
+    for step in &script.steps {
+        let (d, adds_group) = step_delta(step, &mut sbind, &single_slots);
+        let start = Instant::now();
+        let report = single.apply(d);
+        single_apply_ns += start.elapsed().as_nanos();
+        if adds_group {
+            single_slots.push(report.new_groups[0]);
+        }
+    }
+
+    let mut rows = Vec::with_capacity(WIDTHS.len());
+    for shards in WIDTHS {
+        let mut fleet = ShardManager::new(&builder, shards);
+        let mut bind = ScriptBindings::bind(&mut fleet, &script);
+        let mut slots: Vec<GroupId> = Vec::new();
+        let mut apply_ns = 0u128;
+        for (i, step) in script.steps.iter().enumerate() {
+            let (d, adds_group) = step_delta(step, &mut bind, &slots);
+            let start = Instant::now();
+            let report = fleet.apply(d).unwrap_or_else(|e| {
+                panic!("step {i}: partitioned script must route over {shards} shards: {e}")
+            });
+            apply_ns += start.elapsed().as_nanos();
+            if adds_group {
+                slots.push(report.new_groups[0]);
+            }
+        }
+        let matches_single = bind
+            .vars
+            .iter()
+            .all(|&v| fleet.points_to(v) == single.points_to(v).to_vec().as_slice());
+        let (mut min_c, mut max_c) = (u64::MAX, 0u64);
+        for k in 0..shards {
+            let c = fleet.session(k).stats().constraints_added;
+            min_c = min_c.min(c);
+            max_c = max_c.max(c);
+        }
+        let rec = fleet.recorder().expect("obs enabled above");
+        rows.push(FleetRow {
+            shards,
+            apply_ns,
+            deltas_routed: rec.get(Counter::FleetDeltaRouted),
+            vars_fanout: rec.get(Counter::FleetVarsFanout),
+            max_shard_constraints: max_c,
+            min_shard_constraints: min_c,
+            matches_single,
+        });
+    }
+
+    FleetScaling {
+        script_seed,
+        script_steps: script.steps.len(),
+        partitions: PARTITIONS,
+        threads,
+        single_apply_ns,
         rows,
     }
 }
@@ -1548,6 +1708,36 @@ mod tests {
                 row.step
             );
         }
+    }
+
+    #[test]
+    fn fleet_rows_match_the_unsharded_baseline() {
+        let scaling = run_fleet(12, 0xba9e, 2);
+        assert_eq!(scaling.partitions, 4);
+        assert_eq!(scaling.script_steps, 12);
+        assert!(scaling.single_apply_ns > 0);
+        assert_eq!(
+            scaling.rows.iter().map(|r| r.shards).collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
+        for row in &scaling.rows {
+            assert!(row.matches_single, "{} shards diverged from the baseline", row.shards);
+            assert!(row.apply_ns > 0, "{} shards", row.shards);
+            assert!(row.deltas_routed > 0, "{} shards", row.shards);
+            assert!(
+                row.min_shard_constraints <= row.max_shard_constraints,
+                "{} shards",
+                row.shards
+            );
+        }
+        // Fanned variables scale with the width; a 1-shard fleet still
+        // routes every delta to its only session.
+        assert!(scaling.rows[2].vars_fanout >= scaling.rows[0].vars_fanout);
+        assert_eq!(
+            scaling.rows[0].max_shard_constraints,
+            scaling.rows[0].min_shard_constraints,
+            "one shard holds everything"
+        );
     }
 
     #[test]

@@ -183,11 +183,24 @@ pub enum Counter {
     /// Variables whose retained least-solution span was reused verbatim
     /// across a `Delta` application.
     ServeReuseHit = 52,
+
+    // -- fleet serving (bane-serve ShardManager, docs/SERVING.md) ---------
+    /// Per-shard deltas dispatched by the fleet router (one per shard a
+    /// batch actually touched).
+    FleetDeltaRouted = 53,
+    /// Variable creations replicated across the fleet by the `AddVars`
+    /// fan-out (`n` requested vars on an `S`-shard fleet count `n * S`).
+    FleetVarsFanout = 54,
+    /// Delta batches rejected atomically at the shard boundary (a group
+    /// straddled owner classes, moved owners, or named a dead group).
+    FleetRejectCrossShard = 55,
+    /// Per-shard snapshots republished into a `SnapshotHub`.
+    FleetPublish = 56,
 }
 
 impl Counter {
     /// Number of registered counters.
-    pub const COUNT: usize = 53;
+    pub const COUNT: usize = 57;
 
     /// Every counter, in canonical report order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -244,6 +257,10 @@ impl Counter {
         Counter::ServeDirtyLevels,
         Counter::ServeDirtyVars,
         Counter::ServeReuseHit,
+        Counter::FleetDeltaRouted,
+        Counter::FleetVarsFanout,
+        Counter::FleetRejectCrossShard,
+        Counter::FleetPublish,
     ];
 
     /// The stable dotted name used in reports and JSON.
@@ -302,6 +319,10 @@ impl Counter {
             Counter::ServeDirtyLevels => "serve.dirty.levels",
             Counter::ServeDirtyVars => "serve.dirty.vars",
             Counter::ServeReuseHit => "serve.reuse.hit",
+            Counter::FleetDeltaRouted => "fleet.delta.routed",
+            Counter::FleetVarsFanout => "fleet.vars.fanout",
+            Counter::FleetRejectCrossShard => "fleet.reject.cross-shard",
+            Counter::FleetPublish => "fleet.publish",
         }
     }
 

@@ -14,16 +14,25 @@
 //!   only the variables an edit actually dirtied, with every clean
 //!   variable's retained set reused byte-for-byte.
 //!
-//! Three modules:
+//! Five modules:
 //!
 //! - [`delta`]: the edit language — constraint **groups** (the unit of
 //!   re-parse), added, removed, or rewritten by a [`Delta`] batch;
+//! - [`builder`]: the [`SessionBuilder`], the one construction path for
+//!   sessions — every knob (solution-set backend, cycle elimination,
+//!   worker threads, batch depth, observability gate) in one reusable
+//!   recipe;
 //! - [`session`]: the long-lived [`Session`] — solved state plus
 //!   [`Session::apply`], with the monotone fast path vs canonical-replay
 //!   split and the byte-identity contract documented there;
+//! - [`fleet`]: the [`ShardManager`] — N sessions stamped from one
+//!   builder recipe behind a deterministic variable-ownership map, with
+//!   deltas routed to owning shards and snapshots republished into a
+//!   [`SnapshotHub`](bane_snap::SnapshotHub) for lock-free fleet queries;
 //! - [`proto`]: a framed request/response transport (`4-byte LE length +
-//!   UTF-8 text`) serving a session over any `Read + Write` pair —
-//!   stdin/stdout, pipes, or a Unix socket (`examples/serve_session.rs`).
+//!   UTF-8 text`, versioned `hello` handshake, `route` envelope) serving a
+//!   session or a fleet over any `Read + Write` pair — stdin/stdout,
+//!   pipes, or a Unix socket (`examples/serve_session.rs`).
 //!
 //! Observability: sessions with [`Session::enable_obs`] record
 //! `serve.delta.*`, `serve.dirty.*`, and `serve.reuse.hit` counters plus
@@ -40,9 +49,9 @@
 //!
 //! ```
 //! use bane_core::prelude::*;
-//! use bane_serve::{Delta, Session};
+//! use bane_serve::{Delta, SessionBuilder};
 //!
-//! let mut s = Session::new(SolverConfig::if_online());
+//! let mut s = SessionBuilder::new().build();
 //! let c = s.register_nullary("c");
 //! let src = s.term(c, vec![]);
 //! let (x, y) = (s.fresh_var(), s.fresh_var());
@@ -56,10 +65,16 @@
 
 #![deny(missing_docs)]
 
+pub mod builder;
 pub mod delta;
+pub mod fleet;
 pub mod proto;
 pub mod session;
 
+pub use builder::SessionBuilder;
 pub use delta::{Delta, DeltaOp, GroupId};
-pub use proto::{parse_request, read_frame, serve, write_frame, Request, Response};
+pub use fleet::{FleetError, FleetReport, ShardManager};
+pub use proto::{
+    parse_request, read_frame, serve, serve_fleet, write_frame, Request, Response, PROTO_VERSION,
+};
 pub use session::{ApplyReport, Session};

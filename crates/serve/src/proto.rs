@@ -18,6 +18,7 @@
 //! # Command language
 //!
 //! ```text
+//! hello [<version>]            negotiate the protocol (v2 adds routing)
 //! con <name> [+|-]...          register a constructor (variances; none = nullary)
 //! term <con-name> <arg>...     intern a term; args are v<i>, t<i>, one, zero
 //! vars <n>                     stage: create n fresh variables
@@ -30,10 +31,33 @@
 //! stats                        work / redundant / constraints counters
 //! levels                       last re-solve's dirty/total level counts
 //! snapshot <path>              publish a bane-snap snapshot
+//! route <k> <query>            address a read-only query to shard k (v2)
 //! quit                         end the serving loop
 //! ```
 //!
+//! # Versioning and fleets
+//!
+//! The protocol is versioned ([`PROTO_VERSION`], currently 2). Version 1
+//! had no handshake; v1 clients simply never send `hello`, and every v1
+//! command keeps its meaning, so they interoperate unchanged with v2
+//! servers. A v2 client opens with `hello <version>`; the server answers
+//! `ok proto=<server-version> shards=<n>`, telling the client both what
+//! the server speaks and how many shards stand behind the endpoint
+//! (always 1 for [`serve`]).
+//!
+//! [`serve_fleet`] serves the same language against a
+//! [`ShardManager`]: unrouted mutations stage into one fleet-level
+//! [`Delta`] that `commit` applies through the routing boundary, and
+//! unrouted `points-to`/`alias` resolve against the owning shard
+//! automatically. The v2 `route <k> <query>` envelope addresses a
+//! *read-only* query (`points-to`, `alias`, `stats`, `levels`,
+//! `snapshot`) to one shard explicitly — per-shard stats, per-shard
+//! snapshots, or a non-owner's (empty) view. Mutations inside `route` are
+//! rejected: group placement is the fleet boundary's decision, never the
+//! client's. See `docs/INCREMENTAL.md` for the frame grammar.
+//!
 //! [`ApplyReport`]: crate::ApplyReport
+//! [`ShardManager`]: crate::ShardManager
 
 use std::io::{self, Read, Write};
 
@@ -42,11 +66,17 @@ use bane_core::Variance;
 use bane_util::idx::Idx;
 
 use crate::delta::{Delta, GroupId};
+use crate::fleet::ShardManager;
 use crate::session::Session;
 
 /// Maximum accepted frame length (1 MiB) — guards the length-prefixed
 /// reader against garbage prefixes.
 pub const MAX_FRAME: u32 = 1 << 20;
+
+/// The protocol version this build speaks. Version 2 added the `hello`
+/// handshake and the `route` envelope; version 1 (no handshake) remains
+/// fully understood — see the [module docs](self).
+pub const PROTO_VERSION: u32 = 2;
 
 /// One parsed request. See the [module docs](self) for the text syntax.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -85,6 +115,15 @@ pub enum Request {
     Levels,
     /// `snapshot <path>`
     Snapshot(String),
+    /// `hello [<version>]` — protocol handshake (bare `hello` means v1).
+    Hello(u32),
+    /// `route <k> <query>` — address a read-only query to shard `k`.
+    Route {
+        /// Target shard.
+        shard: u32,
+        /// The enclosed query (never itself a `Route`).
+        inner: Box<Request>,
+    },
     /// `quit`
     Quit,
 }
@@ -220,13 +259,40 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }
             Ok(Request::Snapshot(rest.to_string()))
         }
+        "hello" => {
+            if rest.is_empty() {
+                return Ok(Request::Hello(1));
+            }
+            let v = rest.parse().map_err(|_| format!("hello: bad version `{rest}`"))?;
+            Ok(Request::Hello(v))
+        }
+        "route" => {
+            let shard_tok = toks.next().ok_or("route: missing shard")?;
+            let shard = shard_tok
+                .parse()
+                .map_err(|_| format!("route: bad shard `{shard_tok}`"))?;
+            let body = rest.split_once(char::is_whitespace).map_or("", |(_, b)| b).trim();
+            if body.is_empty() {
+                return Err("route: missing command".to_string());
+            }
+            let inner = parse_request(body)?;
+            match inner {
+                Request::Route { .. } => Err("route: cannot nest routes".to_string()),
+                Request::PointsTo(_)
+                | Request::Alias(..)
+                | Request::Stats
+                | Request::Levels
+                | Request::Snapshot(_) => Ok(Request::Route { shard, inner: Box::new(inner) }),
+                _ => Err("route: only read-only queries can be routed".to_string()),
+            }
+        }
         "quit" => Ok(Request::Quit),
         _ => Err(format!("unknown command `{cmd}`")),
     }
 }
 
 /// Whether two sorted, distinct slices intersect.
-fn intersects(a: &[TermId], b: &[TermId]) -> bool {
+pub(crate) fn intersects(a: &[TermId], b: &[TermId]) -> bool {
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -331,6 +397,169 @@ pub fn execute(session: &mut Session, pending: &mut Delta, req: Request) -> Resp
                 Err(e) => Response::Err(format!("snapshot failed: {e}")),
             }
         }
+        Request::Hello(_) => Response::Ok(format!("proto={PROTO_VERSION} shards=1")),
+        Request::Route { shard, inner } => {
+            // A single session is a 1-shard fleet: shard 0 exists.
+            if shard != 0 {
+                return Response::Err(format!("no such shard {shard} (server has 1)"));
+            }
+            execute(session, pending, *inner)
+        }
+        Request::Quit => Response::Ok("bye".to_string()),
+    }
+}
+
+/// Executes one request against a [`ShardManager`] fleet, staging
+/// mutations into the fleet-level `pending` delta. The counterpart of
+/// [`execute`] for [`serve_fleet`]; see the [module docs](self) for how
+/// the command language maps onto a fleet.
+pub fn execute_fleet(fleet: &mut ShardManager, pending: &mut Delta, req: Request) -> Response {
+    match req {
+        Request::RegisterCon { name, variances } => {
+            let con = if variances.is_empty() {
+                fleet.register_nullary(name)
+            } else {
+                fleet.register_con(name, variances)
+            };
+            Response::Ok(format!("c{}", con.index()))
+        }
+        Request::Term { con, args } => {
+            let found = fleet
+                .session(0)
+                .solver()
+                .cons()
+                .iter()
+                .find(|(_, sig)| sig.name() == con)
+                .map(|(c, _)| c);
+            let Some(con) = found else {
+                return Response::Err(format!("unknown constructor `{con}`"));
+            };
+            let t = fleet.term(con, args);
+            Response::Ok(format!("t{}", t.index()))
+        }
+        Request::AddVars(n) => {
+            pending.add_vars(n);
+            Response::Ok(format!("staged {n} vars"))
+        }
+        Request::AddGroup(constraints) => {
+            let n = constraints.len();
+            pending.add_group(constraints);
+            Response::Ok(format!("staged group ({n} constraints)"))
+        }
+        Request::EditGroup(g, constraints) => {
+            if fleet.group(g).is_none() {
+                return Response::Err(format!("no such group {g}"));
+            }
+            let n = constraints.len();
+            pending.edit_group(g, constraints);
+            Response::Ok(format!("staged edit {g} ({n} constraints)"))
+        }
+        Request::RemoveGroup(g) => {
+            if fleet.group(g).is_none() {
+                return Response::Err(format!("no such group {g}"));
+            }
+            pending.remove_group(g);
+            Response::Ok(format!("staged drop {g}"))
+        }
+        Request::Commit => {
+            let delta = std::mem::take(pending);
+            match fleet.apply(delta) {
+                Ok(report) => {
+                    let groups: Vec<String> =
+                        report.new_groups.iter().map(|g| g.to_string()).collect();
+                    let touched =
+                        report.shard_reports.iter().filter(|r| r.is_some()).count();
+                    Response::Ok(format!(
+                        "committed path={} groups=[{}] shards={}/{}",
+                        if report.monotone { "monotone" } else { "replay" },
+                        groups.join(","),
+                        touched,
+                        fleet.shard_count(),
+                    ))
+                }
+                // Atomic rejection: the staged delta is gone, the fleet
+                // unchanged — the client re-stages a corrected batch.
+                Err(e) => Response::Err(format!("rejected: {e}")),
+            }
+        }
+        Request::PointsTo(v) => {
+            let set: Vec<String> =
+                fleet.points_to(v).iter().map(|t| format!("t{}", t.index())).collect();
+            Response::Ok(format!("{{{}}}", set.join(",")))
+        }
+        Request::Alias(a, b) => {
+            Response::Ok(if fleet.alias(a, b) { "yes" } else { "no" }.to_string())
+        }
+        Request::Stats => {
+            // Unrouted stats aggregate across the fleet; `route <k> stats`
+            // reads one shard.
+            let (mut constraints, mut work, mut redundant) = (0u64, 0u64, 0u64);
+            for k in 0..fleet.shard_count() {
+                let s = fleet.session(k).stats();
+                constraints += s.constraints_added;
+                work += s.work;
+                redundant += s.redundant;
+            }
+            Response::Ok(format!(
+                "constraints={constraints} work={work} redundant={redundant}"
+            ))
+        }
+        Request::Levels => {
+            Response::Err("levels is per-shard on a fleet: use route <k> levels".to_string())
+        }
+        Request::Snapshot(_) => Response::Err(
+            "snapshot is per-shard on a fleet: use route <k> snapshot <path>".to_string(),
+        ),
+        Request::Hello(_) => {
+            Response::Ok(format!("proto={PROTO_VERSION} shards={}", fleet.shard_count()))
+        }
+        Request::Route { shard, inner } => {
+            let shard = shard as usize;
+            if shard >= fleet.shard_count() {
+                return Response::Err(format!(
+                    "no such shard {shard} (server has {})",
+                    fleet.shard_count()
+                ));
+            }
+            match *inner {
+                Request::PointsTo(v) => {
+                    let set: Vec<String> = fleet
+                        .shard_points_to(shard, v)
+                        .iter()
+                        .map(|t| format!("t{}", t.index()))
+                        .collect();
+                    Response::Ok(format!("{{{}}}", set.join(",")))
+                }
+                Request::Alias(a, b) => {
+                    let sa = fleet.shard_points_to(shard, a).to_vec();
+                    let sb = fleet.shard_points_to(shard, b);
+                    Response::Ok(if intersects(&sa, sb) { "yes" } else { "no" }.to_string())
+                }
+                Request::Stats => {
+                    let s = fleet.session(shard).stats();
+                    Response::Ok(format!(
+                        "constraints={} work={} redundant={}",
+                        s.constraints_added, s.work, s.redundant
+                    ))
+                }
+                Request::Levels => {
+                    let o = fleet.session(shard).last_outcome();
+                    Response::Ok(format!(
+                        "dirty-levels={}/{} dirty-vars={} reused={}",
+                        o.dirty_levels, o.total_levels, o.dirty_vars, o.reused_vars
+                    ))
+                }
+                Request::Snapshot(path) => {
+                    match fleet.shard_snapshot(shard, std::path::Path::new(&path)) {
+                        Ok(bytes) => Response::Ok(format!("snapshot {bytes} bytes")),
+                        Err(e) => Response::Err(format!("snapshot failed: {e}")),
+                    }
+                }
+                // parse_request only builds routable queries, but Route
+                // values can also be constructed directly.
+                _ => Response::Err("route: only read-only queries can be routed".to_string()),
+            }
+        }
         Request::Quit => Response::Ok("bye".to_string()),
     }
 }
@@ -411,6 +640,38 @@ pub fn serve(session: &mut Session, mut input: impl Read, mut output: impl Write
     Ok(())
 }
 
+/// Serves framed requests from `input` against a [`ShardManager`] fleet —
+/// the fleet counterpart of [`serve`], speaking the same command language
+/// (unrouted mutations stage into one fleet-level delta; `route <k>`
+/// addresses per-shard queries).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the framing layer.
+pub fn serve_fleet(
+    fleet: &mut ShardManager,
+    mut input: impl Read,
+    mut output: impl Write,
+) -> io::Result<()> {
+    let mut pending = Delta::new();
+    while let Some(line) = read_frame(&mut input)? {
+        let response = match parse_request(&line) {
+            Ok(req) => {
+                let quit = req == Request::Quit;
+                let resp = execute_fleet(fleet, &mut pending, req);
+                write_frame(&mut output, &resp.render())?;
+                if quit {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => Response::Err(e),
+        };
+        write_frame(&mut output, &response.render())?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,6 +704,96 @@ mod tests {
     }
 
     #[test]
+    fn parses_the_v2_extensions() {
+        assert_eq!(parse_request("hello").unwrap(), Request::Hello(1));
+        assert_eq!(parse_request("hello 2").unwrap(), Request::Hello(2));
+        assert!(parse_request("hello two").is_err());
+        assert_eq!(
+            parse_request("route 3 points-to v7").unwrap(),
+            Request::Route { shard: 3, inner: Box::new(Request::PointsTo(Var::new(7))) }
+        );
+        assert_eq!(
+            parse_request("route 0 snapshot /tmp/s.snap").unwrap(),
+            Request::Route { shard: 0, inner: Box::new(Request::Snapshot("/tmp/s.snap".into())) }
+        );
+        // Mutations and nested routes cannot be routed.
+        assert!(parse_request("route 1 vars 3").is_err());
+        assert!(parse_request("route 1 commit").is_err());
+        assert!(parse_request("route 1 route 0 stats").is_err());
+        assert!(parse_request("route 1").is_err());
+        assert!(parse_request("route x stats").is_err());
+    }
+
+    #[test]
+    fn single_session_answers_hello_and_shard_zero_routes() {
+        let mut session = crate::SessionBuilder::new().build();
+        let mut pending = Delta::new();
+        let hello = execute(&mut session, &mut pending, Request::Hello(2));
+        assert_eq!(hello, Response::Ok(format!("proto={PROTO_VERSION} shards=1")));
+        // v1 clients that do send a bare hello still get a v2 answer.
+        let hello1 = execute(&mut session, &mut pending, parse_request("hello").unwrap());
+        assert!(hello1.is_ok());
+        let ok = execute(&mut session, &mut pending, parse_request("route 0 stats").unwrap());
+        assert!(ok.is_ok(), "{ok:?}");
+        let err = execute(&mut session, &mut pending, parse_request("route 1 stats").unwrap());
+        assert!(!err.is_ok());
+    }
+
+    #[test]
+    fn fleet_over_frames_routes_and_rejects() {
+        let mut fleet = ShardManager::new(&crate::SessionBuilder::new(), 2);
+        let script = [
+            "hello 2",
+            "con c",
+            "term c",
+            "vars 4",
+            "group t2 <= v0 ; v0 <= v2", // shard 0 (even vars)
+            "group t2 <= v3",            // shard 1 (odd vars)
+            "commit",
+            "points-to v2",
+            "alias v2 v3", // cross-shard, via the shared source
+            "stats",       // aggregated
+            "route 1 stats",
+            "route 1 points-to v3",
+            "route 0 points-to v3", // non-owner's view: empty
+            "route 1 levels",
+            "levels",                // unrouted levels needs a route
+            "group v0 <= v1",        // straddles shards…
+            "commit",                // …so the commit is rejected atomically
+            "points-to v0",          // prior state intact
+            "quit",
+        ];
+        let mut input = Vec::new();
+        for line in script {
+            write_frame(&mut input, line).unwrap();
+        }
+        let mut output = Vec::new();
+        serve_fleet(&mut fleet, &input[..], &mut output).unwrap();
+
+        let mut r = &output[..];
+        let mut responses = Vec::new();
+        while let Some(f) = read_frame(&mut r).unwrap() {
+            responses.push(f);
+        }
+        assert_eq!(responses.len(), script.len());
+        assert_eq!(responses[0], "ok proto=2 shards=2");
+        assert_eq!(responses[1], "ok c2");
+        assert_eq!(responses[2], "ok t2");
+        assert!(responses[6].starts_with("ok committed path=monotone groups=[g0,g1] shards=2/2"));
+        assert_eq!(responses[7], "ok {t2}");
+        assert_eq!(responses[8], "ok yes");
+        assert!(responses[9].starts_with("ok constraints=3"), "{}", responses[9]);
+        assert!(responses[10].starts_with("ok constraints=1"), "{}", responses[10]);
+        assert_eq!(responses[11], "ok {t2}");
+        assert_eq!(responses[12], "ok {}");
+        assert!(responses[13].starts_with("ok dirty-levels="));
+        assert!(responses[14].starts_with("err levels is per-shard"));
+        assert!(responses[16].starts_with("err rejected: cross-shard group"));
+        assert_eq!(responses[17], "ok {t2}");
+        assert_eq!(responses[18], "ok bye");
+    }
+
+    #[test]
     fn frames_roundtrip() {
         let mut buf = Vec::new();
         write_frame(&mut buf, "hello").unwrap();
@@ -458,7 +809,7 @@ mod tests {
 
     #[test]
     fn end_to_end_session_over_frames() {
-        let mut session = Session::new(SolverConfig::if_online());
+        let mut session = crate::SessionBuilder::new().build();
         let script = [
             "con c",
             "term c",

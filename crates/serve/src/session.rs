@@ -83,9 +83,9 @@ pub struct ApplyReport {
 ///
 /// ```
 /// use bane_core::prelude::*;
-/// use bane_serve::{Delta, Session};
+/// use bane_serve::{Delta, SessionBuilder};
 ///
-/// let mut s = Session::new(SolverConfig::if_online());
+/// let mut s = SessionBuilder::new().build();
 /// let c = s.register_nullary("c");
 /// let src = s.term(c, vec![]);
 /// let (x, y) = (s.fresh_var(), s.fresh_var());
@@ -117,6 +117,7 @@ pub struct Session {
     solver: Solver,
     par: ParLeast,
     threads: usize,
+    batch_rounds: usize,
     kind: SolSetKind,
     ls: Option<LeastSolution>,
     revision: Option<GraphRevision>,
@@ -126,10 +127,40 @@ pub struct Session {
 
 impl Session {
     /// An empty session under `config`.
+    #[deprecated(note = "construct sessions through `SessionBuilder` (e.g. \
+                         `SessionBuilder::new().config(config).build()`)")]
+    pub fn new(config: SolverConfig) -> Self {
+        Session::empty(config)
+    }
+
+    /// A session adopting `problem`'s recording: its registration state
+    /// becomes the session's, and its recorded constraints become one
+    /// group, solved immediately.
+    #[deprecated(note = "construct sessions through `SessionBuilder` \
+                         (`SessionBuilder::new().build_from_problem(problem)`)")]
+    pub fn from_problem(problem: Problem) -> Self {
+        Session::adopt_grouped(problem, 1, 1)
+    }
+
+    /// Like `from_problem`, but splitting the recorded constraints into
+    /// `n_groups` contiguous groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_groups == 0` while the problem has constraints.
+    #[deprecated(note = "construct sessions through `SessionBuilder` \
+                         (`SessionBuilder::new().build_grouped(problem, n)`)")]
+    pub fn from_problem_grouped(problem: Problem, n_groups: usize) -> Self {
+        Session::adopt_grouped(problem, n_groups, 1)
+    }
+
+    /// An empty session under `config`: the [`SessionBuilder::build`] body.
     ///
     /// The least-solution backend is taken from `config.solset`; the worker
     /// count defaults to 1 (see [`set_threads`](Session::set_threads)).
-    pub fn new(config: SolverConfig) -> Self {
+    ///
+    /// [`SessionBuilder::build`]: crate::SessionBuilder::build
+    pub(crate) fn empty(config: SolverConfig) -> Self {
         let kind = config.solset;
         Session {
             problem: Problem::new(config),
@@ -137,6 +168,7 @@ impl Session {
             solver: Solver::new(config),
             par: ParLeast::new(),
             threads: 1,
+            batch_rounds: 1,
             kind,
             ls: None,
             revision: None,
@@ -145,21 +177,12 @@ impl Session {
         }
     }
 
-    /// A session adopting `problem`'s recording: its registration state
-    /// becomes the session's, and its recorded constraints become one
-    /// group, solved immediately.
-    pub fn from_problem(problem: Problem) -> Self {
-        Self::from_problem_grouped(problem, 1)
-    }
-
-    /// Like [`from_problem`](Session::from_problem), but splitting the
-    /// recorded constraints into `n_groups` contiguous groups — the
-    /// "one group per function" shape incremental experiments edit.
+    /// The [`SessionBuilder::build_grouped`] body: adopt `problem`'s
+    /// recording, split its constraints into `n_groups` contiguous groups,
+    /// and solve the result with `threads` revalidation workers.
     ///
-    /// # Panics
-    ///
-    /// Panics if `n_groups == 0` while the problem has constraints.
-    pub fn from_problem_grouped(mut problem: Problem, n_groups: usize) -> Self {
+    /// [`SessionBuilder::build_grouped`]: crate::SessionBuilder::build_grouped
+    pub(crate) fn adopt_grouped(mut problem: Problem, n_groups: usize, threads: usize) -> Self {
         let constraints = problem.split_off_constraints(0);
         let config = *problem.config();
         let kind = config.solset;
@@ -168,7 +191,8 @@ impl Session {
             problem,
             groups: Vec::new(),
             par: ParLeast::new(),
-            threads: 1,
+            threads: threads.max(1),
+            batch_rounds: 1,
             kind,
             ls: None,
             revision: None,
@@ -215,6 +239,25 @@ impl Session {
     /// The worker count used for revalidation.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Sets the recorded commit-batch depth (clamped to at least 1). See
+    /// [`batch_rounds`](Session::batch_rounds).
+    pub fn set_batch_rounds(&mut self, rounds: usize) {
+        self.batch_rounds = rounds.max(1);
+    }
+
+    /// The session's recorded commit-batch depth.
+    ///
+    /// Sessions themselves solve on the canonical sequential schedule (the
+    /// byte-identity contract leaves no room for a different one), so this
+    /// knob changes no observable; it is configuration metadata that
+    /// harnesses driving a frontier-batched engine beside the session (the
+    /// bench suite's `--batch-rounds`) stamp here so one
+    /// [`SessionBuilder`](crate::SessionBuilder) recipe carries the full
+    /// deployment configuration.
+    pub fn batch_rounds(&self) -> usize {
+        self.batch_rounds
     }
 
     /// The solution-set backend in use.
@@ -516,7 +559,7 @@ mod tests {
     use super::*;
 
     fn chain_session() -> (Session, Vec<Var>, TermId, GroupId) {
-        let mut s = Session::new(SolverConfig::if_online());
+        let mut s = crate::SessionBuilder::new().build();
         let c = s.register_nullary("c");
         let src = s.term(c, vec![]);
         let vars: Vec<Var> = (0..6).map(|_| s.fresh_var()).collect();
@@ -614,8 +657,7 @@ mod tests {
 
     #[test]
     fn obs_counters_track_applies() {
-        let mut s = Session::new(SolverConfig::if_online());
-        s.enable_obs();
+        let mut s = crate::SessionBuilder::new().obs(true).build();
         let c = s.register_nullary("c");
         let src = s.term(c, vec![]);
         let x = s.fresh_var();
@@ -645,7 +687,7 @@ mod tests {
         for w in vars.windows(2) {
             p.add(w[0], w[1]);
         }
-        let mut s = Session::from_problem_grouped(p, 3);
+        let mut s = crate::SessionBuilder::new().build_grouped(p, 3);
         assert_eq!(s.group_slots(), 3);
         assert_eq!(s.points_to(vars[7]), &[src]);
     }

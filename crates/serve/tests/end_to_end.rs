@@ -13,7 +13,7 @@
 use bane_core::prelude::*;
 use bane_obs::Counter;
 use bane_points_to::andersen;
-use bane_serve::{Delta, GroupId, Session};
+use bane_serve::{Delta, GroupId, SessionBuilder};
 use bane_synth::{suite_program, PAPER_SUITE};
 
 /// Groups the suite program's constraints into this many "functions".
@@ -40,8 +40,7 @@ fn one_function_edit_is_level_local_and_byte_identical() {
         assert!(total_constraints > GROUPS, "system large enough to group");
         let reference_problem = problem.clone();
 
-        let mut session = Session::from_problem_grouped(problem, GROUPS);
-        session.enable_obs();
+        let mut session = SessionBuilder::new().obs(true).build_grouped(problem, GROUPS);
         assert_eq!(session.group_slots(), GROUPS);
 
         // "Re-parse" one mid-program function: drop the group's last
@@ -102,8 +101,7 @@ fn one_function_edit_is_level_local_and_byte_identical() {
 #[test]
 fn monotone_growth_after_initial_solve_is_level_local() {
     let problem = suite_problem(SolSetKind::SortedSpan);
-    let mut session = Session::from_problem_grouped(problem, GROUPS);
-    session.enable_obs();
+    let mut session = SessionBuilder::new().obs(true).build_grouped(problem, GROUPS);
 
     // Append a small new "function": fresh variables fed from an existing
     // group's first constraint endpoint.

@@ -9,7 +9,7 @@
 //! 1/2/4/8 — none of which may change a single observable.
 
 use bane_core::prelude::*;
-use bane_serve::{Delta, GroupId, Session};
+use bane_serve::{Delta, GroupId, SessionBuilder};
 use bane_synth::delta::{
     generate_delta_script, DeltaScript, DeltaScriptConfig, DeltaStep, ScriptBindings,
 };
@@ -21,8 +21,7 @@ const THREADS: [usize; 4] = [1, 2, 4, 8];
 /// against a from-scratch reference.
 fn check_script(script: &DeltaScript, kind: SolSetKind, threads: usize) {
     let config = SolverConfig::if_online().with_solset(kind);
-    let mut session = Session::new(config);
-    session.set_threads(threads);
+    let mut session = SessionBuilder::new().config(config).threads(threads).build();
     let mut bind = ScriptBindings::bind(&mut session, script);
 
     // The reference keeps only registration state + the live group list;

@@ -15,11 +15,13 @@
 //! scale (default 0.2 for `--check`, 0.05 for the walkthrough).
 //!
 //! With `--reload` the example demonstrates **hot republish**: a live
-//! incremental `bane::serve::Session` grows the system and republishes the
-//! snapshot while reader threads keep answering queries through an
-//! `RwLock<Arc<QueryIndex>>` — a watcher thread detects the new snapshot
-//! by mtime and swaps in a freshly loaded index, so readers only ever hold
-//! an `Arc` clone and never block on the reload.
+//! incremental session grows the system and republishes the snapshot while
+//! reader threads keep answering queries through a one-slot
+//! `bane::snap::SnapshotHub` — a watcher thread detects the new snapshot
+//! by mtime and calls `publish_path`, which loads the fresh index *outside*
+//! the slot lock and swaps only the `Arc` pointer, so readers never block
+//! on the reload. The same hub scales to N slots for a sharded fleet (see
+//! `docs/SERVING.md`'s "Fleet" section).
 
 use bane::core::prelude::*;
 use bane::obs::Recorder;
@@ -166,37 +168,39 @@ fn run_walkthrough(scale: f64) {
 }
 
 /// Hot republish: a live incremental session republishes the snapshot; a
-/// watcher swaps a fresh `QueryIndex` behind an `RwLock<Arc<_>>` while
-/// reader threads keep serving.
+/// watcher republishes it into a one-slot `SnapshotHub` while reader
+/// threads keep serving off `Arc` clones of the current index.
 fn run_reload(scale: f64) {
-    use bane::serve::{Delta, Session};
-    use std::sync::{Arc, RwLock};
+    use bane::serve::{Delta, SessionBuilder};
+    use bane::snap::SnapshotHub;
+    use std::sync::Arc;
     use std::time::{Duration, SystemTime};
 
     println!("== 1. initial solve + publish ==");
     let program = povray(scale);
     let mut problem = Problem::new(SolverConfig::if_online());
     andersen::generate(&program, &mut problem);
-    let mut session = Session::from_problem_grouped(problem, 16);
-    session.set_threads(4);
+    let mut session = SessionBuilder::new().threads(4).build_grouped(problem, 16);
     let path = snapshot_path("reload");
     let bytes = session.publish_snapshot(&path).expect("publish snapshot");
     println!("published {bytes} bytes to {}", path.display());
 
-    let index = QueryIndex::load_with(&path, LoadMode::Auto, None).expect("load snapshot");
-    let n1 = index.var_count();
-    let current: Arc<RwLock<Arc<QueryIndex>>> = Arc::new(RwLock::new(Arc::new(index)));
+    // One hub slot = one shard; `ShardManager::publish_all` feeds the same
+    // hub one slot per shard.
+    let hub = Arc::new(SnapshotHub::new(1));
+    hub.publish_path(0, &path).expect("load snapshot");
+    let n1 = hub.get(0).expect("published").var_count();
     let stop = Arc::new(AtomicBool::new(false));
     let queries = Arc::new(AtomicUsize::new(0));
 
-    // Watcher: poll the snapshot's mtime; on change, load the fresh index
-    // off to the side and swap it in. Readers never wait on the load —
-    // only on the pointer swap.
+    // Watcher: poll the snapshot's mtime; on change, republish the slot.
+    // The hub loads the fresh index *outside* the slot lock and swaps only
+    // the pointer, so readers never wait on the load.
     let mtime = |p: &std::path::Path| -> SystemTime {
         std::fs::metadata(p).and_then(|m| m.modified()).unwrap_or(SystemTime::UNIX_EPOCH)
     };
     let watcher = {
-        let (current, stop, path) = (current.clone(), stop.clone(), path.clone());
+        let (hub, stop, path) = (hub.clone(), stop.clone(), path.clone());
         let mut last = mtime(&path);
         std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
@@ -204,22 +208,20 @@ fn run_reload(scale: f64) {
                 let now = mtime(&path);
                 if now != last {
                     last = now;
-                    let fresh = QueryIndex::load_with(&path, LoadMode::Auto, None)
-                        .expect("reload snapshot");
-                    *current.write().expect("index lock") = Arc::new(fresh);
+                    hub.publish_path(0, &path).expect("reload snapshot");
                 }
             }
         })
     };
 
-    // Readers: clone the Arc under a short read lock, then query lock-free.
+    // Readers: clone the slot's Arc, then query lock-free.
     let readers: Vec<_> = (0..2)
         .map(|w| {
-            let (current, stop, queries) = (current.clone(), stop.clone(), queries.clone());
+            let (hub, stop, queries) = (hub.clone(), stop.clone(), queries.clone());
             std::thread::spawn(move || {
                 let mut i = 0usize;
                 while !stop.load(Ordering::Relaxed) {
-                    let index = current.read().expect("index lock").clone();
+                    let index = hub.get(0).expect("slot published");
                     let n = index.var_count();
                     for _ in 0..256 {
                         let v = Var::new(i % n);
@@ -249,10 +251,11 @@ fn run_reload(scale: f64) {
     );
     session.publish_snapshot(&path).expect("republish snapshot");
 
-    // Wait for the watcher to swap the grown index in.
+    // Wait for the watcher to swap the grown index in (the slot's
+    // generation bumps on every publish).
     let deadline = Instant::now() + Duration::from_secs(10);
     let n2 = loop {
-        let n = current.read().expect("index lock").var_count();
+        let n = hub.get(0).expect("slot published").var_count();
         if n > n1 {
             break n;
         }
