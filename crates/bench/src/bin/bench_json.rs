@@ -141,6 +141,21 @@
 //! byte-identically; fleet runs never touch the timed solver
 //! configurations.
 //!
+//! `bane-bench/10` adds the **provenance fast-apply** columns to the
+//! `incremental` section (see docs/INCREMENTAL.md, "The two-tier
+//! contract"): every measured delta is also applied to an
+//! `ApplyMode::Fast` twin session, adding `fast_apply_ns` /
+//! `fast_repaired` / `fast_set_equal` per row, the same (plus
+//! `fast_byte_identical`) on `suite_edit`, and the `serve.fast.repaired` /
+//! `serve.fast.fallback` / `serve.fast.retracted-edges` unified-counter
+//! totals to the section header. `fast_set_equal` must always read `true`;
+//! `fast_byte_identical` is *expected* to read `false` after an in-place
+//! repair — Fast trades byte-parity of the work counters for not
+//! replaying the world — and `true` only when the edit fell back to
+//! replay. Every field that existed in `bane-bench/9` is emitted
+//! byte-identically; the Exact sessions and timed solver configurations
+//! are untouched.
+//!
 //! The JSON is hand-rolled (the build environment has no serde); the format
 //! is plain nested objects with no NaNs and no trailing commas, so any JSON
 //! parser can read it.
@@ -474,7 +489,7 @@ fn main() {
         .unwrap_or(0);
     let logical_cpus = bane_par::available_threads();
     let json = format!(
-        "{{\n  \"schema\": \"bane-bench/9\",\n  \"label\": {},\n  \
+        "{{\n  \"schema\": \"bane-bench/10\",\n  \"label\": {},\n  \
          \"created_unix\": {},\n  \"scale\": {},\n  \"max_ast\": {},\n  \
          \"reps\": {},\n  \"limit\": {},\n  \"threads\": {},\n  \
          \"batch_rounds\": {},\n  \"solset\": {},\n  \"git_revision\": {},\n  \
@@ -679,9 +694,11 @@ fn incremental_json_section(benchmark: &str, scaling: &IncrementalScaling) -> St
     let suite_edit = format!(
         "{{\"apply_ns\": {}, \"scratch_ns\": {}, \"dirty_levels\": {}, \
          \"total_levels\": {}, \"dirty_vars\": {}, \"reused_vars\": {}, \
-         \"byte_identical\": {}}}",
+         \"byte_identical\": {}, \"fast_apply_ns\": {}, \"fast_repaired\": {}, \
+         \"fast_set_equal\": {}, \"fast_byte_identical\": {}}}",
         e.apply_ns, e.scratch_ns, e.dirty_levels, e.total_levels, e.dirty_vars, e.reused_vars,
-        e.byte_identical,
+        e.byte_identical, e.fast_apply_ns, e.fast_repaired, e.fast_set_equal,
+        e.fast_byte_identical,
     );
     let mut rows = String::new();
     for (i, row) in scaling.rows.iter().enumerate() {
@@ -692,7 +709,8 @@ fn incremental_json_section(benchmark: &str, scaling: &IncrementalScaling) -> St
             rows,
             "\n      {{\"step\": {}, \"kind\": {}, \"monotone\": {}, \"apply_ns\": {}, \
              \"scratch_ns\": {}, \"dirty_levels\": {}, \"total_levels\": {}, \
-             \"dirty_vars\": {}, \"reused_vars\": {}, \"matches_reference\": {}}}",
+             \"dirty_vars\": {}, \"reused_vars\": {}, \"matches_reference\": {}, \
+             \"fast_apply_ns\": {}, \"fast_repaired\": {}, \"fast_set_equal\": {}}}",
             row.step,
             json_string(row.kind),
             row.monotone,
@@ -703,13 +721,18 @@ fn incremental_json_section(benchmark: &str, scaling: &IncrementalScaling) -> St
             row.dirty_vars,
             row.reused_vars,
             row.matches_reference,
+            row.fast_apply_ns,
+            row.fast_repaired,
+            row.fast_set_equal,
         );
     }
     format!(
         "{{\"benchmark\": {}, \"groups\": {}, \"initial_solve_ns\": {}, \
          \"suite_edit\": {},\n    \"script_seed\": {}, \"script_steps\": {}, \
          \"serve.delta.applied\": {}, \"serve.delta.monotone\": {}, \
-         \"serve.delta.replayed\": {}, \"reuse_ratio\": {}, \"rows\": [{}\n    ]}}",
+         \"serve.delta.replayed\": {}, \"serve.fast.repaired\": {}, \
+         \"serve.fast.fallback\": {}, \"serve.fast.retracted-edges\": {}, \
+         \"reuse_ratio\": {}, \"rows\": [{}\n    ]}}",
         json_string(benchmark),
         scaling.groups,
         scaling.initial_solve_ns,
@@ -719,6 +742,9 @@ fn incremental_json_section(benchmark: &str, scaling: &IncrementalScaling) -> St
         scaling.deltas_applied,
         scaling.deltas_monotone,
         scaling.deltas_replayed,
+        scaling.fast_repaired,
+        scaling.fast_fallbacks,
+        scaling.fast_retracted_edges,
         json_f64(scaling.reuse_ratio),
         rows,
     )

@@ -1035,6 +1035,19 @@ pub struct IncrementalRow {
     /// least-solution buffers) after non-monotone steps. Must always be
     /// `true`.
     pub matches_reference: bool,
+    /// Wall time of the identical delta on an `ApplyMode::Fast` twin
+    /// session (one shot): in-place provenance repair for non-monotone
+    /// steps, or replay fallback when the step invalidated a recorded
+    /// cycle collapse.
+    pub fast_apply_ns: u128,
+    /// Whether the Fast twin repaired this step in place (always `false`
+    /// for monotone steps, which take the same live path on both tiers).
+    pub fast_repaired: bool,
+    /// Whether the Fast twin's per-variable solution sets equal the
+    /// from-scratch reference's — the Fast contract; must always be
+    /// `true`. Byte parity of stats is deliberately *not* claimed here:
+    /// a repaired solver's counters reflect the retract/refire history.
+    pub fast_set_equal: bool,
 }
 
 /// The headline one-function-edit measurement on a real suite benchmark:
@@ -1056,8 +1069,23 @@ pub struct IncrementalEdit {
     /// Variables reused.
     pub reused_vars: usize,
     /// Whether stats, census, and least-solution bytes all matched the
-    /// from-scratch reference (must always be `true`).
+    /// from-scratch reference (must always be `true` — this is the
+    /// `ApplyMode::Exact` session's contract).
     pub byte_identical: bool,
+    /// Wall time of the identical edit on an `ApplyMode::Fast` twin
+    /// session (one shot).
+    pub fast_apply_ns: u128,
+    /// Whether the Fast twin repaired the edit in place (`false` = it
+    /// invalidated a recorded collapse and fell back to replay).
+    pub fast_repaired: bool,
+    /// Whether the Fast twin's per-variable sets equal the reference's
+    /// (must always be `true`).
+    pub fast_set_equal: bool,
+    /// Whether the Fast twin was *also* byte-identical to the reference.
+    /// Honestly `false` after an in-place repair — the repaired solver's
+    /// stats record the retract/refire history, not a replay; `true` only
+    /// when the edit fell back (a Fast replay is observable-neutral).
+    pub fast_byte_identical: bool,
 }
 
 /// Incremental serving measurements: the suite one-function edit plus a
@@ -1081,6 +1109,15 @@ pub struct IncrementalScaling {
     pub deltas_monotone: u64,
     /// `serve.delta.replayed` over the script session.
     pub deltas_replayed: u64,
+    /// `serve.fast.repaired` over the Fast twin session — non-monotone
+    /// steps repaired in place.
+    pub fast_repaired: u64,
+    /// `serve.fast.fallback` over the Fast twin session — non-monotone
+    /// steps that invalidated a collapse and replayed (the fallback rate
+    /// is `fast_fallbacks / (fast_repaired + fast_fallbacks)`).
+    pub fast_fallbacks: u64,
+    /// `serve.fast.retracted-edges` over the Fast twin session.
+    pub fast_retracted_edges: u64,
     /// Σ reused / Σ (reused + dirty) variables across the script's
     /// revalidation passes — the fraction of per-variable least-solution
     /// work the retained spans saved.
@@ -1127,7 +1164,7 @@ pub fn run_incremental(
     script_seed: u64,
     reps: usize,
 ) -> IncrementalScaling {
-    use bane_serve::{Delta, GroupId, SessionBuilder};
+    use bane_serve::{ApplyMode, Delta, GroupId, SessionBuilder};
     use bane_synth::delta::{generate_delta_script, DeltaScriptConfig, DeltaStep, ScriptBindings};
 
     // --- Suite part: the one-function edit on a real benchmark. ---
@@ -1135,20 +1172,27 @@ pub fn run_incremental(
     andersen::generate(program, &mut problem);
     let total_constraints = problem.constraints().len();
     let reference_problem = problem.clone();
+    let fast_problem = problem.clone();
 
     let start = Instant::now();
     let mut session = SessionBuilder::new().build_grouped(problem, groups);
     let initial_solve_ns = start.elapsed().as_nanos();
     let groups = session.group_slots();
+    let mut fast_session =
+        SessionBuilder::new().apply_mode(ApplyMode::Fast).build_grouped(fast_problem, groups);
 
     let g = GroupId::new(groups as u32 / 2);
     let original = session.group(g).expect("mid-program group is live").to_vec();
     let edited = original[..original.len().saturating_sub(1)].to_vec();
     let mut delta = Delta::new();
     delta.edit_group(g, edited.clone());
+    let fast_delta = delta.clone();
     let start = Instant::now();
     let report = session.apply(delta);
     let apply_ns = start.elapsed().as_nanos();
+    let start = Instant::now();
+    let fast_report = fast_session.apply(fast_delta);
+    let fast_apply_ns = start.elapsed().as_nanos();
 
     // The edited system, from scratch: splice the replacement into the
     // group's slice of the canonical constraint order.
@@ -1165,6 +1209,14 @@ pub fn run_incremental(
     let byte_identical = session.stats() == reference.stats()
         && session.census() == reference.census()
         && *session.least_solution() == reference.least_solution();
+    let n_vars = reference.graph_len();
+    let ref_ls = reference.least_solution();
+    let fast_set_equal = (0..n_vars)
+        .map(Var::new)
+        .all(|v| fast_session.points_to(v) == ref_ls.get(reference.find(v)));
+    let fast_byte_identical = fast_session.stats() == reference.stats()
+        && fast_session.census() == reference.census()
+        && *fast_session.least_solution() == ref_ls;
     let suite_edit = IncrementalEdit {
         apply_ns,
         scratch_ns,
@@ -1173,13 +1225,20 @@ pub fn run_incremental(
         dirty_vars: report.outcome.dirty_vars,
         reused_vars: report.outcome.reused_vars,
         byte_identical,
+        fast_apply_ns,
+        fast_repaired: fast_report.fast_repaired,
+        fast_set_equal,
+        fast_byte_identical,
     };
 
     // --- Script part: a seeded edit history on a fresh session. ---
     let script = generate_delta_script(&DeltaScriptConfig::sized(script_steps, script_seed));
     script.validate().expect("generated script validates");
     let mut session = SessionBuilder::new().obs(true).build();
+    let mut fast_session =
+        SessionBuilder::new().apply_mode(ApplyMode::Fast).obs(true).build();
     let mut bind = ScriptBindings::bind(&mut session, &script);
+    ScriptBindings::bind(&mut fast_session, &script);
     let mut ref_problem = Problem::new(SolverConfig::if_online());
     let mut ref_bind = ScriptBindings::bind(&mut ref_problem, &script);
     let mut ref_groups: Vec<Option<Vec<(SetExpr, SetExpr)>>> = Vec::new();
@@ -1213,9 +1272,13 @@ pub fn run_incremental(
                 ("remove-group", true)
             }
         };
+        let fast_delta = delta.clone();
         let start = Instant::now();
         let report = session.apply(delta);
         let apply_ns = start.elapsed().as_nanos();
+        let start = Instant::now();
+        let fast_report = fast_session.apply(fast_delta);
+        let fast_apply_ns = start.elapsed().as_nanos();
         if let DeltaStep::AddGroup(_) = step {
             slot_map.push(report.new_groups[0]);
         }
@@ -1237,6 +1300,10 @@ pub fn run_incremental(
                 && session.census() == reference.census()
                 && *session.least_solution() == ref_ls;
         }
+        let fast_set_equal = bind
+            .vars
+            .iter()
+            .all(|&v| fast_session.points_to(v) == ref_ls.get(reference.find(v)));
         reused_total += report.outcome.reused_vars as u64;
         dirty_total += report.outcome.dirty_vars as u64;
         rows.push(IncrementalRow {
@@ -1250,10 +1317,14 @@ pub fn run_incremental(
             dirty_vars: report.outcome.dirty_vars,
             reused_vars: report.outcome.reused_vars,
             matches_reference: matches,
+            fast_apply_ns,
+            fast_repaired: fast_report.fast_repaired,
+            fast_set_equal,
         });
     }
 
     let rec = session.recorder().expect("obs enabled above");
+    let fast_rec = fast_session.recorder().expect("obs enabled above");
     let touched = reused_total + dirty_total;
     IncrementalScaling {
         groups,
@@ -1264,6 +1335,9 @@ pub fn run_incremental(
         deltas_applied: rec.get(Counter::ServeDeltaApplied),
         deltas_monotone: rec.get(Counter::ServeDeltaMonotone),
         deltas_replayed: rec.get(Counter::ServeDeltaReplayed),
+        fast_repaired: fast_rec.get(Counter::ServeFastRepaired),
+        fast_fallbacks: fast_rec.get(Counter::ServeFastFallback),
+        fast_retracted_edges: fast_rec.get(Counter::ServeFastRetractedEdges),
         reuse_ratio: if touched == 0 { 0.0 } else { reused_total as f64 / touched as f64 },
         rows,
     }
@@ -1696,7 +1770,18 @@ mod tests {
         assert!(edit.byte_identical, "suite edit diverged from the from-scratch solve");
         assert!(edit.apply_ns > 0 && edit.scratch_ns > 0);
         assert!(edit.dirty_levels <= edit.total_levels);
+        assert!(edit.fast_apply_ns > 0);
+        assert!(edit.fast_set_equal, "Fast suite edit broke set equality");
+        if edit.fast_repaired {
+            assert!(
+                !edit.fast_byte_identical,
+                "a repaired solver's stats cannot match a replay's"
+            );
+        } else {
+            assert!(edit.fast_byte_identical, "a Fast fallback replay is observable-neutral");
+        }
 
+        let mut nonmono = 0u64;
         for row in &scaling.rows {
             assert!(row.matches_reference, "step {} ({}) diverged", row.step, row.kind);
             assert!(row.dirty_levels <= row.total_levels, "step {}", row.step);
@@ -1707,7 +1792,16 @@ mod tests {
                 "step {} path classification",
                 row.step
             );
+            assert!(row.fast_apply_ns > 0, "step {}", row.step);
+            assert!(row.fast_set_equal, "step {}: Fast twin broke set equality", row.step);
+            assert!(!(row.fast_repaired && row.monotone), "step {}", row.step);
+            nonmono += u64::from(!row.monotone);
         }
+        assert_eq!(
+            scaling.fast_repaired + scaling.fast_fallbacks,
+            nonmono,
+            "each non-monotone step repairs or falls back"
+        );
     }
 
     #[test]

@@ -146,6 +146,31 @@ impl<T: Copy + Eq + Hash> AdjList<T> {
         std::mem::take(&mut self.items)
     }
 
+    /// Removes the entries whose *position* fails `keep`, preserving the
+    /// order of the survivors; returns how many were removed.
+    ///
+    /// Only valid while entries are raw inserted ids (the provenance-tracking
+    /// solver disables compaction for exactly this reason): membership is
+    /// rebuilt from the surviving items, so a compaction-rewritten entry
+    /// would corrupt the dedup domain.
+    fn retain_positions(&mut self, mut keep: impl FnMut(usize, T) -> bool) -> usize {
+        let before = self.items.len();
+        let mut pos = 0usize;
+        self.items.retain(|&item| {
+            let k = keep(pos, item);
+            pos += 1;
+            k
+        });
+        let removed = before - self.items.len();
+        if removed > 0 && self.is_promoted() {
+            self.set.clear();
+            if self.items.len() > SMALL_DEGREE_MAX {
+                self.set.extend(self.items.iter().copied());
+            }
+        }
+        removed
+    }
+
     /// Whether the immediately preceding [`insert`](AdjList::insert) was the
     /// one that promoted this list: promotion happens exactly when a `New`
     /// insert pushes the length past [`SMALL_DEGREE_MAX`], so the list is
@@ -440,6 +465,41 @@ impl Graph {
         self.nodes[v].take()
     }
 
+    /// Removes predecessor-variable entries of `v` whose position fails
+    /// `keep`, preserving survivor order; returns the removed count and
+    /// bumps the predecessor revision when anything was removed.
+    ///
+    /// Requires raw (never-compacted) entries — see the provenance-tracking
+    /// solver, which disables [`compact_node`](Graph::compact_node) while
+    /// retraction is possible.
+    pub fn retain_pred_vars(&mut self, v: Var, keep: impl FnMut(usize, Var) -> bool) -> usize {
+        let removed = self.nodes[v].pred_vars.retain_positions(keep);
+        if removed > 0 {
+            self.pred_var_revision += 1;
+        }
+        removed
+    }
+
+    /// Successor-variable analogue of [`retain_pred_vars`](Graph::retain_pred_vars).
+    pub fn retain_succ_vars(&mut self, v: Var, keep: impl FnMut(usize, Var) -> bool) -> usize {
+        let removed = self.nodes[v].succ_vars.retain_positions(keep);
+        if removed > 0 {
+            self.succ_var_revision += 1;
+        }
+        removed
+    }
+
+    /// Source-edge analogue of [`retain_pred_vars`](Graph::retain_pred_vars)
+    /// (source/sink lists feed no search memo, so no revision is tracked).
+    pub fn retain_pred_srcs(&mut self, v: Var, keep: impl FnMut(usize, TermId) -> bool) -> usize {
+        self.nodes[v].pred_srcs.retain_positions(keep)
+    }
+
+    /// Sink-edge analogue of [`retain_pred_vars`](Graph::retain_pred_vars).
+    pub fn retain_succ_snks(&mut self, v: Var, keep: impl FnMut(usize, TermId) -> bool) -> usize {
+        self.nodes[v].succ_snks.retain_positions(keep)
+    }
+
     /// Monotone revision of the predecessor variable lists: bumped by every
     /// `Insert::New` predecessor insert and every
     /// [`take_edges`](Graph::take_edges); *not* bumped by redundant inserts,
@@ -654,6 +714,30 @@ mod tests {
         // After take, inserts classify as New again (fresh membership).
         assert_eq!(g.insert_pred_var(hub, Var::new(0)), Insert::New);
         assert_eq!(g.insert_pred_var(hub, Var::new(0)), Insert::Redundant);
+    }
+
+    #[test]
+    fn retain_removes_positionally_and_rebuilds_membership() {
+        let n = SMALL_DEGREE_MAX + 6;
+        let (mut g, _) = graph_with(n + 1);
+        let hub = Var::new(n);
+        for i in 0..n {
+            g.insert_succ_var(hub, Var::new(i));
+        }
+        let rev = g.succ_var_revision();
+        // Drop the even positions.
+        let removed = g.retain_succ_vars(hub, |pos, _| pos % 2 == 1);
+        assert_eq!(removed, n.div_ceil(2));
+        assert!(g.succ_var_revision() > rev, "removal bumps the revision");
+        let expect: Vec<Var> = (0..n).filter(|i| i % 2 == 1).map(Var::new).collect();
+        assert_eq!(g.node(hub).succ_vars(), expect.as_slice());
+        // Membership reflects the survivors: removed ids insert as New.
+        assert_eq!(g.insert_succ_var(hub, Var::new(0)), Insert::New);
+        assert_eq!(g.insert_succ_var(hub, Var::new(1)), Insert::Redundant);
+        // A no-op retain bumps nothing.
+        let rev = g.succ_var_revision();
+        assert_eq!(g.retain_succ_vars(hub, |_, _| true), 0);
+        assert_eq!(g.succ_var_revision(), rev);
     }
 
     #[test]

@@ -90,6 +90,7 @@ pub mod obs;
 pub mod oracle;
 pub mod order;
 pub mod problem;
+pub mod prov;
 pub mod scc;
 pub mod solset;
 pub mod solver;

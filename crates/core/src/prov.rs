@@ -1,0 +1,242 @@
+//! Per-group constraint provenance (the `fast_apply` side-table).
+//!
+//! A solver serving non-monotone deltas needs to answer, per graph fact,
+//! "which constraint groups does this fact's derivation depend on?". Tagging
+//! every edge with a full group *set* would be ruinously wide, so provenance
+//! is interned: a [`ProvId`] is a handle into a [`ProvTable`] that stores
+//! each distinct sorted group-id set exactly once. Edges carry a 4-byte
+//! `ProvId` in side arrays kept positionally parallel to the adjacency
+//! lists (see `Solver`'s prov mirrors), not a per-edge enum.
+//!
+//! Derived facts union the provenance of their premises
+//! ([`ProvTable::union`], memoized pairwise), so the invariant the
+//! `fast_apply` retraction relies on is *transitive*: if group `g` is not in
+//! `prov(e)`, then the derivation of `e` that the solver recorded used no
+//! fact of `g` anywhere in its tree, and `e` survives retracting `g`
+//! unchanged. The converse does **not** hold — the solver records only the
+//! *first* derivation of each fact, so a fact may carry `g` while another,
+//! `g`-free derivation exists. Retraction therefore over-deletes and
+//! re-derives (delete-and-rederive), which is sound.
+//!
+//! Two sentinel ids bound the lattice: [`ProvTable::EMPTY`] (no group — facts
+//! added outside any group, never retracted) and [`ProvTable::TOP`]
+//! ("depends on everything" — the saturation value for sets wider than
+//! [`MAX_PROV_GROUPS`] and for derivations whose premises cannot be
+//! attributed exactly, such as offline cycle-elimination sweeps). `TOP`
+//! intersects every retraction, forcing the conservative fallback path.
+
+use bane_util::FxHashMap;
+
+/// Interned handle to a sorted set of group ids in a [`ProvTable`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProvId(u32);
+
+impl ProvId {
+    /// The raw table index.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// Group-set width beyond which a provenance saturates to
+/// [`ProvTable::TOP`]. Keeps pathological unions (a fact downstream of
+/// hundreds of groups) from blowing up table memory; saturation is sound —
+/// it only widens the set of retractions that fall back to replay.
+pub const MAX_PROV_GROUPS: usize = 64;
+
+/// The provenance interner: each distinct sorted group-id set stored once.
+#[derive(Clone, Debug)]
+pub struct ProvTable {
+    /// Concatenated sorted group ids; `spans[p]` delimits set `p`.
+    ids: Vec<u32>,
+    spans: Vec<(u32, u32)>,
+    lookup: FxHashMap<Vec<u32>, ProvId>,
+    /// Pairwise union results, keyed with the smaller id first.
+    union_memo: FxHashMap<(ProvId, ProvId), ProvId>,
+    scratch: Vec<u32>,
+}
+
+impl Default for ProvTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProvTable {
+    /// The empty set: facts attributed to no group. Identity of
+    /// [`union`](ProvTable::union); never intersects a retraction.
+    pub const EMPTY: ProvId = ProvId(0);
+    /// The saturated "all groups" set. Absorbing under union; intersects
+    /// every retraction.
+    pub const TOP: ProvId = ProvId(1);
+
+    /// A table holding only the two sentinels.
+    pub fn new() -> Self {
+        let mut t = ProvTable {
+            ids: Vec::new(),
+            spans: Vec::new(),
+            lookup: FxHashMap::default(),
+            union_memo: FxHashMap::default(),
+            scratch: Vec::new(),
+        };
+        // Slot 0: EMPTY, slot 1: TOP. Neither is reachable through `lookup`
+        // (TOP is not a concrete id list), so they are pushed by hand.
+        t.spans.push((0, 0));
+        t.spans.push((0, 0));
+        t.lookup.insert(Vec::new(), Self::EMPTY);
+        t
+    }
+
+    /// Number of interned sets (including the sentinels).
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether only the sentinels exist.
+    pub fn is_empty(&self) -> bool {
+        self.spans.len() <= 2
+    }
+
+    /// The interned singleton `{group}`.
+    pub fn singleton(&mut self, group: u32) -> ProvId {
+        self.intern_sorted(&[group])
+    }
+
+    /// The members of `p`, sorted. `TOP` reports an empty slice — callers
+    /// must branch on [`is_top`](ProvTable::is_top) first when it matters.
+    pub fn members(&self, p: ProvId) -> &[u32] {
+        let (lo, hi) = self.spans[p.0 as usize];
+        &self.ids[lo as usize..hi as usize]
+    }
+
+    /// Whether `p` is the saturated sentinel.
+    pub fn is_top(&self, p: ProvId) -> bool {
+        p == Self::TOP
+    }
+
+    /// Whether group `g` is in `p` (`TOP` contains everything).
+    pub fn contains(&self, p: ProvId, g: u32) -> bool {
+        p == Self::TOP || self.members(p).binary_search(&g).is_ok()
+    }
+
+    /// Whether `p` intersects the sorted-or-not id list `groups`.
+    pub fn intersects(&self, p: ProvId, groups: &[u32]) -> bool {
+        if p == Self::TOP {
+            return !groups.is_empty();
+        }
+        groups.iter().any(|&g| self.contains(p, g))
+    }
+
+    /// The interned union of `a` and `b` (memoized; saturates to
+    /// [`TOP`](ProvTable::TOP) past [`MAX_PROV_GROUPS`]).
+    pub fn union(&mut self, a: ProvId, b: ProvId) -> ProvId {
+        if a == b || b == Self::EMPTY {
+            return a;
+        }
+        if a == Self::EMPTY {
+            return b;
+        }
+        if a == Self::TOP || b == Self::TOP {
+            return Self::TOP;
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&hit) = self.union_memo.get(&key) {
+            return hit;
+        }
+        let mut merged = std::mem::take(&mut self.scratch);
+        merged.clear();
+        {
+            let (xs, ys) = (self.members(a), self.members(b));
+            let (mut i, mut j) = (0, 0);
+            while i < xs.len() && j < ys.len() {
+                match xs[i].cmp(&ys[j]) {
+                    std::cmp::Ordering::Less => {
+                        merged.push(xs[i]);
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        merged.push(ys[j]);
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        merged.push(xs[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            merged.extend_from_slice(&xs[i..]);
+            merged.extend_from_slice(&ys[j..]);
+        }
+        let out = if merged.len() > MAX_PROV_GROUPS {
+            Self::TOP
+        } else {
+            self.intern_sorted(&merged)
+        };
+        self.scratch = merged;
+        self.union_memo.insert(key, out);
+        out
+    }
+
+    fn intern_sorted(&mut self, sorted: &[u32]) -> ProvId {
+        debug_assert!(sorted.windows(2).all(|w| w[0] < w[1]));
+        if let Some(&hit) = self.lookup.get(sorted) {
+            return hit;
+        }
+        let lo = self.ids.len() as u32;
+        self.ids.extend_from_slice(sorted);
+        let id = ProvId(self.spans.len() as u32);
+        self.spans.push((lo, self.ids.len() as u32));
+        self.lookup.insert(sorted.to_vec(), id);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinels_and_singletons() {
+        let mut t = ProvTable::new();
+        assert!(t.is_empty());
+        let a = t.singleton(3);
+        let a2 = t.singleton(3);
+        assert_eq!(a, a2, "interning dedups");
+        assert!(t.contains(a, 3));
+        assert!(!t.contains(a, 4));
+        assert!(!t.contains(ProvTable::EMPTY, 3));
+        assert!(t.contains(ProvTable::TOP, 3));
+        assert!(t.intersects(ProvTable::TOP, &[9]));
+        assert!(!t.intersects(ProvTable::TOP, &[]));
+    }
+
+    #[test]
+    fn union_merges_memoizes_and_respects_identities() {
+        let mut t = ProvTable::new();
+        let a = t.singleton(1);
+        let b = t.singleton(5);
+        let ab = t.union(a, b);
+        assert_eq!(t.members(ab), &[1, 5]);
+        assert_eq!(t.union(b, a), ab, "commutative via memo + interning");
+        assert_eq!(t.union(ab, a), ab, "absorbs subset");
+        assert_eq!(t.union(ProvTable::EMPTY, b), b);
+        assert_eq!(t.union(b, ProvTable::EMPTY), b);
+        assert_eq!(t.union(ProvTable::TOP, b), ProvTable::TOP);
+        let before = t.len();
+        let _ = t.union(a, b);
+        assert_eq!(t.len(), before, "memoized union interns nothing new");
+    }
+
+    #[test]
+    fn wide_unions_saturate_to_top() {
+        let mut t = ProvTable::new();
+        let mut acc = ProvTable::EMPTY;
+        for g in 0..(MAX_PROV_GROUPS as u32 + 1) {
+            let s = t.singleton(g);
+            acc = t.union(acc, s);
+        }
+        assert!(t.is_top(acc));
+        assert!(t.intersects(acc, &[MAX_PROV_GROUPS as u32 + 100]));
+    }
+}

@@ -45,6 +45,7 @@ use crate::graph::{Graph, GraphCensus, Insert};
 use crate::oracle::Partition;
 use crate::order::{OrderPolicy, VarOrder};
 use crate::problem::{ConstraintBuilder, Problem};
+use crate::prov::{ProvId, ProvTable};
 use crate::scc::{tarjan, SccStats};
 use crate::solset::SolSetKind;
 use crate::stats::Stats;
@@ -242,6 +243,53 @@ pub struct EngineParts {
     pub sink_terms: FxHashSet<TermId>,
 }
 
+/// Per-node provenance mirrors, positionally parallel to the node's four
+/// adjacency lists (same push order, taken/retained in lockstep). Possible
+/// only because the provenance-tracking solver disables eager compaction:
+/// entries stay raw forever, so positions never get rewritten under us.
+#[derive(Clone, Debug, Default)]
+struct NodeProv {
+    pred_vars: Vec<ProvId>,
+    succ_vars: Vec<ProvId>,
+    pred_srcs: Vec<ProvId>,
+    succ_snks: Vec<ProvId>,
+}
+
+/// Provenance-tracking state (the `fast_apply` side-table; see
+/// [`crate::prov`] and `docs/INCREMENTAL.md`). Boxed on the solver so the
+/// common untracked configuration pays one null check per probe.
+#[derive(Clone, Debug)]
+struct ProvState {
+    table: ProvTable,
+    /// Parallel to `Solver::pending`: the provenance of each queued
+    /// constraint (pushed and popped in lockstep with it).
+    pending_prov: VecDeque<ProvId>,
+    /// Ambient tag applied to constraints entering through
+    /// [`Solver::add`] (set by [`Solver::set_current_group`]).
+    current_group: ProvId,
+    /// Provenance of the constraint currently being processed; derived
+    /// facts union it with the provenance of the edges they meet.
+    current: ProvId,
+    /// Per-node mirrors, indexed like `Graph::nodes`.
+    nodes: Vec<NodeProv>,
+    /// One justification per collapse, in collapse order: the union of the
+    /// cycle's edge provenances plus the triggering constraint's. A
+    /// retraction intersecting any entry invalidates work that cannot be
+    /// locally undone (the forwarding is permanent), forcing full replay.
+    collapse_log: Vec<ProvId>,
+    /// Justification computed by the online search for the collapse it is
+    /// about to request; `None` (→ saturated `TOP`) for offline sweeps.
+    next_justification: Option<ProvId>,
+    /// Parallel to `Solver::errors`.
+    error_prov: Vec<ProvId>,
+    /// Endpoints of adjacency entries deleted by
+    /// [`Solver::retract_groups`], raw (canonicalized when consumed by
+    /// [`Solver::repair_refire`]). Every over-deleted fact is incident to a
+    /// damaged variable, which is what lets the repair pass re-fire only
+    /// scans near the damage instead of replaying every canonical edge.
+    damaged: Vec<Var>,
+}
+
 /// The inclusion-constraint solver.
 ///
 /// See the [module documentation](self) for an overview and example.
@@ -256,6 +304,10 @@ pub struct Solver {
     search: ChainSearch,
     memo: SearchMemo,
     pending: VecDeque<(SetExpr, SetExpr)>,
+    /// Provenance tracking (the `fast_apply` side-table). `None` unless
+    /// [`enable_provenance`](Solver::enable_provenance) was called before
+    /// any constraint was added; the untracked path pays one null check.
+    prov: Option<Box<ProvState>>,
     // Reusable buffers: steady-state resolution must not allocate per
     // processed constraint, so the cycle path, the collapse member list, and
     // the periodic-pass Tarjan bookkeeping all live on the solver and are
@@ -365,6 +417,7 @@ impl Solver {
             search: ChainSearch::new(1024),
             memo: SearchMemo::new(),
             pending: VecDeque::new(),
+            prov: None,
             path_buf: Vec::new(),
             members_buf: Vec::new(),
             cycle_sweep: CycleSweep::default(),
@@ -484,6 +537,286 @@ impl Solver {
         (self.memo.hits(), self.memo.misses())
     }
 
+    // ------------------------------------------------------------------
+    // Constraint provenance (the serve-layer `fast_apply` contract;
+    // see crate::prov and docs/INCREMENTAL.md)
+    // ------------------------------------------------------------------
+
+    /// Turns on per-group constraint provenance tracking.
+    ///
+    /// Must precede all constraints: the side-table mirrors the adjacency
+    /// lists positionally, so facts derived before tracking began cannot be
+    /// attributed. Tracking disables eager adjacency compaction — compaction
+    /// rewrites list entries in place, which would desynchronize the
+    /// positional mirrors. Compaction is observable-neutral (see
+    /// [`Graph::compact_node`]), so this changes throughput, not results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if constraints were already added.
+    pub fn enable_provenance(&mut self) {
+        assert_eq!(
+            self.stats.constraints_added, 0,
+            "enable_provenance must precede all constraints"
+        );
+        if self.prov.is_some() {
+            return;
+        }
+        self.prov = Some(Box::new(ProvState {
+            table: ProvTable::new(),
+            pending_prov: VecDeque::new(),
+            current_group: ProvTable::EMPTY,
+            current: ProvTable::EMPTY,
+            nodes: vec![NodeProv::default(); self.graph.len()],
+            collapse_log: Vec::new(),
+            next_justification: None,
+            error_prov: Vec::new(),
+            damaged: Vec::new(),
+        }));
+    }
+
+    /// Whether [`enable_provenance`](Solver::enable_provenance) was called.
+    pub fn provenance_enabled(&self) -> bool {
+        self.prov.is_some()
+    }
+
+    /// Sets the constraint-group tag applied to subsequent
+    /// [`add`](Solver::add) calls (`None` → untagged: facts that are never
+    /// retracted). No-op without provenance tracking.
+    pub fn set_current_group(&mut self, group: Option<u32>) {
+        if let Some(p) = &mut self.prov {
+            p.current_group = match group {
+                Some(g) => p.table.singleton(g),
+                None => ProvTable::EMPTY,
+            };
+        }
+    }
+
+    /// Whether retracting `groups` would invalidate a recorded cycle
+    /// collapse.
+    ///
+    /// Collapses rewrite the graph irreversibly — members forward to the
+    /// witness and their edges are merged — so a retraction intersecting any
+    /// collapse justification cannot be repaired in place; the caller must
+    /// fall back to full replay. Conservatively `true` without provenance.
+    pub fn retraction_invalidates_collapse(&self, groups: &[u32]) -> bool {
+        match &self.prov {
+            Some(p) => p.collapse_log.iter().any(|&j| p.table.intersects(j, groups)),
+            None => true,
+        }
+    }
+
+    /// Recorded collapse justifications (one provenance per collapse).
+    pub fn collapse_log_len(&self) -> usize {
+        self.prov.as_ref().map_or(0, |p| p.collapse_log.len())
+    }
+
+    /// Deletes every graph fact whose recorded derivation intersects
+    /// `groups`, plus the inconsistencies attributed to them. Returns the
+    /// number of removed adjacency entries.
+    ///
+    /// This over-deletes by design: only the *first* derivation of each fact
+    /// is recorded, so a fact is dropped even when a surviving derivation
+    /// exists. Callers re-inject the retained groups' atomic constraints,
+    /// call [`repair_refire`](Solver::repair_refire), and drain, which
+    /// re-derives the closure (delete-and-rederive) soundly.
+    ///
+    /// # Panics
+    ///
+    /// Panics without provenance tracking or with a non-empty worklist;
+    /// [`retraction_invalidates_collapse`](Solver::retraction_invalidates_collapse)
+    /// must be `false` for the repair to be meaningful (debug-asserted).
+    pub fn retract_groups(&mut self, groups: &[u32]) -> u64 {
+        assert!(
+            self.pending.is_empty(),
+            "retract_groups requires a drained worklist"
+        );
+        let Some(p) = &mut self.prov else {
+            panic!("retract_groups requires enable_provenance");
+        };
+        debug_assert!(
+            !p.collapse_log.iter().any(|&j| p.table.intersects(j, groups)),
+            "retraction invalidates a collapse; caller must replay instead"
+        );
+        let mut removed = 0u64;
+        let ProvState { table, nodes, error_prov, damaged, .. } = &mut **p;
+        for (i, mirror) in nodes.iter_mut().enumerate() {
+            let v = Var::new(i);
+            let at_v = removed;
+            // The graph retains by position, the mirror by value; the
+            // predicate depends only on the mirror value at each position,
+            // so both keep exactly the same entries. Deleted entries record
+            // their endpoints as damaged, which is what the targeted
+            // [`repair_refire`](Solver::repair_refire) pass keys on.
+            removed += self
+                .graph
+                .retain_pred_vars(v, |pos, l| {
+                    let keep = !table.intersects(mirror.pred_vars[pos], groups);
+                    if !keep {
+                        damaged.push(l);
+                    }
+                    keep
+                }) as u64;
+            mirror.pred_vars.retain(|&pr| !table.intersects(pr, groups));
+            removed += self
+                .graph
+                .retain_succ_vars(v, |pos, r| {
+                    let keep = !table.intersects(mirror.succ_vars[pos], groups);
+                    if !keep {
+                        damaged.push(r);
+                    }
+                    keep
+                }) as u64;
+            mirror.succ_vars.retain(|&pr| !table.intersects(pr, groups));
+            removed += self
+                .graph
+                .retain_pred_srcs(v, |pos, _| !table.intersects(mirror.pred_srcs[pos], groups))
+                as u64;
+            mirror.pred_srcs.retain(|&pr| !table.intersects(pr, groups));
+            removed += self
+                .graph
+                .retain_succ_snks(v, |pos, _| !table.intersects(mirror.succ_snks[pos], groups))
+                as u64;
+            mirror.succ_snks.retain(|&pr| !table.intersects(pr, groups));
+            if removed > at_v {
+                damaged.push(v);
+            }
+        }
+        let mut i = 0;
+        let ep = &*error_prov;
+        self.errors.retain(|_| {
+            let keep = !table.intersects(ep[i], groups);
+            i += 1;
+            keep
+        });
+        error_prov.retain(|&pr| !table.intersects(pr, groups));
+        removed
+    }
+
+    /// Schedules the targeted re-derivation pass after
+    /// [`retract_groups`](Solver::retract_groups) (delete-and-rederive).
+    ///
+    /// Retraction over-deletes: only the first derivation of each fact is
+    /// recorded, so facts with a surviving alternative derivation are gone
+    /// too. Every closure rule here is binary with both premises co-located
+    /// at a pivot variable, and any deleted fact has *damaged* endpoints
+    /// (recorded during retraction), so the only rule instances able to
+    /// re-derive an over-deleted fact from facts that survived are
+    ///
+    /// - a transitive scan through a surviving adjacency entry whose far
+    ///   endpoint is damaged (the deleted consequence inherits that
+    ///   endpoint from the premise), and
+    /// - a structural meet `s ⊆ t` whose decomposition can emit an edge
+    ///   between damaged argument variables — detectable as `s` or `t`
+    ///   containing a damaged variable among its (transitive) arguments.
+    ///
+    /// This method re-fires exactly those instances, each once, pushing
+    /// their consequences onto the worklist. The caller re-injects the live
+    /// groups' atomic constraints (covering direct facts whose recorded
+    /// first derivation was transitive) and drains with
+    /// [`solve`](Solver::solve); instances needing a premise that is itself
+    /// re-derived fire through the normal closure scans as those premises
+    /// re-insert, completing the fixpoint.
+    pub fn repair_refire(&mut self) {
+        let Some(p) = &mut self.prov else { return };
+        let raw = std::mem::take(&mut p.damaged);
+        if raw.is_empty() {
+            return;
+        }
+        let mut damaged = vec![false; self.graph.len()];
+        for v in raw {
+            damaged[self.fwd.find(v).raw() as usize] = true;
+        }
+        // A term is damage-relevant iff some argument variable, at any
+        // nesting depth, is damaged. Arguments intern before their parent,
+        // so one ascending pass settles the recursion.
+        let mut relevant = vec![false; self.terms.len()];
+        for id in 0..self.terms.len() {
+            let t = TermId::new(id);
+            let hit = (0..self.terms.data(t).args().len()).any(|k| {
+                match self.terms.data(t).args()[k] {
+                    SetExpr::Var(a) => damaged[self.fwd.find(a).raw() as usize],
+                    SetExpr::Term(u) => {
+                        debug_assert!(u < t, "arguments intern before parents");
+                        relevant[u.raw() as usize]
+                    }
+                    _ => false,
+                }
+            });
+            relevant[id] = hit;
+        }
+        // Collect the re-fires first (the scans need `&mut self`), deduped:
+        // a scan per (pivot, canonical far endpoint) and a meet per (s, t).
+        let mut seen: FxHashSet<(u8, u32, u32)> = FxHashSet::default();
+        let mut scans: Vec<(bool, Var, SetExpr, ProvId)> = Vec::new();
+        let mut meets: Vec<(TermId, TermId, ProvId, ProvId)> = Vec::new();
+        for i in 0..self.graph.len() {
+            let v = Var::new(i);
+            for j in 0..self.graph.node(v).succ_vars().len() {
+                let rc = self.fwd.find(self.graph.node(v).succ_vars()[j]);
+                if damaged[rc.raw() as usize] && seen.insert((0, v.raw(), rc.raw())) {
+                    let pr = self.prov.as_ref().expect("checked").nodes[i].succ_vars[j];
+                    scans.push((true, v, SetExpr::Var(rc), pr));
+                }
+            }
+            for j in 0..self.graph.node(v).pred_vars().len() {
+                let lc = self.fwd.find(self.graph.node(v).pred_vars()[j]);
+                if damaged[lc.raw() as usize] && seen.insert((1, v.raw(), lc.raw())) {
+                    let pr = self.prov.as_ref().expect("checked").nodes[i].pred_vars[j];
+                    scans.push((false, v, SetExpr::Var(lc), pr));
+                }
+            }
+            for j in 0..self.graph.node(v).pred_srcs().len() {
+                let s = self.graph.node(v).pred_srcs()[j];
+                if relevant[s.raw() as usize] {
+                    let ps = self.prov.as_ref().expect("checked").nodes[i].pred_srcs[j];
+                    for k in 0..self.graph.node(v).succ_snks().len() {
+                        let t = self.graph.node(v).succ_snks()[k];
+                        if seen.insert((2, s.raw(), t.raw())) {
+                            let pt = self.prov.as_ref().expect("checked").nodes[i].succ_snks[k];
+                            meets.push((s, t, ps, pt));
+                        }
+                    }
+                }
+            }
+            for j in 0..self.graph.node(v).succ_snks().len() {
+                let t = self.graph.node(v).succ_snks()[j];
+                if relevant[t.raw() as usize] {
+                    let pt = self.prov.as_ref().expect("checked").nodes[i].succ_snks[j];
+                    for k in 0..self.graph.node(v).pred_srcs().len() {
+                        let s = self.graph.node(v).pred_srcs()[k];
+                        if seen.insert((2, s.raw(), t.raw())) {
+                            let ps = self.prov.as_ref().expect("checked").nodes[i].pred_srcs[k];
+                            meets.push((s, t, ps, pt));
+                        }
+                    }
+                }
+            }
+        }
+        // The scans union the triggering entry's provenance (set as
+        // `current`) with each co-located premise's mirror entry, so every
+        // re-derived fact records a derivation that is valid *after* the
+        // retraction.
+        for (is_pred, pivot, operand, pr) in scans {
+            self.prov.as_mut().expect("checked").current = pr;
+            if is_pred {
+                self.fire_pred_scan(pivot, operand);
+            } else {
+                self.fire_succ_scan(pivot, operand);
+            }
+        }
+        for (s, t, ps, pt) in meets {
+            {
+                let p = self.prov.as_mut().expect("checked");
+                p.current = p.table.union(ps, pt);
+            }
+            self.resolve_terms(s, t);
+        }
+        if let Some(p) = &mut self.prov {
+            p.current = ProvTable::EMPTY;
+        }
+    }
+
     /// Registers a constructor with explicit argument variances.
     pub fn register_con(&mut self, name: impl Into<String>, variances: Vec<Variance>) -> Con {
         self.cons.register(name, variances)
@@ -520,6 +853,9 @@ impl Solver {
             }
         }
         let v = self.graph.push_node();
+        if let Some(p) = &mut self.prov {
+            p.nodes.push(NodeProv::default());
+        }
         let f = self.fwd.push();
         debug_assert_eq!(v, f);
         self.order.assign(v);
@@ -541,7 +877,31 @@ impl Solver {
     /// process it; constraints may be added incrementally between calls.
     pub fn add(&mut self, lhs: impl Into<SetExpr>, rhs: impl Into<SetExpr>) {
         self.stats.constraints_added += 1;
+        if let Some(p) = &mut self.prov {
+            let g = p.current_group;
+            p.pending_prov.push_back(g);
+        }
         self.pending.push_back((lhs.into(), rhs.into()));
+    }
+
+    /// Queues a derived constraint carrying the in-flight provenance.
+    #[inline]
+    fn push_pending(&mut self, lhs: SetExpr, rhs: SetExpr) {
+        if let Some(p) = &mut self.prov {
+            let pr = p.current;
+            p.pending_prov.push_back(pr);
+        }
+        self.pending.push_back((lhs, rhs));
+    }
+
+    /// Queues a derived constraint with an explicit provenance (collapse
+    /// re-assertions, whose edges carry their own recorded provenance).
+    #[inline]
+    fn push_pending_with(&mut self, lhs: SetExpr, rhs: SetExpr, prov: ProvId) {
+        if let Some(p) = &mut self.prov {
+            p.pending_prov.push_back(prov);
+        }
+        self.pending.push_back((lhs, rhs));
     }
 
     /// Resolves all pending constraints, closing the graph transitively.
@@ -590,6 +950,9 @@ impl Solver {
             _ => 0,
         };
         while let Some((lhs, rhs)) = self.pending.pop_front() {
+            if let Some(p) = &mut self.prov {
+                p.current = p.pending_prov.pop_front().unwrap_or(ProvTable::EMPTY);
+            }
             self.process(lhs, rhs, closure);
             if periodic != 0 && self.stats.constraints_processed.is_multiple_of(periodic) {
                 self.offline_collapse();
@@ -626,6 +989,10 @@ impl Solver {
 
     fn inconsistent(&mut self, err: Inconsistency) {
         self.stats.inconsistencies += 1;
+        if let Some(p) = &mut self.prov {
+            let pr = p.current;
+            p.error_prov.push(pr);
+        }
         #[cfg(feature = "obs")]
         self.obs_emit(Event::Inconsistency);
         self.errors.push(err);
@@ -694,8 +1061,92 @@ impl Solver {
             let a = self.terms.data(s).args()[i];
             let b = self.terms.data(t).args()[i];
             match self.cons.signature(sc).variances()[i] {
-                Variance::Covariant => self.pending.push_back((a, b)),
-                Variance::Contravariant => self.pending.push_back((b, a)),
+                Variance::Covariant => self.push_pending(a, b),
+                Variance::Contravariant => self.push_pending(b, a),
+            }
+        }
+    }
+
+    /// Fires the closure rule over `pivot`'s successor lists: `lhs ⊆ R` for
+    /// every successor `R`. The untracked arm is byte-identical to the
+    /// historical inline code, including the eager compaction that the
+    /// provenance arm must skip (it would rewrite list entries out from
+    /// under the positional mirrors); the provenance arm unions the
+    /// triggering constraint's provenance into each derived constraint.
+    fn fire_succ_scan(&mut self, pivot: Var, lhs: SetExpr) {
+        match &mut self.prov {
+            None => {
+                self.graph.compact_node(pivot, &self.fwd);
+                let node = self.graph.node(pivot);
+                for &r in node.succ_vars() {
+                    self.pending.push_back((lhs, SetExpr::Var(r)));
+                }
+                for &r in node.succ_snks() {
+                    self.pending.push_back((lhs, SetExpr::Term(r)));
+                }
+            }
+            Some(p) => {
+                let ProvState { table, nodes, pending_prov, current, .. } = &mut **p;
+                let node = self.graph.node(pivot);
+                let mirror = &nodes[pivot.raw() as usize];
+                debug_assert_eq!(node.succ_vars().len(), mirror.succ_vars.len());
+                debug_assert_eq!(node.succ_snks().len(), mirror.succ_snks.len());
+                for (i, &r) in node.succ_vars().iter().enumerate() {
+                    pending_prov.push_back(table.union(*current, mirror.succ_vars[i]));
+                    self.pending.push_back((lhs, SetExpr::Var(r)));
+                }
+                for (i, &r) in node.succ_snks().iter().enumerate() {
+                    pending_prov.push_back(table.union(*current, mirror.succ_snks[i]));
+                    self.pending.push_back((lhs, SetExpr::Term(r)));
+                }
+            }
+        }
+    }
+
+    /// The predecessor twin of [`fire_succ_scan`](Solver::fire_succ_scan):
+    /// `L ⊆ rhs` for every predecessor `L` of `pivot`.
+    fn fire_pred_scan(&mut self, pivot: Var, rhs: SetExpr) {
+        match &mut self.prov {
+            None => {
+                self.graph.compact_node(pivot, &self.fwd);
+                let node = self.graph.node(pivot);
+                for &l in node.pred_srcs() {
+                    self.pending.push_back((SetExpr::Term(l), rhs));
+                }
+                for &l in node.pred_vars() {
+                    self.pending.push_back((SetExpr::Var(l), rhs));
+                }
+            }
+            Some(p) => {
+                let ProvState { table, nodes, pending_prov, current, .. } = &mut **p;
+                let node = self.graph.node(pivot);
+                let mirror = &nodes[pivot.raw() as usize];
+                debug_assert_eq!(node.pred_srcs().len(), mirror.pred_srcs.len());
+                debug_assert_eq!(node.pred_vars().len(), mirror.pred_vars.len());
+                for (i, &l) in node.pred_srcs().iter().enumerate() {
+                    pending_prov.push_back(table.union(*current, mirror.pred_srcs[i]));
+                    self.pending.push_back((SetExpr::Term(l), rhs));
+                }
+                for (i, &l) in node.pred_vars().iter().enumerate() {
+                    pending_prov.push_back(table.union(*current, mirror.pred_vars[i]));
+                    self.pending.push_back((SetExpr::Var(l), rhs));
+                }
+            }
+        }
+    }
+
+    /// Records the provenance of a freshly inserted adjacency entry in the
+    /// positional mirror (no-op untracked).
+    #[inline]
+    fn mirror_push(&mut self, v: Var, list: u8) {
+        if let Some(p) = &mut self.prov {
+            let pr = p.current;
+            let mirror = &mut p.nodes[v.raw() as usize];
+            match list {
+                0 => mirror.pred_vars.push(pr),
+                1 => mirror.succ_vars.push(pr),
+                2 => mirror.pred_srcs.push(pr),
+                _ => mirror.succ_snks.push(pr),
             }
         }
     }
@@ -708,18 +1159,12 @@ impl Solver {
             self.stats.redundant += 1;
             return;
         }
+        self.mirror_push(y, 2);
         // A redundant addition implies the term was registered when the edge
         // first went in, so this hash insert only runs on new edges.
         self.source_terms.insert(s);
         if closure {
-            self.graph.compact_node(y, &self.fwd);
-            let node = self.graph.node(y);
-            for &r in node.succ_vars() {
-                self.pending.push_back((SetExpr::Term(s), SetExpr::Var(r)));
-            }
-            for &r in node.succ_snks() {
-                self.pending.push_back((SetExpr::Term(s), SetExpr::Term(r)));
-            }
+            self.fire_succ_scan(y, SetExpr::Term(s));
         }
     }
 
@@ -731,16 +1176,10 @@ impl Solver {
             self.stats.redundant += 1;
             return;
         }
+        self.mirror_push(x, 3);
         self.sink_terms.insert(t);
         if closure {
-            self.graph.compact_node(x, &self.fwd);
-            let node = self.graph.node(x);
-            for &l in node.pred_srcs() {
-                self.pending.push_back((SetExpr::Term(l), SetExpr::Term(t)));
-            }
-            for &l in node.pred_vars() {
-                self.pending.push_back((SetExpr::Var(l), SetExpr::Term(t)));
-            }
+            self.fire_pred_scan(x, SetExpr::Term(t));
         }
     }
 
@@ -770,16 +1209,10 @@ impl Solver {
                 return;
             }
             self.graph.insert_pred_var(y, x);
+            self.mirror_push(y, 0);
             self.log_varvar(x, y);
             if closure {
-                self.graph.compact_node(y, &self.fwd);
-                let node = self.graph.node(y);
-                for &r in node.succ_vars() {
-                    self.pending.push_back((SetExpr::Var(x), SetExpr::Var(r)));
-                }
-                for &r in node.succ_snks() {
-                    self.pending.push_back((SetExpr::Var(x), SetExpr::Term(r)));
-                }
+                self.fire_succ_scan(y, SetExpr::Var(x));
             }
         } else {
             // x → y: look for a predecessor chain y ⋯→ … ⋯→ x (inductive
@@ -807,16 +1240,10 @@ impl Solver {
                 }
             }
             self.graph.insert_succ_var(x, y);
+            self.mirror_push(x, 1);
             self.log_varvar(x, y);
             if closure {
-                self.graph.compact_node(x, &self.fwd);
-                let node = self.graph.node(x);
-                for &l in node.pred_srcs() {
-                    self.pending.push_back((SetExpr::Term(l), SetExpr::Var(y)));
-                }
-                for &l in node.pred_vars() {
-                    self.pending.push_back((SetExpr::Var(l), SetExpr::Var(y)));
-                }
+                self.fire_pred_scan(x, SetExpr::Var(y));
             }
         }
     }
@@ -845,6 +1272,35 @@ impl Solver {
         #[cfg(feature = "obs")]
         self.obs_stop(Phase::CycleDetect);
         if found {
+            if let Some(p) = &mut self.prov {
+                // Justify the collapse: the triggering constraint plus every
+                // edge the found chain stepped through. The chain walked raw
+                // list entries canonicalized through forwarding, so each step
+                // is recovered as the first entry of `from`'s dir-list that
+                // canonicalizes to `to`; an unrecoverable step (shouldn't
+                // happen) degrades to `TOP`, which only widens the fallback.
+                let ProvState { table, nodes, current, next_justification, .. } = &mut **p;
+                let mut just = *current;
+                for w in path.windows(2) {
+                    let (from, to) = (w[0], w[1]);
+                    let node = self.graph.node(from);
+                    let (items, mirror) = match dir {
+                        ChainDir::Succ => {
+                            (node.succ_vars(), &nodes[from.raw() as usize].succ_vars)
+                        }
+                        ChainDir::Pred => {
+                            (node.pred_vars(), &nodes[from.raw() as usize].pred_vars)
+                        }
+                    };
+                    let step_prov = items
+                        .iter()
+                        .position(|&raw| self.fwd.find_const(raw) == to)
+                        .and_then(|i| mirror.get(i).copied())
+                        .unwrap_or(ProvTable::TOP);
+                    just = table.union(just, step_prov);
+                }
+                *next_justification = Some(just);
+            }
             self.collapse(&path);
         }
         self.path_buf = path;
@@ -860,6 +1316,9 @@ impl Solver {
     /// Collapses the cycle through `path`: forwards every member to the
     /// lowest-ordered witness and re-asserts the absorbed edges against it.
     fn collapse(&mut self, path: &[Var]) {
+        // Always clear the search's stashed justification, even on the
+        // degenerate early return, so it cannot leak into a later collapse.
+        let justification = self.prov.as_mut().and_then(|p| p.next_justification.take());
         let mut members = std::mem::take(&mut self.members_buf);
         members.clear();
         members.extend(path.iter().map(|&v| self.fwd.find(v)));
@@ -868,6 +1327,11 @@ impl Solver {
         if members.len() < 2 {
             self.members_buf = members;
             return;
+        }
+        if let Some(p) = &mut self.prov {
+            // Offline sweeps pass no justification and conservatively log
+            // `TOP`: any later retraction then falls back to replay.
+            p.collapse_log.push(justification.unwrap_or(ProvTable::TOP));
         }
         #[cfg(feature = "obs")]
         self.obs_start(Phase::Collapse);
@@ -885,23 +1349,33 @@ impl Solver {
             }
             self.stats.vars_eliminated += 1;
             let taken = self.graph.take_edges(m);
+            // Take the positional mirrors with the lists they mirror; the
+            // re-assertions below carry each absorbed edge's own provenance.
+            let taken_prov = match &mut self.prov {
+                Some(p) => std::mem::take(&mut p.nodes[m.raw() as usize]),
+                None => NodeProv::default(),
+            };
             if self.config.log_varvar && self.oracle.is_none() {
                 self.union_log.push((m.raw(), witness.raw()));
             }
             self.fwd.union_into(m, witness);
             // Re-assert through the normal path so representation invariants
             // are restored and the closure rule fires for the merged lists.
-            for s in taken.pred_srcs {
-                self.pending.push_back((SetExpr::Term(s), SetExpr::Var(witness)));
+            for (i, s) in taken.pred_srcs.into_iter().enumerate() {
+                let pr = taken_prov.pred_srcs.get(i).copied().unwrap_or(ProvTable::EMPTY);
+                self.push_pending_with(SetExpr::Term(s), SetExpr::Var(witness), pr);
             }
-            for u in taken.pred_vars {
-                self.pending.push_back((SetExpr::Var(u), SetExpr::Var(witness)));
+            for (i, u) in taken.pred_vars.into_iter().enumerate() {
+                let pr = taken_prov.pred_vars.get(i).copied().unwrap_or(ProvTable::EMPTY);
+                self.push_pending_with(SetExpr::Var(u), SetExpr::Var(witness), pr);
             }
-            for u in taken.succ_vars {
-                self.pending.push_back((SetExpr::Var(witness), SetExpr::Var(u)));
+            for (i, u) in taken.succ_vars.into_iter().enumerate() {
+                let pr = taken_prov.succ_vars.get(i).copied().unwrap_or(ProvTable::EMPTY);
+                self.push_pending_with(SetExpr::Var(witness), SetExpr::Var(u), pr);
             }
-            for t in taken.succ_snks {
-                self.pending.push_back((SetExpr::Var(witness), SetExpr::Term(t)));
+            for (i, t) in taken.succ_snks.into_iter().enumerate() {
+                let pr = taken_prov.succ_snks.get(i).copied().unwrap_or(ProvTable::EMPTY);
+                self.push_pending_with(SetExpr::Var(witness), SetExpr::Term(t), pr);
             }
         }
         self.members_buf = members;
@@ -1805,5 +2279,150 @@ mod memo_tests {
         assert_eq!(hits, 0, "sequential same-key repeats are structurally impossible");
         assert_eq!(misses, s.stats().search.searches);
         assert!(s.stats().vars_eliminated > 0, "the run did collapse cycles mid-solve");
+    }
+
+    // -- constraint provenance (the fast_apply side-table) ---------------
+
+    /// Provenance tracking must not change a single observable: the side
+    /// table is pure bookkeeping, and the compaction it disables is
+    /// observable-neutral by the graph module's contract.
+    #[test]
+    fn provenance_tracking_is_observable_neutral() {
+        for config in configs_under_test() {
+            for seed in [0xBEEF, 7] {
+                let (mut plain, vs) = run_one(config, seed, true);
+                let mut tracked = Solver::new(config);
+                tracked.enable_provenance();
+                // Replay run_one's generation against the tracked solver,
+                // tagging each wave as its own group.
+                let c = tracked.register_nullary("c");
+                let src = tracked.term(c, vec![]);
+                let tvs: Vec<Var> = (0..N).map(|_| tracked.fresh_var()).collect();
+                let mut rng = SplitMix64::new(seed);
+                for wave in 0u32..4 {
+                    tracked.set_current_group(Some(wave));
+                    if wave == 0 {
+                        tracked.add(src, tvs[0]);
+                    }
+                    for _ in 0..60 {
+                        let a = tvs[rng.next_below(N as u64) as usize];
+                        let b = tvs[rng.next_below(N as u64) as usize];
+                        tracked.add(a, b);
+                    }
+                    tracked.solve();
+                }
+                assert_eq!(plain.stats(), tracked.stats(), "{config:?} seed {seed:#x}");
+                assert_eq!(plain.census(), tracked.census(), "{config:?} seed {seed:#x}");
+                let (lp, lt) = (plain.least_solution(), tracked.least_solution());
+                for &v in &vs {
+                    let (a, b) = (plain.find(v), tracked.find(v));
+                    assert_eq!(a, b, "{config:?} seed {seed:#x}");
+                    assert_eq!(lp.get(a), lt.get(b), "{config:?} seed {seed:#x}");
+                }
+            }
+        }
+    }
+
+    /// Retract one group, re-inject the survivors under repair mode, and the
+    /// least solution equals a from-scratch solve of the survivors.
+    #[test]
+    fn retract_and_repair_matches_scratch_sets() {
+        for config in configs_under_test() {
+            let mut s = Solver::new(config);
+            s.enable_provenance();
+            let c = s.register_nullary("c");
+            let d = s.register_nullary("d");
+            let (csrc, dsrc) = (s.term(c, vec![]), s.term(d, vec![]));
+            let vs: Vec<Var> = (0..6).map(|_| s.fresh_var()).collect();
+            // Group 0: c ⊆ v0 ⊆ v1 ⊆ v2. Group 1: d ⊆ v3 ⊆ v4 ⊆ v5 plus a
+            // bridge v2 ⊆ v3 (acyclic, so no collapse depends on group 1).
+            let g0: Vec<(SetExpr, SetExpr)> = vec![(csrc.into(), vs[0].into()),
+                          (vs[0].into(), vs[1].into()), (vs[1].into(), vs[2].into())];
+            let g1: Vec<(SetExpr, SetExpr)> = vec![(dsrc.into(), vs[3].into()),
+                          (vs[3].into(), vs[4].into()), (vs[4].into(), vs[5].into()),
+                          (vs[2].into(), vs[3].into())];
+            s.set_current_group(Some(0));
+            for &(l, r) in &g0 {
+                s.add(l, r);
+            }
+            s.set_current_group(Some(1));
+            for &(l, r) in &g1 {
+                s.add(l, r);
+            }
+            s.set_current_group(None);
+            s.solve();
+            let before = s.least_solution();
+            assert_eq!(before.get(s.find(vs[5])), &[csrc, dsrc], "{config:?}");
+
+            assert!(!s.retraction_invalidates_collapse(&[1]), "{config:?}");
+            let removed = s.retract_groups(&[1]);
+            assert!(removed >= g1.len() as u64, "{config:?}: at least the atoms go");
+            s.set_current_group(Some(0));
+            for &(l, r) in &g0 {
+                s.add(l, r);
+            }
+            s.set_current_group(None);
+            s.repair_refire();
+            s.solve();
+
+            let mut scratch = Solver::new(config);
+            let c2 = scratch.register_nullary("c");
+            let d2 = scratch.register_nullary("d");
+            let (c2src, _) = (scratch.term(c2, vec![]), scratch.term(d2, vec![]));
+            let svs: Vec<Var> = (0..6).map(|_| scratch.fresh_var()).collect();
+            assert_eq!(c2src, csrc);
+            for &(l, r) in &g0 {
+                scratch.add(l, r);
+            }
+            scratch.solve();
+            let (lr, ls) = (s.least_solution(), scratch.least_solution());
+            for (i, &v) in vs.iter().enumerate() {
+                assert_eq!(s.find(v), scratch.find(svs[i]), "{config:?} v{i}");
+                let rep = s.find(v);
+                assert_eq!(lr.get(rep), ls.get(rep), "{config:?} v{i}");
+            }
+        }
+    }
+
+    /// A collapse caused by a group's own edge must be flagged as
+    /// invalidated when that group is retracted — the forwarding cannot be
+    /// locally undone, so callers have to replay.
+    #[test]
+    fn collapse_justification_blocks_fast_retraction() {
+        let mut s = Solver::new(SolverConfig::if_online());
+        s.enable_provenance();
+        let (x, y) = (s.fresh_var(), s.fresh_var());
+        s.set_current_group(Some(0));
+        s.add(x, y);
+        s.set_current_group(Some(1));
+        s.add(y, x); // closes the cycle: the collapse is justified by {0, 1}
+        s.set_current_group(None);
+        s.solve();
+        assert_eq!(s.find(x), s.find(y), "cycle collapsed");
+        assert_eq!(s.collapse_log_len(), 1);
+        assert!(s.retraction_invalidates_collapse(&[0]));
+        assert!(s.retraction_invalidates_collapse(&[1]));
+        assert!(!s.retraction_invalidates_collapse(&[2]), "uninvolved group");
+    }
+
+    /// Offline (periodic) collapses cannot attribute their cycles and must
+    /// log the saturated justification: every retraction then falls back.
+    #[test]
+    fn periodic_collapse_logs_top_justification() {
+        let mut config = SolverConfig::if_online();
+        config.cycle_elim = CycleElim::Periodic { interval: 1 };
+        let mut s = Solver::new(config);
+        s.enable_provenance();
+        let (x, y) = (s.fresh_var(), s.fresh_var());
+        s.set_current_group(Some(0));
+        s.add(x, y);
+        s.add(y, x);
+        s.set_current_group(None);
+        s.solve();
+        assert_eq!(s.find(x), s.find(y), "offline pass collapsed the cycle");
+        assert!(
+            s.retraction_invalidates_collapse(&[99]),
+            "TOP justification intersects every retraction"
+        );
     }
 }

@@ -196,11 +196,26 @@ pub enum Counter {
     FleetRejectCrossShard = 55,
     /// Per-shard snapshots republished into a `SnapshotHub`.
     FleetPublish = 56,
+
+    // -- provenance fast-apply (bane-serve ApplyMode::Fast) ---------------
+    /// Non-monotone deltas repaired in place by the provenance fast path
+    /// (retraction + semi-naive refire, no replay).
+    ServeFastRepaired = 57,
+    /// Non-monotone deltas on a Fast session that invalidated a recorded
+    /// cycle collapse and fell back to canonical replay.
+    ServeFastFallback = 58,
+    /// Graph edges removed by provenance retraction across fast repairs.
+    ServeFastRetractedEdges = 59,
+    /// Smallest per-shard live-constraint count across the fleet (gauge;
+    /// refreshed by `ShardManager` after every routed batch).
+    FleetBalanceMin = 60,
+    /// Largest per-shard live-constraint count across the fleet (gauge).
+    FleetBalanceMax = 61,
 }
 
 impl Counter {
     /// Number of registered counters.
-    pub const COUNT: usize = 57;
+    pub const COUNT: usize = 62;
 
     /// Every counter, in canonical report order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -261,6 +276,11 @@ impl Counter {
         Counter::FleetVarsFanout,
         Counter::FleetRejectCrossShard,
         Counter::FleetPublish,
+        Counter::ServeFastRepaired,
+        Counter::ServeFastFallback,
+        Counter::ServeFastRetractedEdges,
+        Counter::FleetBalanceMin,
+        Counter::FleetBalanceMax,
     ];
 
     /// The stable dotted name used in reports and JSON.
@@ -323,6 +343,11 @@ impl Counter {
             Counter::FleetVarsFanout => "fleet.vars.fanout",
             Counter::FleetRejectCrossShard => "fleet.reject.cross-shard",
             Counter::FleetPublish => "fleet.publish",
+            Counter::ServeFastRepaired => "serve.fast.repaired",
+            Counter::ServeFastFallback => "serve.fast.fallback",
+            Counter::ServeFastRetractedEdges => "serve.fast.retracted-edges",
+            Counter::FleetBalanceMin => "fleet.balance.min",
+            Counter::FleetBalanceMax => "fleet.balance.max",
         }
     }
 

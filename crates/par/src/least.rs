@@ -341,6 +341,11 @@ pub struct RevalidateOutcome {
     pub dirty_vars: usize,
     /// Canonical variables whose retained span was reused verbatim.
     pub reused_vars: usize,
+    /// Whether a fast-apply session abandoned in-place repair and replayed
+    /// the canonical sequence instead. Always `false` from
+    /// [`ParLeast::run_revalidate`] itself — `bane-serve` sets it when its
+    /// two-tier apply falls back (see `docs/INCREMENTAL.md`).
+    pub fell_back: bool,
 }
 
 impl ParLeast {
@@ -747,6 +752,7 @@ impl ParLeast {
             dirty_levels,
             dirty_vars,
             reused_vars: self.layout.len() - dirty_vars,
+            fell_back: false,
         }
     }
 

@@ -15,11 +15,16 @@
 //!   changes an observable — only wall time);
 //! - the [commit-batch depth](SessionBuilder::batch_rounds) recorded on the
 //!   session for harnesses that drive a frontier-batched engine beside it;
-//! - the [observability gate](SessionBuilder::obs).
+//! - the [observability gate](SessionBuilder::obs);
+//! - the [re-solve tier](SessionBuilder::apply_mode): [`ApplyMode::Exact`]
+//!   replays non-monotone deltas for byte-identical observables,
+//!   [`ApplyMode::Fast`] repairs the least solution in place (set-equal,
+//!   usually much cheaper). The mode is fixed at construction because Fast
+//!   sessions track constraint provenance from the first fact.
 //!
-//! The old `Session::new` / `Session::from_problem` /
-//! `Session::from_problem_grouped` constructors are `#[deprecated]` shims
-//! over this builder for one release.
+//! The builder is the only construction path; the former `Session::new` /
+//! `Session::from_problem` / `Session::from_problem_grouped` constructors
+//! have been removed.
 //!
 //! # Examples
 //!
@@ -39,7 +44,7 @@
 
 use bane_core::prelude::*;
 
-use crate::session::Session;
+use crate::session::{ApplyMode, Session};
 
 /// A reusable recipe for constructing identically configured [`Session`]s.
 /// See the [module docs](self) for the knob inventory, and `ShardManager`
@@ -53,6 +58,7 @@ pub struct SessionBuilder {
     threads: usize,
     batch_rounds: usize,
     obs: bool,
+    mode: ApplyMode,
 }
 
 impl Default for SessionBuilder {
@@ -70,6 +76,7 @@ impl SessionBuilder {
             threads: 1,
             batch_rounds: 1,
             obs: false,
+            mode: ApplyMode::Exact,
         }
     }
 
@@ -116,6 +123,14 @@ impl SessionBuilder {
         self
     }
 
+    /// Selects the non-monotone re-solve tier (see [`ApplyMode`]). Must be
+    /// set at build time: [`ApplyMode::Fast`] sessions track constraint
+    /// provenance from the very first fact.
+    pub fn apply_mode(mut self, mode: ApplyMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
     /// The solver configuration the builder will stamp onto sessions it
     /// builds from scratch.
     pub fn solver_config(&self) -> SolverConfig {
@@ -124,7 +139,7 @@ impl SessionBuilder {
 
     /// An empty session under the recipe.
     pub fn build(&self) -> Session {
-        let mut session = Session::empty(self.config);
+        let mut session = Session::empty(self.config, self.mode);
         self.finish(&mut session);
         session
     }
@@ -146,7 +161,7 @@ impl SessionBuilder {
     ///
     /// Panics if `n_groups == 0` while the problem has constraints.
     pub fn build_grouped(&self, problem: Problem, n_groups: usize) -> Session {
-        let mut session = Session::adopt_grouped(problem, n_groups, self.threads);
+        let mut session = Session::adopt_grouped(problem, n_groups, self.threads, self.mode);
         self.finish(&mut session);
         session
     }
@@ -227,16 +242,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        let s = Session::new(SolverConfig::if_online());
-        assert_eq!(s.threads(), 1);
-        let mut p = Problem::new(SolverConfig::if_online());
-        let c = p.register_nullary("c");
-        let src = p.term(c, vec![]);
-        let x = p.fresh_var();
-        p.add(src, x);
-        let mut s = Session::from_problem(p);
-        assert_eq!(s.points_to(x), &[src]);
+    fn apply_mode_is_stamped_and_defaults_exact() {
+        let s = SessionBuilder::new().build();
+        assert_eq!(s.apply_mode(), ApplyMode::Exact);
+        let s = SessionBuilder::new().apply_mode(ApplyMode::Fast).build();
+        assert_eq!(s.apply_mode(), ApplyMode::Fast);
+        assert!(s.solver().provenance_enabled());
     }
 }

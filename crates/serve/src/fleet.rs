@@ -374,9 +374,27 @@ impl ShardManager {
         if let Some(rec) = &self.rec {
             rec.add(Counter::FleetDeltaRouted, dispatched);
             rec.add(Counter::FleetVarsFanout, fanned_vars);
+            let (min, max) = self.balance();
+            rec.set(Counter::FleetBalanceMin, min as u64);
+            rec.set(Counter::FleetBalanceMax, max as u64);
         }
 
         Ok(FleetReport { new_groups, monotone, shard_reports })
+    }
+
+    /// The fleet's load balance: the smallest and largest per-shard
+    /// live-constraint count ([`Session::live_constraints`]). Refreshed
+    /// into the `fleet.balance.min` / `fleet.balance.max` gauges after
+    /// every routed batch.
+    pub fn balance(&self) -> (usize, usize) {
+        let mut min = usize::MAX;
+        let mut max = 0;
+        for session in &self.sessions {
+            let n = session.live_constraints();
+            min = min.min(n);
+            max = max.max(n);
+        }
+        (min, max)
     }
 
     /// The points-to/solution set of `v`, answered by the owning shard.
@@ -695,6 +713,12 @@ mod tests {
         assert_eq!(rec.get(Counter::FleetVarsFanout), 4, "2 vars × 2 shards");
         assert_eq!(rec.get(Counter::FleetDeltaRouted), 2, "both shards saw AddVars");
         assert_eq!(rec.get(Counter::FleetRejectCrossShard), 1);
+        // The balance gauges reflect the committed batch: one 1-constraint
+        // group on shard 0, nothing on shard 1 (the rejected batch moved
+        // no gauge).
+        assert_eq!(fleet.balance(), (0, 1));
+        assert_eq!(rec.get(Counter::FleetBalanceMin), 0);
+        assert_eq!(rec.get(Counter::FleetBalanceMax), 1);
         // Per-shard serve.* counters live on the sessions.
         assert_eq!(
             fleet.session(0).recorder().unwrap().get(Counter::ServeDeltaApplied),

@@ -77,4 +77,4 @@ pub use fleet::{FleetError, FleetReport, ShardManager};
 pub use proto::{
     parse_request, read_frame, serve, serve_fleet, write_frame, Request, Response, PROTO_VERSION,
 };
-pub use session::{ApplyReport, Session};
+pub use session::{ApplyMode, ApplyReport, Session};

@@ -41,9 +41,13 @@
 //! had no handshake; v1 clients simply never send `hello`, and every v1
 //! command keeps its meaning, so they interoperate unchanged with v2
 //! servers. A v2 client opens with `hello <version>`; the server answers
-//! `ok proto=<server-version> shards=<n>`, telling the client both what
-//! the server speaks and how many shards stand behind the endpoint
-//! (always 1 for [`serve`]).
+//! `ok proto=<server-version> shards=<n> mode=<exact|fast>`, telling the
+//! client what the server speaks, how many shards stand behind the
+//! endpoint (always 1 for [`serve`]), and the non-monotone re-solve tier
+//! ([`ApplyMode`](crate::ApplyMode)) — a `fast` server's `commit` answers
+//! `path=fast-repair` when a non-monotone batch was repaired in place
+//! instead of `path=replay`, and its post-commit stats are set-equal but
+//! not byte-identical to a replaying server's.
 //!
 //! [`serve_fleet`] serves the same language against a
 //! [`ShardManager`]: unrouted mutations stage into one fleet-level
@@ -359,7 +363,13 @@ pub fn execute(session: &mut Session, pending: &mut Delta, req: Request) -> Resp
             let groups: Vec<String> = report.new_groups.iter().map(|g| g.to_string()).collect();
             Response::Ok(format!(
                 "committed path={} groups=[{}] dirty-levels={}/{} dirty-vars={} reused={}",
-                if report.monotone { "monotone" } else { "replay" },
+                if report.monotone {
+                    "monotone"
+                } else if report.fast_repaired {
+                    "fast-repair"
+                } else {
+                    "replay"
+                },
                 groups.join(","),
                 report.outcome.dirty_levels,
                 report.outcome.total_levels,
@@ -397,7 +407,10 @@ pub fn execute(session: &mut Session, pending: &mut Delta, req: Request) -> Resp
                 Err(e) => Response::Err(format!("snapshot failed: {e}")),
             }
         }
-        Request::Hello(_) => Response::Ok(format!("proto={PROTO_VERSION} shards=1")),
+        Request::Hello(_) => Response::Ok(format!(
+            "proto={PROTO_VERSION} shards=1 mode={}",
+            session.apply_mode().wire_name()
+        )),
         Request::Route { shard, inner } => {
             // A single session is a 1-shard fleet: shard 0 exists.
             if shard != 0 {
@@ -469,9 +482,20 @@ pub fn execute_fleet(fleet: &mut ShardManager, pending: &mut Delta, req: Request
                         report.new_groups.iter().map(|g| g.to_string()).collect();
                     let touched =
                         report.shard_reports.iter().filter(|r| r.is_some()).count();
+                    let repaired = report
+                        .shard_reports
+                        .iter()
+                        .flatten()
+                        .any(|r| r.fast_repaired);
                     Response::Ok(format!(
                         "committed path={} groups=[{}] shards={}/{}",
-                        if report.monotone { "monotone" } else { "replay" },
+                        if report.monotone {
+                            "monotone"
+                        } else if repaired {
+                            "fast-repair"
+                        } else {
+                            "replay"
+                        },
                         groups.join(","),
                         touched,
                         fleet.shard_count(),
@@ -510,9 +534,13 @@ pub fn execute_fleet(fleet: &mut ShardManager, pending: &mut Delta, req: Request
         Request::Snapshot(_) => Response::Err(
             "snapshot is per-shard on a fleet: use route <k> snapshot <path>".to_string(),
         ),
-        Request::Hello(_) => {
-            Response::Ok(format!("proto={PROTO_VERSION} shards={}", fleet.shard_count()))
-        }
+        Request::Hello(_) => Response::Ok(format!(
+            "proto={PROTO_VERSION} shards={} mode={}",
+            fleet.shard_count(),
+            // One builder recipe stamps the whole fleet: shard 0's mode is
+            // every shard's mode.
+            fleet.session(0).apply_mode().wire_name()
+        )),
         Request::Route { shard, inner } => {
             let shard = shard as usize;
             if shard >= fleet.shard_count() {
@@ -729,7 +757,7 @@ mod tests {
         let mut session = crate::SessionBuilder::new().build();
         let mut pending = Delta::new();
         let hello = execute(&mut session, &mut pending, Request::Hello(2));
-        assert_eq!(hello, Response::Ok(format!("proto={PROTO_VERSION} shards=1")));
+        assert_eq!(hello, Response::Ok(format!("proto={PROTO_VERSION} shards=1 mode=exact")));
         // v1 clients that do send a bare hello still get a v2 answer.
         let hello1 = execute(&mut session, &mut pending, parse_request("hello").unwrap());
         assert!(hello1.is_ok());
@@ -776,7 +804,7 @@ mod tests {
             responses.push(f);
         }
         assert_eq!(responses.len(), script.len());
-        assert_eq!(responses[0], "ok proto=2 shards=2");
+        assert_eq!(responses[0], "ok proto=2 shards=2 mode=exact");
         assert_eq!(responses[1], "ok c2");
         assert_eq!(responses[2], "ok t2");
         assert!(responses[6].starts_with("ok committed path=monotone groups=[g0,g1] shards=2/2"));

@@ -52,9 +52,116 @@ use bane_core::prelude::*;
 use bane_core::solset::SolSetKind;
 use bane_obs::{Counter, Phase, Recorder};
 use bane_par::{ParLeast, RevalidateOutcome};
-use bane_util::FxHashSet;
+use bane_util::{FxHashMap, FxHashSet};
 
 use crate::delta::{Delta, DeltaOp, GroupId};
+
+/// Sub-group provenance granularity: each group's constraints are spread
+/// over this many provenance atoms (`atom = group · ATOM_BUCKETS + bucket`),
+/// so an edit that removes a few constraints retracts — and gates the
+/// collapse check on — only its own slice of the group, not the whole
+/// group. At whole-suite scale this is the difference between a gate that
+/// can pass and one that never does: every one of 64 coarse groups
+/// transitively feeds some collapsed cycle, but most ~dozen-constraint
+/// slices feed none.
+const ATOM_BUCKETS: u32 = 256;
+
+/// The provenance atom for `bucket` of `group`.
+fn atom(group: u32, bucket: u32) -> u32 {
+    group * ATOM_BUCKETS + bucket
+}
+
+/// A live constraint group: its contents plus the provenance atom of each
+/// constraint (assigned at first add, stable across edits for surviving
+/// constraints — retraction deletes by recorded atom, so a constraint's tag
+/// must never drift while its facts are in the graph).
+#[derive(Clone, Debug)]
+struct LiveGroup {
+    constraints: Vec<(SetExpr, SetExpr)>,
+    /// Provenance atom per constraint (parallel to `constraints`).
+    atoms: Vec<u32>,
+    /// Rotating bucket cursor for constraints added by later edits.
+    next_bucket: u32,
+}
+
+impl LiveGroup {
+    /// A fresh group: constraint `k` of `n` lands in the contiguous bucket
+    /// `k·ATOM_BUCKETS/n`, mirroring canonical order so an edit's
+    /// neighborhood shares few atoms.
+    fn new(group: u32, constraints: Vec<(SetExpr, SetExpr)>) -> Self {
+        let n = constraints.len().max(1) as u64;
+        let atoms = (0..constraints.len() as u64)
+            .map(|k| atom(group, (k * u64::from(ATOM_BUCKETS) / n) as u32))
+            .collect();
+        LiveGroup { constraints, atoms, next_bucket: 0 }
+    }
+
+    /// Rebinds the slot to `new` contents: occurrences also present in the
+    /// old contents keep their atom (multiset matching), genuinely new
+    /// constraints get rotating fresh buckets. Returns the atoms of the
+    /// *removed* occurrences — exactly what this edit retracts.
+    fn rebind(&mut self, group: u32, new: Vec<(SetExpr, SetExpr)>) -> Vec<u32> {
+        let mut pool: FxHashMap<(SetExpr, SetExpr), Vec<u32>> = FxHashMap::default();
+        for (c, &a) in self.constraints.iter().zip(&self.atoms) {
+            pool.entry(*c).or_default().push(a);
+        }
+        let mut atoms = Vec::with_capacity(new.len());
+        for c in &new {
+            let inherited = pool.get_mut(c).and_then(Vec::pop);
+            atoms.push(inherited.unwrap_or_else(|| {
+                let a = atom(group, self.next_bucket);
+                self.next_bucket = (self.next_bucket + 1) % ATOM_BUCKETS;
+                a
+            }));
+        }
+        let removed: Vec<u32> = pool.into_values().flatten().collect();
+        self.constraints = new;
+        self.atoms = atoms;
+        removed
+    }
+}
+
+/// How a session re-solves **non-monotone** deltas — the two-tier contract
+/// (`docs/INCREMENTAL.md`).
+///
+/// Monotone deltas always feed the live solver; the mode only decides what
+/// a `RemoveGroup`/`EditGroup` costs and what it promises:
+///
+/// - [`Exact`](ApplyMode::Exact) (the default) replays the canonical
+///   sequence into a fresh solver: `stats()`, `census()` and
+///   `inconsistencies()` are **byte-identical** to a from-scratch solve.
+/// - [`Fast`](ApplyMode::Fast) repairs the least solution in place: the
+///   solver tracks constraint provenance at sub-group granularity (256
+///   atoms per group), retracts exactly the facts derived from the
+///   constraints the edit removed, and re-derives the closure from the
+///   retained graph.
+///   The least solution's per-variable *sets* equal replay's (asserted by
+///   the equivalence suite), but work counters, census and the recorded
+///   inconsistency list are **not** byte-identical — repair takes a
+///   different (cheaper) schedule. When the edit invalidates a recorded
+///   cycle collapse (forwarding cannot be locally undone), the session
+///   falls back to full replay and says so in
+///   [`RevalidateOutcome::fell_back`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ApplyMode {
+    /// Canonical replay on every non-monotone delta (byte-identical
+    /// observables).
+    #[default]
+    Exact,
+    /// Provenance-based in-place repair, falling back to replay only when a
+    /// retained collapse is invalidated (set-equal least solution).
+    Fast,
+}
+
+impl ApplyMode {
+    /// The wire-protocol token (`hello` response `mode=` field).
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            ApplyMode::Exact => "exact",
+            ApplyMode::Fast => "fast",
+        }
+    }
+}
 
 /// What one [`Session::apply`] call did.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -63,8 +170,12 @@ pub struct ApplyReport {
     /// order.
     pub new_groups: Vec<GroupId>,
     /// Whether the batch took the monotone live-solver path (`false` means
-    /// canonical replay).
+    /// canonical replay or, under [`ApplyMode::Fast`], in-place repair).
     pub monotone: bool,
+    /// Whether a non-monotone batch was served by provenance-based in-place
+    /// repair ([`ApplyMode::Fast`] only; `false` means the monotone path or
+    /// a replay).
+    pub fast_repaired: bool,
     /// How localized the least-solution revalidation was.
     pub outcome: RevalidateOutcome,
     /// Distinct canonical variables reachable from the batch's constraint
@@ -113,7 +224,7 @@ pub struct Session {
     /// Slot-indexed constraint groups; `None` marks a removed group. The
     /// canonical constraint sequence is the concatenation of the live
     /// groups in slot order.
-    groups: Vec<Option<Vec<(SetExpr, SetExpr)>>>,
+    groups: Vec<Option<LiveGroup>>,
     solver: Solver,
     par: ParLeast,
     threads: usize,
@@ -123,49 +234,28 @@ pub struct Session {
     revision: Option<GraphRevision>,
     last_outcome: RevalidateOutcome,
     rec: Option<Recorder>,
+    /// The two-tier re-solve mode (fixed at construction; Fast requires the
+    /// solver's provenance tracking to cover its whole life).
+    mode: ApplyMode,
 }
 
 impl Session {
-    /// An empty session under `config`.
-    #[deprecated(note = "construct sessions through `SessionBuilder` (e.g. \
-                         `SessionBuilder::new().config(config).build()`)")]
-    pub fn new(config: SolverConfig) -> Self {
-        Session::empty(config)
-    }
-
-    /// A session adopting `problem`'s recording: its registration state
-    /// becomes the session's, and its recorded constraints become one
-    /// group, solved immediately.
-    #[deprecated(note = "construct sessions through `SessionBuilder` \
-                         (`SessionBuilder::new().build_from_problem(problem)`)")]
-    pub fn from_problem(problem: Problem) -> Self {
-        Session::adopt_grouped(problem, 1, 1)
-    }
-
-    /// Like `from_problem`, but splitting the recorded constraints into
-    /// `n_groups` contiguous groups.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n_groups == 0` while the problem has constraints.
-    #[deprecated(note = "construct sessions through `SessionBuilder` \
-                         (`SessionBuilder::new().build_grouped(problem, n)`)")]
-    pub fn from_problem_grouped(problem: Problem, n_groups: usize) -> Self {
-        Session::adopt_grouped(problem, n_groups, 1)
-    }
-
     /// An empty session under `config`: the [`SessionBuilder::build`] body.
     ///
     /// The least-solution backend is taken from `config.solset`; the worker
     /// count defaults to 1 (see [`set_threads`](Session::set_threads)).
     ///
     /// [`SessionBuilder::build`]: crate::SessionBuilder::build
-    pub(crate) fn empty(config: SolverConfig) -> Self {
+    pub(crate) fn empty(config: SolverConfig, mode: ApplyMode) -> Self {
         let kind = config.solset;
+        let mut solver = Solver::new(config);
+        if mode == ApplyMode::Fast {
+            solver.enable_provenance();
+        }
         Session {
             problem: Problem::new(config),
             groups: Vec::new(),
-            solver: Solver::new(config),
+            solver,
             par: ParLeast::new(),
             threads: 1,
             batch_rounds: 1,
@@ -174,6 +264,7 @@ impl Session {
             revision: None,
             last_outcome: RevalidateOutcome::default(),
             rec: None,
+            mode,
         }
     }
 
@@ -182,12 +273,23 @@ impl Session {
     /// and solve the result with `threads` revalidation workers.
     ///
     /// [`SessionBuilder::build_grouped`]: crate::SessionBuilder::build_grouped
-    pub(crate) fn adopt_grouped(mut problem: Problem, n_groups: usize, threads: usize) -> Self {
+    pub(crate) fn adopt_grouped(
+        mut problem: Problem,
+        n_groups: usize,
+        threads: usize,
+        mode: ApplyMode,
+    ) -> Self {
         let constraints = problem.split_off_constraints(0);
         let config = *problem.config();
         let kind = config.solset;
+        // The problem's constraint list was just split off, so the adopted
+        // solver replays registrations only — provenance can still attach.
+        let mut solver = Solver::from_problem(problem.clone());
+        if mode == ApplyMode::Fast {
+            solver.enable_provenance();
+        }
         let mut session = Session {
-            solver: Solver::from_problem(problem.clone()),
+            solver,
             problem,
             groups: Vec::new(),
             par: ParLeast::new(),
@@ -198,6 +300,7 @@ impl Session {
             revision: None,
             last_outcome: RevalidateOutcome::default(),
             rec: None,
+            mode,
         };
         if constraints.is_empty() {
             return session;
@@ -273,7 +376,7 @@ impl Session {
     /// The constraints of group `g`, or `None` if the slot was removed (or
     /// never existed).
     pub fn group(&self, g: GroupId) -> Option<&[(SetExpr, SetExpr)]> {
-        self.groups.get(g.index()).and_then(|s| s.as_deref())
+        self.groups.get(g.index()).and_then(|s| s.as_ref()).map(|lg| lg.constraints.as_slice())
     }
 
     /// Applies one [`Delta`] batch and re-solves.
@@ -292,6 +395,9 @@ impl Session {
         let t0 = self.rec.as_ref().map(|_| std::time::Instant::now());
         let monotone = delta.is_monotone();
         let mut new_groups = Vec::new();
+        let mut fast_repaired = false;
+        let mut fell_back = false;
+        let mut retracted_edges = 0u64;
 
         if monotone {
             for op in delta.ops() {
@@ -304,58 +410,102 @@ impl Session {
                         }
                     }
                     DeltaOp::AddGroup { constraints } => {
-                        new_groups.push(GroupId::new(self.groups.len() as u32));
-                        for &(lhs, rhs) in constraints {
+                        let gid = self.groups.len() as u32;
+                        new_groups.push(GroupId::new(gid));
+                        let group = LiveGroup::new(gid, constraints.clone());
+                        for (&(lhs, rhs), &a) in group.constraints.iter().zip(&group.atoms) {
+                            self.solver.set_current_group(Some(a));
                             self.solver.add(lhs, rhs);
                         }
-                        self.groups.push(Some(constraints.clone()));
+                        self.solver.set_current_group(None);
+                        self.groups.push(Some(group));
                     }
                     DeltaOp::RemoveGroup(_) | DeltaOp::EditGroup { .. } => unreachable!(),
                 }
             }
             self.solver.solve();
         } else {
+            // One bookkeeping pass over the ops, collecting the retraction
+            // set at provenance-atom granularity — whole slots for
+            // `RemoveGroup`, the multiset diff for `EditGroup` (surviving
+            // constraints keep their atoms and are not retracted). The tier
+            // decision needs the full set, and the live solver must not see
+            // new variables before that decision, so solver-side var syncs
+            // are deferred.
+            let mut retract_atoms: Vec<u32> = Vec::new();
+            let mut new_vars: Vec<Var> = Vec::new();
             for op in delta.ops() {
                 match op {
                     DeltaOp::AddVars(n) => {
                         for _ in 0..*n {
-                            ConstraintBuilder::fresh_var(&mut self.problem);
+                            new_vars.push(ConstraintBuilder::fresh_var(&mut self.problem));
                         }
                     }
                     DeltaOp::AddGroup { constraints } => {
-                        new_groups.push(GroupId::new(self.groups.len() as u32));
-                        self.groups.push(Some(constraints.clone()));
+                        let gid = self.groups.len() as u32;
+                        new_groups.push(GroupId::new(gid));
+                        self.groups.push(Some(LiveGroup::new(gid, constraints.clone())));
                     }
                     DeltaOp::RemoveGroup(g) => {
                         let slot = self
                             .groups
                             .get_mut(g.index())
                             .unwrap_or_else(|| panic!("no such group: {g}"));
-                        assert!(slot.is_some(), "group already removed: {g}");
-                        *slot = None;
+                        let taken = slot.take();
+                        assert!(taken.is_some(), "group already removed: {g}");
+                        retract_atoms.extend(taken.expect("just checked").atoms);
                     }
                     DeltaOp::EditGroup { group: g, constraints } => {
                         let slot = self
                             .groups
                             .get_mut(g.index())
                             .unwrap_or_else(|| panic!("no such group: {g}"));
-                        assert!(slot.is_some(), "cannot edit removed group: {g}");
-                        *slot = Some(constraints.clone());
+                        let lg = slot
+                            .as_mut()
+                            .unwrap_or_else(|| panic!("cannot edit removed group: {g}"));
+                        retract_atoms.extend(lg.rebind(g.index() as u32, constraints.clone()));
                     }
                 }
             }
-            self.replay();
+            retract_atoms.sort_unstable();
+            retract_atoms.dedup();
+            let fast = self.mode == ApplyMode::Fast
+                && !self.solver.retraction_invalidates_collapse(&retract_atoms);
+            if fast {
+                // The live solver survives: sync the deferred variables,
+                // retract exactly the removed constraints' facts, repair.
+                for &v in &new_vars {
+                    let b = self.solver.fresh_var();
+                    debug_assert_eq!(v, b);
+                }
+                if !retract_atoms.is_empty() {
+                    retracted_edges = self.solver.retract_groups(&retract_atoms);
+                }
+                self.repair();
+                fast_repaired = true;
+            } else {
+                fell_back = self.mode == ApplyMode::Fast;
+                self.replay();
+            }
         }
 
-        let outcome = self.revalidate(!delta.is_empty());
+        let mut outcome = self.revalidate(!delta.is_empty());
+        outcome.fell_back = fell_back;
         let touched_vars = self.touched_of(&delta);
 
         if let Some(rec) = &self.rec {
             rec.add(Counter::ServeDeltaApplied, 1);
-            rec.add(
-                if monotone { Counter::ServeDeltaMonotone } else { Counter::ServeDeltaReplayed },
-                1,
-            );
+            if monotone {
+                rec.add(Counter::ServeDeltaMonotone, 1);
+            } else if fast_repaired {
+                rec.add(Counter::ServeFastRepaired, 1);
+                rec.add(Counter::ServeFastRetractedEdges, retracted_edges);
+            } else {
+                rec.add(Counter::ServeDeltaReplayed, 1);
+                if fell_back {
+                    rec.add(Counter::ServeFastFallback, 1);
+                }
+            }
             rec.set(Counter::ServeDirtyLevels, outcome.dirty_levels as u64);
             rec.set(Counter::ServeDirtyVars, outcome.dirty_vars as u64);
             rec.add(Counter::ServeReuseHit, outcome.reused_vars as u64);
@@ -365,7 +515,7 @@ impl Session {
         }
 
         self.last_outcome = outcome;
-        ApplyReport { new_groups, monotone, outcome, touched_vars }
+        ApplyReport { new_groups, monotone, fast_repaired, outcome, touched_vars }
     }
 
     /// Rebuilds the live solver from scratch over the canonical sequence,
@@ -384,18 +534,61 @@ impl Session {
 
     /// Replaces the live solver with a fresh solve of the canonical
     /// sequence.
+    ///
+    /// In [`ApplyMode::Fast`] the rebuilt solver re-enables provenance and
+    /// re-tags every live group, so the very next non-monotone delta can
+    /// again attempt in-place repair — a fallback is a one-batch event, not
+    /// a permanent downgrade. Tracking provenance is observable-neutral
+    /// (see `bane-core`'s `provenance_tracking_is_observable_neutral`), so
+    /// even the Fast replay is byte-identical to an Exact one.
     fn replay(&mut self) {
+        let obs = self.rec.is_some();
+        if self.mode == ApplyMode::Fast {
+            let mut solver = Solver::from_problem(self.problem.clone());
+            solver.enable_provenance();
+            if obs {
+                solver.enable_obs();
+            }
+            for group in self.groups.iter().flatten() {
+                for (&(lhs, rhs), &a) in group.constraints.iter().zip(&group.atoms) {
+                    solver.set_current_group(Some(a));
+                    solver.add(lhs, rhs);
+                }
+            }
+            solver.set_current_group(None);
+            self.solver = solver;
+            self.solver.solve();
+            return;
+        }
         let mut p = self.problem.clone();
         for group in self.groups.iter().flatten() {
-            for &(lhs, rhs) in group {
+            for &(lhs, rhs) in &group.constraints {
                 ConstraintBuilder::add(&mut p, lhs, rhs);
             }
         }
-        let obs = self.rec.is_some();
         self.solver = Solver::from_problem(p);
         if obs {
             self.solver.enable_obs();
         }
+        self.solver.solve();
+    }
+
+    /// Repairs the live solver in place after [`Solver::retract_groups`]:
+    /// re-injects every live group's constraints (almost all are redundant
+    /// against the retained graph; the ones whose direct fact was
+    /// over-deleted re-insert and propagate), schedules the solver's
+    /// targeted damage re-fire pass, and re-runs the resolution engine to a
+    /// fixpoint. Work is proportional to the graph neighborhood of the
+    /// retraction, not to the closure.
+    fn repair(&mut self) {
+        for group in self.groups.iter().flatten() {
+            for (&(lhs, rhs), &a) in group.constraints.iter().zip(&group.atoms) {
+                self.solver.set_current_group(Some(a));
+                self.solver.add(lhs, rhs);
+            }
+        }
+        self.solver.set_current_group(None);
+        self.solver.repair_refire();
         self.solver.solve();
     }
 
@@ -417,6 +610,7 @@ impl Session {
                 dirty_levels: 0,
                 dirty_vars: 0,
                 reused_vars: self.last_outcome.reused_vars + self.last_outcome.dirty_vars,
+                fell_back: false,
             };
         }
         let parts = self.solver.least_parts();
@@ -499,6 +693,17 @@ impl Session {
         &self.solver
     }
 
+    /// The re-solve tier this session was built with.
+    pub fn apply_mode(&self) -> ApplyMode {
+        self.mode
+    }
+
+    /// Total constraints across live (non-removed) groups — the load
+    /// measure `ShardManager` aggregates into the `fleet.balance.*` gauges.
+    pub fn live_constraints(&self) -> usize {
+        self.groups.iter().flatten().map(|g| g.constraints.len()).sum()
+    }
+
     /// Writes the current solved state as a `bane-snap` snapshot at `path`
     /// (atomically — see `bane_snap::write_solver`), republishing the
     /// session for the read-only serving layer. Returns the snapshot size
@@ -549,8 +754,11 @@ impl ConstraintBuilder for Session {
     /// written against [`ConstraintBuilder`] can target a session directly.
     fn add(&mut self, lhs: impl Into<SetExpr>, rhs: impl Into<SetExpr>) {
         let (lhs, rhs) = (lhs.into(), rhs.into());
+        let group = LiveGroup::new(self.groups.len() as u32, vec![(lhs, rhs)]);
+        self.solver.set_current_group(Some(group.atoms[0]));
         self.solver.add(lhs, rhs);
-        self.groups.push(Some(vec![(lhs, rhs)]));
+        self.solver.set_current_group(None);
+        self.groups.push(Some(group));
     }
 }
 

@@ -113,6 +113,13 @@ pub struct DeltaScriptConfig {
     /// bit-identical to the pre-partitioning generator, so existing seeds
     /// keep producing the same scripts.
     pub partitions: u32,
+    /// Multiplier on the non-monotone step probabilities (`remove_prob`
+    /// and `edit_prob`): `2.0` doubles the odds of a step retracting
+    /// constraints, `0.0` forces a purely monotone history. The default
+    /// `1.0` is bit-identical to the pre-knob generator (same RNG draws,
+    /// same scripts for existing seeds) — the `partitions` precedent.
+    /// Probabilities are clamped to 1.0 after weighting.
+    pub edit_weight: f64,
 }
 
 impl Default for DeltaScriptConfig {
@@ -128,6 +135,7 @@ impl Default for DeltaScriptConfig {
             edit_prob: 0.25,
             src_prob: 0.3,
             partitions: 1,
+            edit_weight: 1.0,
         }
     }
 }
@@ -142,6 +150,14 @@ impl DeltaScriptConfig {
     /// `partitions` classes for sharded serving.
     pub fn sharded(steps: usize, seed: u64, partitions: u32) -> Self {
         DeltaScriptConfig { seed, steps, partitions: partitions.max(1), ..Self::default() }
+    }
+
+    /// A config of `steps` steps under `seed` with the non-monotone step
+    /// probabilities scaled by `weight` — the edit-heavy histories the
+    /// `ApplyMode::Fast` equivalence tests and the `fast_apply` bench
+    /// column stress. `weight = 1.0` is [`sized`](Self::sized) exactly.
+    pub fn edit_heavy(steps: usize, seed: u64, weight: f64) -> Self {
+        DeltaScriptConfig { seed, steps, edit_weight: weight.max(0.0), ..Self::default() }
     }
 }
 
@@ -159,6 +175,9 @@ fn class_size(vars: u32, class: u32, partitions: u32) -> u32 {
 pub fn generate_delta_script(config: &DeltaScriptConfig) -> DeltaScript {
     let mut rng = SplitMix64::new(config.seed);
     let partitions = config.partitions.max(1);
+    let weight = config.edit_weight.max(0.0);
+    let remove_prob = (config.remove_prob * weight).min(1.0);
+    let edit_prob = (config.edit_prob * weight).min(1.0);
     // Every partition class needs variables to sample from the start.
     let initial_vars = config.initial_vars.max(2).max(partitions * 2);
     let mut vars = initial_vars;
@@ -199,10 +218,10 @@ pub fn generate_delta_script(config: &DeltaScriptConfig) -> DeltaScript {
             let n = 1 + rng.next_below(4) as u32;
             vars += n;
             steps.push(DeltaStep::GrowVars(n));
-        } else if !live.is_empty() && rng.next_bool(config.remove_prob) {
+        } else if !live.is_empty() && rng.next_bool(remove_prob) {
             let i = rng.next_below(live.len() as u64) as usize;
             steps.push(DeltaStep::RemoveGroup { slot: live.remove(i) });
-        } else if !live.is_empty() && rng.next_bool(config.edit_prob) {
+        } else if !live.is_empty() && rng.next_bool(edit_prob) {
             let i = rng.next_below(live.len() as u64) as usize;
             let slot = live[i];
             let constraints = group(&mut rng, vars, slot_class[slot]);
@@ -467,6 +486,35 @@ mod tests {
             ],
         };
         assert!(class_move.validate().unwrap_err().contains("moves it"));
+    }
+
+    #[test]
+    fn edit_weight_one_is_bit_identical_and_heavier_weights_retract_more() {
+        // weight 1.0 must not perturb a single RNG draw.
+        let plain = generate_delta_script(&DeltaScriptConfig::sized(120, 7));
+        let one = generate_delta_script(&DeltaScriptConfig::edit_heavy(120, 7, 1.0));
+        assert_eq!(plain, one);
+
+        let nonmono = |s: &DeltaScript| {
+            s.steps
+                .iter()
+                .filter(|st| {
+                    matches!(st, DeltaStep::EditGroup { .. } | DeltaStep::RemoveGroup { .. })
+                })
+                .count()
+        };
+        let heavy = generate_delta_script(&DeltaScriptConfig::edit_heavy(120, 7, 2.5));
+        heavy.validate().expect("edit-heavy script validates");
+        assert!(
+            nonmono(&heavy) > nonmono(&plain),
+            "weight 2.5 should retract more: {} vs {}",
+            nonmono(&heavy),
+            nonmono(&plain)
+        );
+
+        let frozen = generate_delta_script(&DeltaScriptConfig::edit_heavy(120, 7, 0.0));
+        frozen.validate().expect("weight-0 script validates");
+        assert!(!frozen.has_nonmonotone(), "weight 0 forces a monotone history");
     }
 
     #[test]
